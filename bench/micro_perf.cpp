@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Library micro-benchmarks (google-benchmark): throughput of the
+ * simulation substrates. These are performance canaries for the
+ * infrastructure, not paper results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "kernels/fft.hpp"
+#include "kernels/matmul.hpp"
+#include "mem/lru_cache.hpp"
+#include "mem/opt_cache.hpp"
+#include "pebble/builders.hpp"
+#include "pebble/heuristic.hpp"
+#include "trace/reuse.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace kb;
+
+void
+BM_LruAccess(benchmark::State &state)
+{
+    const std::uint64_t capacity =
+        static_cast<std::uint64_t>(state.range(0));
+    LruCache cache(capacity);
+    Xoshiro256 rng(1);
+    std::vector<std::uint64_t> addrs(1 << 14);
+    for (auto &a : addrs)
+        a = rng.below(4 * capacity);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(addrs[i++ & (addrs.size() - 1)], false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruAccess)->Arg(256)->Arg(4096);
+
+void
+BM_ReuseDistance(benchmark::State &state)
+{
+    Xoshiro256 rng(2);
+    std::vector<std::uint64_t> addrs(1 << 14);
+    for (auto &a : addrs)
+        a = rng.below(1 << 12);
+    for (auto _ : state) {
+        ReuseDistanceAnalyzer rd;
+        for (const auto a : addrs)
+            rd.onAccess(readOf(a));
+        benchmark::DoNotOptimize(rd.coldMisses());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(addrs.size()));
+}
+BENCHMARK(BM_ReuseDistance);
+
+void
+BM_OptSimulation(benchmark::State &state)
+{
+    Xoshiro256 rng(3);
+    std::vector<Access> trace(1 << 14);
+    for (auto &a : trace)
+        a = readOf(rng.below(1 << 10));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(simulateOpt(trace, 256));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_OptSimulation);
+
+void
+BM_MatmulMeasure(benchmark::State &state)
+{
+    MatmulKernel k;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            k.measure(64, static_cast<std::uint64_t>(state.range(0)),
+                      false));
+    }
+}
+BENCHMARK(BM_MatmulMeasure)->Arg(64)->Arg(1024);
+
+void
+BM_FftMeasure(benchmark::State &state)
+{
+    FftKernel k;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(k.measure(1 << 12, 64, false));
+    }
+}
+BENCHMARK(BM_FftMeasure);
+
+void
+BM_PebbleHeuristicFft(benchmark::State &state)
+{
+    const Dag dag = buildFftDag(64);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(playHeuristic(dag, 16));
+    }
+}
+BENCHMARK(BM_PebbleHeuristicFft);
+
+} // namespace

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Design explorer: a what-if study the paper invites.
+ *
+ * Suppose compute bandwidth doubles every 18 months while the I/O
+ * channel stays fixed (the paper's "increasing I/O bandwidth is
+ * difficult in practice"). For each computation class, how much
+ * local memory does a balanced PE need over a decade?
+ *
+ * Build & run:  ./build/examples/design_explorer
+ */
+
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "core/rebalance.hpp"
+#include "core/scaling_law.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::string
+humanWords(double words)
+{
+    if (words < 0)
+        return "impossible";
+    const char *units[] = {"w", "Kw", "Mw", "Gw", "Tw", "Pw"};
+    int u = 0;
+    while (words >= 1024.0 && u < 5) {
+        words /= 1024.0;
+        ++u;
+    }
+    if (words >= 1e6)
+        return "> memory of the universe";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f %s", words, units[u]);
+    return buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace kb;
+
+    std::cout
+        << "Technology scenario: C doubles every 18 months, IO "
+           "fixed.\nBaseline: a balanced PE with M = 4096 words "
+           "(16 KiB of 32-bit words).\n";
+
+    struct Class
+    {
+        const char *name;
+        ScalingLaw law;
+    };
+    const Class classes[] = {
+        {"matmul / LU (alpha^2)", ScalingLaw::power(2.0)},
+        {"grid 2-D (alpha^2)", ScalingLaw::power(2.0)},
+        {"grid 3-D (alpha^3)", ScalingLaw::power(3.0)},
+        {"grid 4-D (alpha^4)", ScalingLaw::power(4.0)},
+        {"FFT / sorting (M^alpha)", ScalingLaw::exponential()},
+        {"matvec / trisolve", ScalingLaw::impossible()},
+    };
+
+    std::vector<std::string> headers = {"computation class"};
+    for (int year : {0, 3, 6, 9})
+        headers.push_back("year " + std::to_string(year));
+    TextTable table(headers);
+
+    const double m_old = 4096.0;
+    for (const auto &cls : classes) {
+        auto &row = table.row();
+        row.cell(cls.name);
+        for (int year : {0, 3, 6, 9}) {
+            const double alpha =
+                std::pow(2.0, static_cast<double>(year) / 1.5);
+            const auto m_new = cls.law.predict(m_old, alpha);
+            row.cell(m_new ? humanWords(*m_new)
+                           : std::string("impossible"));
+        }
+    }
+    printHeading(std::cout,
+                 "Local memory needed to stay balanced (alpha = "
+                 "2^(year/1.5))");
+    table.print(std::cout);
+
+    std::cout
+        << "\nAfter nine years (alpha = 64):\n"
+           "  * matrix/2-D-grid PEs need 4096x the memory — costly "
+           "but buildable;\n"
+           "  * 4-D grids need 16.7M x — hopeless as a pure memory "
+           "play;\n"
+           "  * FFT/sorting would need M^64 words — \"one should "
+           "not expect any substantial speedup\n    without a "
+           "significant increase in the PE's I/O bandwidth\" "
+           "(Section 5);\n"
+           "  * I/O-bounded kernels were never rescuable by memory "
+           "at all.\n";
+    return 0;
+}

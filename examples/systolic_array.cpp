@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Watch a processor array saturate: the Section 4 simulator, live.
+ *
+ * Runs the block-matmul dataflow on linear arrays and meshes of
+ * several sizes while sweeping the per-PE memory, printing the
+ * utilization surface — the empirical content of Figs. 3 and 4.
+ *
+ * Build & run:  ./build/examples/systolic_array
+ */
+
+#include <iostream>
+
+#include "parallel/array_sim.hpp"
+#include "parallel/workloads.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace kb;
+
+    const double ops_rate = 8.0; // per-PE C/IO = 8
+    const std::uint64_t n = 512;
+
+    std::cout << "Block matmul (N = " << n
+              << ") on host-fed arrays; per-PE C/IO = " << ops_rate
+              << ".\nCell: utilization (fraction of time a PE "
+                 "computes).\n";
+
+    const std::vector<std::uint64_t> mems = {64,   256,  1024,
+                                             4096, 16384, 65536};
+
+    // Linear arrays (Fig. 3): saturation moves right as p grows.
+    std::vector<std::string> headers = {"linear p"};
+    for (const auto m : mems)
+        headers.push_back("M=" + std::to_string(m));
+    TextTable linear(headers);
+    for (std::uint64_t p : {2u, 4u, 8u, 16u, 32u}) {
+        auto &row = linear.row();
+        row.cell(p);
+        for (const auto m : mems) {
+            const auto wl = matmulLinearWorkload(n, p, m, ops_rate);
+            const auto r = simulateArray(wl.machine, wl.steps);
+            row.cell(r.utilization(), 3);
+        }
+    }
+    printHeading(std::cout,
+                 "Linear array: longer chains need more per-PE "
+                 "memory to saturate");
+    linear.print(std::cout);
+
+    // Meshes (Fig. 4): the saturation point stays put.
+    headers[0] = "mesh p x p";
+    TextTable mesh(headers);
+    for (std::uint64_t p : {2u, 4u, 8u, 16u}) {
+        auto &row = mesh.row();
+        row.cell(p);
+        for (const auto m : mems) {
+            const auto wl = matmulMeshWorkload(n, p, m, ops_rate);
+            const auto r = simulateArray(wl.machine, wl.steps);
+            row.cell(r.utilization(), 3);
+        }
+    }
+    printHeading(std::cout,
+                 "Square mesh: the saturation memory is independent "
+                 "of p (automatic balance)");
+    mesh.print(std::cout);
+
+    std::cout
+        << "\nRead across a row to find where utilization reaches "
+           "~1.0: on the chain that point\nshifts right "
+           "proportionally to p; on the mesh it does not move — "
+           "Kung's Figs. 3 and 4.\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+#include "analysis/classify.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+ScalingLaw
+FittedLaw::toLaw() const
+{
+    switch (kind) {
+      case LawKind::Power:
+        return ScalingLaw::power(std::max(1.0, std::round(parameter)));
+      case LawKind::Exponential:
+        return ScalingLaw::exponential();
+      case LawKind::Impossible:
+        return ScalingLaw::impossible();
+    }
+    return ScalingLaw::impossible();
+}
+
+std::string
+FittedLaw::describe() const
+{
+    std::ostringstream oss;
+    switch (kind) {
+      case LawKind::Power:
+        oss << "power, exponent " << parameter << " (slope "
+            << power_slope << ", r2 " << power_r2 << ")";
+        break;
+      case LawKind::Exponential:
+        oss << "exponential (log-law r2 " << log_r2 << ", power slope "
+            << power_slope << ")";
+        break;
+      case LawKind::Impossible:
+        oss << "flat / I-O bounded (slope " << power_slope << ")";
+        break;
+    }
+    return oss.str();
+}
+
+FittedLaw
+classifyRatioCurve(std::span<const double> ms,
+                   std::span<const double> ratios, double flat_threshold,
+                   double log_threshold)
+{
+    KB_REQUIRE(ms.size() == ratios.size() && ms.size() >= 3,
+               "need at least three samples to classify");
+
+    const LinearFit power = fitPowerLaw(ms, ratios);
+    const LinearFit logf = fitLogLaw(ms, ratios);
+
+    FittedLaw out;
+    out.power_slope = power.slope;
+    out.power_r2 = power.r2;
+    out.log_r2 = logf.r2;
+
+    if (std::fabs(power.slope) < flat_threshold) {
+        out.kind = LawKind::Impossible;
+        return out;
+    }
+    if (power.slope < log_threshold && logf.r2 >= 0.9) {
+        out.kind = LawKind::Exponential;
+        out.parameter = logf.slope;
+        return out;
+    }
+    out.kind = LawKind::Power;
+    out.parameter = 1.0 / power.slope;
+    return out;
+}
+
+bool
+lawMatches(const FittedLaw &fitted, const ScalingLaw &expected,
+           double exponent_tol)
+{
+    if (fitted.kind != expected.kind())
+        return false;
+    if (expected.kind() != LawKind::Power)
+        return true;
+    const double rel =
+        std::fabs(fitted.parameter - expected.exponent()) /
+        expected.exponent();
+    return rel <= exponent_tol;
+}
+
+} // namespace kb

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Law classification: given measured (M, R(M)) samples, decide which
+ * of the paper's three shapes the curve follows and estimate its
+ * parameter. This closes the loop from simulation back to the
+ * summary table of Section 3.
+ */
+
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/scaling_law.hpp"
+#include "util/stats.hpp"
+
+namespace kb {
+
+/** A law recovered from measurements. */
+struct FittedLaw
+{
+    LawKind kind = LawKind::Impossible;
+    /**
+     * For Power: the rebalancing exponent k (M_new = alpha^k M_old),
+     * i.e. the reciprocal of the log-log slope of R(M). For
+     * Exponential: the per-doubling slope of R. Unused for
+     * Impossible.
+     */
+    double parameter = 0.0;
+    double power_slope = 0.0; ///< raw log-log slope of R vs M
+    double power_r2 = 0.0;
+    double log_r2 = 0.0;
+
+    /** The matching closed-form law (exponent rounded for Power). */
+    ScalingLaw toLaw() const;
+
+    std::string describe() const;
+};
+
+/**
+ * Classify a measured ratio curve.
+ *
+ * Decision rule (thresholds chosen for the finite-N curves the
+ * kernels produce; see DESIGN.md):
+ *  * log-log slope < flat_threshold          -> Impossible (flat)
+ *  * slope < log_threshold and the log-law
+ *    fit explains the curve                  -> Exponential
+ *  * otherwise                               -> Power with
+ *    exponent 1/slope
+ *
+ * @param ms     memory sizes (positive, increasing)
+ * @param ratios measured R(M) values
+ */
+FittedLaw classifyRatioCurve(std::span<const double> ms,
+                             std::span<const double> ratios,
+                             double flat_threshold = 0.06,
+                             double log_threshold = 0.30);
+
+/**
+ * True when the fitted law matches the expected one: same kind, and
+ * for Power an exponent within @p exponent_tol (relative).
+ */
+bool lawMatches(const FittedLaw &fitted, const ScalingLaw &expected,
+                double exponent_tol = 0.25);
+
+} // namespace kb

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Registry of the reproduction experiments E1..E12 (see DESIGN.md's
+ * per-experiment index), so benches, docs and tests agree on what
+ * each id means.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kb {
+
+/** One experiment in the reproduction plan. */
+struct ExperimentInfo
+{
+    std::string id;             ///< "E1".."E12"
+    std::string paper_artifact; ///< table/figure/section reproduced
+    std::string claim;          ///< what must hold for success
+    std::string bench_target;   ///< binary that regenerates it
+};
+
+/** All experiments, in order. */
+const std::vector<ExperimentInfo> &allExperiments();
+
+/** Lookup by id; fatal on unknown id. */
+const ExperimentInfo &experimentById(const std::string &id);
+
+/**
+ * Standard bench banner: prints the experiment header (id, artifact,
+ * claim) to stdout.
+ */
+void printExperimentBanner(const std::string &id);
+
+} // namespace kb

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared measurement recipes: each kernel has a regime in which its
+ * asymptotic ratio shape is visible at laptop scale (the paper
+ * assumes N >> M). Benches and tests use these sweeps so E1's summary
+ * table and the per-kernel experiments agree by construction.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/kernel.hpp"
+
+namespace kb {
+
+/** One measured point of a ratio curve. */
+struct RatioSample
+{
+    std::uint64_t m = 0;
+    double ratio = 0.0;
+    double comp_ops = 0.0;
+    double io_words = 0.0;
+};
+
+/** A measured ratio curve with its provenance. */
+struct RatioCurve
+{
+    KernelId kernel;
+    std::vector<RatioSample> samples;
+
+    std::vector<double> memories() const;
+    std::vector<double> ratios() const;
+};
+
+/**
+ * Measure R(M) for @p id over @p points geometrically spaced memory
+ * sizes, in the kernel's paper regime:
+ *
+ *  * matmul / triangularization / matvec / trisolve: fixed n chosen
+ *    from the largest memory;
+ *  * fft: n = P(M)^2 (two decomposition ranks at every point);
+ *  * sorting: n = M^2 (the paper's two-phase setting);
+ *  * grids: resident-subgrid accounting with per-iteration
+ *    (steady-state) costs.
+ *
+ * @param m_lo    smallest memory (raised to the kernel minimum)
+ * @param m_hi    largest memory
+ * @param points  number of samples (>= 3)
+ */
+RatioCurve measureRatioCurve(KernelId id, std::uint64_t m_lo,
+                             std::uint64_t m_hi, unsigned points);
+
+/**
+ * Default sweep bounds per kernel that keep every point in the
+ * asymptotic regime and the whole sweep under a couple of seconds.
+ */
+void defaultSweepRange(KernelId id, std::uint64_t &m_lo,
+                       std::uint64_t &m_hi);
+
+} // namespace kb

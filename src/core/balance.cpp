@@ -1,0 +1,47 @@
+#include "core/balance.hpp"
+
+#include <cmath>
+
+namespace kb {
+
+const char *
+balanceStateName(BalanceState state)
+{
+    switch (state) {
+      case BalanceState::Balanced:     return "balanced";
+      case BalanceState::ComputeBound: return "compute-bound";
+      case BalanceState::IoBound:      return "io-bound";
+    }
+    return "?";
+}
+
+BalanceReport
+checkBalance(const PeConfig &pe, const WorkloadCost &work,
+             double tolerance)
+{
+    KB_REQUIRE(pe.comp_bandwidth > 0.0, "C must be positive");
+    KB_REQUIRE(pe.io_bandwidth > 0.0, "IO must be positive");
+    KB_REQUIRE(tolerance >= 0.0, "tolerance must be non-negative");
+
+    BalanceReport report;
+    report.compute_time = work.comp_ops / pe.comp_bandwidth;
+    report.io_time = work.io_words / pe.io_bandwidth;
+
+    const double hi = report.elapsed();
+    const double diff = std::fabs(report.compute_time - report.io_time);
+    if (hi == 0.0 || diff <= tolerance * hi)
+        report.state = BalanceState::Balanced;
+    else if (report.compute_time > report.io_time)
+        report.state = BalanceState::ComputeBound;
+    else
+        report.state = BalanceState::IoBound;
+    return report;
+}
+
+double
+balancedCompIoRatio(const WorkloadCost &work)
+{
+    return work.ratio();
+}
+
+} // namespace kb

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The balance predicate (Section 2): a PE is balanced for a
+ * computation iff computing time equals I/O time,
+ * Ccomp / C == Cio / IO.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "core/pe.hpp"
+
+namespace kb {
+
+/** Which subsystem limits the PE on a given workload. */
+enum class BalanceState { Balanced, ComputeBound, IoBound };
+
+/** Name of a balance state, for reports. */
+const char *balanceStateName(BalanceState state);
+
+/** Outcome of checking a PE against a workload. */
+struct BalanceReport
+{
+    double compute_time = 0.0; ///< Ccomp / C
+    double io_time = 0.0;      ///< Cio / IO
+    BalanceState state = BalanceState::Balanced;
+
+    /** Wall time: the subsystems overlap, the slower one dominates. */
+    double
+    elapsed() const
+    {
+        return compute_time > io_time ? compute_time : io_time;
+    }
+
+    /** Fraction of elapsed time the compute unit is busy. */
+    double
+    computeUtilization() const
+    {
+        return elapsed() > 0.0 ? compute_time / elapsed() : 1.0;
+    }
+
+    /** Fraction of elapsed time the I/O channel is busy. */
+    double
+    ioUtilization() const
+    {
+        return elapsed() > 0.0 ? io_time / elapsed() : 1.0;
+    }
+
+    /**
+     * |compute_time - io_time| / max — 0 means perfectly balanced,
+     * approaching 1 means one side idles almost always.
+     */
+    double
+    imbalance() const
+    {
+        const double hi = elapsed();
+        if (hi <= 0.0)
+            return 0.0;
+        const double lo =
+            compute_time < io_time ? compute_time : io_time;
+        return (hi - lo) / hi;
+    }
+};
+
+/**
+ * Check the balance condition for @p pe running @p work.
+ *
+ * @param pe        processing element
+ * @param work      total Ccomp and Cio of the computation
+ * @param tolerance relative slack under which times count as equal
+ */
+BalanceReport checkBalance(const PeConfig &pe, const WorkloadCost &work,
+                           double tolerance = 0.05);
+
+/**
+ * The C/IO ratio at which a PE is exactly balanced for a workload —
+ * Eq. (1): C/IO = Ccomp/Cio.
+ */
+double balancedCompIoRatio(const WorkloadCost &work);
+
+} // namespace kb

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The paper's information model (Section 2, Fig. 1): a processing
+ * element characterized by computation bandwidth C, I/O bandwidth IO,
+ * and local memory size M.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+/**
+ * A processing element in Kung's model.
+ *
+ * Units are abstract but consistent: C in operations per unit time,
+ * IO in words per unit time, M in words.
+ */
+struct PeConfig
+{
+    double comp_bandwidth = 1.0; ///< C: operations per unit time
+    double io_bandwidth = 1.0;   ///< IO: words per unit time
+    std::uint64_t memory_words = 1; ///< M: local memory size in words
+
+    /** The ratio C/IO that drives the whole analysis. */
+    double
+    compIoRatio() const
+    {
+        KB_REQUIRE(io_bandwidth > 0.0, "IO bandwidth must be positive");
+        return comp_bandwidth / io_bandwidth;
+    }
+
+    /**
+     * This PE with C/IO scaled by @p alpha (C multiplied, IO fixed) —
+     * the paper's thought experiment.
+     */
+    PeConfig
+    scaledComp(double alpha) const
+    {
+        PeConfig out = *this;
+        out.comp_bandwidth *= alpha;
+        return out;
+    }
+
+    /** This PE with a different local-memory size. */
+    PeConfig
+    withMemory(std::uint64_t m) const
+    {
+        PeConfig out = *this;
+        out.memory_words = m;
+        return out;
+    }
+};
+
+/**
+ * Total work of one computation instance on one PE: the paper's Ccomp
+ * (operations) and Cio (words moved across the PE boundary).
+ */
+struct WorkloadCost
+{
+    double comp_ops = 0.0; ///< Ccomp
+    double io_words = 0.0; ///< Cio
+
+    /** Compute-to-I/O ratio Ccomp/Cio; infinite when no I/O. */
+    double
+    ratio() const
+    {
+        KB_REQUIRE(io_words > 0.0, "workload with zero I/O");
+        return comp_ops / io_words;
+    }
+};
+
+} // namespace kb

@@ -1,0 +1,58 @@
+#include "core/rebalance.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+RebalanceResult
+rebalanceClosedForm(const ScalingLaw &law, std::uint64_t m_old,
+                    double alpha)
+{
+    RebalanceResult result;
+    auto m_new = law.predict(static_cast<double>(m_old), alpha);
+    if (!m_new)
+        return result; // impossible
+    result.possible = true;
+    result.m_new = static_cast<std::uint64_t>(std::ceil(*m_new));
+    result.growth_factor =
+        static_cast<double>(result.m_new) / static_cast<double>(m_old);
+    return result;
+}
+
+RebalanceResult
+rebalanceNumeric(const std::function<double(std::uint64_t)> &ratio,
+                 std::uint64_t m_old, double alpha, std::uint64_t m_max)
+{
+    KB_REQUIRE(alpha >= 1.0, "alpha must be >= 1");
+    KB_REQUIRE(m_old >= 1 && m_old <= m_max, "need 1 <= m_old <= m_max");
+
+    RebalanceResult result;
+    const double target = alpha * ratio(m_old);
+
+    if (ratio(m_max) < target)
+        return result; // not reachable: I/O bounded (or m_max too small)
+
+    std::uint64_t lo = m_old;   // ratio(lo) may already be >= target
+    std::uint64_t hi = m_max;   // ratio(hi) >= target
+    if (ratio(lo) >= target) {
+        hi = lo;
+    } else {
+        // Invariant: ratio(lo) < target <= ratio(hi).
+        while (lo + 1 < hi) {
+            const std::uint64_t mid = lo + (hi - lo) / 2;
+            if (ratio(mid) >= target)
+                hi = mid;
+            else
+                lo = mid;
+        }
+    }
+    result.possible = true;
+    result.m_new = hi;
+    result.growth_factor =
+        static_cast<double>(hi) / static_cast<double>(m_old);
+    return result;
+}
+
+} // namespace kb

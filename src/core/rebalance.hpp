@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Rebalancing a PE after its C/IO ratio grows by alpha (the paper's
+ * central question). Two routes:
+ *
+ *  * closed form, from a kernel's ScalingLaw;
+ *  * numeric, by searching a measured (monotone) ratio curve R(M) for
+ *    the smallest M whose ratio is alpha times the original — this is
+ *    what the benches use to validate the closed forms.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "core/scaling_law.hpp"
+
+namespace kb {
+
+/** Outcome of a rebalancing computation. */
+struct RebalanceResult
+{
+    bool possible = false;
+    std::uint64_t m_new = 0;      ///< smallest rebalancing memory
+    double growth_factor = 0.0;   ///< m_new / m_old
+};
+
+/**
+ * Closed-form rebalancing from a law.
+ *
+ * @param law   the kernel's rebalancing law
+ * @param m_old original memory (words)
+ * @param alpha C/IO growth factor, >= 1
+ */
+RebalanceResult rebalanceClosedForm(const ScalingLaw &law,
+                                    std::uint64_t m_old, double alpha);
+
+/**
+ * Numeric rebalancing on a measured ratio curve.
+ *
+ * Finds the smallest m in [m_old, m_max] with
+ * ratio(m) >= alpha * ratio(m_old) by binary search; the curve must be
+ * non-decreasing in m (true for every kernel in the paper).
+ *
+ * @param ratio monotone non-decreasing measured R(M)
+ * @param m_old original memory (words)
+ * @param alpha C/IO growth factor, >= 1
+ * @param m_max search ceiling; exceeding it reports impossible
+ * @return smallest rebalancing m, or impossible if the target ratio
+ *         is not reached by m_max (for truly I/O-bounded kernels the
+ *         curve is flat and no m suffices)
+ */
+RebalanceResult rebalanceNumeric(
+    const std::function<double(std::uint64_t)> &ratio,
+    std::uint64_t m_old, double alpha, std::uint64_t m_max);
+
+} // namespace kb

@@ -1,0 +1,99 @@
+#include "core/scaling_law.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+const char *
+lawKindName(LawKind kind)
+{
+    switch (kind) {
+      case LawKind::Power:       return "power";
+      case LawKind::Exponential: return "exponential";
+      case LawKind::Impossible:  return "impossible";
+    }
+    return "?";
+}
+
+ScalingLaw
+ScalingLaw::power(double exponent)
+{
+    KB_REQUIRE(exponent > 0.0, "power law exponent must be positive");
+    return ScalingLaw(LawKind::Power, exponent);
+}
+
+ScalingLaw
+ScalingLaw::exponential()
+{
+    return ScalingLaw(LawKind::Exponential, 0.0);
+}
+
+ScalingLaw
+ScalingLaw::impossible()
+{
+    return ScalingLaw(LawKind::Impossible, 0.0);
+}
+
+std::optional<double>
+ScalingLaw::predict(double m_old, double alpha) const
+{
+    KB_REQUIRE(m_old >= 1.0, "M_old must be at least one word");
+    KB_REQUIRE(alpha >= 1.0, "alpha must be >= 1");
+    switch (kind_) {
+      case LawKind::Power:
+        return std::pow(alpha, exponent_) * m_old;
+      case LawKind::Exponential:
+        KB_REQUIRE(m_old >= 2.0,
+                   "exponential law needs M_old >= 2 words");
+        return std::pow(m_old, alpha);
+      case LawKind::Impossible:
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+std::optional<double>
+ScalingLaw::growthFactor(double m_old, double alpha) const
+{
+    auto m_new = predict(m_old, alpha);
+    if (!m_new)
+        return std::nullopt;
+    return *m_new / m_old;
+}
+
+std::string
+ScalingLaw::describe() const
+{
+    switch (kind_) {
+      case LawKind::Power: {
+        std::ostringstream oss;
+        oss << "M_new = alpha^" << exponent_ << " * M_old";
+        return oss.str();
+      }
+      case LawKind::Exponential:
+        return "M_new = M_old^alpha";
+      case LawKind::Impossible:
+        return "impossible (I/O bounded)";
+    }
+    return "?";
+}
+
+double
+ScalingLaw::ratioShape(double m) const
+{
+    KB_REQUIRE(m >= 2.0, "ratio shape defined for m >= 2");
+    switch (kind_) {
+      case LawKind::Power:
+        return std::pow(m, 1.0 / exponent_);
+      case LawKind::Exponential:
+        return std::log2(m);
+      case LawKind::Impossible:
+        return 1.0;
+    }
+    return 1.0;
+}
+
+} // namespace kb

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Rebalancing laws M_new = f(M_old, alpha) — the paper's central
+ * objects (summary table of Section 3).
+ *
+ * Three shapes occur:
+ *  * Power(k):     M_new = alpha^k * M_old   (matmul k=2, d-grid k=d)
+ *  * Exponential:  M_new = M_old^alpha       (FFT, sorting)
+ *  * Impossible:   no memory size rebalances (I/O-bounded kernels)
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace kb {
+
+/** Shape of a rebalancing law. */
+enum class LawKind { Power, Exponential, Impossible };
+
+/** Name of a law kind, for reports. */
+const char *lawKindName(LawKind kind);
+
+/**
+ * A rebalancing law: how much local memory restores balance after the
+ * C/IO ratio of a PE grows by alpha.
+ */
+class ScalingLaw
+{
+  public:
+    /** M_new = alpha^k * M_old. */
+    static ScalingLaw power(double exponent);
+
+    /** M_new = M_old^alpha. */
+    static ScalingLaw exponential();
+
+    /** Rebalancing by memory alone is impossible (I/O bounded). */
+    static ScalingLaw impossible();
+
+    LawKind kind() const { return kind_; }
+
+    /** Exponent k of a Power law; meaningless otherwise. */
+    double exponent() const { return exponent_; }
+
+    /** False only for the Impossible law. */
+    bool rebalancePossible() const { return kind_ != LawKind::Impossible; }
+
+    /**
+     * Closed-form new memory size.
+     *
+     * @param m_old original memory in words (>= 2 for Exponential so
+     *              the law is meaningful)
+     * @param alpha factor by which C/IO grew (>= 1)
+     * @return predicted M_new in words, or nullopt when impossible
+     */
+    std::optional<double> predict(double m_old, double alpha) const;
+
+    /**
+     * Growth factor M_new / M_old. For the Exponential law this
+     * depends on M_old itself — the paper's point that memory "may
+     * become unrealistically large".
+     */
+    std::optional<double> growthFactor(double m_old, double alpha) const;
+
+    /** Formula as text, e.g. "M_new = alpha^2 * M_old". */
+    std::string describe() const;
+
+    /**
+     * The corresponding compute-to-I/O ratio shape R(M):
+     * Power(k)    -> R ~ M^(1/k)
+     * Exponential -> R ~ log2 M
+     * Impossible  -> R ~ const
+     */
+    double ratioShape(double m) const;
+
+    friend bool
+    operator==(const ScalingLaw &a, const ScalingLaw &b)
+    {
+        return a.kind_ == b.kind_ &&
+               (a.kind_ != LawKind::Power || a.exponent_ == b.exponent_);
+    }
+
+  private:
+    ScalingLaw(LawKind kind, double exponent)
+        : kind_(kind), exponent_(exponent)
+    {
+    }
+
+    LawKind kind_;
+    double exponent_;
+};
+
+} // namespace kb

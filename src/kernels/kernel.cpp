@@ -1,0 +1,89 @@
+#include "kernels/kernel.hpp"
+
+#include "kernels/fft.hpp"
+#include "kernels/grid.hpp"
+#include "kernels/lu.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/matvec.hpp"
+#include "kernels/qr.hpp"
+#include "kernels/sort.hpp"
+#include "kernels/spmv.hpp"
+#include "kernels/trisolve.hpp"
+#include "util/logging.hpp"
+
+namespace kb {
+
+const char *
+kernelIdName(KernelId id)
+{
+    switch (id) {
+      case KernelId::MatMul:            return "matmul";
+      case KernelId::Triangularization: return "triangularization";
+      case KernelId::QR:                return "qr";
+      case KernelId::Grid1D:            return "grid1d";
+      case KernelId::Grid2D:            return "grid2d";
+      case KernelId::Grid3D:            return "grid3d";
+      case KernelId::Grid4D:            return "grid4d";
+      case KernelId::Fft:               return "fft";
+      case KernelId::Sort:              return "sorting";
+      case KernelId::MatVec:            return "matvec";
+      case KernelId::TriSolve:          return "trisolve";
+      case KernelId::SpMV:              return "spmv";
+    }
+    return "?";
+}
+
+std::unique_ptr<Kernel>
+makeKernel(KernelId id)
+{
+    switch (id) {
+      case KernelId::MatMul:
+        return std::make_unique<MatmulKernel>();
+      case KernelId::Triangularization:
+        return std::make_unique<LuKernel>();
+      case KernelId::QR:
+        return std::make_unique<QrKernel>();
+      case KernelId::Grid1D:
+        return std::make_unique<GridKernel>(1);
+      case KernelId::Grid2D:
+        return std::make_unique<GridKernel>(2);
+      case KernelId::Grid3D:
+        return std::make_unique<GridKernel>(3);
+      case KernelId::Grid4D:
+        return std::make_unique<GridKernel>(4);
+      case KernelId::Fft:
+        return std::make_unique<FftKernel>();
+      case KernelId::Sort:
+        return std::make_unique<SortKernel>();
+      case KernelId::MatVec:
+        return std::make_unique<MatvecKernel>();
+      case KernelId::TriSolve:
+        return std::make_unique<TrisolveKernel>();
+      case KernelId::SpMV:
+        return std::make_unique<SpmvKernel>();
+    }
+    panic("unknown kernel id");
+}
+
+std::vector<KernelId>
+allKernelIds()
+{
+    return {KernelId::MatMul,   KernelId::Triangularization,
+            KernelId::QR,       KernelId::Grid1D,
+            KernelId::Grid2D,   KernelId::Grid3D,
+            KernelId::Grid4D,   KernelId::Fft,
+            KernelId::Sort,     KernelId::MatVec,
+            KernelId::TriSolve, KernelId::SpMV};
+}
+
+std::vector<KernelId>
+computeBoundKernelIds()
+{
+    return {KernelId::MatMul,   KernelId::Triangularization,
+            KernelId::QR,       KernelId::Grid1D,
+            KernelId::Grid2D,   KernelId::Grid3D,
+            KernelId::Grid4D,   KernelId::Fft,
+            KernelId::Sort};
+}
+
+} // namespace kb

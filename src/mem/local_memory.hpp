@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Interface for local-memory models.
+ *
+ * The paper characterizes a PE's local memory only by its size M; the
+ * library provides several concrete management disciplines (LRU, set
+ * associative, Belady OPT, explicit scratchpad) so experiments can
+ * check that the balance laws are properties of the computations, not
+ * of any one replacement policy.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/access.hpp"
+
+namespace kb {
+
+/** Hit/miss and traffic counters shared by all memory models. */
+struct MemoryStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    /// Dirty lines written back on eviction or flush.
+    std::uint64_t writebacks = 0;
+
+    /**
+     * Words crossing the PE boundary under a write-back discipline:
+     * each miss fills one word from outside, each writeback pushes one
+     * word out. This is the paper's Cio for a cached PE.
+     */
+    std::uint64_t ioWords() const { return misses + writebacks; }
+
+    double
+    missRatio() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+};
+
+/**
+ * Abstract word-granular local memory of fixed capacity.
+ *
+ * Models are demand-fill caches: access() looks the word up, fills it
+ * on a miss (possibly evicting), and returns whether it hit.
+ */
+class LocalMemory
+{
+  public:
+    virtual ~LocalMemory() = default;
+
+    /**
+     * Perform one access.
+     *
+     * @param addr  word address
+     * @param write true for a store (marks the word dirty)
+     * @retval true on hit, false on miss
+     */
+    virtual bool access(std::uint64_t addr, bool write) = 0;
+
+    /** Write back all dirty words and empty the memory. */
+    virtual void flush() = 0;
+
+    /** Capacity in words. */
+    virtual std::uint64_t capacity() const = 0;
+
+    /** Human-readable model name for reports. */
+    virtual std::string name() const = 0;
+
+    const MemoryStats &stats() const { return stats_; }
+
+    /** Zero the counters without touching the contents. */
+    void resetStats() { stats_ = MemoryStats{}; }
+
+    /** Convenience adapter from trace records. */
+    bool
+    access(const Access &a)
+    {
+        return access(a.addr, a.isWrite());
+    }
+
+  protected:
+    MemoryStats stats_;
+};
+
+} // namespace kb

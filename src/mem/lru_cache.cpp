@@ -1,0 +1,62 @@
+#include "mem/lru_cache.hpp"
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+LruCache::LruCache(std::uint64_t capacity_words)
+    : capacity_(capacity_words)
+{
+    KB_REQUIRE(capacity_ > 0, "LRU capacity must be positive");
+}
+
+bool
+LruCache::contains(std::uint64_t addr) const
+{
+    return map_.find(addr) != map_.end();
+}
+
+void
+LruCache::evictLru()
+{
+    KB_ASSERT(!order_.empty());
+    const Entry &victim = order_.back();
+    ++stats_.evictions;
+    if (victim.dirty)
+        ++stats_.writebacks;
+    map_.erase(victim.addr);
+    order_.pop_back();
+}
+
+bool
+LruCache::access(std::uint64_t addr, bool write)
+{
+    ++stats_.accesses;
+    auto it = map_.find(addr);
+    if (it != map_.end()) {
+        ++stats_.hits;
+        it->second->dirty |= write;
+        order_.splice(order_.begin(), order_, it->second);
+        return true;
+    }
+
+    ++stats_.misses;
+    if (map_.size() >= capacity_)
+        evictLru();
+    order_.push_front(Entry{addr, write});
+    map_[addr] = order_.begin();
+    return false;
+}
+
+void
+LruCache::flush()
+{
+    for (const Entry &entry : order_) {
+        if (entry.dirty)
+            ++stats_.writebacks;
+    }
+    order_.clear();
+    map_.clear();
+}
+
+} // namespace kb

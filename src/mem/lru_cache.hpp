@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fully associative LRU local memory, word granularity.
+ *
+ * This is the reference model for the balance measurements: a PE that
+ * keeps the M most recently used words resident. Together with the
+ * reuse-distance analyzer it defines the measured Cio(M).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "mem/local_memory.hpp"
+
+namespace kb {
+
+/** Fully associative, word-granular, write-back LRU memory. */
+class LruCache : public LocalMemory
+{
+  public:
+    /** @param capacity_words capacity M in words; must be positive. */
+    explicit LruCache(std::uint64_t capacity_words);
+
+    using LocalMemory::access;
+    bool access(std::uint64_t addr, bool write) override;
+    void flush() override;
+    std::uint64_t capacity() const override { return capacity_; }
+    std::string name() const override { return "lru"; }
+
+    /** Number of words currently resident. */
+    std::uint64_t occupancy() const { return map_.size(); }
+
+    /** True iff @p addr is resident (no side effects). */
+    bool contains(std::uint64_t addr) const;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t addr;
+        bool dirty;
+    };
+
+    void evictLru();
+
+    std::uint64_t capacity_;
+    /// MRU at front, LRU at back.
+    std::list<Entry> order_;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
+};
+
+} // namespace kb

@@ -1,0 +1,88 @@
+#include "mem/opt_cache.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <unordered_map>
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+} // namespace
+
+OptResult
+simulateOpt(std::span<const Access> trace, std::uint64_t capacity,
+            bool flush_at_end)
+{
+    KB_REQUIRE(capacity > 0, "OPT capacity must be positive");
+
+    // Pass 1: next_use[i] = index of the next access to trace[i].addr,
+    // or kNever.
+    std::vector<std::uint64_t> next_use(trace.size(), kNever);
+    std::unordered_map<std::uint64_t, std::uint64_t> last_seen;
+    for (std::uint64_t i = trace.size(); i-- > 0;) {
+        auto it = last_seen.find(trace[i].addr);
+        next_use[i] = it == last_seen.end() ? kNever : it->second;
+        last_seen[trace[i].addr] = i;
+    }
+
+    // Pass 2: replay, keeping residents keyed by their next use so the
+    // farthest-future victim is O(log M).
+    struct Resident
+    {
+        std::uint64_t next;
+        bool dirty;
+    };
+    std::unordered_map<std::uint64_t, Resident> resident;
+    // (next_use, addr) ordered descending by next use via std::set.
+    std::set<std::pair<std::uint64_t, std::uint64_t>> by_next;
+
+    OptResult result;
+    result.capacity = capacity;
+    MemoryStats &st = result.stats;
+
+    for (std::uint64_t i = 0; i < trace.size(); ++i) {
+        const Access &a = trace[i];
+        ++st.accesses;
+        auto it = resident.find(a.addr);
+        if (it != resident.end()) {
+            ++st.hits;
+            by_next.erase({it->second.next, a.addr});
+            it->second.next = next_use[i];
+            it->second.dirty |= a.isWrite();
+            by_next.insert({it->second.next, a.addr});
+            continue;
+        }
+
+        ++st.misses;
+        if (resident.size() >= capacity) {
+            // Evict the word used farthest in the future (or never).
+            auto victim_it = std::prev(by_next.end());
+            const std::uint64_t victim_addr = victim_it->second;
+            auto vit = resident.find(victim_addr);
+            KB_ASSERT(vit != resident.end());
+            ++st.evictions;
+            if (vit->second.dirty)
+                ++st.writebacks;
+            by_next.erase(victim_it);
+            resident.erase(vit);
+        }
+        resident.emplace(a.addr, Resident{next_use[i], a.isWrite()});
+        by_next.insert({next_use[i], a.addr});
+    }
+
+    if (flush_at_end) {
+        for (const auto &[addr, entry] : resident) {
+            if (entry.dirty)
+                ++st.writebacks;
+        }
+    }
+    return result;
+}
+
+} // namespace kb

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Belady's OPT (MIN) replacement simulated offline.
+ *
+ * OPT needs the future: the simulator takes the whole trace, computes
+ * next-use indices in a first pass, and replays the trace evicting the
+ * resident word whose next use is farthest away. It provides the
+ * optimal-replacement baseline for the E12 memory ablation: if Kung's
+ * exponents hold under both LRU and OPT, they are not artifacts of
+ * replacement quality.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mem/local_memory.hpp"
+#include "trace/access.hpp"
+
+namespace kb {
+
+/** Result of an offline OPT simulation. */
+struct OptResult
+{
+    MemoryStats stats;
+    std::uint64_t capacity = 0;
+};
+
+/**
+ * Simulate Belady OPT over @p trace with the given capacity (words).
+ *
+ * Write-back semantics match LruCache: misses fill one word, dirty
+ * evictions write back one word; a final flush writes back all dirty
+ * residents.
+ *
+ * @param trace    access sequence
+ * @param capacity memory size in words; must be positive
+ * @param flush_at_end count terminal dirty writebacks if true
+ */
+OptResult simulateOpt(std::span<const Access> trace, std::uint64_t capacity,
+                      bool flush_at_end = true);
+
+} // namespace kb

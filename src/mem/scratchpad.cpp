@@ -1,0 +1,56 @@
+#include "mem/scratchpad.hpp"
+
+#include <algorithm>
+
+namespace kb {
+
+Scratchpad::Scratchpad(std::uint64_t capacity_words)
+    : capacity_(capacity_words)
+{
+    KB_REQUIRE(capacity_ > 0, "scratchpad capacity must be positive");
+}
+
+BufferId
+Scratchpad::alloc(std::uint64_t words, const std::string &label)
+{
+    KB_REQUIRE(resident_ + words <= capacity_,
+               "schedule does not fit in local memory: want ", words,
+               " words for '", label, "' with ", capacity_ - resident_,
+               " of ", capacity_, " free");
+    const BufferId id = next_id_++;
+    buffers_.emplace(id, Buffer{words, label});
+    resident_ += words;
+    stats_.peak_usage = std::max(stats_.peak_usage, resident_);
+    return id;
+}
+
+void
+Scratchpad::free(BufferId id)
+{
+    auto it = buffers_.find(id);
+    KB_ASSERT(it != buffers_.end(), "freeing unknown buffer");
+    resident_ -= it->second.words;
+    buffers_.erase(it);
+}
+
+void
+Scratchpad::load(BufferId id, std::uint64_t words)
+{
+    auto it = buffers_.find(id);
+    KB_ASSERT(it != buffers_.end(), "loading into unknown buffer");
+    KB_ASSERT(words <= it->second.words,
+              "loading more words than the buffer holds");
+    stats_.loads += words;
+}
+
+void
+Scratchpad::store(BufferId id, std::uint64_t words)
+{
+    auto it = buffers_.find(id);
+    KB_ASSERT(it != buffers_.end(), "storing from unknown buffer");
+    KB_ASSERT(words <= it->second.words,
+              "storing more words than the buffer holds");
+    stats_.stores += words;
+}
+
+} // namespace kb

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Explicitly managed scratchpad — the memory discipline the paper's
+ * decomposition schemes assume.
+ *
+ * Kernels allocate named buffers inside a fixed budget of M words and
+ * issue explicit block loads/stores; the scratchpad enforces the
+ * capacity invariant (resident words never exceed M) and counts every
+ * word that crosses the PE boundary. This gives the *schedule's* Cio
+ * directly, independent of any cache policy.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+/** Opaque handle to a scratchpad allocation. */
+using BufferId = std::uint64_t;
+
+/** Explicit block-transfer counters for a scratchpad PE. */
+struct ScratchpadStats
+{
+    std::uint64_t loads = 0;       ///< words loaded from outside
+    std::uint64_t stores = 0;      ///< words stored to outside
+    std::uint64_t comp_ops = 0;    ///< arithmetic operations performed
+    std::uint64_t peak_usage = 0;  ///< high-water mark of residency
+
+    /** Total words crossing the PE boundary (the paper's Cio). */
+    std::uint64_t ioWords() const { return loads + stores; }
+};
+
+/**
+ * A fixed-capacity explicitly managed local memory.
+ *
+ * This is an accounting model: it tracks sizes, not contents (the
+ * kernels keep the actual numerics in ordinary host arrays; the
+ * scratchpad verifies the schedule would fit in M words and bills the
+ * traffic).
+ */
+class Scratchpad
+{
+  public:
+    /** @param capacity_words capacity M in words; must be positive. */
+    explicit Scratchpad(std::uint64_t capacity_words);
+
+    /**
+     * Reserve @p words of scratchpad space.
+     * Fails (fatal) if the allocation would exceed capacity — i.e. the
+     * schedule does not fit in a memory of size M.
+     */
+    BufferId alloc(std::uint64_t words, const std::string &label = "");
+
+    /** Release a buffer. */
+    void free(BufferId id);
+
+    /** Bill an external->scratchpad transfer of @p words. */
+    void load(BufferId id, std::uint64_t words);
+
+    /** Bill a scratchpad->external transfer of @p words. */
+    void store(BufferId id, std::uint64_t words);
+
+    /** Bill @p ops arithmetic operations (pure bookkeeping). */
+    void compute(std::uint64_t ops) { stats_.comp_ops += ops; }
+
+    /** True iff an allocation of @p words would fit right now. */
+    bool
+    fits(std::uint64_t words) const
+    {
+        return resident_ + words <= capacity_;
+    }
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t resident() const { return resident_; }
+    const ScratchpadStats &stats() const { return stats_; }
+
+  private:
+    struct Buffer
+    {
+        std::uint64_t words;
+        std::string label;
+    };
+
+    std::uint64_t capacity_;
+    std::uint64_t resident_ = 0;
+    std::uint64_t next_id_ = 1;
+    ScratchpadStats stats_;
+    std::unordered_map<BufferId, Buffer> buffers_;
+};
+
+/** RAII wrapper that frees a scratchpad buffer on scope exit. */
+class ScopedBuffer
+{
+  public:
+    ScopedBuffer(Scratchpad &pad, std::uint64_t words,
+                 const std::string &label = "")
+        : pad_(pad), id_(pad.alloc(words, label)), words_(words)
+    {
+    }
+
+    ~ScopedBuffer() { pad_.free(id_); }
+
+    ScopedBuffer(const ScopedBuffer &) = delete;
+    ScopedBuffer &operator=(const ScopedBuffer &) = delete;
+
+    BufferId id() const { return id_; }
+    std::uint64_t words() const { return words_; }
+
+    /** Load the whole buffer from outside. */
+    void load() { pad_.load(id_, words_); }
+    /** Load only @p words of it. */
+    void load(std::uint64_t words) { pad_.load(id_, words); }
+    /** Store the whole buffer to outside. */
+    void store() { pad_.store(id_, words_); }
+    void store(std::uint64_t words) { pad_.store(id_, words); }
+
+  private:
+    Scratchpad &pad_;
+    BufferId id_;
+    std::uint64_t words_;
+};
+
+} // namespace kb

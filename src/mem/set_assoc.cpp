@@ -1,0 +1,106 @@
+#include "mem/set_assoc.hpp"
+
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+const char *
+replacementPolicyName(ReplacementPolicy policy)
+{
+    switch (policy) {
+      case ReplacementPolicy::LRU:    return "lru";
+      case ReplacementPolicy::FIFO:   return "fifo";
+      case ReplacementPolicy::Random: return "random";
+    }
+    return "?";
+}
+
+SetAssocCache::SetAssocCache(std::uint64_t sets, std::uint64_t ways,
+                             ReplacementPolicy policy, std::uint64_t seed)
+    : sets_(sets), ways_(ways), policy_(policy), rng_(seed)
+{
+    KB_REQUIRE(sets_ > 0 && ways_ > 0,
+               "set-associative memory needs sets > 0 and ways > 0");
+    table_.assign(sets_, std::vector<Way>(ways_));
+}
+
+std::string
+SetAssocCache::name() const
+{
+    return "setassoc-" + std::to_string(ways_) + "w-" +
+           replacementPolicyName(policy_);
+}
+
+std::vector<SetAssocCache::Way> &
+SetAssocCache::setFor(std::uint64_t addr)
+{
+    return table_[addr % sets_];
+}
+
+std::size_t
+SetAssocCache::victimIn(std::vector<Way> &set)
+{
+    // Invalid way first.
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        if (!set[i].valid)
+            return i;
+    }
+    if (policy_ == ReplacementPolicy::Random)
+        return static_cast<std::size_t>(rng_.below(set.size()));
+    // LRU and FIFO both evict the minimum stamp; they differ in when
+    // the stamp is refreshed (every use vs fill only).
+    std::size_t victim = 0;
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        if (set[i].stamp < best) {
+            best = set[i].stamp;
+            victim = i;
+        }
+    }
+    return victim;
+}
+
+bool
+SetAssocCache::access(std::uint64_t addr, bool write)
+{
+    ++stats_.accesses;
+    ++clock_;
+    auto &set = setFor(addr);
+
+    for (auto &way : set) {
+        if (way.valid && way.addr == addr) {
+            ++stats_.hits;
+            way.dirty |= write;
+            if (policy_ == ReplacementPolicy::LRU)
+                way.stamp = clock_;
+            return true;
+        }
+    }
+
+    ++stats_.misses;
+    const std::size_t slot = victimIn(set);
+    Way &way = set[slot];
+    if (way.valid) {
+        ++stats_.evictions;
+        if (way.dirty)
+            ++stats_.writebacks;
+    }
+    way = Way{addr, true, write, clock_};
+    return false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto &set : table_) {
+        for (auto &way : set) {
+            if (way.valid && way.dirty)
+                ++stats_.writebacks;
+            way = Way{};
+        }
+    }
+}
+
+} // namespace kb

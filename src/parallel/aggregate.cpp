@@ -1,0 +1,56 @@
+#include "parallel/aggregate.hpp"
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+const char *
+topologyName(Topology topo)
+{
+    switch (topo) {
+      case Topology::Linear: return "linear";
+      case Topology::Mesh2D: return "mesh2d";
+    }
+    return "?";
+}
+
+PeConfig
+aggregatePe(const ArraySpec &spec)
+{
+    KB_REQUIRE(spec.p >= 1, "array needs at least one PE");
+    PeConfig agg = spec.pe;
+    const double p = static_cast<double>(spec.p);
+    switch (spec.topo) {
+      case Topology::Linear:
+        agg.comp_bandwidth *= p;
+        // IO unchanged: only the boundary PEs reach the host.
+        agg.memory_words = spec.pe.memory_words * spec.p;
+        break;
+      case Topology::Mesh2D:
+        agg.comp_bandwidth *= p * p;
+        agg.io_bandwidth *= p;
+        agg.memory_words = spec.pe.memory_words * spec.p * spec.p;
+        break;
+    }
+    return agg;
+}
+
+double
+aggregateAlpha(const ArraySpec &spec)
+{
+    const PeConfig agg = aggregatePe(spec);
+    return agg.compIoRatio() / spec.pe.compIoRatio();
+}
+
+std::optional<double>
+requiredPerPeMemory(const ScalingLaw &law, const ArraySpec &spec,
+                    std::uint64_t m_single)
+{
+    const auto total = law.predict(static_cast<double>(m_single),
+                                   aggregateAlpha(spec));
+    if (!total)
+        return std::nullopt;
+    return *total / static_cast<double>(spec.peCount());
+}
+
+} // namespace kb

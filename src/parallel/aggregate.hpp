@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Section 4's aggregate-PE view of processor arrays.
+ *
+ * A collection of PEs is treated as one "new processing element":
+ *
+ *  * 1-D linear array of p PEs (Fig. 3): C' = p C, IO' = IO (only
+ *    the boundary PEs talk to the outside), M' = p M.
+ *  * 2-D p x p mesh (Fig. 4): C' = p^2 C, IO' = p IO (boundary row),
+ *    M' = p^2 M.
+ *
+ * Both give alpha = C'/IO' / (C/IO) = p; combining with a kernel's
+ * rebalancing law yields the per-PE memory requirement.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/pe.hpp"
+#include "core/scaling_law.hpp"
+
+namespace kb {
+
+/** Array topologies analyzed in Section 4. */
+enum class Topology { Linear, Mesh2D };
+
+/** Name for reports. */
+const char *topologyName(Topology topo);
+
+/** A processor array: @p p PEs per dimension, each a copy of @p pe. */
+struct ArraySpec
+{
+    Topology topo = Topology::Linear;
+    std::uint64_t p = 1;  ///< PEs (Linear) or PEs per side (Mesh2D)
+    PeConfig pe;          ///< the building-block PE
+
+    /** Total number of PEs. */
+    std::uint64_t
+    peCount() const
+    {
+        return topo == Topology::Linear ? p : p * p;
+    }
+};
+
+/** The array viewed as one big PE (Section 4's construction). */
+PeConfig aggregatePe(const ArraySpec &spec);
+
+/**
+ * The factor alpha by which the aggregate's C/IO exceeds the single
+ * PE's C/IO. Equals p for both topologies.
+ */
+double aggregateAlpha(const ArraySpec &spec);
+
+/**
+ * Per-PE memory needed to keep the array balanced for a computation
+ * with rebalancing law @p law, given that a single PE with
+ * @p m_single words was balanced.
+ *
+ * @return words per PE, or nullopt when the law is Impossible
+ */
+std::optional<double> requiredPerPeMemory(const ScalingLaw &law,
+                                          const ArraySpec &spec,
+                                          std::uint64_t m_single);
+
+} // namespace kb

@@ -1,0 +1,25 @@
+#include "parallel/warp.hpp"
+
+namespace kb {
+
+PeConfig
+warpCellPe()
+{
+    PeConfig pe;
+    pe.comp_bandwidth = 10e6; // 10 MFLOPS
+    pe.io_bandwidth = 20e6;   // 20 Mwords/s to the neighbors
+    pe.memory_words = kWarpCellMemoryWords;
+    return pe;
+}
+
+ArraySpec
+warpArray(std::uint64_t cells)
+{
+    ArraySpec spec;
+    spec.topo = Topology::Linear;
+    spec.p = cells;
+    spec.pe = warpCellPe();
+    return spec;
+}
+
+} // namespace kb

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The CMU Warp machine (Arnould et al., 1985; Gross et al., 1985),
+ * the paper's Section 5 design example: a linear systolic array of
+ * programmable PEs, each delivering 10 MFLOPS with a 20 Mword/s
+ * inter-PE channel and up to 64K 32-bit words of local memory.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/pe.hpp"
+#include "parallel/aggregate.hpp"
+
+namespace kb {
+
+/** One Warp cell as a PE in the paper's information model. */
+PeConfig warpCellPe();
+
+/** The production Warp array: @p cells linearly connected cells
+ *  (10 in the 1985 machine). */
+ArraySpec warpArray(std::uint64_t cells = 10);
+
+/** Number of words of local memory in a Warp cell (64K). */
+constexpr std::uint64_t kWarpCellMemoryWords = 64 * 1024;
+
+} // namespace kb

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Array dataflows for the Section 4 experiments.
+ *
+ * Each generator lays a computation out on a processor array whose
+ * PEs have a given local-memory budget and returns the macro-step
+ * sequence for the array simulator, together with the machine
+ * description.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/array_sim.hpp"
+
+namespace kb {
+
+/** A generated dataflow: machine plus step sequence. */
+struct ArrayWorkload
+{
+    ArrayMachine machine;
+    std::vector<StepWorkload> steps;
+    std::uint64_t block_edge = 0; ///< distributed tile edge chosen
+};
+
+/**
+ * Block matmul on a linear array of @p p PEs (paper Section 4.1 /
+ * Fig. 3): the array holds one distributed B x B tile of C
+ * (column-slab per PE); per k-step a length-B strip of A and of B
+ * stream in through the boundary PE and every PE updates its slab.
+ *
+ * B is the largest tile with slab + strip buffers within @p m_pe
+ * words per PE.
+ *
+ * @param n           matrix dimension
+ * @param p           PEs in the chain
+ * @param m_pe        local memory per PE (words)
+ * @param ops_rate    per-PE ops/cycle
+ * @param host_rate   boundary words/cycle (the single external port)
+ */
+ArrayWorkload matmulLinearWorkload(std::uint64_t n, std::uint64_t p,
+                                   std::uint64_t m_pe,
+                                   double ops_rate = 1.0,
+                                   double host_rate = 1.0);
+
+/**
+ * Block matmul on a p x p mesh (Section 4.2 / Fig. 4): the array
+ * holds a distributed B x B tile of C ((B/p)^2 per PE); strips enter
+ * through the p boundary PEs, so the aggregate boundary bandwidth is
+ * p * host_rate.
+ */
+ArrayWorkload matmulMeshWorkload(std::uint64_t n, std::uint64_t p,
+                                 std::uint64_t m_pe,
+                                 double ops_rate = 1.0,
+                                 double host_rate = 1.0);
+
+/**
+ * 3-D grid relaxation on a p x p mesh (the Section 4.2 case where
+ * per-PE memory must still grow): the array holds a distributed
+ * halo-extended cube and runs tau sweeps per load (temporal tiling
+ * at the array level).
+ *
+ * @param g grid edge; @param t total sweeps
+ */
+ArrayWorkload grid3dMeshWorkload(std::uint64_t g, std::uint64_t t,
+                                 std::uint64_t p, std::uint64_t m_pe,
+                                 double ops_rate = 1.0,
+                                 double host_rate = 1.0);
+
+} // namespace kb

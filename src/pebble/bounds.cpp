@@ -1,0 +1,46 @@
+#include "pebble/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+double
+matmulIoLowerBound(std::uint64_t n, std::uint64_t s)
+{
+    KB_REQUIRE(s >= 1, "need S >= 1");
+    const double dn = static_cast<double>(n);
+    const double ds = static_cast<double>(s);
+    return std::max(0.0,
+                    dn * dn * dn / (2.0 * std::sqrt(2.0 * ds)) - ds);
+}
+
+double
+fftIoLowerBound(std::uint64_t n, std::uint64_t s)
+{
+    KB_REQUIRE(n >= 2 && s >= 1, "need n >= 2, S >= 1");
+    const double dn = static_cast<double>(n);
+    return dn * std::log2(dn) /
+           (4.0 * std::log2(2.0 * static_cast<double>(s)));
+}
+
+double
+sortingIoLowerBound(std::uint64_t n, std::uint64_t s)
+{
+    KB_REQUIRE(n >= 2 && s >= 2, "need n >= 2, S >= 2");
+    const double dn = static_cast<double>(n);
+    return dn * std::log2(dn) /
+           (4.0 * std::log2(static_cast<double>(s)));
+}
+
+double
+trivialIoLowerBound(std::uint64_t inputs, std::uint64_t outputs,
+                    std::uint64_t s)
+{
+    const std::uint64_t total = inputs + outputs;
+    return total > s ? static_cast<double>(total - s) : 0.0;
+}
+
+} // namespace kb

@@ -1,0 +1,144 @@
+#include "pebble/builders.hpp"
+
+#include <string>
+
+#include "util/intmath.hpp"
+#include "util/logging.hpp"
+
+namespace kb {
+
+Dag
+buildChain(std::uint32_t n)
+{
+    KB_REQUIRE(n >= 1, "chain needs at least one node");
+    Dag dag;
+    Dag::NodeId prev = dag.addNode("c0");
+    for (std::uint32_t i = 1; i < n; ++i) {
+        const auto v = dag.addNode("c" + std::to_string(i));
+        dag.addEdge(prev, v);
+        prev = v;
+    }
+    return dag;
+}
+
+Dag
+buildReductionTree(std::uint32_t leaves)
+{
+    KB_REQUIRE(isPow2(leaves) && leaves >= 2,
+               "reduction tree needs a power-of-two leaf count");
+    Dag dag;
+    std::vector<Dag::NodeId> level;
+    for (std::uint32_t i = 0; i < leaves; ++i)
+        level.push_back(dag.addNode("leaf" + std::to_string(i)));
+    while (level.size() > 1) {
+        std::vector<Dag::NodeId> next;
+        for (std::size_t i = 0; i < level.size(); i += 2) {
+            const auto v = dag.addNode("sum");
+            dag.addEdge(level[i], v);
+            dag.addEdge(level[i + 1], v);
+            next.push_back(v);
+        }
+        level.swap(next);
+    }
+    return dag;
+}
+
+Dag
+buildFftDag(std::uint32_t n)
+{
+    KB_REQUIRE(isPow2(n) && n >= 2, "FFT DAG needs a power-of-two size");
+    const unsigned stages = floorLog2(n);
+    Dag dag;
+    std::vector<Dag::NodeId> prev(n), cur(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        prev[i] = dag.addNode("x" + std::to_string(i));
+    for (unsigned l = 1; l <= stages; ++l) {
+        const std::uint32_t span = 1u << (l - 1);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            cur[i] = dag.addNode("s" + std::to_string(l) + "_" +
+                                 std::to_string(i));
+            dag.addEdge(prev[i], cur[i]);
+            dag.addEdge(prev[i ^ span], cur[i]);
+        }
+        prev = cur;
+    }
+    return dag;
+}
+
+Dag
+buildMatmulDag(std::uint32_t n)
+{
+    KB_REQUIRE(n >= 1, "matmul DAG needs n >= 1");
+    Dag dag;
+    std::vector<Dag::NodeId> a(n * n), b(n * n);
+    for (std::uint32_t i = 0; i < n * n; ++i) {
+        a[i] = dag.addNode("a");
+        b[i] = dag.addNode("b");
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+        for (std::uint32_t j = 0; j < n; ++j) {
+            Dag::NodeId acc = 0;
+            bool has_acc = false;
+            for (std::uint32_t k = 0; k < n; ++k) {
+                const auto prod = dag.addNode("p");
+                dag.addEdge(a[i * n + k], prod);
+                dag.addEdge(b[k * n + j], prod);
+                if (!has_acc) {
+                    acc = prod;
+                    has_acc = true;
+                } else {
+                    const auto sum = dag.addNode("s");
+                    dag.addEdge(acc, sum);
+                    dag.addEdge(prod, sum);
+                    acc = sum;
+                }
+            }
+            dag.markOutput(acc);
+        }
+    }
+    return dag;
+}
+
+Dag
+buildGrid1dDag(std::uint32_t g, std::uint32_t t)
+{
+    KB_REQUIRE(g >= 1 && t >= 1, "grid DAG needs g, t >= 1");
+    Dag dag;
+    std::vector<Dag::NodeId> prev(g), cur(g);
+    for (std::uint32_t x = 0; x < g; ++x)
+        prev[x] = dag.addNode("g0_" + std::to_string(x));
+    for (std::uint32_t s = 1; s <= t; ++s) {
+        for (std::uint32_t x = 0; x < g; ++x) {
+            cur[x] = dag.addNode("g" + std::to_string(s) + "_" +
+                                 std::to_string(x));
+            for (std::int64_t dx = -1; dx <= 1; ++dx) {
+                const std::int64_t px = static_cast<std::int64_t>(x) + dx;
+                if (px >= 0 && px < static_cast<std::int64_t>(g))
+                    dag.addEdge(prev[static_cast<std::uint32_t>(px)],
+                                cur[x]);
+            }
+        }
+        prev = cur;
+    }
+    return dag;
+}
+
+Dag
+buildDiamond(std::uint32_t width)
+{
+    KB_REQUIRE(width >= 1, "diamond needs width >= 1");
+    Dag dag;
+    const auto src = dag.addNode("src");
+    std::vector<Dag::NodeId> mids;
+    for (std::uint32_t i = 0; i < width; ++i) {
+        const auto v = dag.addNode("mid" + std::to_string(i));
+        dag.addEdge(src, v);
+        mids.push_back(v);
+    }
+    const auto dst = dag.addNode("dst");
+    for (const auto v : mids)
+        dag.addEdge(v, dst);
+    return dag;
+}
+
+} // namespace kb

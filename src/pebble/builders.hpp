@@ -1,0 +1,47 @@
+/**
+ * @file
+ * DAG builders for the computation families the paper analyzes.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "pebble/dag.hpp"
+
+namespace kb {
+
+/** A path of @p n nodes (n >= 1): v0 -> v1 -> ... */
+Dag buildChain(std::uint32_t n);
+
+/**
+ * A binary reduction tree with @p leaves inputs (power of two) and
+ * one output.
+ */
+Dag buildReductionTree(std::uint32_t leaves);
+
+/**
+ * The @p n-point FFT butterfly graph (n a power of two): lg n ranks,
+ * node (l, i) depends on (l-1, i) and (l-1, i ^ 2^(l-1)).
+ * n (1 + lg n) nodes.
+ */
+Dag buildFftDag(std::uint32_t n);
+
+/**
+ * Naive matmul DAG for @p n x n matrices: inputs A and B, product
+ * nodes P(i,j,k) and running-sum nodes S(i,j,k); outputs S(i,j,n-1).
+ * 2n^2 + 2n^3 - n^2 nodes; keep n small.
+ */
+Dag buildMatmulDag(std::uint32_t n);
+
+/**
+ * Time-expanded 1-D relaxation: @p g cells by @p t steps; node (s, x)
+ * depends on (s-1, x-1..x+1) clipped to the grid. Outputs are the
+ * last row.
+ */
+Dag buildGrid1dDag(std::uint32_t g, std::uint32_t t);
+
+/** A diamond: one input fans out to @p width nodes that join again. */
+Dag buildDiamond(std::uint32_t width);
+
+} // namespace kb

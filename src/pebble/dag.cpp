@@ -1,0 +1,92 @@
+#include "pebble/dag.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+Dag::NodeId
+Dag::addNode(std::string label)
+{
+    const NodeId id = nodeCount();
+    preds_.emplace_back();
+    succs_.emplace_back();
+    labels_.push_back(std::move(label));
+    return id;
+}
+
+void
+Dag::addEdge(NodeId from, NodeId to)
+{
+    KB_REQUIRE(from < nodeCount() && to < nodeCount(),
+               "edge endpoint out of range");
+    KB_REQUIRE(from != to, "self edges are not allowed");
+    preds_[to].push_back(from);
+    succs_[from].push_back(to);
+}
+
+void
+Dag::markOutput(NodeId v)
+{
+    KB_REQUIRE(v < nodeCount(), "output node out of range");
+    marked_outputs_.push_back(v);
+}
+
+std::vector<Dag::NodeId>
+Dag::inputs() const
+{
+    std::vector<NodeId> out;
+    for (NodeId v = 0; v < nodeCount(); ++v)
+        if (preds_[v].empty())
+            out.push_back(v);
+    return out;
+}
+
+std::vector<Dag::NodeId>
+Dag::outputs() const
+{
+    if (!marked_outputs_.empty())
+        return marked_outputs_;
+    std::vector<NodeId> out;
+    for (NodeId v = 0; v < nodeCount(); ++v)
+        if (succs_[v].empty())
+            out.push_back(v);
+    return out;
+}
+
+std::vector<Dag::NodeId>
+Dag::topoOrder() const
+{
+    std::vector<std::uint32_t> indeg(nodeCount());
+    for (NodeId v = 0; v < nodeCount(); ++v)
+        indeg[v] = static_cast<std::uint32_t>(preds_[v].size());
+
+    std::vector<NodeId> ready, order;
+    for (NodeId v = 0; v < nodeCount(); ++v)
+        if (indeg[v] == 0)
+            ready.push_back(v);
+    order.reserve(nodeCount());
+    while (!ready.empty()) {
+        const NodeId v = ready.back();
+        ready.pop_back();
+        order.push_back(v);
+        for (NodeId w : succs_[v])
+            if (--indeg[w] == 0)
+                ready.push_back(w);
+    }
+    KB_REQUIRE(order.size() == nodeCount(), "DAG contains a cycle");
+    return order;
+}
+
+std::uint32_t
+Dag::computeNodeCount() const
+{
+    std::uint32_t count = 0;
+    for (NodeId v = 0; v < nodeCount(); ++v)
+        if (!preds_[v].empty())
+            ++count;
+    return count;
+}
+
+} // namespace kb

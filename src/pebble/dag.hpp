@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Computation DAGs for the red-blue pebble game (Hong & Kung, 1981).
+ *
+ * The paper's optimality remarks for matmul (3.1), FFT (3.4) and
+ * sorting (3.5) rest on pebble-game I/O lower bounds; this module is
+ * the substrate that makes those claims checkable.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kb {
+
+/**
+ * A directed acyclic graph of operations. Nodes without predecessors
+ * are inputs; nodes without successors are outputs (unless overridden
+ * with markOutput, for graphs whose outputs also feed other nodes).
+ */
+class Dag
+{
+  public:
+    using NodeId = std::uint32_t;
+
+    /** Add a node; @p label is for diagnostics only. */
+    NodeId addNode(std::string label = "");
+
+    /** Add edge @p from -> @p to. Both must exist; from != to. */
+    void addEdge(NodeId from, NodeId to);
+
+    /** Explicitly mark a node as a required output. */
+    void markOutput(NodeId v);
+
+    std::uint32_t nodeCount() const
+    {
+        return static_cast<std::uint32_t>(preds_.size());
+    }
+
+    const std::vector<NodeId> &preds(NodeId v) const { return preds_[v]; }
+    const std::vector<NodeId> &succs(NodeId v) const { return succs_[v]; }
+    const std::string &label(NodeId v) const { return labels_[v]; }
+
+    /** Nodes with no predecessors. */
+    std::vector<NodeId> inputs() const;
+
+    /**
+     * Required outputs: explicitly marked nodes, or (when none are
+     * marked) all nodes with no successors.
+     */
+    std::vector<NodeId> outputs() const;
+
+    /**
+     * A topological order of all nodes. Raises fatal() if the graph
+     * has a cycle.
+     */
+    std::vector<NodeId> topoOrder() const;
+
+    /** Number of non-input (compute) nodes. */
+    std::uint32_t computeNodeCount() const;
+
+  private:
+    std::vector<std::vector<NodeId>> preds_;
+    std::vector<std::vector<NodeId>> succs_;
+    std::vector<std::string> labels_;
+    std::vector<NodeId> marked_outputs_;
+};
+
+} // namespace kb

@@ -1,0 +1,128 @@
+#include "pebble/exact.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+namespace {
+
+/**
+ * Packed state: for each node two bit-sets (red, blue). "Computed" is
+ * implied: a node is known iff it is or was pebbled — but since a
+ * value can be recomputed in this game, we track only red/blue; a
+ * compute move is legal whenever all predecessors are red, so no
+ * extra bit is needed.
+ */
+struct State
+{
+    std::uint32_t red = 0;
+    std::uint32_t blue = 0;
+
+    std::uint64_t
+    key() const
+    {
+        return (static_cast<std::uint64_t>(red) << 32) | blue;
+    }
+};
+
+} // namespace
+
+std::optional<std::uint64_t>
+solveExactIo(const Dag &dag, std::uint64_t s, std::uint64_t state_limit)
+{
+    const auto n = dag.nodeCount();
+    KB_REQUIRE(n <= 16, "exact solver limited to 16 nodes");
+    KB_REQUIRE(s >= 1, "need at least one red pebble");
+
+    std::uint32_t goal_mask = 0;
+    for (const auto v : dag.outputs())
+        goal_mask |= 1u << v;
+
+    State start;
+    for (const auto v : dag.inputs())
+        start.blue |= 1u << v;
+
+    // 0-1 BFS: free moves (compute, delete) relax at distance 0, I/O
+    // moves (read, write) at distance 1.
+    std::unordered_map<std::uint64_t, std::uint64_t> dist;
+    std::deque<std::pair<State, std::uint64_t>> queue;
+    dist[start.key()] = 0;
+    queue.emplace_back(start, 0);
+    std::uint64_t explored = 0;
+
+    auto popcount32 = [](std::uint32_t x) {
+        return static_cast<std::uint64_t>(__builtin_popcount(x));
+    };
+
+    while (!queue.empty()) {
+        auto [st, d] = queue.front();
+        queue.pop_front();
+        const auto it = dist.find(st.key());
+        if (it == dist.end() || it->second < d)
+            continue;
+        if ((st.blue & goal_mask) == goal_mask)
+            return d;
+        if (++explored > state_limit)
+            return std::nullopt;
+
+        const std::uint64_t reds = popcount32(st.red);
+
+        auto relax = [&](const State &next, std::uint64_t cost,
+                         bool front) {
+            const auto nd = d + cost;
+            auto [dit, fresh] = dist.try_emplace(next.key(), nd);
+            if (!fresh && dit->second <= nd)
+                return;
+            dit->second = nd;
+            if (front)
+                queue.emplace_front(next, nd);
+            else
+                queue.emplace_back(next, nd);
+        };
+
+        for (Dag::NodeId v = 0; v < n; ++v) {
+            const std::uint32_t bit = 1u << v;
+            if (st.red & bit) {
+                // Delete (free).
+                State nx = st;
+                nx.red &= ~bit;
+                relax(nx, 0, true);
+                // Write (1 I/O).
+                if (!(st.blue & bit)) {
+                    State nw = st;
+                    nw.blue |= bit;
+                    relax(nw, 1, false);
+                }
+            } else {
+                // Read (1 I/O).
+                if ((st.blue & bit) && reds < s) {
+                    State nx = st;
+                    nx.red |= bit;
+                    relax(nx, 1, false);
+                }
+                // Compute (free).
+                if (!dag.preds(v).empty() && reds < s) {
+                    bool ready = true;
+                    for (const auto p : dag.preds(v)) {
+                        if (!(st.red & (1u << p))) {
+                            ready = false;
+                            break;
+                        }
+                    }
+                    if (ready) {
+                        State nx = st;
+                        nx.red |= bit;
+                        relax(nx, 0, true);
+                    }
+                }
+            }
+        }
+    }
+    return std::nullopt; // unreachable goal (shouldn't happen)
+}
+
+} // namespace kb

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Exact minimum-I/O pebbling for tiny DAGs via Dijkstra over game
+ * states (reads/writes cost 1; computes/deletes are free). Used to
+ * certify the heuristic player on small instances.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "pebble/dag.hpp"
+
+namespace kb {
+
+/**
+ * Minimum total I/O to pebble @p dag with @p s red pebbles, or
+ * nullopt if the state limit was exceeded before completion.
+ *
+ * State space is 3 bits per node, so this is restricted to DAGs of at
+ * most 16 nodes (fatal otherwise).
+ *
+ * @param state_limit abort threshold on explored states
+ */
+std::optional<std::uint64_t> solveExactIo(const Dag &dag, std::uint64_t s,
+                                          std::uint64_t state_limit =
+                                              20'000'000);
+
+} // namespace kb

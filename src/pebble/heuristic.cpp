@@ -1,0 +1,136 @@
+#include "pebble/heuristic.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "pebble/game.hpp"
+#include "util/logging.hpp"
+
+namespace kb {
+
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+} // namespace
+
+PebbleRunResult
+playHeuristic(const Dag &dag, std::uint64_t s,
+              const std::vector<Dag::NodeId> *order)
+{
+    const auto n = dag.nodeCount();
+
+    // Schedule: compute nodes in topological order.
+    std::vector<Dag::NodeId> schedule;
+    const auto topo = order ? *order : dag.topoOrder();
+    for (const auto v : topo)
+        if (!dag.preds(v).empty())
+            schedule.push_back(v);
+
+    std::uint32_t max_indeg = 0;
+    for (Dag::NodeId v = 0; v < n; ++v)
+        max_indeg = std::max(
+            max_indeg, static_cast<std::uint32_t>(dag.preds(v).size()));
+    KB_REQUIRE(s >= max_indeg + 1,
+               "red pebble budget below max in-degree + 1");
+
+    // uses[v]: schedule steps where v feeds a computation.
+    std::vector<std::vector<std::uint64_t>> uses(n);
+    for (std::uint64_t i = 0; i < schedule.size(); ++i)
+        for (const auto p : dag.preds(schedule[i]))
+            uses[p].push_back(i);
+    std::vector<std::size_t> use_ptr(n, 0);
+
+    std::vector<bool> is_output(n, false);
+    for (const auto v : dag.outputs())
+        is_output[v] = true;
+
+    PebbleGame game(dag, s);
+    std::vector<bool> pinned(n, false);
+
+    auto next_use = [&](Dag::NodeId v, std::uint64_t now) {
+        auto &ptr = use_ptr[v];
+        while (ptr < uses[v].size() && uses[v][ptr] < now)
+            ++ptr;
+        return ptr < uses[v].size() ? uses[v][ptr] : kNever;
+    };
+
+    auto evict_one = [&](std::uint64_t now) {
+        // Preference: dead & free > dead needing a write > alive
+        // farthest next use (writing it blue if not already).
+        Dag::NodeId victim = n;
+        int victim_tier = -1;          // higher tier = keep longer
+        std::uint64_t victim_key = 0;  // farther use = evict first
+        for (Dag::NodeId v = 0; v < n; ++v) {
+            if (!game.hasRed(v) || pinned[v])
+                continue;
+            const std::uint64_t nu = next_use(v, now);
+            const bool needs_write =
+                !game.hasBlue(v) && (nu != kNever || is_output[v]);
+            int tier;
+            if (nu == kNever && !needs_write)
+                tier = 0; // dead, free to drop
+            else if (nu == kNever)
+                tier = 1; // output awaiting its (inevitable) write
+            else
+                tier = 2; // alive
+            if (victim == n || tier < victim_tier ||
+                (tier == victim_tier && tier == 2 && nu > victim_key)) {
+                victim = v;
+                victim_tier = tier;
+                victim_key = nu;
+            }
+        }
+        KB_ASSERT(victim < n, "no evictable red pebble");
+        const bool needs_write =
+            !game.hasBlue(victim) &&
+            (next_use(victim, now) != kNever || is_output[victim]);
+        if (needs_write)
+            KB_ASSERT(game.apply({MoveType::Write, victim}));
+        KB_ASSERT(game.apply({MoveType::Delete, victim}));
+    };
+
+    auto ensure_slot = [&](std::uint64_t now) {
+        while (game.redCount() >= s)
+            evict_one(now);
+    };
+
+    for (std::uint64_t i = 0; i < schedule.size(); ++i) {
+        const auto v = schedule[i];
+        for (const auto p : dag.preds(v))
+            pinned[p] = true;
+
+        for (const auto p : dag.preds(v)) {
+            if (game.hasRed(p))
+                continue;
+            KB_ASSERT(game.hasBlue(p),
+                      "needed value neither red nor blue");
+            ensure_slot(i);
+            KB_ASSERT(game.apply({MoveType::Read, p}));
+        }
+        ensure_slot(i);
+        KB_ASSERT(game.apply({MoveType::Compute, v}));
+
+        for (const auto p : dag.preds(v)) {
+            pinned[p] = false;
+            // Advance the use pointer past this step.
+            auto &ptr = use_ptr[p];
+            while (ptr < uses[p].size() && uses[p][ptr] <= i)
+                ++ptr;
+        }
+    }
+
+    // Flush outputs still red-only.
+    for (const auto v : dag.outputs())
+        if (!game.hasBlue(v))
+            KB_ASSERT(game.apply({MoveType::Write, v}));
+    KB_ASSERT(game.done(), "heuristic failed to pebble all outputs");
+
+    PebbleRunResult result;
+    result.reads = game.reads();
+    result.writes = game.writes();
+    result.moves = game.moveCount();
+    return result;
+}
+
+} // namespace kb

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * A heuristic red-blue pebble game player: schedules compute nodes in
+ * topological order and manages the S red pebbles with Belady-style
+ * farthest-next-use eviction. Its I/O count is an upper bound on the
+ * DAG's I/O complexity Q(S) — compared against the analytic lower
+ * bounds it brackets the true value (experiment E10).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pebble/dag.hpp"
+
+namespace kb {
+
+/** Outcome of a heuristic pebbling run. */
+struct PebbleRunResult
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t moves = 0;
+
+    /** Total I/O (the pebble game's objective). */
+    std::uint64_t io() const { return reads + writes; }
+};
+
+/**
+ * Pebble @p dag with @p s red pebbles.
+ *
+ * The player never recomputes: a red pebble holding a value that is
+ * still needed is written blue before eviction. Requires
+ * s >= max in-degree + 1 (fatal otherwise).
+ *
+ * @param order optional explicit schedule of compute nodes (must be a
+ *              topological order); defaults to Dag::topoOrder()
+ */
+PebbleRunResult playHeuristic(const Dag &dag, std::uint64_t s,
+                              const std::vector<Dag::NodeId> *order =
+                                  nullptr);
+
+} // namespace kb

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The unit of a memory trace: one word-granular access made by a
+ * processing element against its address space.
+ *
+ * The paper's model is word-oriented ("one I/O operation can transfer
+ * a word to or from the PE"), so traces are word addresses, not bytes.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace kb {
+
+/** Direction of a memory access. */
+enum class AccessType : std::uint8_t { Read, Write };
+
+/** One word-granular memory access. */
+struct Access
+{
+    std::uint64_t addr = 0;             ///< word address
+    AccessType type = AccessType::Read; ///< read or write
+
+    bool isWrite() const { return type == AccessType::Write; }
+
+    friend bool
+    operator==(const Access &a, const Access &b)
+    {
+        return a.addr == b.addr && a.type == b.type;
+    }
+};
+
+/** Convenience constructors. */
+inline Access
+readOf(std::uint64_t addr)
+{
+    return Access{addr, AccessType::Read};
+}
+
+inline Access
+writeOf(std::uint64_t addr)
+{
+    return Access{addr, AccessType::Write};
+}
+
+} // namespace kb

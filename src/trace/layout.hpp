@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Logical-to-physical address layout for the arrays a kernel touches.
+ *
+ * Kernels describe accesses in terms of matrix/grid indices; layouts
+ * turn those into disjoint word addresses so that traces from several
+ * arrays can flow through one memory model without aliasing.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+/** A 1-D array of words occupying [base, base + size). */
+class ArrayLayout
+{
+  public:
+    ArrayLayout(std::uint64_t base, std::uint64_t size)
+        : base_(base), size_(size)
+    {
+    }
+
+    /** Word address of element @p i. */
+    std::uint64_t
+    at(std::uint64_t i) const
+    {
+        KB_ASSERT(i < size_, "array index out of range");
+        return base_ + i;
+    }
+
+    std::uint64_t base() const { return base_; }
+    std::uint64_t size() const { return size_; }
+    /** First address past the array, usable as the next base. */
+    std::uint64_t end() const { return base_ + size_; }
+
+  private:
+    std::uint64_t base_;
+    std::uint64_t size_;
+};
+
+/** A row-major 2-D matrix of words. */
+class MatrixLayout
+{
+  public:
+    MatrixLayout(std::uint64_t base, std::uint64_t rows,
+                 std::uint64_t cols)
+        : base_(base), rows_(rows), cols_(cols)
+    {
+    }
+
+    /** Word address of element (@p r, @p c). */
+    std::uint64_t
+    at(std::uint64_t r, std::uint64_t c) const
+    {
+        KB_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+        return base_ + r * cols_ + c;
+    }
+
+    std::uint64_t base() const { return base_; }
+    std::uint64_t rows() const { return rows_; }
+    std::uint64_t cols() const { return cols_; }
+    std::uint64_t size() const { return rows_ * cols_; }
+    std::uint64_t end() const { return base_ + size(); }
+
+  private:
+    std::uint64_t base_;
+    std::uint64_t rows_;
+    std::uint64_t cols_;
+};
+
+} // namespace kb

@@ -1,0 +1,120 @@
+#include "trace/reuse.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+MissCurve::MissCurve(std::vector<std::uint64_t> histogram,
+                     std::uint64_t cold_misses, std::uint64_t accesses)
+    : cold_(cold_misses), accesses_(accesses)
+{
+    // Convert the histogram into a suffix-sum table:
+    //   suffix_[d] = #accesses with finite reuse distance >= d.
+    suffix_.assign(histogram.size() + 1, 0);
+    for (std::size_t d = histogram.size(); d-- > 0;)
+        suffix_[d] = suffix_[d + 1] + histogram[d];
+}
+
+std::uint64_t
+MissCurve::missesAt(std::uint64_t capacity) const
+{
+    // An access with reuse distance d hits iff the LRU stack holds at
+    // least d+1 entries... equivalently it hits iff d < capacity.
+    if (capacity >= suffix_.size())
+        return cold_;
+    return cold_ + suffix_[capacity];
+}
+
+std::uint64_t
+MissCurve::footprint() const
+{
+    // The largest finite distance + 1 is the capacity at which all
+    // finite-distance accesses hit.
+    for (std::size_t d = suffix_.size(); d-- > 0;) {
+        if (suffix_[d] > 0)
+            return d + 1;
+    }
+    return 0;
+}
+
+ReuseDistanceAnalyzer::ReuseDistanceAnalyzer() = default;
+
+void
+ReuseDistanceAnalyzer::growTo(std::size_t n)
+{
+    if (tree_.size() >= n)
+        return;
+    const std::size_t size = std::max(n, tree_.size() * 2 + 16);
+    marks_.resize(size, 0);
+    // Rebuild the tree from the raw marks: O(size), amortized O(1)
+    // per access thanks to the doubling.
+    tree_.assign(size, 0);
+    for (std::size_t i = 1; i <= size; ++i) {
+        tree_[i - 1] += marks_[i - 1];
+        const std::size_t parent = i + (i & (~i + 1));
+        if (parent <= size)
+            tree_[parent - 1] += tree_[i - 1];
+    }
+}
+
+void
+ReuseDistanceAnalyzer::fenwickAdd(std::size_t pos, std::int64_t delta)
+{
+    growTo(pos + 1);
+    marks_[pos] = static_cast<std::uint8_t>(
+        static_cast<std::int64_t>(marks_[pos]) + delta);
+    for (std::size_t i = pos + 1; i <= tree_.size(); i += i & (~i + 1))
+        tree_[i - 1] += delta;
+}
+
+std::uint64_t
+ReuseDistanceAnalyzer::fenwickSum(std::size_t pos) const
+{
+    std::int64_t sum = 0;
+    std::size_t i = std::min(pos + 1, tree_.size());
+    for (; i > 0; i -= i & (~i + 1))
+        sum += tree_[i - 1];
+    KB_ASSERT(sum >= 0);
+    return static_cast<std::uint64_t>(sum);
+}
+
+void
+ReuseDistanceAnalyzer::onAccess(const Access &access)
+{
+    const std::uint64_t now = time_++;
+    auto [it, inserted] = last_use_.try_emplace(access.addr, now);
+    if (inserted) {
+        ++cold_;
+        fenwickAdd(static_cast<std::size_t>(now), +1);
+        return;
+    }
+
+    const std::uint64_t prev = it->second;
+    // Distinct words touched strictly after prev: total marked in
+    // (prev, now) = sum[0..now-1] - sum[0..prev].
+    const std::uint64_t marked_until_now =
+        now == 0 ? 0 : fenwickSum(static_cast<std::size_t>(now - 1));
+    const std::uint64_t marked_until_prev =
+        fenwickSum(static_cast<std::size_t>(prev));
+    KB_ASSERT(marked_until_now >= marked_until_prev);
+    const std::uint64_t distance = marked_until_now - marked_until_prev;
+
+    if (hist_.size() <= distance)
+        hist_.resize(distance + 1, 0);
+    ++hist_[distance];
+
+    // Move the word's marker from its previous slot to "now".
+    fenwickAdd(static_cast<std::size_t>(prev), -1);
+    fenwickAdd(static_cast<std::size_t>(now), +1);
+    it->second = now;
+}
+
+MissCurve
+ReuseDistanceAnalyzer::missCurve() const
+{
+    return MissCurve(hist_, cold_, time_);
+}
+
+} // namespace kb

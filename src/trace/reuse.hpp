@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Exact LRU reuse-distance analysis.
+ *
+ * The reuse distance of an access is the number of *distinct* words
+ * touched since the previous access to the same word (infinite for the
+ * first touch). A fully associative LRU memory of capacity W misses
+ * exactly on accesses whose reuse distance is >= W, so one pass over a
+ * trace yields the whole miss-count-versus-capacity curve — which is
+ * how the benches measure Cio(M) for every M at once.
+ *
+ * Implementation: the classic Fenwick-tree algorithm (Olken'81 style),
+ * O(log T) per access over a trace of length T.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace kb {
+
+/**
+ * Miss counts as a function of LRU capacity, derived from a reuse
+ * distance histogram.
+ */
+class MissCurve
+{
+  public:
+    MissCurve(std::vector<std::uint64_t> histogram,
+              std::uint64_t cold_misses, std::uint64_t accesses);
+
+    /**
+     * Number of misses a fully associative LRU memory of @p capacity
+     * words would take on the analyzed trace (capacity 0 means every
+     * access misses).
+     */
+    std::uint64_t missesAt(std::uint64_t capacity) const;
+
+    /** Accesses with no prior touch of the same word. */
+    std::uint64_t coldMisses() const { return cold_; }
+
+    /** Total accesses analyzed. */
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Smallest capacity at which only cold misses remain. */
+    std::uint64_t footprint() const;
+
+  private:
+    /// suffix_[d] = number of finite-distance accesses with
+    /// reuse distance >= d (d indexes from 0).
+    std::vector<std::uint64_t> suffix_;
+    std::uint64_t cold_;
+    std::uint64_t accesses_;
+};
+
+/**
+ * Streaming reuse-distance analyzer; feed it a trace (it is a
+ * TraceSink) and then ask for the histogram or the MissCurve.
+ */
+class ReuseDistanceAnalyzer : public TraceSink
+{
+  public:
+    ReuseDistanceAnalyzer();
+
+    void onAccess(const Access &access) override;
+
+    /** Histogram of finite reuse distances (index = distance). */
+    const std::vector<std::uint64_t> &histogram() const { return hist_; }
+
+    std::uint64_t coldMisses() const { return cold_; }
+    std::uint64_t accesses() const { return time_; }
+    /** Number of distinct words touched. */
+    std::uint64_t distinctWords() const { return last_use_.size(); }
+
+    /** Build the capacity->misses curve from the current state. */
+    MissCurve missCurve() const;
+
+  private:
+    void fenwickAdd(std::size_t pos, std::int64_t delta);
+    std::uint64_t fenwickSum(std::size_t pos) const; // sum of [0, pos]
+    void growTo(std::size_t n);
+
+    /// Raw 0/1 marks (one per trace position holding a word's most
+    /// recent use); kept so the Fenwick tree can be rebuilt when it
+    /// grows — zero-extending a Fenwick tree would corrupt the new
+    /// high nodes' partial sums.
+    std::vector<std::uint8_t> marks_;
+    std::vector<std::int64_t> tree_;                    ///< Fenwick tree
+    std::unordered_map<std::uint64_t, std::uint64_t> last_use_;
+    std::vector<std::uint64_t> hist_;
+    std::uint64_t cold_ = 0;
+    std::uint64_t time_ = 0;
+};
+
+} // namespace kb

@@ -1,0 +1,20 @@
+#include "trace/sink.hpp"
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+TeeSink::TeeSink(std::vector<TraceSink *> sinks) : sinks_(std::move(sinks))
+{
+    for (const auto *sink : sinks_)
+        KB_REQUIRE(sink != nullptr, "TeeSink given a null sink");
+}
+
+void
+TeeSink::onAccess(const Access &access)
+{
+    for (auto *sink : sinks_)
+        sink->onAccess(access);
+}
+
+} // namespace kb

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Trace sinks: destinations for the access streams emitted by kernel
+ * schedules. A kernel writes its trace once; sinks decide whether to
+ * count it, record it, replay it into a cache model, or fan it out.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "trace/access.hpp"
+
+namespace kb {
+
+/** Abstract consumer of a memory access stream. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Consume one access. */
+    virtual void onAccess(const Access &access) = 0;
+
+    /** Consume a contiguous run of same-type accesses. */
+    void
+    onRange(std::uint64_t base, std::uint64_t words, AccessType type)
+    {
+        for (std::uint64_t i = 0; i < words; ++i)
+            onAccess(Access{base + i, type});
+    }
+};
+
+/** Counts accesses without storing them. */
+class CountingSink : public TraceSink
+{
+  public:
+    void
+    onAccess(const Access &access) override
+    {
+        if (access.isWrite())
+            ++writes_;
+        else
+            ++reads_;
+    }
+
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t writes() const { return writes_; }
+    std::uint64_t total() const { return reads_ + writes_; }
+
+  private:
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+};
+
+/** Stores the full trace in memory (tests, OPT two-pass simulation). */
+class VectorSink : public TraceSink
+{
+  public:
+    void
+    onAccess(const Access &access) override
+    {
+        trace_.push_back(access);
+    }
+
+    const std::vector<Access> &trace() const { return trace_; }
+    std::vector<Access> take() { return std::move(trace_); }
+
+  private:
+    std::vector<Access> trace_;
+};
+
+/** Invokes a callback per access (adapters to cache models). */
+class CallbackSink : public TraceSink
+{
+  public:
+    using Callback = std::function<void(const Access &)>;
+
+    explicit CallbackSink(Callback cb) : cb_(std::move(cb)) {}
+
+    void onAccess(const Access &access) override { cb_(access); }
+
+  private:
+    Callback cb_;
+};
+
+/** Duplicates the stream into several downstream sinks. */
+class TeeSink : public TraceSink
+{
+  public:
+    explicit TeeSink(std::vector<TraceSink *> sinks);
+
+    void onAccess(const Access &access) override;
+
+  private:
+    std::vector<TraceSink *> sinks_;
+};
+
+/** Discards everything (placeholder when only explicit I/O counts
+ *  matter). */
+class NullSink : public TraceSink
+{
+  public:
+    void onAccess(const Access &) override {}
+};
+
+} // namespace kb

@@ -1,0 +1,44 @@
+#include "util/csv.hpp"
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+CsvWriter::CsvWriter(const std::string &path,
+                     std::vector<std::string> headers)
+    : out_(path), columns_(headers.size())
+{
+    KB_REQUIRE(out_.good(), "cannot open CSV file ", path);
+    writeRow(headers);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    KB_REQUIRE(cells.size() == columns_, "CSV row width mismatch");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ",";
+        out_ << escape(cells[i]);
+    }
+    out_ << "\n";
+}
+
+} // namespace kb

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Tiny CSV writer so benches can dump machine-readable series next to
+ * the human-readable tables (useful for re-plotting the figures).
+ */
+
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace kb {
+
+/**
+ * Stream rows of values into a CSV file. Quoting handles commas,
+ * quotes and newlines per RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open @p path for writing and emit @p headers as the first row.
+     * Raises fatal() if the file cannot be opened.
+     */
+    CsvWriter(const std::string &path, std::vector<std::string> headers);
+
+    /** Append one row; length must match the header row. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Escape one cell per RFC 4180 (exposed for tests). */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::ofstream out_;
+    std::size_t columns_;
+};
+
+} // namespace kb

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Integer math helpers used throughout the balance analysis: powers of
+ * two, integer roots, and ceiling division. All functions are pure and
+ * constexpr where the standard library allows.
+ */
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+/** True iff @p x is a power of two (0 is not). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)); requires x > 0. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(x | 1));
+}
+
+/** ceil(log2(x)); requires x > 0. */
+constexpr unsigned
+ceilLog2(std::uint64_t x)
+{
+    return x <= 1 ? 0 : floorLog2(x - 1) + 1;
+}
+
+/** Smallest power of two >= x (x = 0 maps to 1). */
+constexpr std::uint64_t
+nextPow2(std::uint64_t x)
+{
+    return x <= 1 ? 1 : std::uint64_t{1} << ceilLog2(x);
+}
+
+/** Largest power of two <= x; requires x > 0. */
+constexpr std::uint64_t
+prevPow2(std::uint64_t x)
+{
+    return std::uint64_t{1} << floorLog2(x);
+}
+
+/** ceil(a / b); requires b > 0. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Integer power base^exp (no overflow checking beyond 64 bits). */
+constexpr std::uint64_t
+ipow(std::uint64_t base, unsigned exp)
+{
+    std::uint64_t result = 1;
+    while (exp) {
+        if (exp & 1)
+            result *= base;
+        base *= base;
+        exp >>= 1;
+    }
+    return result;
+}
+
+/** floor(sqrt(x)) computed purely in integers. */
+constexpr std::uint64_t
+isqrt(std::uint64_t x)
+{
+    if (x < 2)
+        return x;
+    std::uint64_t lo = 1;
+    std::uint64_t hi = std::uint64_t{1} << (floorLog2(x) / 2 + 1);
+    while (lo + 1 < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        if (mid <= x / mid)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+/** floor(x^(1/k)); requires k >= 1. */
+constexpr std::uint64_t
+iroot(std::uint64_t x, unsigned k)
+{
+    if (k == 0)
+        return 1; // degenerate; callers must pass k >= 1
+    if (k == 1 || x < 2)
+        return x;
+    std::uint64_t lo = 1;
+    std::uint64_t hi = (std::uint64_t{1} << (floorLog2(x) / k + 1)) + 1;
+    while (lo + 1 < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        // Overflow-safe test of mid^k <= x.
+        std::uint64_t acc = 1;
+        bool overflow = false;
+        for (unsigned i = 0; i < k; ++i) {
+            if (acc > x / mid) {
+                overflow = true;
+                break;
+            }
+            acc *= mid;
+        }
+        if (!overflow && acc <= x)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace kb

@@ -1,0 +1,50 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <exception>
+
+namespace kb {
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    const char *tag = "info";
+    switch (level) {
+      case LogLevel::Inform: tag = "info"; break;
+      case LogLevel::Warn:   tag = "warn"; break;
+      case LogLevel::Fatal:  tag = "fatal"; break;
+      case LogLevel::Panic:  tag = "panic"; break;
+    }
+    std::fprintf(stderr, "[kb:%s] %s\n", tag, msg.c_str());
+    std::fflush(stderr);
+}
+
+void
+panic(const std::string &msg)
+{
+    logMessage(LogLevel::Panic, msg);
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    logMessage(LogLevel::Fatal, msg);
+    // Tests install a terminate handler through death-test machinery;
+    // exit(1) mirrors gem5's fatal() semantics (user error, clean exit).
+    std::exit(1);
+}
+
+void
+warn(const std::string &msg)
+{
+    logMessage(LogLevel::Warn, msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    logMessage(LogLevel::Inform, msg);
+}
+
+} // namespace kb

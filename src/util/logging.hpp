@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (library bugs), fatal() is for unrecoverable user errors
+ * (bad arguments, impossible configurations), warn()/inform() are
+ * non-terminating status channels.
+ */
+
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace kb {
+
+/** Severity used by the message sink. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Emit one formatted message to stderr.
+ *
+ * @param level severity tag prepended to the message
+ * @param msg   fully formatted message body
+ */
+void logMessage(LogLevel level, const std::string &msg);
+
+/**
+ * Abort the process because of an internal invariant violation.
+ * Never returns.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Terminate the process because of a caller/user error (bad
+ * configuration, out-of-domain argument). Never returns.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Warn about questionable but non-fatal conditions. */
+void warn(const std::string &msg);
+
+/** Informational status message. */
+void inform(const std::string &msg);
+
+namespace detail {
+
+/** Fold a list of streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace kb
+
+/**
+ * Internal invariant check. Active in all build types: the library is a
+ * measurement instrument, so silent corruption is worse than the cost
+ * of the branch.
+ */
+#define KB_ASSERT(cond, ...)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::kb::panic(::kb::detail::concat(                                \
+                "assertion failed: ", #cond, " at ", __FILE__, ":",          \
+                __LINE__, " ", ##__VA_ARGS__));                              \
+        }                                                                    \
+    } while (0)
+
+/** User-facing precondition check; raises fatal() on failure. */
+#define KB_REQUIRE(cond, ...)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::kb::fatal(::kb::detail::concat(                                \
+                "requirement failed: ", #cond, " ", ##__VA_ARGS__));         \
+        }                                                                    \
+    } while (0)

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic pieces of the library (workload generators, the
+ * random cache-replacement policy) draw from these generators so that
+ * every experiment is reproducible from a seed.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace kb {
+
+/**
+ * SplitMix64: tiny, fast generator used for seeding and for light-duty
+ * randomness. Passes BigCrush when used as a 64-bit stream.
+ */
+class SplitMix64
+{
+  public:
+    /** @param seed any 64-bit value; all seeds are valid. */
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    /** Next 64 pseudo-random bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * xoshiro256** 1.0 (Blackman & Vigna), the library's general-purpose
+ * generator. State is seeded through SplitMix64 per the authors'
+ * recommendation.
+ */
+class Xoshiro256
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Xoshiro256(std::uint64_t seed = 0x3243f6a8885a308dULL)
+    {
+        SplitMix64 sm(seed);
+        for (auto &word : s_)
+            word = sm.next();
+    }
+
+    /** Next 64 pseudo-random bits. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) using Lemire's multiply-shift. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Rejection-free mapping is fine here: bias is < 2^-64 * bound,
+        // far below anything our statistics can resolve.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    // UniformRandomBitGenerator interface, so std::shuffle works.
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+    result_type operator()() { return next(); }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4];
+};
+
+} // namespace kb

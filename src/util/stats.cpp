@@ -1,0 +1,141 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+double
+mean(std::span<const double> xs)
+{
+    KB_REQUIRE(!xs.empty(), "mean of empty sample");
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+variance(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size() - 1);
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+LinearFit
+linearFit(std::span<const double> xs, std::span<const double> ys)
+{
+    KB_REQUIRE(xs.size() == ys.size(), "mismatched sample lengths");
+    KB_REQUIRE(xs.size() >= 2, "linear fit needs at least two samples");
+
+    const double n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+        syy += ys[i] * ys[i];
+    }
+
+    const double denom = n * sxx - sx * sx;
+    LinearFit fit;
+    fit.n = xs.size();
+    if (denom == 0.0) {
+        // Degenerate: all x identical. Slope undefined; report a flat
+        // fit through the mean so callers see r2 = 0.
+        fit.intercept = sy / n;
+        return fit;
+    }
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    const double ss_tot = syy - sy * sy / n;
+    if (ss_tot <= 0.0) {
+        fit.r2 = 1.0; // all y identical and perfectly predicted
+        return fit;
+    }
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double pred = fit.intercept + fit.slope * xs[i];
+        ss_res += (ys[i] - pred) * (ys[i] - pred);
+    }
+    fit.r2 = 1.0 - ss_res / ss_tot;
+    return fit;
+}
+
+namespace {
+
+std::vector<double>
+mapLog(std::span<const double> xs, double base_log)
+{
+    std::vector<double> out;
+    out.reserve(xs.size());
+    for (double x : xs) {
+        KB_REQUIRE(x > 0.0, "log transform of non-positive sample");
+        out.push_back(std::log(x) / base_log);
+    }
+    return out;
+}
+
+} // namespace
+
+LinearFit
+fitPowerLaw(std::span<const double> xs, std::span<const double> ys)
+{
+    const auto lx = mapLog(xs, 1.0);
+    const auto ly = mapLog(ys, 1.0);
+    return linearFit(lx, ly);
+}
+
+LinearFit
+fitLogLaw(std::span<const double> xs, std::span<const double> ys)
+{
+    const auto lx = mapLog(xs, std::log(2.0));
+    return linearFit(lx, std::vector<double>(ys.begin(), ys.end()));
+}
+
+double
+correlation(std::span<const double> xs, std::span<const double> ys)
+{
+    KB_REQUIRE(xs.size() == ys.size(), "mismatched sample lengths");
+    if (xs.size() < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0, sxx = 0, syy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sxy += (xs[i] - mx) * (ys[i] - my);
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+        syy += (ys[i] - my) * (ys[i] - my);
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+geometricMean(std::span<const double> xs)
+{
+    KB_REQUIRE(!xs.empty(), "geometric mean of empty sample");
+    double acc = 0.0;
+    for (double x : xs) {
+        KB_REQUIRE(x > 0.0, "geometric mean needs positive samples");
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+} // namespace kb

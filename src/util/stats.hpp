@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Descriptive statistics and least-squares fitting.
+ *
+ * The balance experiments reduce to extracting exponents and slopes
+ * from measured (M, ratio) samples:
+ *
+ *  * power laws      R(M) = c * M^k     -> OLS on log R vs log M
+ *  * logarithmic law R(M) = a + b log2M -> OLS on R vs log2 M
+ *
+ * fitPowerLaw / fitLogLaw wrap ordinary linear regression with the
+ * appropriate variable transforms and report r^2 so callers can reject
+ * bad fits.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace kb {
+
+/** Result of a one-variable ordinary least squares fit y = a + b x. */
+struct LinearFit
+{
+    double intercept = 0.0; ///< a
+    double slope = 0.0;     ///< b
+    double r2 = 0.0;        ///< coefficient of determination
+    std::size_t n = 0;      ///< number of samples used
+};
+
+/** Arithmetic mean; requires a non-empty span. */
+double mean(std::span<const double> xs);
+
+/** Unbiased sample variance; returns 0 for fewer than two samples. */
+double variance(std::span<const double> xs);
+
+/** Sample standard deviation. */
+double stddev(std::span<const double> xs);
+
+/**
+ * Ordinary least squares fit of y = a + b x.
+ *
+ * @param xs independent variable samples
+ * @param ys dependent variable samples, same length as @p xs
+ * @return fit coefficients and r^2; requires at least two samples
+ */
+LinearFit linearFit(std::span<const double> xs, std::span<const double> ys);
+
+/**
+ * Fit y = c * x^k by regressing log y on log x.
+ *
+ * All samples must be strictly positive.
+ *
+ * @return LinearFit where slope is the exponent k and intercept is
+ *         log(c).
+ */
+LinearFit fitPowerLaw(std::span<const double> xs,
+                      std::span<const double> ys);
+
+/**
+ * Fit y = a + b * log2(x).
+ *
+ * All x samples must be strictly positive.
+ *
+ * @return LinearFit where slope is b (per doubling of x).
+ */
+LinearFit fitLogLaw(std::span<const double> xs, std::span<const double> ys);
+
+/**
+ * Pearson correlation coefficient between two equal-length samples.
+ * Returns 0 when either variance is zero.
+ */
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/** Geometric mean of strictly positive samples. */
+double geometricMean(std::span<const double> xs);
+
+} // namespace kb

@@ -1,0 +1,116 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    KB_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+TextTable &
+TextTable::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(std::string value)
+{
+    KB_REQUIRE(!rows_.empty(), "cell() before row()");
+    KB_REQUIRE(rows_.back().size() < headers_.size(),
+               "row has more cells than headers");
+    rows_.back().push_back(std::move(value));
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const char *value)
+{
+    return cell(std::string(value));
+}
+
+TextTable &
+TextTable::cell(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::setprecision(precision) << value;
+    return cell(oss.str());
+}
+
+TextTable &
+TextTable::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+TextTable &
+TextTable::cell(std::int64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+TextTable &
+TextTable::cell(int value)
+{
+    return cell(std::to_string(value));
+}
+
+TextTable &
+TextTable::cell(bool value)
+{
+    return cell(std::string(value ? "yes" : "no"));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &text = c < cells.size() ? cells[c] : "";
+            os << " " << std::left << std::setw(static_cast<int>(widths[c]))
+               << text << " |";
+        }
+        os << "\n";
+    };
+
+    print_row(headers_);
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+TextTable::str() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+void
+printHeading(std::ostream &os, const std::string &title)
+{
+    os << "\n" << title << "\n" << std::string(title.size(), '=') << "\n";
+}
+
+} // namespace kb

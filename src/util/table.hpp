@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal ASCII table renderer used by the bench binaries to print the
+ * paper-style result rows (experiment id, parameter, paper-expected,
+ * measured, verdict).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kb {
+
+/**
+ * A column-aligned text table. Cells are strings; convenience
+ * overloads format the common numeric types. Rendering pads every
+ * column to its widest cell and separates the header with a rule.
+ */
+class TextTable
+{
+  public:
+    /** @param headers column titles, fixing the column count. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls fill it left to right. */
+    TextTable &row();
+
+    /** Append one cell to the current row. */
+    TextTable &cell(std::string value);
+    TextTable &cell(const char *value);
+    TextTable &cell(double value, int precision = 4);
+    TextTable &cell(std::uint64_t value);
+    TextTable &cell(std::int64_t value);
+    TextTable &cell(int value);
+    TextTable &cell(bool value);
+
+    /** Render the table to @p os. Short rows are padded with blanks. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string (convenience for tests). */
+    std::string str() const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section heading (underlined title) used between tables. */
+void printHeading(std::ostream &os, const std::string &title);
+
+} // namespace kb

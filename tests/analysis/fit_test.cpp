@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for law classification from measured ratio curves.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/classify.hpp"
+
+namespace kb {
+namespace {
+
+std::pair<std::vector<double>, std::vector<double>>
+curve(double (*f)(double), double lo = 16.0, double hi = 65536.0)
+{
+    std::vector<double> ms, rs;
+    for (double m = lo; m <= hi; m *= 2.0) {
+        ms.push_back(m);
+        rs.push_back(f(m));
+    }
+    return {ms, rs};
+}
+
+TEST(Classify, SqrtCurveIsPowerTwo)
+{
+    const auto [ms, rs] = curve(+[](double m) { return std::sqrt(m); });
+    const auto law = classifyRatioCurve(ms, rs);
+    EXPECT_EQ(law.kind, LawKind::Power);
+    EXPECT_NEAR(law.parameter, 2.0, 0.01);
+    EXPECT_EQ(law.toLaw(), ScalingLaw::power(2.0));
+}
+
+TEST(Classify, CubeRootCurveIsPowerThree)
+{
+    const auto [ms, rs] =
+        curve(+[](double m) { return std::cbrt(m); });
+    const auto law = classifyRatioCurve(ms, rs);
+    EXPECT_EQ(law.kind, LawKind::Power);
+    EXPECT_NEAR(law.parameter, 3.0, 0.01);
+}
+
+TEST(Classify, LinearCurveIsPowerOne)
+{
+    const auto [ms, rs] = curve(+[](double m) { return 0.25 * m; });
+    const auto law = classifyRatioCurve(ms, rs);
+    EXPECT_EQ(law.kind, LawKind::Power);
+    EXPECT_NEAR(law.parameter, 1.0, 0.01);
+}
+
+TEST(Classify, LogCurveIsExponential)
+{
+    const auto [ms, rs] =
+        curve(+[](double m) { return std::log2(m); });
+    const auto law = classifyRatioCurve(ms, rs);
+    EXPECT_EQ(law.kind, LawKind::Exponential);
+    EXPECT_EQ(law.toLaw(), ScalingLaw::exponential());
+}
+
+TEST(Classify, FlatCurveIsImpossible)
+{
+    const auto [ms, rs] = curve(+[](double) { return 1.9; });
+    const auto law = classifyRatioCurve(ms, rs);
+    EXPECT_EQ(law.kind, LawKind::Impossible);
+}
+
+TEST(Classify, NearlyFlatCurveIsImpossible)
+{
+    // matvec-like: approaches 2 from below.
+    const auto [ms, rs] =
+        curve(+[](double m) { return 2.0 / (1.0 + 1.0 / (m - 2.0)); });
+    const auto law = classifyRatioCurve(ms, rs);
+    EXPECT_EQ(law.kind, LawKind::Impossible);
+}
+
+TEST(Classify, NoisySqrtStillPowerTwo)
+{
+    std::vector<double> ms, rs;
+    double sign = 1.0;
+    for (double m = 16.0; m <= 65536.0; m *= 2.0) {
+        ms.push_back(m);
+        rs.push_back(std::sqrt(m) * (1.0 + sign * 0.05));
+        sign = -sign;
+    }
+    const auto law = classifyRatioCurve(ms, rs);
+    EXPECT_EQ(law.kind, LawKind::Power);
+    EXPECT_NEAR(law.parameter, 2.0, 0.25);
+}
+
+TEST(Classify, LawMatches)
+{
+    FittedLaw f;
+    f.kind = LawKind::Power;
+    f.parameter = 2.1;
+    EXPECT_TRUE(lawMatches(f, ScalingLaw::power(2.0)));
+    EXPECT_FALSE(lawMatches(f, ScalingLaw::power(3.0)));
+    EXPECT_FALSE(lawMatches(f, ScalingLaw::exponential()));
+
+    FittedLaw e;
+    e.kind = LawKind::Exponential;
+    EXPECT_TRUE(lawMatches(e, ScalingLaw::exponential()));
+    EXPECT_FALSE(lawMatches(e, ScalingLaw::impossible()));
+}
+
+TEST(Classify, DescribeMentionsKind)
+{
+    FittedLaw f;
+    f.kind = LawKind::Power;
+    f.parameter = 2.0;
+    EXPECT_NE(f.describe().find("power"), std::string::npos);
+}
+
+TEST(Classify, RequiresThreeSamples)
+{
+    auto too_few = [] {
+        const std::vector<double> ms = {1.0, 2.0};
+        const std::vector<double> rs = {1.0, 2.0};
+        (void)classifyRatioCurve(ms, rs);
+    };
+    EXPECT_EXIT(too_few(), ::testing::ExitedWithCode(1), "three");
+}
+
+} // namespace
+} // namespace kb

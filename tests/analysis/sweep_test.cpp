@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the measurement recipes: every kernel's measured curve,
+ * taken in its paper regime, must classify to the paper's law. This
+ * is the machine-checked version of the Section 3 summary table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/classify.hpp"
+#include "analysis/experiments.hpp"
+#include "analysis/sweep.hpp"
+
+namespace kb {
+namespace {
+
+TEST(Sweep, CurveAccessorsAlign)
+{
+    const auto curve =
+        measureRatioCurve(KernelId::MatMul, 64, 1024, 4);
+    EXPECT_EQ(curve.kernel, KernelId::MatMul);
+    EXPECT_GE(curve.samples.size(), 3u);
+    EXPECT_EQ(curve.memories().size(), curve.ratios().size());
+    for (std::size_t i = 1; i < curve.samples.size(); ++i)
+        EXPECT_GT(curve.samples[i].m, curve.samples[i - 1].m);
+}
+
+TEST(Sweep, DefaultRangesAreSane)
+{
+    for (const auto id : allKernelIds()) {
+        std::uint64_t lo = 0, hi = 0;
+        defaultSweepRange(id, lo, hi);
+        EXPECT_GE(lo, 2u) << kernelIdName(id);
+        EXPECT_GT(hi, lo) << kernelIdName(id);
+    }
+}
+
+/**
+ * The headline property: measured curve -> classified law == paper's
+ * law, for every kernel. (The full-scale version is bench E1; this
+ * uses trimmed sweeps to stay fast.)
+ */
+class LawRecovery : public ::testing::TestWithParam<KernelId>
+{
+};
+
+TEST_P(LawRecovery, ClassifiedLawMatchesPaper)
+{
+    const auto id = GetParam();
+    std::uint64_t lo = 0, hi = 0;
+    defaultSweepRange(id, lo, hi);
+    const auto curve = measureRatioCurve(id, lo, hi, 5);
+    const auto fitted =
+        classifyRatioCurve(curve.memories(), curve.ratios());
+    const auto expected = makeKernel(id)->law();
+    EXPECT_TRUE(lawMatches(fitted, expected, 0.3))
+        << kernelIdName(id) << ": expected " << expected.describe()
+        << ", fitted " << fitted.describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, LawRecovery, ::testing::ValuesIn(allKernelIds()),
+    [](const ::testing::TestParamInfo<KernelId> &info) {
+        return std::string(kernelIdName(info.param));
+    });
+
+TEST(Experiments, RegistryComplete)
+{
+    const auto &all = allExperiments();
+    EXPECT_EQ(all.size(), 12u);
+    EXPECT_EQ(all.front().id, "E1");
+    EXPECT_EQ(all.back().id, "E12");
+    for (const auto &e : all) {
+        EXPECT_FALSE(e.paper_artifact.empty());
+        EXPECT_FALSE(e.claim.empty());
+        EXPECT_FALSE(e.bench_target.empty());
+    }
+}
+
+TEST(Experiments, LookupById)
+{
+    EXPECT_EQ(experimentById("E5").bench_target, "bench_e5_fft");
+    EXPECT_EXIT({ (void)experimentById("E99"); },
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+} // namespace
+} // namespace kb

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the PE model and the balance predicate (Section 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/balance.hpp"
+#include "core/pe.hpp"
+
+namespace kb {
+namespace {
+
+TEST(PeConfig, CompIoRatio)
+{
+    const PeConfig pe{10e6, 20e6, 64 * 1024};
+    EXPECT_DOUBLE_EQ(pe.compIoRatio(), 0.5);
+}
+
+TEST(PeConfig, ScaledCompMultipliesOnlyC)
+{
+    const PeConfig pe{100.0, 10.0, 256};
+    const PeConfig scaled = pe.scaledComp(4.0);
+    EXPECT_DOUBLE_EQ(scaled.comp_bandwidth, 400.0);
+    EXPECT_DOUBLE_EQ(scaled.io_bandwidth, 10.0);
+    EXPECT_EQ(scaled.memory_words, 256u);
+    EXPECT_DOUBLE_EQ(scaled.compIoRatio(), 4.0 * pe.compIoRatio());
+}
+
+TEST(PeConfig, WithMemory)
+{
+    const PeConfig pe{1.0, 1.0, 16};
+    EXPECT_EQ(pe.withMemory(1024).memory_words, 1024u);
+    EXPECT_DOUBLE_EQ(pe.withMemory(1024).comp_bandwidth, 1.0);
+}
+
+TEST(WorkloadCost, Ratio)
+{
+    const WorkloadCost w{200.0, 50.0};
+    EXPECT_DOUBLE_EQ(w.ratio(), 4.0);
+}
+
+TEST(Balance, ExactlyBalanced)
+{
+    const PeConfig pe{100.0, 10.0, 64};
+    const WorkloadCost w{1000.0, 100.0}; // both take 10 time units
+    const auto rep = checkBalance(pe, w);
+    EXPECT_EQ(rep.state, BalanceState::Balanced);
+    EXPECT_DOUBLE_EQ(rep.compute_time, 10.0);
+    EXPECT_DOUBLE_EQ(rep.io_time, 10.0);
+    EXPECT_DOUBLE_EQ(rep.imbalance(), 0.0);
+    EXPECT_DOUBLE_EQ(rep.elapsed(), 10.0);
+}
+
+TEST(Balance, ComputeBound)
+{
+    const PeConfig pe{1.0, 100.0, 64};
+    const WorkloadCost w{1000.0, 100.0};
+    const auto rep = checkBalance(pe, w);
+    EXPECT_EQ(rep.state, BalanceState::ComputeBound);
+    EXPECT_GT(rep.compute_time, rep.io_time);
+    EXPECT_DOUBLE_EQ(rep.computeUtilization(), 1.0);
+    EXPECT_LT(rep.ioUtilization(), 1.0);
+}
+
+TEST(Balance, IoBound)
+{
+    const PeConfig pe{1000.0, 1.0, 64};
+    const WorkloadCost w{1000.0, 100.0};
+    const auto rep = checkBalance(pe, w);
+    EXPECT_EQ(rep.state, BalanceState::IoBound);
+    EXPECT_DOUBLE_EQ(rep.ioUtilization(), 1.0);
+    EXPECT_LT(rep.computeUtilization(), 1.0);
+}
+
+TEST(Balance, ToleranceAbsorbsSmallImbalance)
+{
+    const PeConfig pe{100.0, 10.0, 64};
+    const WorkloadCost w{1020.0, 100.0}; // 2% off
+    EXPECT_EQ(checkBalance(pe, w, 0.05).state, BalanceState::Balanced);
+    EXPECT_EQ(checkBalance(pe, w, 0.001).state,
+              BalanceState::ComputeBound);
+}
+
+TEST(Balance, BalancedCompIoRatioIsEquationOne)
+{
+    // Eq. (1): balanced iff C/IO = Ccomp/Cio.
+    const WorkloadCost w{5000.0, 250.0};
+    const double target = balancedCompIoRatio(w);
+    EXPECT_DOUBLE_EQ(target, 20.0);
+    const PeConfig pe{20.0 * 7.0, 7.0, 64};
+    EXPECT_EQ(checkBalance(pe, w).state, BalanceState::Balanced);
+}
+
+TEST(Balance, ImbalanceMetric)
+{
+    const PeConfig pe{1.0, 1.0, 64};
+    const WorkloadCost w{100.0, 25.0};
+    const auto rep = checkBalance(pe, w);
+    EXPECT_DOUBLE_EQ(rep.imbalance(), 0.75);
+}
+
+TEST(Balance, WarpMachineIsBalancedForMatmulRegime)
+{
+    // Section 5: Warp PE, C = 10 MFLOPS, IO = 20 Mwords/s. For
+    // matmul with R(M) = sqrt(M) words of compute per word of I/O,
+    // balance needs R >= C/IO = 0.5 — satisfied by any M >= 1, which
+    // is why the paper calls Warp's design point comfortable.
+    const PeConfig warp{10e6, 20e6, 64 * 1024};
+    EXPECT_LT(warp.compIoRatio(), 1.0);
+}
+
+TEST(Balance, StateNames)
+{
+    EXPECT_STREQ(balanceStateName(BalanceState::Balanced), "balanced");
+    EXPECT_STREQ(balanceStateName(BalanceState::ComputeBound),
+                 "compute-bound");
+    EXPECT_STREQ(balanceStateName(BalanceState::IoBound), "io-bound");
+}
+
+} // namespace
+} // namespace kb

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for closed-form and numeric rebalancing.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rebalance.hpp"
+
+namespace kb {
+namespace {
+
+TEST(RebalanceClosedForm, PowerLaw)
+{
+    const auto r = rebalanceClosedForm(ScalingLaw::power(2.0), 1000, 2.0);
+    EXPECT_TRUE(r.possible);
+    EXPECT_EQ(r.m_new, 4000u);
+    EXPECT_DOUBLE_EQ(r.growth_factor, 4.0);
+}
+
+TEST(RebalanceClosedForm, ExponentialLaw)
+{
+    const auto r =
+        rebalanceClosedForm(ScalingLaw::exponential(), 256, 2.0);
+    EXPECT_TRUE(r.possible);
+    EXPECT_EQ(r.m_new, 256u * 256u);
+}
+
+TEST(RebalanceClosedForm, Impossible)
+{
+    const auto r =
+        rebalanceClosedForm(ScalingLaw::impossible(), 256, 2.0);
+    EXPECT_FALSE(r.possible);
+}
+
+TEST(RebalanceNumeric, SqrtCurveGivesAlphaSquared)
+{
+    // R(m) = sqrt(m): rebalancing alpha=2 from m=1024 needs m=4096.
+    auto ratio = [](std::uint64_t m) {
+        return std::sqrt(static_cast<double>(m));
+    };
+    const auto r = rebalanceNumeric(ratio, 1024, 2.0, 1u << 20);
+    EXPECT_TRUE(r.possible);
+    EXPECT_EQ(r.m_new, 4096u);
+}
+
+TEST(RebalanceNumeric, LogCurveGivesMToTheAlpha)
+{
+    auto ratio = [](std::uint64_t m) {
+        return std::log2(static_cast<double>(m));
+    };
+    const auto r = rebalanceNumeric(ratio, 64, 2.0, 1u << 20);
+    EXPECT_TRUE(r.possible);
+    EXPECT_EQ(r.m_new, 64u * 64u); // log2(m_new) = 2 log2(64)
+}
+
+TEST(RebalanceNumeric, FlatCurveIsImpossible)
+{
+    auto ratio = [](std::uint64_t) { return 2.0; };
+    const auto r = rebalanceNumeric(ratio, 64, 2.0, 1u << 24);
+    EXPECT_FALSE(r.possible);
+}
+
+TEST(RebalanceNumeric, AlphaOneReturnsMOld)
+{
+    auto ratio = [](std::uint64_t m) {
+        return std::sqrt(static_cast<double>(m));
+    };
+    const auto r = rebalanceNumeric(ratio, 777, 1.0, 1u << 20);
+    EXPECT_TRUE(r.possible);
+    EXPECT_EQ(r.m_new, 777u);
+}
+
+TEST(RebalanceNumeric, FindsMinimalMemory)
+{
+    // Step function: ratio jumps at m = 5000.
+    auto ratio = [](std::uint64_t m) { return m >= 5000 ? 4.0 : 1.0; };
+    const auto r = rebalanceNumeric(ratio, 100, 2.0, 1u << 20);
+    EXPECT_TRUE(r.possible);
+    EXPECT_EQ(r.m_new, 5000u);
+}
+
+TEST(RebalanceNumeric, CeilingTooSmallReportsImpossible)
+{
+    auto ratio = [](std::uint64_t m) {
+        return std::sqrt(static_cast<double>(m));
+    };
+    const auto r = rebalanceNumeric(ratio, 1024, 2.0, 2048);
+    EXPECT_FALSE(r.possible);
+}
+
+/** Numeric and closed-form rebalancing agree on ideal curves. */
+class NumericMatchesClosedForm : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(NumericMatchesClosedForm, PowerTwo)
+{
+    const double alpha = GetParam();
+    auto ratio = [](std::uint64_t m) {
+        return std::sqrt(static_cast<double>(m));
+    };
+    const std::uint64_t m_old = 4096;
+    const auto numeric =
+        rebalanceNumeric(ratio, m_old, alpha, 1ull << 30);
+    const auto closed =
+        rebalanceClosedForm(ScalingLaw::power(2.0), m_old, alpha);
+    ASSERT_TRUE(numeric.possible);
+    ASSERT_TRUE(closed.possible);
+    EXPECT_NEAR(static_cast<double>(numeric.m_new),
+                static_cast<double>(closed.m_new),
+                2.0 + 1e-6 * static_cast<double>(closed.m_new));
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, NumericMatchesClosedForm,
+                         ::testing::Values(1.5, 2.0, 3.0, 5.0));
+
+} // namespace
+} // namespace kb

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the rebalancing laws (paper Section 3 summary).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/scaling_law.hpp"
+
+namespace kb {
+namespace {
+
+TEST(ScalingLaw, PowerLawPrediction)
+{
+    const auto law = ScalingLaw::power(2.0);
+    EXPECT_EQ(law.kind(), LawKind::Power);
+    EXPECT_TRUE(law.rebalancePossible());
+    const auto m = law.predict(1000.0, 2.0);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_DOUBLE_EQ(*m, 4000.0);
+}
+
+TEST(ScalingLaw, CubicLawForGrid3d)
+{
+    const auto law = ScalingLaw::power(3.0);
+    const auto m = law.predict(100.0, 2.0);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_DOUBLE_EQ(*m, 800.0);
+}
+
+TEST(ScalingLaw, ExponentialLawPrediction)
+{
+    const auto law = ScalingLaw::exponential();
+    const auto m = law.predict(1024.0, 2.0);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_DOUBLE_EQ(*m, 1024.0 * 1024.0); // M^2
+}
+
+TEST(ScalingLaw, ImpossibleLawPredictsNothing)
+{
+    const auto law = ScalingLaw::impossible();
+    EXPECT_FALSE(law.rebalancePossible());
+    EXPECT_FALSE(law.predict(1024.0, 2.0).has_value());
+    EXPECT_FALSE(law.growthFactor(1024.0, 2.0).has_value());
+}
+
+TEST(ScalingLaw, GrowthFactorPower)
+{
+    const auto law = ScalingLaw::power(2.0);
+    const auto g = law.growthFactor(12345.0, 3.0);
+    ASSERT_TRUE(g.has_value());
+    EXPECT_DOUBLE_EQ(*g, 9.0); // independent of M_old
+}
+
+TEST(ScalingLaw, GrowthFactorExponentialDependsOnMOld)
+{
+    const auto law = ScalingLaw::exponential();
+    const auto g_small = law.growthFactor(16.0, 2.0);
+    const auto g_large = law.growthFactor(1024.0, 2.0);
+    ASSERT_TRUE(g_small && g_large);
+    EXPECT_DOUBLE_EQ(*g_small, 16.0);
+    EXPECT_DOUBLE_EQ(*g_large, 1024.0);
+    EXPECT_GT(*g_large, *g_small); // the paper's blow-up remark
+}
+
+TEST(ScalingLaw, AlphaOneIsIdentity)
+{
+    EXPECT_DOUBLE_EQ(*ScalingLaw::power(2.0).predict(500.0, 1.0), 500.0);
+    EXPECT_DOUBLE_EQ(*ScalingLaw::exponential().predict(500.0, 1.0),
+                     500.0);
+}
+
+TEST(ScalingLaw, Describe)
+{
+    EXPECT_EQ(ScalingLaw::power(2.0).describe(),
+              "M_new = alpha^2 * M_old");
+    EXPECT_EQ(ScalingLaw::exponential().describe(), "M_new = M_old^alpha");
+    EXPECT_NE(ScalingLaw::impossible().describe().find("impossible"),
+              std::string::npos);
+}
+
+TEST(ScalingLaw, RatioShapes)
+{
+    EXPECT_DOUBLE_EQ(ScalingLaw::power(2.0).ratioShape(64.0), 8.0);
+    EXPECT_DOUBLE_EQ(ScalingLaw::power(3.0).ratioShape(64.0), 4.0);
+    EXPECT_DOUBLE_EQ(ScalingLaw::exponential().ratioShape(64.0), 6.0);
+    EXPECT_DOUBLE_EQ(ScalingLaw::impossible().ratioShape(64.0), 1.0);
+}
+
+TEST(ScalingLaw, Equality)
+{
+    EXPECT_EQ(ScalingLaw::power(2.0), ScalingLaw::power(2.0));
+    EXPECT_FALSE(ScalingLaw::power(2.0) == ScalingLaw::power(3.0));
+    EXPECT_EQ(ScalingLaw::exponential(), ScalingLaw::exponential());
+    EXPECT_FALSE(ScalingLaw::exponential() == ScalingLaw::impossible());
+}
+
+TEST(ScalingLaw, KindNames)
+{
+    EXPECT_STREQ(lawKindName(LawKind::Power), "power");
+    EXPECT_STREQ(lawKindName(LawKind::Exponential), "exponential");
+    EXPECT_STREQ(lawKindName(LawKind::Impossible), "impossible");
+}
+
+/**
+ * Consistency between the ratio shape and the rebalancing law: for
+ * every law, predict() is exactly the memory whose ratioShape is
+ * alpha times the old one.
+ */
+class LawConsistency : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(LawConsistency, PredictInvertsRatioShape)
+{
+    const double alpha = GetParam();
+    const double m_old = 4096.0;
+    for (const auto &law :
+         {ScalingLaw::power(1.0), ScalingLaw::power(2.0),
+          ScalingLaw::power(3.0), ScalingLaw::power(4.0),
+          ScalingLaw::exponential()}) {
+        const auto m_new = law.predict(m_old, alpha);
+        ASSERT_TRUE(m_new.has_value());
+        EXPECT_NEAR(law.ratioShape(*m_new),
+                    alpha * law.ratioShape(m_old),
+                    1e-9 * law.ratioShape(*m_new))
+            << law.describe() << " alpha=" << alpha;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, LawConsistency,
+                         ::testing::Values(1.0, 1.5, 2.0, 3.0, 4.0));
+
+} // namespace
+} // namespace kb

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the external four-step FFT kernel (Section 3.4, Fig. 2).
+ */
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/fft.hpp"
+#include "trace/sink.hpp"
+#include "util/stats.hpp"
+
+namespace kb {
+namespace {
+
+using cd = std::complex<double>;
+
+TEST(Fft, InCorePointsIsPrevPow2)
+{
+    EXPECT_EQ(FftKernel::inCorePoints(4), 4u);
+    EXPECT_EQ(FftKernel::inCorePoints(7), 4u);
+    EXPECT_EQ(FftKernel::inCorePoints(8), 8u);
+    EXPECT_EQ(FftKernel::inCorePoints(1000), 512u);
+}
+
+TEST(Fft, ReferenceMatchesNaiveDftSmall)
+{
+    auto x = fftInput(16, 3);
+    const auto naive = dftReference(x);
+    fftReferenceInPlace(x);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_LT(std::abs(x[i] - naive[i]), 1e-10)
+            << "bin " << i;
+}
+
+TEST(Fft, ReferenceDeltaFunction)
+{
+    // DFT of a delta is the all-ones vector.
+    std::vector<cd> x(8, cd(0, 0));
+    x[0] = cd(1, 0);
+    fftReferenceInPlace(x);
+    for (const auto &v : x)
+        EXPECT_LT(std::abs(v - cd(1, 0)), 1e-12);
+}
+
+TEST(Fft, ReferenceConstantVector)
+{
+    std::vector<cd> x(8, cd(1, 0));
+    fftReferenceInPlace(x);
+    EXPECT_LT(std::abs(x[0] - cd(8, 0)), 1e-12);
+    for (std::size_t i = 1; i < 8; ++i)
+        EXPECT_LT(std::abs(x[i]), 1e-12);
+}
+
+/** External FFT verifies against the naive DFT across (n, m). */
+class FftCorrectness
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint64_t>>
+{
+};
+
+TEST_P(FftCorrectness, MatchesReference)
+{
+    const auto [n, m] = GetParam();
+    FftKernel k;
+    const auto r = k.measure(n, m);
+    EXPECT_TRUE(r.verified);
+    EXPECT_LE(r.peak_memory, m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndMemories, FftCorrectness,
+    ::testing::Combine(::testing::Values<std::uint64_t>(16, 64, 256,
+                                                        1024),
+                       ::testing::Values<std::uint64_t>(4, 8, 23, 64,
+                                                        257)));
+
+TEST(Fft, SingleBlockWhenItFits)
+{
+    FftKernel k;
+    const auto d = k.decompose(64, 64);
+    EXPECT_EQ(d.blocks, 1u);
+    EXPECT_EQ(d.shuffles, 0u);
+    EXPECT_EQ(d.levels, 1u);
+}
+
+TEST(Fft, Figure2Decomposition)
+{
+    // The paper's Fig. 2: N = 16, M = 4 -> two ranks of four 4-point
+    // blocks with shuffles between them.
+    FftKernel k;
+    const auto d = k.decompose(16, 4);
+    EXPECT_EQ(d.blocks, 8u);
+    EXPECT_EQ(d.max_block, 4u);
+    EXPECT_EQ(d.shuffles, 3u);
+    EXPECT_EQ(d.levels, 2u);
+}
+
+TEST(Fft, DeepDecompositionRecurses)
+{
+    FftKernel k;
+    const auto d = k.decompose(1u << 12, 4);
+    EXPECT_GT(d.levels, 2u);
+    EXPECT_EQ(d.max_block, 4u);
+}
+
+TEST(Fft, CompOpsAreFiveNLogN)
+{
+    FftKernel k;
+    const std::uint64_t n = 1u << 10;
+    const auto r = k.measure(n, 1u << 10, false);
+    const double expect = 5.0 * static_cast<double>(n) * 10.0;
+    EXPECT_NEAR(r.cost.comp_ops / expect, 1.0, 0.01);
+}
+
+TEST(Fft, MoreMemoryFewerPasses)
+{
+    FftKernel k;
+    const std::uint64_t n = 1u << 14;
+    const auto small = k.measure(n, 16, false);
+    const auto large = k.measure(n, 1024, false);
+    EXPECT_LT(large.cost.io_words, small.cost.io_words);
+}
+
+TEST(Fft, RatioGrowsLikeLog2M)
+{
+    // The paper's regime is N >> M; sweeping n = P^2 keeps every
+    // point at the same decomposition depth (two ranks), so the
+    // per-word ratio isolates the Theta(log2 M) shape without the
+    // integer-pass staircase of a fixed-n sweep.
+    FftKernel k;
+    std::vector<double> ms, ratios;
+    for (std::uint64_t m = 8; m <= 1024; m *= 2) {
+        const std::uint64_t p = FftKernel::inCorePoints(m);
+        const auto r = k.measure(p * p, m, false);
+        ms.push_back(static_cast<double>(m));
+        ratios.push_back(r.cost.ratio());
+    }
+    const auto log_fit = fitLogLaw(ms, ratios);
+    EXPECT_GT(log_fit.r2, 0.97);
+    EXPECT_GT(log_fit.slope, 0.0);
+    // And the power-law exponent must be small (clearly sub-power).
+    const auto pow_fit = fitPowerLaw(ms, ratios);
+    EXPECT_LT(pow_fit.slope, 0.35);
+}
+
+TEST(Fft, FixedSizeRatioIsNonDecreasingStaircase)
+{
+    // At fixed n the pass count is integral, so the ratio moves in
+    // steps — but never down.
+    FftKernel k;
+    const std::uint64_t n = 1u << 14;
+    double prev = 0.0;
+    for (std::uint64_t m = 8; m <= 4096; m *= 2) {
+        const auto r = k.measure(n, m, false);
+        EXPECT_GE(r.cost.ratio(), prev * 0.999) << "m=" << m;
+        prev = r.cost.ratio();
+    }
+}
+
+TEST(Fft, TraceMatchesScratchpadIo)
+{
+    FftKernel k;
+    const std::uint64_t n = 256, m = 16;
+    CountingSink sink;
+    k.emitTrace(n, m, sink);
+    const auto r = k.measure(n, m, false);
+    EXPECT_DOUBLE_EQ(static_cast<double>(sink.total()),
+                     r.cost.io_words);
+}
+
+TEST(Fft, RequiresPowerOfTwo)
+{
+    FftKernel k;
+    EXPECT_EXIT({ (void)k.measure(100, 64); },
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+TEST(Fft, LawIsExponential)
+{
+    EXPECT_EQ(FftKernel().law(), ScalingLaw::exponential());
+}
+
+} // namespace
+} // namespace kb

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the I/O-bounded kernels (Section 3.6): matvec and
+ * triangular solve. The paper's claim is that their compute-to-I/O
+ * ratio is bounded by a constant for every memory size.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rebalance.hpp"
+#include "kernels/matvec.hpp"
+#include "kernels/trisolve.hpp"
+#include "util/stats.hpp"
+
+namespace kb {
+namespace {
+
+TEST(Matvec, MeasureVerifies)
+{
+    MatvecKernel k;
+    const auto r = k.measure(64, 16);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(Matvec, PeakMemoryWithinBudget)
+{
+    MatvecKernel k;
+    for (std::uint64_t m : {3u, 10u, 100u}) {
+        const auto r = k.measure(40, m);
+        EXPECT_LE(r.peak_memory, m);
+    }
+}
+
+TEST(Matvec, CompOpsAreTwoNSquared)
+{
+    MatvecKernel k;
+    const std::uint64_t n = 50;
+    const auto r = k.measure(n, 32);
+    EXPECT_DOUBLE_EQ(r.cost.comp_ops, 2.0 * n * n);
+}
+
+TEST(Matvec, IoAtLeastMatrixSize)
+{
+    MatvecKernel k;
+    const std::uint64_t n = 64;
+    const auto r = k.measure(n, 1024, false);
+    EXPECT_GE(r.cost.io_words, static_cast<double>(n * n));
+}
+
+TEST(Matvec, RatioBoundedByTwoForAllMemories)
+{
+    MatvecKernel k;
+    for (std::uint64_t m : {3u, 8u, 64u, 1024u, 16384u}) {
+        const auto r = k.measure(128, m, false);
+        EXPECT_LT(r.cost.ratio(), 2.0) << "m=" << m;
+    }
+}
+
+TEST(Matvec, RatioIsFlatInMemory)
+{
+    MatvecKernel k;
+    std::vector<double> ms, ratios;
+    for (std::uint64_t m = 8; m <= 8192; m *= 4) {
+        const auto r = k.measure(256, m, false);
+        ms.push_back(static_cast<double>(m));
+        ratios.push_back(r.cost.ratio());
+    }
+    const auto fit = fitPowerLaw(ms, ratios);
+    EXPECT_LT(std::fabs(fit.slope), 0.05);
+}
+
+TEST(Matvec, NumericRebalanceImpossible)
+{
+    MatvecKernel k;
+    auto ratio = [&](std::uint64_t m) {
+        return k.measure(128, m, false).cost.ratio();
+    };
+    const auto r = rebalanceNumeric(ratio, 16, 2.0, 1u << 14);
+    EXPECT_FALSE(r.possible);
+}
+
+TEST(Matvec, LawIsImpossible)
+{
+    EXPECT_EQ(MatvecKernel().law(), ScalingLaw::impossible());
+    EXPECT_FALSE(MatvecKernel().law().rebalancePossible());
+}
+
+TEST(Trisolve, MeasureVerifies)
+{
+    TrisolveKernel k;
+    const auto r = k.measure(64, 24);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(Trisolve, HandlesEdgesAndTinyMemory)
+{
+    TrisolveKernel k;
+    EXPECT_TRUE(k.measure(37, 3).verified);
+    EXPECT_TRUE(k.measure(64, 5).verified);
+}
+
+TEST(Trisolve, PeakMemoryWithinBudget)
+{
+    TrisolveKernel k;
+    for (std::uint64_t m : {3u, 15u, 120u}) {
+        const auto r = k.measure(48, m);
+        EXPECT_LE(r.peak_memory, m);
+    }
+}
+
+TEST(Trisolve, CompOpsNearNSquared)
+{
+    TrisolveKernel k;
+    const std::uint64_t n = 96;
+    const auto r = k.measure(n, 64, false);
+    EXPECT_NEAR(r.cost.comp_ops / static_cast<double>(n * n), 1.0,
+                0.1);
+}
+
+TEST(Trisolve, RatioBoundedByTwoForAllMemories)
+{
+    TrisolveKernel k;
+    for (std::uint64_t m : {3u, 24u, 255u, 4095u}) {
+        const auto r = k.measure(192, m, false);
+        EXPECT_LT(r.cost.ratio(), 2.1) << "m=" << m;
+    }
+}
+
+TEST(Trisolve, RatioIsFlatInMemory)
+{
+    TrisolveKernel k;
+    std::vector<double> ms, ratios;
+    for (std::uint64_t m = 8; m <= 8192; m *= 4) {
+        const auto r = k.measure(256, m, false);
+        ms.push_back(static_cast<double>(m));
+        ratios.push_back(r.cost.ratio());
+    }
+    const auto fit = fitPowerLaw(ms, ratios);
+    EXPECT_LT(std::fabs(fit.slope), 0.08);
+}
+
+TEST(Trisolve, LawIsImpossible)
+{
+    EXPECT_EQ(TrisolveKernel().law(), ScalingLaw::impossible());
+}
+
+TEST(Trisolve, ReferenceSolvesIdentity)
+{
+    std::vector<double> l(9, 0.0);
+    l[0] = l[4] = l[8] = 2.0;
+    const std::vector<double> b{2.0, 4.0, 6.0};
+    const auto x = trisolveReference(l, b, 3);
+    EXPECT_DOUBLE_EQ(x[0], 1.0);
+    EXPECT_DOUBLE_EQ(x[1], 2.0);
+    EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+} // namespace
+} // namespace kb

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the blocked LU / triangularization kernel (Section 3.2).
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/lu.hpp"
+#include "util/stats.hpp"
+
+namespace kb {
+namespace {
+
+TEST(Lu, TileSizeRespectsMemory)
+{
+    for (std::uint64_t m : {3u, 12u, 48u, 300u, 4096u}) {
+        const std::uint64_t b = LuKernel::tileSize(m);
+        EXPECT_GE(b, 1u);
+        EXPECT_LE(3 * b * b, m) << "m=" << m;
+    }
+}
+
+TEST(Lu, ReferenceFactorizationReconstructs)
+{
+    const std::uint64_t n = 8;
+    auto a = luInput(n, 42);
+    const auto orig = a;
+    luReference(a, n);
+    // L (unit lower) * U must reproduce orig.
+    for (std::uint64_t i = 0; i < n; ++i) {
+        for (std::uint64_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::uint64_t k = 0; k < std::min(i, j + 1); ++k)
+                acc += a[i * n + k] * a[k * n + j];
+            if (i <= j)
+                acc += a[i * n + j];
+            EXPECT_NEAR(acc, orig[i * n + j], 1e-9 * n);
+        }
+    }
+}
+
+TEST(Lu, MeasureVerifies)
+{
+    LuKernel k;
+    const auto r = k.measure(40, 48);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(Lu, HandlesNonDivisibleEdges)
+{
+    LuKernel k;
+    const auto r = k.measure(37, 50);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(Lu, MinimalMemoryStillCorrect)
+{
+    LuKernel k;
+    const auto r = k.measure(12, 3); // b = 1: unblocked elimination
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(Lu, PeakMemoryWithinBudget)
+{
+    LuKernel k;
+    for (std::uint64_t m : {3u, 27u, 75u, 300u}) {
+        const auto r = k.measure(30, m);
+        EXPECT_LE(r.peak_memory, m) << "m=" << m;
+    }
+}
+
+TEST(Lu, CompOpsNearTwoThirdsNCubed)
+{
+    LuKernel k;
+    const std::uint64_t n = 60;
+    const auto r = k.measure(n, 108, false);
+    const double expect =
+        (2.0 / 3.0) * static_cast<double>(n) * n * n;
+    EXPECT_NEAR(r.cost.comp_ops / expect, 1.0, 0.1);
+}
+
+TEST(Lu, OpsIndependentOfMemory)
+{
+    // The factorization does the same arithmetic for every tile size.
+    LuKernel k;
+    const std::uint64_t n = 36;
+    const auto a = k.measure(n, 12, false);
+    const auto b = k.measure(n, 300, false);
+    EXPECT_DOUBLE_EQ(a.cost.comp_ops, b.cost.comp_ops);
+}
+
+TEST(Lu, RatioGrowsLikeSqrtM)
+{
+    LuKernel k;
+    const std::uint64_t n = 96;
+    std::vector<double> ms, ratios;
+    for (std::uint64_t m = 48; m <= 3072; m *= 2) {
+        const auto r = k.measure(n, m, false);
+        ms.push_back(static_cast<double>(m));
+        ratios.push_back(r.cost.ratio());
+    }
+    const auto fit = fitPowerLaw(ms, ratios);
+    EXPECT_NEAR(fit.slope, 0.5, 0.1);
+    EXPECT_GT(fit.r2, 0.97);
+}
+
+TEST(Lu, LawIsAlphaSquared)
+{
+    EXPECT_EQ(LuKernel().law(), ScalingLaw::power(2.0));
+}
+
+TEST(Lu, AnalyticCostsTrackMeasured)
+{
+    LuKernel k;
+    const std::uint64_t n = 72, m = 192;
+    const auto measured = k.measure(n, m, false);
+    const auto analytic = k.analyticCosts(n, m);
+    EXPECT_NEAR(analytic.comp_ops / measured.cost.comp_ops, 1.0, 0.15);
+    EXPECT_NEAR(analytic.io_words / measured.cost.io_words, 1.0, 0.5);
+}
+
+} // namespace
+} // namespace kb

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the tiled matrix-multiplication kernel (Section 3.1):
+ * correctness, cost accounting, the sqrt(M) ratio shape, and
+ * trace/scratchpad consistency.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kernels/matmul.hpp"
+#include "trace/sink.hpp"
+#include "util/stats.hpp"
+
+namespace kb {
+namespace {
+
+TEST(Matmul, TileSizeRespectsMemory)
+{
+    for (std::uint64_t m : {3u, 8u, 35u, 120u, 1024u, 65536u}) {
+        const std::uint64_t b = MatmulKernel::tileSize(m);
+        EXPECT_GE(b, 1u);
+        EXPECT_LE(b * b + 2 * b, m) << "m=" << m;
+        const std::uint64_t b1 = b + 1;
+        EXPECT_GT(b1 * b1 + 2 * b1, m) << "m=" << m;
+    }
+}
+
+TEST(Matmul, ReferenceKnownProduct)
+{
+    // [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]]
+    const std::vector<double> a{1, 2, 3, 4};
+    const std::vector<double> b{5, 6, 7, 8};
+    const auto c = matmulReference(a, b, 2);
+    EXPECT_DOUBLE_EQ(c[0], 19);
+    EXPECT_DOUBLE_EQ(c[1], 22);
+    EXPECT_DOUBLE_EQ(c[2], 43);
+    EXPECT_DOUBLE_EQ(c[3], 50);
+}
+
+TEST(Matmul, MeasureVerifiesAgainstReference)
+{
+    MatmulKernel k;
+    const auto r = k.measure(48, 64);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.cost.comp_ops, 0.0);
+    EXPECT_GT(r.cost.io_words, 0.0);
+}
+
+TEST(Matmul, CompOpsAreExactly2NCubed)
+{
+    MatmulKernel k;
+    const std::uint64_t n = 40;
+    const auto r = k.measure(n, 100);
+    EXPECT_DOUBLE_EQ(r.cost.comp_ops,
+                     2.0 * static_cast<double>(n * n * n));
+}
+
+TEST(Matmul, PeakMemoryWithinBudget)
+{
+    MatmulKernel k;
+    for (std::uint64_t m : {3u, 16u, 64u, 300u}) {
+        const auto r = k.measure(32, m);
+        EXPECT_LE(r.peak_memory, m) << "m=" << m;
+    }
+}
+
+TEST(Matmul, IoMatchesClosedFormCount)
+{
+    // With b | n: loads = (n/b)^2 * 2nb, stores = n^2.
+    MatmulKernel k;
+    const std::uint64_t n = 48, m = 80; // b = 8
+    const std::uint64_t b = MatmulKernel::tileSize(m);
+    ASSERT_EQ(b, 8u);
+    const auto r = k.measure(n, m);
+    const double tiles =
+        static_cast<double>((n / b) * (n / b));
+    const double expect =
+        tiles * 2.0 * static_cast<double>(n * b) +
+        static_cast<double>(n * n);
+    EXPECT_DOUBLE_EQ(r.cost.io_words, expect);
+}
+
+TEST(Matmul, HandlesNonDivisibleEdges)
+{
+    MatmulKernel k;
+    const auto r = k.measure(37, 50); // b = 6, edge tiles of 1
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(Matmul, MinimalMemoryStillCorrect)
+{
+    MatmulKernel k;
+    const auto r = k.measure(10, 3); // b = 1: pure streaming
+    EXPECT_TRUE(r.verified);
+    // b=1: io = 2n^3 + n^2; ratio -> 1.
+    EXPECT_NEAR(r.cost.ratio(), 1.0, 0.1);
+}
+
+TEST(Matmul, RatioGrowsLikeSqrtM)
+{
+    MatmulKernel k;
+    const std::uint64_t n = 96;
+    std::vector<double> ms, ratios;
+    for (std::uint64_t m = 32; m <= 2048; m *= 2) {
+        const auto r = k.measure(n, m, /*verify=*/false);
+        ms.push_back(static_cast<double>(m));
+        ratios.push_back(r.cost.ratio());
+    }
+    const auto fit = fitPowerLaw(ms, ratios);
+    EXPECT_NEAR(fit.slope, 0.5, 0.08);
+    EXPECT_GT(fit.r2, 0.98);
+}
+
+TEST(Matmul, AnalyticCostsTrackMeasured)
+{
+    MatmulKernel k;
+    const std::uint64_t n = 64, m = 256;
+    const auto measured = k.measure(n, m, false);
+    const auto analytic = k.analyticCosts(n, m);
+    EXPECT_NEAR(analytic.comp_ops / measured.cost.comp_ops, 1.0, 0.05);
+    EXPECT_NEAR(analytic.io_words / measured.cost.io_words, 1.0, 0.15);
+}
+
+TEST(Matmul, TraceIoMatchesScratchpadLoads)
+{
+    // Reads in the trace = words the scratchpad loads; tile writes
+    // appear n times in the trace (accumulation) but only the final
+    // store leaves the scratchpad.
+    MatmulKernel k;
+    const std::uint64_t n = 24, m = 35; // b = 5
+    CountingSink sink;
+    k.emitTrace(n, m, sink);
+    const auto r = k.measure(n, m, false);
+    const double loads =
+        r.cost.io_words - static_cast<double>(n * n); // minus stores
+    EXPECT_DOUBLE_EQ(static_cast<double>(sink.reads()), loads);
+}
+
+TEST(Matmul, LawIsAlphaSquared)
+{
+    MatmulKernel k;
+    EXPECT_EQ(k.law(), ScalingLaw::power(2.0));
+}
+
+TEST(Matmul, SuggestProblemSizeScalesWithMemory)
+{
+    MatmulKernel k;
+    EXPECT_GE(k.suggestProblemSize(1024), 64u);
+    EXPECT_LE(k.suggestProblemSize(1u << 20), 448u);
+}
+
+} // namespace
+} // namespace kb

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Cross-kernel property tests: invariants every kernel must satisfy
+ * across a grid of (problem size, memory) points — determinism,
+ * capacity discipline, accounting consistency, verification, and the
+ * monotone benefit of memory.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kernels/fft.hpp"
+#include "kernels/kernel.hpp"
+#include "util/intmath.hpp"
+
+namespace kb {
+namespace {
+
+/** A small (n, m) grid valid for every kernel. */
+struct Point
+{
+    KernelId id;
+    std::uint64_t n;
+    std::uint64_t m;
+};
+
+std::vector<Point>
+propertyGrid()
+{
+    std::vector<Point> pts;
+    for (const auto id : allKernelIds()) {
+        const auto k = makeKernel(id);
+        // Problem size: small but non-trivial; FFT needs a power of
+        // two, grids need small sides.
+        std::uint64_t n;
+        switch (id) {
+          case KernelId::Fft:    n = 256; break;
+          case KernelId::Grid1D: n = 128; break;
+          case KernelId::Grid2D: n = 24; break;
+          case KernelId::Grid3D: n = 10; break;
+          case KernelId::Grid4D: n = 6; break;
+          default:               n = 48; break;
+        }
+        for (const std::uint64_t m_factor : {1u, 4u, 16u}) {
+            const std::uint64_t m = k->minMemory(n) * m_factor + 1;
+            pts.push_back({id, n, m});
+        }
+    }
+    return pts;
+}
+
+class KernelProperties : public ::testing::TestWithParam<Point>
+{
+};
+
+TEST_P(KernelProperties, MeasureIsDeterministic)
+{
+    const auto [id, n, m] = GetParam();
+    const auto k = makeKernel(id);
+    const auto a = k->measure(n, m, false);
+    const auto b = k->measure(n, m, false);
+    EXPECT_DOUBLE_EQ(a.cost.comp_ops, b.cost.comp_ops);
+    EXPECT_DOUBLE_EQ(a.cost.io_words, b.cost.io_words);
+    EXPECT_EQ(a.peak_memory, b.peak_memory);
+}
+
+TEST_P(KernelProperties, SchedulesFitInDeclaredMemory)
+{
+    const auto [id, n, m] = GetParam();
+    const auto k = makeKernel(id);
+    const auto r = k->measure(n, m, false);
+    EXPECT_LE(r.peak_memory, m);
+    EXPECT_GT(r.peak_memory, 0u);
+}
+
+TEST_P(KernelProperties, ResultsVerifyAtTestScale)
+{
+    const auto [id, n, m] = GetParam();
+    const auto k = makeKernel(id);
+    EXPECT_TRUE(k->measure(n, m, true).verified)
+        << kernelIdName(id) << " n=" << n << " m=" << m;
+}
+
+TEST_P(KernelProperties, CostsArePositiveAndFinite)
+{
+    const auto [id, n, m] = GetParam();
+    const auto k = makeKernel(id);
+    const auto r = k->measure(n, m, false);
+    EXPECT_GT(r.cost.comp_ops, 0.0);
+    EXPECT_GT(r.cost.io_words, 0.0);
+    EXPECT_TRUE(std::isfinite(r.cost.ratio()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KernelProperties, ::testing::ValuesIn(propertyGrid()),
+    [](const ::testing::TestParamInfo<Point> &info) {
+        return std::string(kernelIdName(info.param.id)) + "_m" +
+               std::to_string(info.param.m);
+    });
+
+/** More memory never increases a kernel's scheduled I/O. */
+class MemoryMonotonicity : public ::testing::TestWithParam<KernelId>
+{
+};
+
+TEST_P(MemoryMonotonicity, IoNonIncreasingInMemory)
+{
+    const auto id = GetParam();
+    const auto k = makeKernel(id);
+    std::uint64_t n;
+    switch (id) {
+      case KernelId::Fft:    n = 1024; break;
+      case KernelId::Grid1D: n = 256; break;
+      case KernelId::Grid2D: n = 32; break;
+      case KernelId::Grid3D: n = 12; break;
+      case KernelId::Grid4D: n = 8; break;
+      default:               n = 64; break;
+    }
+    double prev = 1e300;
+    for (std::uint64_t f = 1; f <= 64; f *= 4) {
+        const std::uint64_t m = k->minMemory(n) * f + 2;
+        const auto r = k->measure(n, m, false);
+        // Allow 2% slack: integer tile sizes can wobble slightly.
+        EXPECT_LE(r.cost.io_words, prev * 1.02)
+            << kernelIdName(id) << " m=" << m;
+        prev = r.cost.io_words;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, MemoryMonotonicity,
+    ::testing::ValuesIn(allKernelIds()),
+    [](const ::testing::TestParamInfo<KernelId> &info) {
+        return std::string(kernelIdName(info.param));
+    });
+
+TEST(KernelProperties, FftPowerOfTwoGuard)
+{
+    FftKernel k;
+    EXPECT_EXIT({ (void)k.measure(768, 64); },
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+} // namespace
+} // namespace kb

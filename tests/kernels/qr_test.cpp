@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the blocked MGS QR kernel (orthogonal triangularization,
+ * Section 3.2's second family).
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/qr.hpp"
+#include "trace/sink.hpp"
+#include "util/stats.hpp"
+
+namespace kb {
+namespace {
+
+TEST(Qr, PanelWidthRespectsMemory)
+{
+    for (std::uint64_t m : {4u, 12u, 48u, 300u, 4096u}) {
+        const std::uint64_t b = QrKernel::panelWidth(m);
+        EXPECT_GE(b, 1u);
+        EXPECT_LE(3 * b * b, m) << "m=" << m;
+    }
+}
+
+TEST(Qr, FactorizationVerifies)
+{
+    QrKernel k;
+    const auto r = k.measure(48, 48);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.cost.comp_ops, 0.0);
+}
+
+TEST(Qr, HandlesNonDivisibleEdges)
+{
+    QrKernel k;
+    EXPECT_TRUE(k.measure(37, 50).verified);
+}
+
+TEST(Qr, MinimalMemoryStillCorrect)
+{
+    QrKernel k;
+    EXPECT_TRUE(k.measure(16, 4).verified); // b = 1: plain MGS
+}
+
+TEST(Qr, PeakMemoryWithinBudget)
+{
+    QrKernel k;
+    for (std::uint64_t m : {4u, 27u, 75u, 300u}) {
+        const auto r = k.measure(32, m);
+        EXPECT_LE(r.peak_memory, m) << "m=" << m;
+    }
+}
+
+TEST(Qr, CompOpsNearTwoNCubed)
+{
+    QrKernel k;
+    const std::uint64_t n = 96;
+    const auto r = k.measure(n, 192, false);
+    const double expect = 2.0 * static_cast<double>(n) * n * n;
+    EXPECT_NEAR(r.cost.comp_ops / expect, 1.0, 0.25);
+}
+
+TEST(Qr, RatioGrowsLikeSqrtM)
+{
+    // Sweep kept inside the paper's N >> M regime (the panel width
+    // saturates at sqrt(n) beyond m ~ 3n; see qr.cpp).
+    QrKernel k;
+    const std::uint64_t n = 320;
+    std::vector<double> ms, ratios;
+    for (std::uint64_t m : {27u, 48u, 96u, 192u, 300u}) {
+        const auto r = k.measure(n, m, false);
+        ms.push_back(static_cast<double>(m));
+        ratios.push_back(r.cost.ratio());
+    }
+    const auto fit = fitPowerLaw(ms, ratios);
+    EXPECT_NEAR(fit.slope, 0.5, 0.15);
+    EXPECT_GT(fit.r2, 0.95);
+}
+
+TEST(Qr, RatioSaturatesOutsideThePaperRegime)
+{
+    // Once m exceeds ~3n the sqrt(n) panel cap binds and R(M)
+    // flattens — the N >> M assumption is load-bearing.
+    QrKernel k;
+    const std::uint64_t n = 64;
+    const auto lo = k.measure(n, 3 * n, false);
+    const auto hi = k.measure(n, 48 * n, false);
+    EXPECT_LT(hi.cost.ratio() / lo.cost.ratio(), 1.6);
+}
+
+TEST(Qr, SameLawAsGaussianElimination)
+{
+    // Section 3.2: the law is alpha^2 whether Q is a multiplier
+    // matrix (LU) or orthogonal (QR).
+    EXPECT_EQ(QrKernel().law(), ScalingLaw::power(2.0));
+}
+
+TEST(Qr, AnalyticCostsTrackMeasured)
+{
+    QrKernel k;
+    const std::uint64_t n = 96, m = 300;
+    const auto measured = k.measure(n, m, false);
+    const auto analytic = k.analyticCosts(n, m);
+    EXPECT_NEAR(analytic.comp_ops / measured.cost.comp_ops, 1.0, 0.3);
+    EXPECT_NEAR(analytic.io_words / measured.cost.io_words, 1.0, 0.5);
+}
+
+TEST(Qr, TraceTouchesOnlyQAndR)
+{
+    QrKernel k;
+    const std::uint64_t n = 24;
+    CountingSink sink;
+    k.emitTrace(n, 27, sink);
+    EXPECT_GT(sink.reads(), 0u);
+    EXPECT_GT(sink.writes(), 0u);
+}
+
+} // namespace
+} // namespace kb

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the kernel registry and shared interface contracts.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "kernels/kernel.hpp"
+
+namespace kb {
+namespace {
+
+TEST(Registry, AllKernelsInstantiable)
+{
+    for (const auto id : allKernelIds()) {
+        const auto k = makeKernel(id);
+        ASSERT_NE(k, nullptr);
+        EXPECT_EQ(k->name(), kernelIdName(id));
+        EXPECT_FALSE(k->description().empty());
+    }
+}
+
+TEST(Registry, TwelveKernelsInPaperOrder)
+{
+    const auto ids = allKernelIds();
+    EXPECT_EQ(ids.size(), 12u);
+    EXPECT_EQ(ids.front(), KernelId::MatMul);
+    EXPECT_EQ(ids.back(), KernelId::SpMV);
+}
+
+TEST(Registry, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto id : allKernelIds())
+        names.insert(kernelIdName(id));
+    EXPECT_EQ(names.size(), allKernelIds().size());
+}
+
+TEST(Registry, ComputeBoundSubsetExcludesIoBounded)
+{
+    const auto cb = computeBoundKernelIds();
+    EXPECT_EQ(cb.size(), 9u);
+    for (const auto id : cb) {
+        const auto k = makeKernel(id);
+        EXPECT_TRUE(k->law().rebalancePossible()) << k->name();
+    }
+}
+
+TEST(Registry, IoBoundedKernelsHaveImpossibleLaw)
+{
+    for (const auto id :
+         {KernelId::MatVec, KernelId::TriSolve, KernelId::SpMV}) {
+        const auto k = makeKernel(id);
+        EXPECT_FALSE(k->law().rebalancePossible()) << k->name();
+    }
+}
+
+/** Interface contracts that every kernel must satisfy. */
+class KernelContract : public ::testing::TestWithParam<KernelId>
+{
+};
+
+TEST_P(KernelContract, AsymptoticRatioIsMonotoneNonDecreasing)
+{
+    const auto k = makeKernel(GetParam());
+    double prev = 0.0;
+    for (std::uint64_t m = k->minMemory(64); m <= 1u << 16; m *= 2) {
+        const double r = k->asymptoticRatio(m);
+        EXPECT_GE(r, prev) << k->name() << " m=" << m;
+        prev = r;
+    }
+}
+
+TEST_P(KernelContract, SuggestedProblemSizeIsUsable)
+{
+    const auto k = makeKernel(GetParam());
+    const std::uint64_t m = 256;
+    const std::uint64_t n = k->suggestProblemSize(m);
+    EXPECT_GE(n, 1u);
+    EXPECT_GE(m, k->minMemory(n));
+}
+
+TEST_P(KernelContract, AnalyticCostsArePositive)
+{
+    const auto k = makeKernel(GetParam());
+    const std::uint64_t m = 512;
+    const std::uint64_t n = k->suggestProblemSize(m);
+    const auto c = k->analyticCosts(n, m);
+    EXPECT_GT(c.comp_ops, 0.0) << k->name();
+    EXPECT_GT(c.io_words, 0.0) << k->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelContract, ::testing::ValuesIn(allKernelIds()),
+    [](const ::testing::TestParamInfo<KernelId> &info) {
+        return std::string(kernelIdName(info.param));
+    });
+
+} // namespace
+} // namespace kb

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the external two-phase merge sort kernel (Section 3.5).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/sort.hpp"
+#include "util/stats.hpp"
+
+namespace kb {
+namespace {
+
+TEST(Sort, CountingMergeSortSorts)
+{
+    auto keys = sortInput(1000, 9);
+    auto ref = keys;
+    const auto comps = countingMergeSort(keys);
+    std::sort(ref.begin(), ref.end());
+    EXPECT_EQ(keys, ref);
+    // n lg n comparisons up to the merge constant.
+    EXPECT_GT(comps, 1000u * 8);
+    EXPECT_LT(comps, 1000u * 11);
+}
+
+TEST(Sort, CountingMergeSortEdgeCases)
+{
+    std::vector<std::uint64_t> empty;
+    EXPECT_EQ(countingMergeSort(empty), 0u);
+    std::vector<std::uint64_t> one{5};
+    EXPECT_EQ(countingMergeSort(one), 0u);
+    std::vector<std::uint64_t> two{9, 3};
+    EXPECT_EQ(countingMergeSort(two), 1u);
+    EXPECT_EQ(two, (std::vector<std::uint64_t>{3, 9}));
+}
+
+TEST(Sort, AlreadySortedFewerComparisonsThanRandom)
+{
+    std::vector<std::uint64_t> asc(512);
+    for (std::uint64_t i = 0; i < 512; ++i)
+        asc[i] = i;
+    auto random = sortInput(512, 4);
+    const auto c_asc = countingMergeSort(asc);
+    const auto c_rand = countingMergeSort(random);
+    EXPECT_LT(c_asc, c_rand);
+}
+
+/** The external sort produces the right order for many (n, m). */
+class SortCorrectness
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint64_t>>
+{
+};
+
+TEST_P(SortCorrectness, SortsAndFits)
+{
+    const auto [n, m] = GetParam();
+    SortKernel k;
+    const auto r = k.measure(n, m);
+    EXPECT_TRUE(r.verified);
+    EXPECT_LE(r.peak_memory, m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndMemories, SortCorrectness,
+    ::testing::Combine(::testing::Values<std::uint64_t>(100, 4096,
+                                                        50000),
+                       ::testing::Values<std::uint64_t>(8, 64, 1024)));
+
+TEST(Sort, MultiPassWhenRunsExceedFanIn)
+{
+    // n/m runs > m-1 forces more than one merge pass; I/O grows.
+    SortKernel k;
+    const std::uint64_t n = 4096;
+    const auto narrow = k.measure(n, 8, false);   // many passes
+    const auto wide = k.measure(n, 512, false);   // single pass
+    EXPECT_GT(narrow.cost.io_words, wide.cost.io_words);
+    // Single pass: 2n (runs) + 2n (merge) words.
+    EXPECT_DOUBLE_EQ(wide.cost.io_words, 4.0 * n);
+}
+
+TEST(Sort, RatioGrowsLikeLog2M)
+{
+    // Paper regime: N = M^2 is exactly the two-phase setting of
+    // Section 3.5 (N/M runs merged by one M-way pass), where the
+    // per-word ratio is lg(M)/2 with no pass-count staircase.
+    SortKernel k;
+    std::vector<double> ms, ratios;
+    for (std::uint64_t m = 32; m <= 1024; m *= 2) {
+        const auto r = k.measure(m * m, m, false);
+        ms.push_back(static_cast<double>(m));
+        ratios.push_back(r.cost.ratio());
+    }
+    const auto log_fit = fitLogLaw(ms, ratios);
+    EXPECT_GT(log_fit.r2, 0.97);
+    EXPECT_NEAR(log_fit.slope, 0.5, 0.15);
+    const auto pow_fit = fitPowerLaw(ms, ratios);
+    EXPECT_LT(pow_fit.slope, 0.35);
+}
+
+TEST(Sort, CompOpsNearNLogN)
+{
+    SortKernel k;
+    const std::uint64_t n = 1u << 14;
+    const auto r = k.measure(n, 256, false);
+    const double nlgn = static_cast<double>(n) * 14.0;
+    EXPECT_NEAR(r.cost.comp_ops / nlgn, 1.0, 0.35);
+}
+
+TEST(Sort, TinyInputs)
+{
+    SortKernel k;
+    EXPECT_TRUE(k.measure(1, 8).verified);
+    EXPECT_TRUE(k.measure(7, 8).verified);
+    EXPECT_TRUE(k.measure(9, 8).verified);
+}
+
+TEST(Sort, LawIsExponential)
+{
+    EXPECT_EQ(SortKernel().law(), ScalingLaw::exponential());
+}
+
+} // namespace
+} // namespace kb

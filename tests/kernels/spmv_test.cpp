@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the sparse matrix-vector kernel (the Section 4 "sparse
+ * operations with relatively high I/O requirements").
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/spmv.hpp"
+#include "util/stats.hpp"
+
+namespace kb {
+namespace {
+
+TEST(Spmv, CsrGeneratorShape)
+{
+    const auto a = makeCsr(100, 8, 1);
+    EXPECT_EQ(a.n, 100u);
+    EXPECT_EQ(a.cols.size(), 800u);
+    EXPECT_EQ(a.vals.size(), 800u);
+    for (const auto c : a.cols)
+        EXPECT_LT(c, 100u);
+}
+
+TEST(Spmv, CsrGeneratorDeterministic)
+{
+    const auto a = makeCsr(64, 4, 7);
+    const auto b = makeCsr(64, 4, 7);
+    EXPECT_EQ(a.cols, b.cols);
+    EXPECT_EQ(a.vals, b.vals);
+}
+
+TEST(Spmv, MeasureVerifies)
+{
+    SpmvKernel k;
+    const auto r = k.measure(512, 64);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(Spmv, CompOpsAreTwoNnz)
+{
+    SpmvKernel k(8);
+    const std::uint64_t n = 256;
+    const auto r = k.measure(n, 32, false);
+    EXPECT_DOUBLE_EQ(r.cost.comp_ops, 2.0 * 8.0 * n);
+}
+
+TEST(Spmv, IoAtLeastCsrSize)
+{
+    SpmvKernel k(8);
+    const std::uint64_t n = 512;
+    const auto r = k.measure(n, 1u << 14, false);
+    // Values + indices are read exactly once even with a huge cache.
+    EXPECT_GE(r.cost.io_words, 2.0 * 8.0 * n);
+}
+
+TEST(Spmv, RatioBoundedByOne)
+{
+    SpmvKernel k;
+    for (std::uint64_t m : {8u, 256u, 8192u, 1u << 16}) {
+        const auto r = k.measure(2048, m, false);
+        EXPECT_LE(r.cost.ratio(), 1.0) << "m=" << m;
+    }
+}
+
+TEST(Spmv, RatioIsFlatInMemory)
+{
+    SpmvKernel k;
+    std::vector<double> ms, ratios;
+    for (std::uint64_t m = 8; m <= 8192; m *= 4) {
+        const auto r = k.measure(4096, m, false);
+        ms.push_back(static_cast<double>(m));
+        ratios.push_back(r.cost.ratio());
+    }
+    const auto fit = fitPowerLaw(ms, ratios);
+    EXPECT_LT(std::fabs(fit.slope), 0.06);
+}
+
+TEST(Spmv, CachingXHelpsButOnlyByAConstant)
+{
+    SpmvKernel k;
+    const std::uint64_t n = 4096;
+    const auto tiny = k.measure(n, 8, false);
+    const auto huge = k.measure(n, 2 * n, false);
+    EXPECT_LT(huge.cost.io_words, tiny.cost.io_words);
+    // Even a cache holding all of x saves only the gather term.
+    EXPECT_GT(huge.cost.io_words, 0.6 * tiny.cost.io_words);
+}
+
+TEST(Spmv, LawIsImpossible)
+{
+    EXPECT_EQ(SpmvKernel().law(), ScalingLaw::impossible());
+}
+
+TEST(Spmv, DenserRowsDoNotChangeTheVerdict)
+{
+    SpmvKernel dense(32);
+    std::vector<double> ms, ratios;
+    for (std::uint64_t m = 16; m <= 4096; m *= 4) {
+        const auto r = dense.measure(1024, m, false);
+        ms.push_back(static_cast<double>(m));
+        ratios.push_back(r.cost.ratio());
+    }
+    const auto fit = fitPowerLaw(ms, ratios);
+    EXPECT_LT(std::fabs(fit.slope), 0.12);
+}
+
+} // namespace
+} // namespace kb

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the fully associative LRU memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/lru_cache.hpp"
+
+namespace kb {
+namespace {
+
+TEST(LruCache, HitsAfterFill)
+{
+    LruCache c(4);
+    EXPECT_FALSE(c.access(1, false));
+    EXPECT_FALSE(c.access(2, false));
+    EXPECT_TRUE(c.access(1, false));
+    EXPECT_TRUE(c.access(2, false));
+    EXPECT_EQ(c.stats().hits, 2u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed)
+{
+    LruCache c(2);
+    c.access(1, false);
+    c.access(2, false);
+    c.access(1, false); // 2 is now LRU
+    c.access(3, false); // evicts 2
+    EXPECT_TRUE(c.contains(1));
+    EXPECT_FALSE(c.contains(2));
+    EXPECT_TRUE(c.contains(3));
+    EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(LruCache, WritebackOnDirtyEviction)
+{
+    LruCache c(1);
+    c.access(1, true);  // dirty
+    c.access(2, false); // evicts dirty 1
+    EXPECT_EQ(c.stats().writebacks, 1u);
+    c.access(3, false); // evicts clean 2
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(LruCache, WriteHitMarksDirty)
+{
+    LruCache c(2);
+    c.access(1, false);
+    c.access(1, true); // hit, becomes dirty
+    c.access(2, false);
+    c.access(3, false); // evicts 1, dirty
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(LruCache, FlushWritesBackDirtyWords)
+{
+    LruCache c(4);
+    c.access(1, true);
+    c.access(2, false);
+    c.access(3, true);
+    c.flush();
+    EXPECT_EQ(c.stats().writebacks, 2u);
+    EXPECT_EQ(c.occupancy(), 0u);
+}
+
+TEST(LruCache, IoWordsCombinesMissesAndWritebacks)
+{
+    LruCache c(1);
+    c.access(1, true);
+    c.access(2, true);
+    c.flush();
+    // 2 misses, 1 dirty eviction + 1 dirty flush.
+    EXPECT_EQ(c.stats().ioWords(), 4u);
+}
+
+TEST(LruCache, OccupancyNeverExceedsCapacity)
+{
+    LruCache c(3);
+    for (std::uint64_t a = 0; a < 100; ++a) {
+        c.access(a % 7, false);
+        EXPECT_LE(c.occupancy(), 3u);
+    }
+}
+
+TEST(LruCache, CyclicThrashMissesEverything)
+{
+    LruCache c(3);
+    for (int rep = 0; rep < 5; ++rep)
+        for (std::uint64_t a = 0; a < 4; ++a)
+            c.access(a, false);
+    // Capacity 3 on a cycle of 4 with LRU: every access misses.
+    EXPECT_EQ(c.stats().misses, 20u);
+}
+
+TEST(LruCache, MissRatio)
+{
+    LruCache c(2);
+    c.access(1, false);
+    c.access(1, false);
+    EXPECT_DOUBLE_EQ(c.stats().missRatio(), 0.5);
+}
+
+TEST(LruCache, ResetStatsKeepsContents)
+{
+    LruCache c(2);
+    c.access(1, false);
+    c.resetStats();
+    EXPECT_EQ(c.stats().accesses, 0u);
+    EXPECT_TRUE(c.contains(1));
+}
+
+} // namespace
+} // namespace kb

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the explicitly managed scratchpad, including its
+ * capacity-invariant enforcement (the mechanism that proves a
+ * schedule fits in M words).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/scratchpad.hpp"
+
+namespace kb {
+namespace {
+
+TEST(Scratchpad, AllocTracksResidency)
+{
+    Scratchpad pad(100);
+    const auto id = pad.alloc(40, "a");
+    EXPECT_EQ(pad.resident(), 40u);
+    pad.free(id);
+    EXPECT_EQ(pad.resident(), 0u);
+}
+
+TEST(Scratchpad, PeakUsageHighWaterMark)
+{
+    Scratchpad pad(100);
+    const auto a = pad.alloc(30);
+    const auto b = pad.alloc(50);
+    pad.free(a);
+    const auto c = pad.alloc(20);
+    EXPECT_EQ(pad.stats().peak_usage, 80u);
+    pad.free(b);
+    pad.free(c);
+}
+
+TEST(Scratchpad, LoadsAndStoresBillWords)
+{
+    Scratchpad pad(10);
+    const auto id = pad.alloc(8);
+    pad.load(id, 8);
+    pad.load(id, 4);
+    pad.store(id, 8);
+    EXPECT_EQ(pad.stats().loads, 12u);
+    EXPECT_EQ(pad.stats().stores, 8u);
+    EXPECT_EQ(pad.stats().ioWords(), 20u);
+    pad.free(id);
+}
+
+TEST(Scratchpad, ComputeBillsOps)
+{
+    Scratchpad pad(10);
+    pad.compute(1000);
+    pad.compute(24);
+    EXPECT_EQ(pad.stats().comp_ops, 1024u);
+}
+
+TEST(Scratchpad, FitsPredicate)
+{
+    Scratchpad pad(10);
+    const auto id = pad.alloc(6);
+    EXPECT_TRUE(pad.fits(4));
+    EXPECT_FALSE(pad.fits(5));
+    pad.free(id);
+}
+
+TEST(ScratchpadDeath, OverflowIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            Scratchpad pad(10);
+            (void)pad.alloc(11, "too big");
+        },
+        ::testing::ExitedWithCode(1), "does not fit");
+}
+
+TEST(ScratchpadDeath, OverflowBySecondAllocIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            Scratchpad pad(10);
+            (void)pad.alloc(6);
+            (void)pad.alloc(5);
+        },
+        ::testing::ExitedWithCode(1), "does not fit");
+}
+
+TEST(ScopedBuffer, FreesOnScopeExit)
+{
+    Scratchpad pad(10);
+    {
+        ScopedBuffer buf(pad, 7, "tmp");
+        EXPECT_EQ(pad.resident(), 7u);
+        buf.load();
+        buf.store(3);
+    }
+    EXPECT_EQ(pad.resident(), 0u);
+    EXPECT_EQ(pad.stats().loads, 7u);
+    EXPECT_EQ(pad.stats().stores, 3u);
+}
+
+TEST(Scratchpad, ZeroCapacityRejected)
+{
+    EXPECT_EXIT({ Scratchpad pad(0); }, ::testing::ExitedWithCode(1),
+                "capacity");
+}
+
+} // namespace
+} // namespace kb

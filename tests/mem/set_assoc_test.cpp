@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the set-associative memory and replacement policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/lru_cache.hpp"
+#include "mem/set_assoc.hpp"
+#include "util/rng.hpp"
+
+namespace kb {
+namespace {
+
+TEST(SetAssoc, CapacityIsSetsTimesWays)
+{
+    SetAssocCache c(8, 4, ReplacementPolicy::LRU);
+    EXPECT_EQ(c.capacity(), 32u);
+    EXPECT_EQ(c.sets(), 8u);
+    EXPECT_EQ(c.ways(), 4u);
+}
+
+TEST(SetAssoc, NameEncodesConfig)
+{
+    SetAssocCache c(8, 4, ReplacementPolicy::FIFO);
+    EXPECT_EQ(c.name(), "setassoc-4w-fifo");
+}
+
+TEST(SetAssoc, ConflictMissesWithinOneSet)
+{
+    // Two ways; three addresses mapping to set 0 thrash.
+    SetAssocCache c(4, 2, ReplacementPolicy::LRU);
+    for (int rep = 0; rep < 3; ++rep) {
+        c.access(0, false);
+        c.access(4, false);
+        c.access(8, false);
+    }
+    EXPECT_EQ(c.stats().hits, 0u);
+}
+
+TEST(SetAssoc, HitsInDifferentSets)
+{
+    SetAssocCache c(4, 1, ReplacementPolicy::LRU);
+    c.access(0, false);
+    c.access(1, false);
+    c.access(2, false);
+    EXPECT_TRUE(c.access(0, false));
+    EXPECT_TRUE(c.access(1, false));
+}
+
+TEST(SetAssoc, LruPolicyRefreshesOnUse)
+{
+    SetAssocCache c(1, 2, ReplacementPolicy::LRU);
+    c.access(0, false);
+    c.access(1, false);
+    c.access(0, false); // refresh 0; victim should be 1
+    c.access(2, false);
+    EXPECT_TRUE(c.access(0, false));
+    EXPECT_FALSE(c.access(1, false));
+}
+
+TEST(SetAssoc, FifoPolicyIgnoresUse)
+{
+    SetAssocCache c(1, 2, ReplacementPolicy::FIFO);
+    c.access(0, false);
+    c.access(1, false);
+    c.access(0, false); // use does not refresh FIFO stamp
+    c.access(2, false); // evicts 0 (oldest fill)
+    EXPECT_FALSE(c.access(0, false));
+}
+
+TEST(SetAssoc, RandomPolicyStaysWithinCapacity)
+{
+    SetAssocCache c(2, 2, ReplacementPolicy::Random, 99);
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 1000; ++i)
+        c.access(rng.below(64), false);
+    EXPECT_EQ(c.stats().accesses, 1000u);
+    EXPECT_EQ(c.stats().hits + c.stats().misses, 1000u);
+}
+
+TEST(SetAssoc, DirtyEvictionWritesBack)
+{
+    SetAssocCache c(1, 1, ReplacementPolicy::LRU);
+    c.access(0, true);
+    c.access(1, false);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(SetAssoc, FlushCountsDirtyWords)
+{
+    SetAssocCache c(2, 2, ReplacementPolicy::LRU);
+    c.access(0, true);
+    c.access(1, true);
+    c.access(2, false);
+    c.flush();
+    EXPECT_EQ(c.stats().writebacks, 2u);
+}
+
+/**
+ * Property: a fully-set-associative configuration (1 set, W ways, LRU)
+ * must behave exactly like the LruCache of capacity W.
+ */
+class FullyAssocEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FullyAssocEquivalence, MatchesLruCache)
+{
+    const std::uint64_t ways = 8;
+    SetAssocCache sa(1, ways, ReplacementPolicy::LRU);
+    LruCache lru(ways);
+    Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+    for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t a = rng.below(32);
+        const bool w = rng.below(4) == 0;
+        EXPECT_EQ(sa.access(a, w), lru.access(a, w)) << "step " << i;
+    }
+    EXPECT_EQ(sa.stats().misses, lru.stats().misses);
+    EXPECT_EQ(sa.stats().writebacks, lru.stats().writebacks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FullyAssocEquivalence,
+                         ::testing::Values(1, 2, 3, 4));
+
+} // namespace
+} // namespace kb

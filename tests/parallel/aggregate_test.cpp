@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the Section 4 aggregate-PE algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "parallel/aggregate.hpp"
+#include "parallel/warp.hpp"
+
+namespace kb {
+namespace {
+
+PeConfig
+unitPe()
+{
+    return PeConfig{100.0, 10.0, 1000};
+}
+
+TEST(Aggregate, LinearArrayScalesComputeOnly)
+{
+    const ArraySpec spec{Topology::Linear, 8, unitPe()};
+    const auto agg = aggregatePe(spec);
+    EXPECT_DOUBLE_EQ(agg.comp_bandwidth, 800.0);
+    EXPECT_DOUBLE_EQ(agg.io_bandwidth, 10.0); // boundary only
+    EXPECT_EQ(agg.memory_words, 8000u);
+    EXPECT_EQ(spec.peCount(), 8u);
+}
+
+TEST(Aggregate, MeshScalesComputeQuadraticallyIoLinearly)
+{
+    const ArraySpec spec{Topology::Mesh2D, 4, unitPe()};
+    const auto agg = aggregatePe(spec);
+    EXPECT_DOUBLE_EQ(agg.comp_bandwidth, 1600.0);
+    EXPECT_DOUBLE_EQ(agg.io_bandwidth, 40.0);
+    EXPECT_EQ(agg.memory_words, 16000u);
+    EXPECT_EQ(spec.peCount(), 16u);
+}
+
+TEST(Aggregate, AlphaEqualsPForBothTopologies)
+{
+    for (std::uint64_t p : {1u, 2u, 8u, 32u}) {
+        EXPECT_DOUBLE_EQ(
+            aggregateAlpha({Topology::Linear, p, unitPe()}),
+            static_cast<double>(p));
+        EXPECT_DOUBLE_EQ(
+            aggregateAlpha({Topology::Mesh2D, p, unitPe()}),
+            static_cast<double>(p));
+    }
+}
+
+TEST(Aggregate, LinearArrayPerPeMemoryGrowsLinearly)
+{
+    // Section 4.1's headline: per-PE memory ~ p * M for alpha^2 laws.
+    const auto law = ScalingLaw::power(2.0);
+    const std::uint64_t m0 = 1024;
+    for (std::uint64_t p : {2u, 4u, 16u}) {
+        const ArraySpec spec{Topology::Linear, p, unitPe()};
+        const auto per_pe = requiredPerPeMemory(law, spec, m0);
+        ASSERT_TRUE(per_pe.has_value());
+        EXPECT_DOUBLE_EQ(*per_pe, static_cast<double>(p * m0));
+    }
+}
+
+TEST(Aggregate, MeshPerPeMemoryConstantForAlphaSquared)
+{
+    // Section 4.2's headline: the mesh supplies the alpha^2 memory
+    // for free.
+    const auto law = ScalingLaw::power(2.0);
+    const std::uint64_t m0 = 1024;
+    for (std::uint64_t p : {2u, 4u, 16u}) {
+        const ArraySpec spec{Topology::Mesh2D, p, unitPe()};
+        const auto per_pe = requiredPerPeMemory(law, spec, m0);
+        ASSERT_TRUE(per_pe.has_value());
+        EXPECT_DOUBLE_EQ(*per_pe, static_cast<double>(m0));
+    }
+}
+
+TEST(Aggregate, MeshPerPeMemoryGrowsForHigherDimensionalGrids)
+{
+    // d = 3 grid on a mesh: per-PE memory must grow like p.
+    const auto law = ScalingLaw::power(3.0);
+    const std::uint64_t m0 = 64;
+    const auto at = [&](std::uint64_t p) {
+        return *requiredPerPeMemory(law, {Topology::Mesh2D, p, unitPe()},
+                                    m0);
+    };
+    EXPECT_DOUBLE_EQ(at(2), 2.0 * m0);
+    EXPECT_DOUBLE_EQ(at(8), 8.0 * m0);
+}
+
+TEST(Aggregate, ImpossibleLawPropagates)
+{
+    const ArraySpec spec{Topology::Linear, 4, unitPe()};
+    EXPECT_FALSE(
+        requiredPerPeMemory(ScalingLaw::impossible(), spec, 64)
+            .has_value());
+}
+
+TEST(Aggregate, TopologyNames)
+{
+    EXPECT_STREQ(topologyName(Topology::Linear), "linear");
+    EXPECT_STREQ(topologyName(Topology::Mesh2D), "mesh2d");
+}
+
+TEST(Warp, CellMatchesSection5Numbers)
+{
+    const auto pe = warpCellPe();
+    EXPECT_DOUBLE_EQ(pe.comp_bandwidth, 10e6);
+    EXPECT_DOUBLE_EQ(pe.io_bandwidth, 20e6);
+    EXPECT_EQ(pe.memory_words, 64u * 1024u);
+    EXPECT_DOUBLE_EQ(pe.compIoRatio(), 0.5);
+}
+
+TEST(Warp, ArrayAlphaEqualsCellCount)
+{
+    const auto spec = warpArray(10);
+    EXPECT_EQ(spec.topo, Topology::Linear);
+    EXPECT_DOUBLE_EQ(aggregateAlpha(spec), 10.0);
+}
+
+} // namespace
+} // namespace kb

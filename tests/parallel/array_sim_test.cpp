@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the time-stepped array simulator and the Section 4
+ * dataflows: utilization behaviour and the Fig. 3 / Fig. 4 memory
+ * growth results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "parallel/array_sim.hpp"
+#include "parallel/workloads.hpp"
+#include "util/stats.hpp"
+
+namespace kb {
+namespace {
+
+std::vector<StepWorkload>
+uniformSteps(std::size_t count, double in, double out, double ops)
+{
+    return std::vector<StepWorkload>(count,
+                                     StepWorkload{in, out, ops});
+}
+
+TEST(ArraySim, ComputeBoundStepsGiveFullUtilization)
+{
+    const ArrayMachine m{4, 1.0, 1.0, 1.0, 4};
+    // 100 ops vs 10 words: compute dominates.
+    const auto r = simulateArray(m, uniformSteps(200, 10, 0, 100));
+    EXPECT_GT(r.utilization(), 0.95);
+}
+
+TEST(ArraySim, IoBoundStepsStarveThePes)
+{
+    const ArrayMachine m{4, 1.0, 1.0, 1.0, 4};
+    // 100 words vs 10 ops: the channel is the bottleneck.
+    const auto r = simulateArray(m, uniformSteps(200, 100, 0, 10));
+    EXPECT_LT(r.utilization(), 0.15);
+}
+
+TEST(ArraySim, BalancedStepsNearFullOverlap)
+{
+    const ArrayMachine m{1, 1.0, 1.0, 1.0, 1};
+    const auto r = simulateArray(m, uniformSteps(500, 50, 0, 50));
+    EXPECT_GT(r.utilization(), 0.95);
+    EXPECT_NEAR(r.io_cycles, r.compute_cycles, 1.0);
+}
+
+TEST(ArraySim, MakespanAtLeastEitherResource)
+{
+    const ArrayMachine m{2, 1.0, 1.0, 1.0, 2};
+    const auto r = simulateArray(m, uniformSteps(100, 30, 10, 25));
+    EXPECT_GE(r.cycles, r.io_cycles);
+    EXPECT_GE(r.cycles, r.compute_cycles);
+}
+
+TEST(ArraySim, EmptyStepsAreTrivial)
+{
+    const ArrayMachine m{1, 1.0, 1.0, 1.0, 1};
+    const auto r = simulateArray(m, {});
+    EXPECT_DOUBLE_EQ(r.cycles, 0.0);
+    EXPECT_DOUBLE_EQ(r.utilization(), 1.0);
+}
+
+TEST(ArraySim, MinMemorySearchFindsThreshold)
+{
+    // Utilization jumps once memory crosses 100 words.
+    auto run = [](std::uint64_t m) {
+        ArraySimResult r;
+        r.cycles = 100.0;
+        r.compute_cycles = m >= 100 ? 99.0 : 10.0;
+        return r;
+    };
+    EXPECT_EQ(minMemoryForUtilization(run, 0.95, 4, 1u << 20), 100u);
+}
+
+TEST(ArraySim, MinMemorySearchReportsFailure)
+{
+    auto run = [](std::uint64_t) {
+        ArraySimResult r;
+        r.cycles = 100.0;
+        r.compute_cycles = 10.0;
+        return r;
+    };
+    EXPECT_EQ(minMemoryForUtilization(run, 0.95, 4, 1024), 1025u);
+}
+
+TEST(Workloads, LinearMatmulUtilizationMonotoneInMemory)
+{
+    const std::uint64_t n = 256, p = 8;
+    // C/IO per PE = 16: a single PE balances matmul at b ~ 16.
+    double prev = 0.0;
+    for (std::uint64_t m : {64u, 256u, 1024u, 4096u, 16384u}) {
+        const auto wl = matmulLinearWorkload(n, p, m, 16.0, 1.0);
+        const auto r = simulateArray(wl.machine, wl.steps);
+        EXPECT_GE(r.utilization(), prev - 0.02) << "m=" << m;
+        prev = r.utilization();
+    }
+}
+
+TEST(Workloads, Figure3PerPeMemoryGrowsLinearly)
+{
+    // Section 4.1: the per-PE memory reaching 95% utilization should
+    // grow ~linearly with p for the linear-array matmul.
+    const double ops_rate = 8.0; // C/IO = 8 per PE
+    std::vector<double> ps, mems;
+    for (std::uint64_t p : {2u, 4u, 8u, 16u}) {
+        auto run = [&](std::uint64_t m_pe) {
+            const auto wl =
+                matmulLinearWorkload(512, p, m_pe, ops_rate, 1.0);
+            return simulateArray(wl.machine, wl.steps);
+        };
+        const auto m_needed =
+            minMemoryForUtilization(run, 0.95, 8, 1u << 22);
+        ASSERT_LE(m_needed, 1u << 22) << "p=" << p;
+        ps.push_back(static_cast<double>(p));
+        mems.push_back(static_cast<double>(m_needed));
+    }
+    const auto fit = fitPowerLaw(ps, mems);
+    EXPECT_NEAR(fit.slope, 1.0, 0.25);
+    EXPECT_GT(fit.r2, 0.95);
+}
+
+TEST(Workloads, Figure4MeshPerPeMemoryFlat)
+{
+    // Section 4.2: mesh matmul needs per-PE memory independent of p.
+    const double ops_rate = 8.0;
+    std::vector<double> ps, mems;
+    for (std::uint64_t p : {2u, 4u, 8u, 16u}) {
+        auto run = [&](std::uint64_t m_pe) {
+            const auto wl =
+                matmulMeshWorkload(512, p, m_pe, ops_rate, 1.0);
+            return simulateArray(wl.machine, wl.steps);
+        };
+        const auto m_needed =
+            minMemoryForUtilization(run, 0.95, 8, 1u << 22);
+        ASSERT_LE(m_needed, 1u << 22) << "p=" << p;
+        ps.push_back(static_cast<double>(p));
+        mems.push_back(static_cast<double>(m_needed));
+    }
+    const auto fit = fitPowerLaw(ps, mems);
+    EXPECT_LT(std::abs(fit.slope), 0.25);
+}
+
+TEST(Workloads, MeshGrid3dPerPeMemoryGrows)
+{
+    // Section 4.2's exception: d = 3 grid on a mesh needs per-PE
+    // memory growing with p.
+    const double ops_rate = 24.0;
+    std::vector<double> ps, mems;
+    for (std::uint64_t p : {2u, 4u, 8u}) {
+        auto run = [&](std::uint64_t m_pe) {
+            // Grid large enough that the balanced block (edge ~ 26 p for
+            // this C/IO) leaves many macro-steps to pipeline.
+            const auto wl = grid3dMeshWorkload(1024, 64, p, m_pe,
+                                               ops_rate, 1.0);
+            return simulateArray(wl.machine, wl.steps);
+        };
+        const auto m_needed =
+            minMemoryForUtilization(run, 0.95, 32, 1u << 24);
+        ASSERT_LE(m_needed, 1u << 24) << "p=" << p;
+        ps.push_back(static_cast<double>(p));
+        mems.push_back(static_cast<double>(m_needed));
+    }
+    const auto fit = fitPowerLaw(ps, mems);
+    EXPECT_GT(fit.slope, 0.5);
+}
+
+TEST(Workloads, BlockEdgeGrowsWithMemory)
+{
+    const auto small = matmulLinearWorkload(256, 4, 64);
+    const auto large = matmulLinearWorkload(256, 4, 4096);
+    EXPECT_GT(large.block_edge, small.block_edge);
+}
+
+} // namespace
+} // namespace kb

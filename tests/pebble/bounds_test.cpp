@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the analytic I/O lower bounds and their relation to the
+ * exact solver and the heuristic player: exact <= heuristic, and
+ * bound <= exact where both are available.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pebble/bounds.hpp"
+#include "pebble/builders.hpp"
+#include "pebble/exact.hpp"
+#include "pebble/heuristic.hpp"
+
+namespace kb {
+namespace {
+
+TEST(Bounds, MatmulBoundShape)
+{
+    // Quadrupling S halves the bound (1/sqrt(S) scaling).
+    const double b1 = matmulIoLowerBound(64, 16);
+    const double b2 = matmulIoLowerBound(64, 64);
+    EXPECT_GT(b1, 0.0);
+    EXPECT_NEAR(b1 / b2, 2.0, 0.05);
+}
+
+TEST(Bounds, FftBoundShape)
+{
+    // Squaring S roughly halves the bound (1/log S scaling).
+    const double b1 = fftIoLowerBound(1u << 16, 8);
+    const double b2 = fftIoLowerBound(1u << 16, 8 * 8 * 2);
+    EXPECT_GT(b1, 0.0);
+    EXPECT_GT(b1 / b2, 1.5);
+}
+
+TEST(Bounds, TrivialBound)
+{
+    EXPECT_DOUBLE_EQ(trivialIoLowerBound(10, 5, 4), 11.0);
+    EXPECT_DOUBLE_EQ(trivialIoLowerBound(2, 2, 8), 0.0);
+}
+
+TEST(Exact, ChainNeedsExactlyTwoIo)
+{
+    const Dag d = buildChain(6);
+    const auto io = solveExactIo(d, 2);
+    ASSERT_TRUE(io.has_value());
+    EXPECT_EQ(*io, 2u);
+}
+
+TEST(Exact, DiamondWithAmplePebbles)
+{
+    const Dag d = buildDiamond(3);
+    const auto io = solveExactIo(d, 5);
+    ASSERT_TRUE(io.has_value());
+    EXPECT_EQ(*io, 2u); // read src, write dst
+}
+
+TEST(Exact, TreeWithAmplePebblesIsTouchEachLeafOnce)
+{
+    const Dag d = buildReductionTree(4); // 7 nodes
+    const auto io = solveExactIo(d, 4);
+    ASSERT_TRUE(io.has_value());
+    EXPECT_EQ(*io, 5u); // 4 leaf reads + 1 root write
+}
+
+TEST(Exact, TreeWithTightPebblesPaysForSpills)
+{
+    // With S = 3 the second subtree cannot be reduced while the first
+    // partial sum stays resident: at least one spill round trip.
+    const Dag d = buildReductionTree(4);
+    const auto io = solveExactIo(d, 3);
+    ASSERT_TRUE(io.has_value());
+    EXPECT_GE(*io, 6u);
+    EXPECT_LE(*io, 7u);
+}
+
+TEST(Exact, TinyFftSolvable)
+{
+    const Dag d = buildFftDag(4); // 12 nodes
+    const auto io = solveExactIo(d, 4);
+    ASSERT_TRUE(io.has_value());
+    // 4 input reads + 4 output writes are compulsory; tight memory
+    // may add spill traffic on the rank boundary.
+    EXPECT_GE(*io, 8u);
+    EXPECT_LE(*io, 14u);
+    // With ample pebbles the compulsory traffic is exact.
+    const auto ample = solveExactIo(d, 12);
+    ASSERT_TRUE(ample.has_value());
+    EXPECT_EQ(*ample, 8u);
+}
+
+/** Exact optimum never exceeds the heuristic's achieved I/O. */
+class ExactVsHeuristic
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ExactVsHeuristic, ExactIsLowerBoundOnHeuristic)
+{
+    const std::uint64_t s = GetParam();
+    for (const Dag &d : {buildChain(8), buildReductionTree(8),
+                         buildFftDag(4), buildDiamond(5)}) {
+        const auto exact = solveExactIo(d, s);
+        if (!exact)
+            continue; // state limit hit; nothing to compare
+        std::uint32_t max_indeg = 0;
+        for (Dag::NodeId v = 0; v < d.nodeCount(); ++v)
+            max_indeg = std::max<std::uint32_t>(
+                max_indeg,
+                static_cast<std::uint32_t>(d.preds(v).size()));
+        if (s < max_indeg + 1)
+            continue;
+        const auto heur = playHeuristic(d, s);
+        EXPECT_LE(*exact, heur.io());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PebbleCounts, ExactVsHeuristic,
+                         ::testing::Values(3u, 4u, 6u));
+
+TEST(BoundsVsPlayer, FftHeuristicWithinConstantOfBound)
+{
+    const std::uint32_t n = 256;
+    const Dag d = buildFftDag(n);
+    for (std::uint64_t s : {8u, 16u, 32u}) {
+        const auto heur = playHeuristic(d, s);
+        const double bound = fftIoLowerBound(n, s);
+        EXPECT_GE(static_cast<double>(heur.io()), bound)
+            << "S=" << s;
+        EXPECT_LE(static_cast<double>(heur.io()), 40.0 * bound)
+            << "S=" << s;
+    }
+}
+
+TEST(BoundsVsPlayer, MatmulHeuristicWithinConstantOfBound)
+{
+    const std::uint32_t n = 6;
+    const Dag d = buildMatmulDag(n);
+    for (std::uint64_t s : {8u, 16u, 32u}) {
+        const auto heur = playHeuristic(d, s);
+        const double bound = matmulIoLowerBound(n, s);
+        EXPECT_GE(static_cast<double>(heur.io()), bound) << "S=" << s;
+    }
+}
+
+} // namespace
+} // namespace kb

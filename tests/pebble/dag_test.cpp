@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the DAG container and builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pebble/builders.hpp"
+#include "pebble/dag.hpp"
+
+namespace kb {
+namespace {
+
+TEST(Dag, AddNodesAndEdges)
+{
+    Dag d;
+    const auto a = d.addNode("a");
+    const auto b = d.addNode("b");
+    d.addEdge(a, b);
+    EXPECT_EQ(d.nodeCount(), 2u);
+    ASSERT_EQ(d.preds(b).size(), 1u);
+    EXPECT_EQ(d.preds(b)[0], a);
+    ASSERT_EQ(d.succs(a).size(), 1u);
+    EXPECT_EQ(d.label(a), "a");
+}
+
+TEST(Dag, InputsAndOutputs)
+{
+    Dag d;
+    const auto a = d.addNode();
+    const auto b = d.addNode();
+    const auto c = d.addNode();
+    d.addEdge(a, c);
+    d.addEdge(b, c);
+    EXPECT_EQ(d.inputs(), (std::vector<Dag::NodeId>{a, b}));
+    EXPECT_EQ(d.outputs(), (std::vector<Dag::NodeId>{c}));
+}
+
+TEST(Dag, MarkedOutputsOverrideSinks)
+{
+    Dag d;
+    const auto a = d.addNode();
+    const auto b = d.addNode();
+    d.addEdge(a, b);
+    d.markOutput(a);
+    EXPECT_EQ(d.outputs(), (std::vector<Dag::NodeId>{a}));
+}
+
+TEST(Dag, TopoOrderRespectsEdges)
+{
+    const Dag d = buildFftDag(8);
+    const auto order = d.topoOrder();
+    std::vector<std::uint32_t> pos(d.nodeCount());
+    for (std::uint32_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = i;
+    for (Dag::NodeId v = 0; v < d.nodeCount(); ++v)
+        for (const auto p : d.preds(v))
+            EXPECT_LT(pos[p], pos[v]);
+}
+
+TEST(Dag, CycleDetection)
+{
+    EXPECT_EXIT(
+        {
+            Dag d;
+            const auto a = d.addNode();
+            const auto b = d.addNode();
+            d.addEdge(a, b);
+            d.addEdge(b, a);
+            (void)d.topoOrder();
+        },
+        ::testing::ExitedWithCode(1), "cycle");
+}
+
+TEST(Builders, ChainShape)
+{
+    const Dag d = buildChain(5);
+    EXPECT_EQ(d.nodeCount(), 5u);
+    EXPECT_EQ(d.inputs().size(), 1u);
+    EXPECT_EQ(d.outputs().size(), 1u);
+    EXPECT_EQ(d.computeNodeCount(), 4u);
+}
+
+TEST(Builders, ReductionTreeShape)
+{
+    const Dag d = buildReductionTree(8);
+    EXPECT_EQ(d.nodeCount(), 15u); // 8 + 4 + 2 + 1
+    EXPECT_EQ(d.inputs().size(), 8u);
+    EXPECT_EQ(d.outputs().size(), 1u);
+}
+
+TEST(Builders, FftDagShape)
+{
+    const std::uint32_t n = 16;
+    const Dag d = buildFftDag(n);
+    EXPECT_EQ(d.nodeCount(), n * 5); // n (1 + lg n)
+    EXPECT_EQ(d.inputs().size(), n);
+    EXPECT_EQ(d.outputs().size(), n);
+    // Every compute node is a butterfly endpoint with 2 preds.
+    for (Dag::NodeId v = 0; v < d.nodeCount(); ++v)
+        if (!d.preds(v).empty())
+            EXPECT_EQ(d.preds(v).size(), 2u);
+}
+
+TEST(Builders, MatmulDagShape)
+{
+    const std::uint32_t n = 3;
+    const Dag d = buildMatmulDag(n);
+    // 2 n^2 inputs + n^3 products + n^2 (n-1) sums.
+    EXPECT_EQ(d.nodeCount(), 2 * n * n + n * n * n + n * n * (n - 1));
+    EXPECT_EQ(d.inputs().size(), 2 * n * n);
+    EXPECT_EQ(d.outputs().size(), n * n);
+}
+
+TEST(Builders, Grid1dDagShape)
+{
+    const Dag d = buildGrid1dDag(4, 3);
+    EXPECT_EQ(d.nodeCount(), 16u); // 4 cells x 4 time levels
+    EXPECT_EQ(d.inputs().size(), 4u);
+    EXPECT_EQ(d.outputs().size(), 4u);
+}
+
+TEST(Builders, DiamondShape)
+{
+    const Dag d = buildDiamond(4);
+    EXPECT_EQ(d.nodeCount(), 6u);
+    EXPECT_EQ(d.inputs().size(), 1u);
+    EXPECT_EQ(d.outputs().size(), 1u);
+}
+
+} // namespace
+} // namespace kb

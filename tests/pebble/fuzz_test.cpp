@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fuzzing the pebble game: random move sequences must never violate
+ * the invariants (red count bounded, I/O only from legal moves,
+ * illegal moves rejected without state change).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pebble/builders.hpp"
+#include "pebble/game.hpp"
+#include "util/rng.hpp"
+
+namespace kb {
+namespace {
+
+class PebbleFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PebbleFuzz, RandomMovesPreserveInvariants)
+{
+    const Dag dag = buildFftDag(16);
+    const std::uint64_t s = 5;
+    PebbleGame game(dag, s);
+    Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+
+    std::uint64_t applied = 0;
+    for (int step = 0; step < 20000; ++step) {
+        const PebbleMove move{
+            static_cast<MoveType>(rng.below(4)),
+            static_cast<Dag::NodeId>(rng.below(dag.nodeCount()))};
+
+        const auto reads = game.reads();
+        const auto writes = game.writes();
+        const auto reds = game.redCount();
+
+        const bool ok = game.apply(move);
+        applied += ok;
+
+        // Red budget never exceeded.
+        ASSERT_LE(game.redCount(), s);
+        // I/O counters move only on legal read/write moves.
+        if (!ok) {
+            ASSERT_EQ(game.reads(), reads);
+            ASSERT_EQ(game.writes(), writes);
+            ASSERT_EQ(game.redCount(), reds);
+        } else if (move.type == MoveType::Read) {
+            ASSERT_EQ(game.reads(), reads + 1);
+            ASSERT_EQ(game.redCount(), reds + 1);
+        } else if (move.type == MoveType::Write) {
+            ASSERT_EQ(game.writes(), writes + 1);
+            ASSERT_TRUE(game.hasBlue(move.node));
+        } else if (move.type == MoveType::Compute) {
+            ASSERT_TRUE(game.hasRed(move.node));
+            for (const auto p : dag.preds(move.node))
+                ASSERT_TRUE(game.hasRed(p));
+        }
+    }
+    // Random play must make *some* progress (sanity of the fuzz).
+    EXPECT_GT(applied, 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PebbleFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(PebbleFuzz, RandomPlayNeverUnblues)
+{
+    // Once blue, always blue.
+    const Dag dag = buildReductionTree(8);
+    PebbleGame game(dag, 4);
+    Xoshiro256 rng(9);
+    std::vector<bool> was_blue(dag.nodeCount(), false);
+    for (int step = 0; step < 10000; ++step) {
+        game.apply({static_cast<MoveType>(rng.below(4)),
+                    static_cast<Dag::NodeId>(
+                        rng.below(dag.nodeCount()))});
+        for (Dag::NodeId v = 0; v < dag.nodeCount(); ++v) {
+            if (was_blue[v])
+                ASSERT_TRUE(game.hasBlue(v));
+            was_blue[v] = game.hasBlue(v);
+        }
+    }
+}
+
+} // namespace
+} // namespace kb

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Unit tests for the array/matrix address layouts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/layout.hpp"
+
+namespace kb {
+namespace {
+
+TEST(ArrayLayout, LinearAddressing)
+{
+    ArrayLayout a(100, 10);
+    EXPECT_EQ(a.at(0), 100u);
+    EXPECT_EQ(a.at(9), 109u);
+    EXPECT_EQ(a.end(), 110u);
+    EXPECT_EQ(a.size(), 10u);
+}
+
+TEST(MatrixLayout, RowMajorAddressing)
+{
+    MatrixLayout m(50, 4, 8);
+    EXPECT_EQ(m.at(0, 0), 50u);
+    EXPECT_EQ(m.at(0, 7), 57u);
+    EXPECT_EQ(m.at(1, 0), 58u);
+    EXPECT_EQ(m.at(3, 7), 50u + 31u);
+    EXPECT_EQ(m.end(), 82u);
+}
+
+TEST(MatrixLayout, ChainedLayoutsAreDisjoint)
+{
+    MatrixLayout a(0, 3, 3);
+    MatrixLayout b(a.end(), 3, 3);
+    ArrayLayout c(b.end(), 5);
+    EXPECT_EQ(a.end(), 9u);
+    EXPECT_EQ(b.at(0, 0), 9u);
+    EXPECT_EQ(c.at(0), 18u);
+}
+
+} // namespace
+} // namespace kb

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for the CSV writer.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+
+namespace kb {
+namespace {
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+class CsvTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tmpPath() const
+    {
+        return ::testing::TempDir() + "kb_csv_test.csv";
+    }
+
+    void TearDown() override { std::remove(tmpPath().c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows)
+{
+    {
+        CsvWriter w(tmpPath(), {"a", "b"});
+        w.writeRow({"1", "2"});
+        w.writeRow({"x", "y"});
+    }
+    EXPECT_EQ(readAll(tmpPath()), "a,b\n1,2\nx,y\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST_F(CsvTest, QuotedCellRoundTrips)
+{
+    {
+        CsvWriter w(tmpPath(), {"c"});
+        w.writeRow({"v,w"});
+    }
+    EXPECT_EQ(readAll(tmpPath()), "c\n\"v,w\"\n");
+}
+
+} // namespace
+} // namespace kb

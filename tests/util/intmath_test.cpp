@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the integer math helpers.
+ */
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "util/intmath.hpp"
+
+namespace kb {
+namespace {
+
+TEST(IntMath, IsPow2RecognizesPowers)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ull << 63));
+    EXPECT_FALSE(isPow2((1ull << 63) + 1));
+}
+
+TEST(IntMath, FloorLog2KnownValues)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+}
+
+TEST(IntMath, CeilLog2KnownValues)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(IntMath, NextPrevPow2)
+{
+    EXPECT_EQ(nextPow2(0), 1u);
+    EXPECT_EQ(nextPow2(1), 1u);
+    EXPECT_EQ(nextPow2(3), 4u);
+    EXPECT_EQ(nextPow2(4), 4u);
+    EXPECT_EQ(nextPow2(5), 8u);
+    EXPECT_EQ(prevPow2(1), 1u);
+    EXPECT_EQ(prevPow2(5), 4u);
+    EXPECT_EQ(prevPow2(1024), 1024u);
+    EXPECT_EQ(prevPow2(1025), 1024u);
+}
+
+TEST(IntMath, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+}
+
+TEST(IntMath, Ipow)
+{
+    EXPECT_EQ(ipow(2, 10), 1024u);
+    EXPECT_EQ(ipow(3, 4), 81u);
+    EXPECT_EQ(ipow(7, 0), 1u);
+    EXPECT_EQ(ipow(1, 63), 1u);
+}
+
+/** isqrt must agree with floor(sqrt(x)) across magnitudes. */
+class IsqrtSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(IsqrtSweep, MatchesFloatingPoint)
+{
+    const std::uint64_t x = GetParam();
+    const std::uint64_t r = isqrt(x);
+    EXPECT_LE(r * r, x);
+    EXPECT_GT((r + 1) * (r + 1), x);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, IsqrtSweep,
+    ::testing::Values(0, 1, 2, 3, 4, 8, 15, 16, 17, 24, 25, 99, 100,
+                      10000, 123456789, 1ull << 40, (1ull << 40) + 1,
+                      999999999999ull));
+
+/** iroot is exact on perfect powers and monotone around them. */
+class IrootSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned>>
+{
+};
+
+TEST_P(IrootSweep, ExactOnPerfectPowers)
+{
+    const auto [base, k] = GetParam();
+    const std::uint64_t x = ipow(base, k);
+    EXPECT_EQ(iroot(x, k), base);
+    if (x > 1)
+        EXPECT_EQ(iroot(x - 1, k), base - 1);
+    // For k = 1 the root of x+1 is x+1 itself.
+    EXPECT_EQ(iroot(x + 1, k), k == 1 ? base + 1 : base);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, IrootSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(2, 3, 5, 10, 100),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+TEST(IntMath, IrootDimOne)
+{
+    EXPECT_EQ(iroot(12345, 1), 12345u);
+}
+
+TEST(IntMath, IrootLargeValues)
+{
+    EXPECT_EQ(iroot(1ull << 60, 3), 1ull << 20);
+    EXPECT_EQ(iroot((1ull << 60) - 1, 3), (1ull << 20) - 1);
+}
+
+} // namespace
+} // namespace kb

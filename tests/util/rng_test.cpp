@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the deterministic random number generators.
+ */
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace kb {
+namespace {
+
+TEST(Rng, SplitMixIsDeterministic)
+{
+    SplitMix64 a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitMixSeedsDiffer)
+{
+    SplitMix64 a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroIsDeterministic)
+{
+    Xoshiro256 a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Xoshiro256 rng(42);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.below(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, BelowZeroBound)
+{
+    Xoshiro256 rng(42);
+    EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Xoshiro256 rng(42);
+    double lo = 1.0, hi = 0.0, sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+        sum += u;
+    }
+    EXPECT_LT(lo, 0.01);
+    EXPECT_GT(hi, 0.99);
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Xoshiro256 rng(7);
+    std::vector<int> buckets(8, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[rng.below(8)];
+    for (int count : buckets)
+        EXPECT_NEAR(count, n / 8, n / 80); // 10% slack
+}
+
+TEST(Rng, WorksWithStdShuffle)
+{
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    const auto orig = v;
+    Xoshiro256 rng(3);
+    std::shuffle(v.begin(), v.end(), rng);
+    EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), orig.begin()));
+}
+
+TEST(Rng, StreamHasNoShortCycle)
+{
+    Xoshiro256 rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i)
+        seen.insert(rng.next());
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+} // namespace
+} // namespace kb

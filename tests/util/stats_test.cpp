@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for descriptive statistics and the law-fitting helpers.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace kb {
+namespace {
+
+TEST(Stats, MeanAndVariance)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_NEAR(variance(xs), 5.0 / 3.0, 1e-12);
+    EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero)
+{
+    const std::vector<double> xs{42.0};
+    EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Stats, LinearFitExactLine)
+{
+    const std::vector<double> xs{1, 2, 3, 4, 5};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(3.0 * x - 1.0);
+    const auto fit = linearFit(xs, ys);
+    EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitDegenerateXs)
+{
+    const std::vector<double> xs{2, 2, 2};
+    const std::vector<double> ys{1, 2, 3};
+    const auto fit = linearFit(xs, ys);
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_DOUBLE_EQ(fit.r2, 0.0);
+}
+
+TEST(Stats, LinearFitConstantYs)
+{
+    const std::vector<double> xs{1, 2, 3};
+    const std::vector<double> ys{7, 7, 7};
+    const auto fit = linearFit(xs, ys);
+    EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+/** Power-law fitting recovers the planted exponent. */
+class PowerLawSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PowerLawSweep, RecoversExponent)
+{
+    const double k = GetParam();
+    std::vector<double> xs, ys;
+    for (double x = 16.0; x <= 65536.0; x *= 2.0) {
+        xs.push_back(x);
+        ys.push_back(2.5 * std::pow(x, k));
+    }
+    const auto fit = fitPowerLaw(xs, ys);
+    EXPECT_NEAR(fit.slope, k, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+    EXPECT_NEAR(std::exp(fit.intercept), 2.5, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, PowerLawSweep,
+                         ::testing::Values(0.25, 1.0 / 3.0, 0.5, 1.0,
+                                           2.0, 3.0));
+
+TEST(Stats, LogLawRecoversSlope)
+{
+    std::vector<double> xs, ys;
+    for (double x = 16.0; x <= 65536.0; x *= 2.0) {
+        xs.push_back(x);
+        ys.push_back(1.5 + 0.75 * std::log2(x));
+    }
+    const auto fit = fitLogLaw(xs, ys);
+    EXPECT_NEAR(fit.slope, 0.75, 1e-9);
+    EXPECT_NEAR(fit.intercept, 1.5, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(Stats, CorrelationSigns)
+{
+    const std::vector<double> xs{1, 2, 3, 4};
+    const std::vector<double> up{2, 4, 6, 8};
+    const std::vector<double> down{8, 6, 4, 2};
+    EXPECT_NEAR(correlation(xs, up), 1.0, 1e-12);
+    EXPECT_NEAR(correlation(xs, down), -1.0, 1e-12);
+}
+
+TEST(Stats, CorrelationZeroVariance)
+{
+    const std::vector<double> xs{1, 2, 3};
+    const std::vector<double> flat{5, 5, 5};
+    EXPECT_DOUBLE_EQ(correlation(xs, flat), 0.0);
+}
+
+TEST(Stats, GeometricMean)
+{
+    const std::vector<double> xs{1.0, 4.0, 16.0};
+    EXPECT_NEAR(geometricMean(xs), 4.0, 1e-12);
+}
+
+} // namespace
+} // namespace kb

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the ASCII table renderer.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/table.hpp"
+
+namespace kb {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"name", "value"});
+    t.row().cell("alpha").cell(std::uint64_t{42});
+    t.row().cell("beta").cell(3.5);
+    const std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("3.5"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, PadsColumnsToWidestCell)
+{
+    TextTable t({"x"});
+    t.row().cell("short");
+    t.row().cell("a-much-longer-cell");
+    std::istringstream lines(t.str());
+    std::string first, second;
+    std::getline(lines, first);
+    std::getline(lines, second);
+    EXPECT_EQ(first.size(), second.size());
+}
+
+TEST(TextTable, ShortRowsPaddedWithBlanks)
+{
+    TextTable t({"a", "b"});
+    t.row().cell("only-one");
+    const std::string s = t.str();
+    // Three lines: header, rule, row; row must still have two pipes
+    // after the leading one.
+    std::istringstream lines(s);
+    std::string line;
+    int count = 0;
+    while (std::getline(lines, line))
+        ++count;
+    EXPECT_EQ(count, 3);
+}
+
+TEST(TextTable, BoolCells)
+{
+    TextTable t({"flag"});
+    t.row().cell(true);
+    t.row().cell(false);
+    const std::string s = t.str();
+    EXPECT_NE(s.find("yes"), std::string::npos);
+    EXPECT_NE(s.find("no"), std::string::npos);
+}
+
+TEST(TextTable, PrecisionControl)
+{
+    TextTable t({"v"});
+    t.row().cell(3.14159265, 3);
+    EXPECT_NE(t.str().find("3.14"), std::string::npos);
+}
+
+TEST(PrintHeading, UnderlinesTitle)
+{
+    std::ostringstream oss;
+    printHeading(oss, "Results");
+    EXPECT_NE(oss.str().find("Results"), std::string::npos);
+    EXPECT_NE(oss.str().find("======="), std::string::npos);
+}
+
+} // namespace
+} // namespace kb
