@@ -13,7 +13,7 @@
 #include <cmath>
 #include <iostream>
 
-#include "analysis/experiments.hpp"
+#include "bench/driver.hpp"
 #include "pebble/bounds.hpp"
 #include "pebble/builders.hpp"
 #include "pebble/exact.hpp"
@@ -21,88 +21,92 @@
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kb;
-    printExperimentBanner("E10");
+    return bench::runBench(argc, argv, "E10",
+                           [](bench::BenchContext &) {
 
-    // FFT DAG: Q(S) = Theta(n lg n / lg S).
-    TextTable fft({"n", "S", "achieved I/O", "lower bound",
-                   "achieved/bound", "n lg n / lg S"});
-    for (std::uint32_t n : {64u, 128u, 256u}) {
-        const Dag dag = buildFftDag(n);
-        for (std::uint64_t s : {4u, 8u, 16u, 32u}) {
-            const auto run = playHeuristic(dag, s);
-            const double bound = fftIoLowerBound(n, s);
-            const double shape =
-                n * std::log2(static_cast<double>(n)) /
-                std::log2(static_cast<double>(s));
-            fft.row()
-                .cell(static_cast<std::uint64_t>(n))
-                .cell(s)
-                .cell(run.io())
-                .cell(bound, 5)
-                .cell(static_cast<double>(run.io()) / bound, 3)
-                .cell(shape, 5);
+        // FFT DAG: Q(S) = Theta(n lg n / lg S).
+        TextTable fft({"n", "S", "achieved I/O", "lower bound",
+                       "achieved/bound", "n lg n / lg S"});
+        for (std::uint32_t n : {64u, 128u, 256u}) {
+            const Dag dag = buildFftDag(n);
+            for (std::uint64_t s : {4u, 8u, 16u, 32u}) {
+                const auto run = playHeuristic(dag, s);
+                const double bound = fftIoLowerBound(n, s);
+                const double shape =
+                    n * std::log2(static_cast<double>(n)) /
+                    std::log2(static_cast<double>(s));
+                fft.row()
+                    .cell(static_cast<std::uint64_t>(n))
+                    .cell(s)
+                    .cell(run.io())
+                    .cell(bound, 5)
+                    .cell(static_cast<double>(run.io()) / bound, 3)
+                    .cell(shape, 5);
+            }
         }
-    }
-    printHeading(std::cout, "FFT butterfly DAG");
-    fft.print(std::cout);
+        printHeading(std::cout, "FFT butterfly DAG");
+        fft.print(std::cout);
 
-    // Matmul DAG: Q(S) = Theta(n^3 / sqrt(S)).
-    TextTable mm({"n", "S", "achieved I/O", "lower bound",
-                  "achieved/bound"});
-    for (std::uint32_t n : {6u, 8u, 10u}) {
-        const Dag dag = buildMatmulDag(n);
-        for (std::uint64_t s : {8u, 16u, 32u}) {
-            const auto run = playHeuristic(dag, s);
-            const double bound =
-                std::max(matmulIoLowerBound(n, s),
-                         trivialIoLowerBound(2ull * n * n, n * n, s));
-            mm.row()
-                .cell(static_cast<std::uint64_t>(n))
-                .cell(s)
-                .cell(run.io())
-                .cell(bound, 5)
-                .cell(static_cast<double>(run.io()) / bound, 3);
+        // Matmul DAG: Q(S) = Theta(n^3 / sqrt(S)).
+        TextTable mm({"n", "S", "achieved I/O", "lower bound",
+                      "achieved/bound"});
+        for (std::uint32_t n : {6u, 8u, 10u}) {
+            const Dag dag = buildMatmulDag(n);
+            for (std::uint64_t s : {8u, 16u, 32u}) {
+                const auto run = playHeuristic(dag, s);
+                const double bound =
+                    std::max(matmulIoLowerBound(n, s),
+                             trivialIoLowerBound(2ull * n * n, n * n, s));
+                mm.row()
+                    .cell(static_cast<std::uint64_t>(n))
+                    .cell(s)
+                    .cell(run.io())
+                    .cell(bound, 5)
+                    .cell(static_cast<double>(run.io()) / bound, 3);
+            }
         }
-    }
-    printHeading(std::cout, "Matrix multiplication DAG");
-    mm.print(std::cout);
+        printHeading(std::cout, "Matrix multiplication DAG");
+        mm.print(std::cout);
 
-    // Exact optima on tiny DAGs certify the heuristic's quality.
-    TextTable exact({"DAG", "S", "exact Q(S)", "heuristic",
-                     "heuristic/exact"});
-    struct Tiny
-    {
-        const char *name;
-        Dag dag;
-        std::uint64_t s;
-    };
-    std::vector<Tiny> tiny;
-    tiny.push_back({"chain-8", buildChain(8), 2});
-    tiny.push_back({"tree-4", buildReductionTree(4), 3});
-    tiny.push_back({"tree-8", buildReductionTree(8), 3});
-    tiny.push_back({"fft-4", buildFftDag(4), 4});
-    // The join node has in-degree = width, so the no-recompute
-    // heuristic needs S >= width + 1.
-    tiny.push_back({"diamond-4", buildDiamond(4), 5});
-    for (const auto &t : tiny) {
-        const auto opt = solveExactIo(t.dag, t.s);
-        const auto heur = playHeuristic(t.dag, t.s);
-        exact.row()
-            .cell(t.name)
-            .cell(t.s)
-            .cell(opt ? std::to_string(*opt) : "state-limit")
-            .cell(heur.io())
-            .cell(opt ? static_cast<double>(heur.io()) /
-                            static_cast<double>(*opt)
-                      : 0.0,
-                  3);
-    }
-    printHeading(std::cout,
-                 "Exact minimum I/O (Dijkstra over game states) vs "
-                 "heuristic");
-    exact.print(std::cout);
-    return 0;
+        // Exact optima on tiny DAGs certify the heuristic's quality.
+        TextTable exact({"DAG", "S", "exact Q(S)", "heuristic",
+                         "heuristic/exact"});
+        struct Tiny
+        {
+            const char *name;
+            Dag dag;
+            std::uint64_t s;
+        };
+        std::vector<Tiny> tiny;
+        tiny.push_back({"chain-8", buildChain(8), 2});
+        tiny.push_back({"tree-4", buildReductionTree(4), 3});
+        tiny.push_back({"tree-8", buildReductionTree(8), 3});
+        tiny.push_back({"fft-4", buildFftDag(4), 4});
+        // The join node has in-degree = width, so the no-recompute
+        // heuristic needs S >= width + 1.
+        tiny.push_back({"diamond-4", buildDiamond(4), 5});
+        for (const auto &t : tiny) {
+            const auto opt = solveExactIo(t.dag, t.s);
+            const auto heur = playHeuristic(t.dag, t.s);
+            exact.row()
+                .cell(t.name)
+                .cell(t.s)
+                .cell(opt ? std::to_string(*opt) : "state-limit")
+                .cell(heur.io())
+                .cell(opt ? static_cast<double>(heur.io()) /
+                                static_cast<double>(*opt)
+                          : 0.0,
+                      3);
+        }
+        printHeading(std::cout,
+                     "Exact minimum I/O (Dijkstra over game states) vs "
+                     "heuristic");
+        exact.print(std::cout);
+        return 0;
+    },
+        bench::BenchCaps{.kernels = false, .points = false,
+                         .threads = false});
 }

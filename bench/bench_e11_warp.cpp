@@ -15,7 +15,7 @@
 #include <cmath>
 #include <iostream>
 
-#include "analysis/experiments.hpp"
+#include "bench/driver.hpp"
 #include "core/balance.hpp"
 #include "core/rebalance.hpp"
 #include "kernels/kernel.hpp"
@@ -24,71 +24,75 @@
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kb;
-    printExperimentBanner("E11");
+    return bench::runBench(argc, argv, "E11",
+                           [](bench::BenchContext &) {
 
-    const PeConfig cell = warpCellPe();
-    std::cout << "Warp cell: C = " << cell.comp_bandwidth / 1e6
-              << " MFLOPS, IO = " << cell.io_bandwidth / 1e6
-              << " Mwords/s, M = " << cell.memory_words
-              << " words  (C/IO = " << cell.compIoRatio() << ")\n";
+        const PeConfig cell = warpCellPe();
+        std::cout << "Warp cell: C = " << cell.comp_bandwidth / 1e6
+                  << " MFLOPS, IO = " << cell.io_bandwidth / 1e6
+                  << " Mwords/s, M = " << cell.memory_words
+                  << " words  (C/IO = " << cell.compIoRatio() << ")\n";
 
-    // Required memory for balance per kernel: M with R(M) = C/IO.
-    TextTable single({"kernel", "R(64K words)", "needed C/IO <= R?",
-                      "balance state on one cell"});
-    for (const auto id : allKernelIds()) {
-        const auto k = makeKernel(id);
-        const double r_at_warp =
-            k->asymptoticRatio(cell.memory_words);
-        const std::uint64_t n = k->suggestProblemSize(4096);
-        const auto w = k->analyticCosts(n, cell.memory_words);
-        const auto rep = checkBalance(cell, w, 0.02);
-        single.row()
-            .cell(k->name())
-            .cell(r_at_warp, 4)
-            .cell(r_at_warp >= cell.compIoRatio())
-            .cell(balanceStateName(rep.state));
-    }
-    printHeading(std::cout,
-                 "One Warp cell (C/IO = 0.5): every compute-bound "
-                 "kernel is comfortably compute-limited");
-    single.print(std::cout);
+        // Required memory for balance per kernel: M with R(M) = C/IO.
+        TextTable single({"kernel", "R(64K words)", "needed C/IO <= R?",
+                          "balance state on one cell"});
+        for (const auto id : allKernelIds()) {
+            const auto k = makeKernel(id);
+            const double r_at_warp =
+                k->asymptoticRatio(cell.memory_words);
+            const std::uint64_t n = k->suggestProblemSize(4096);
+            const auto w = k->analyticCosts(n, cell.memory_words);
+            const auto rep = checkBalance(cell, w, 0.02);
+            single.row()
+                .cell(k->name())
+                .cell(r_at_warp, 4)
+                .cell(r_at_warp >= cell.compIoRatio())
+                .cell(balanceStateName(rep.state));
+        }
+        printHeading(std::cout,
+                     "One Warp cell (C/IO = 0.5): every compute-bound "
+                     "kernel is comfortably compute-limited");
+        single.print(std::cout);
 
-    // The 10-cell array: alpha = 10 against a single cell.
-    const auto spec = warpArray(10);
-    const auto agg = aggregatePe(spec);
-    std::cout << "\n10-cell Warp array as one PE: C = "
-              << agg.comp_bandwidth / 1e6
-              << " MFLOPS, boundary IO = " << agg.io_bandwidth / 1e6
-              << " Mwords/s, alpha = " << aggregateAlpha(spec) << "\n";
+        // The 10-cell array: alpha = 10 against a single cell.
+        const auto spec = warpArray(10);
+        const auto agg = aggregatePe(spec);
+        std::cout << "\n10-cell Warp array as one PE: C = "
+                  << agg.comp_bandwidth / 1e6
+                  << " MFLOPS, boundary IO = " << agg.io_bandwidth / 1e6
+                  << " Mwords/s, alpha = " << aggregateAlpha(spec) << "\n";
 
-    TextTable array({"kernel", "law", "per-PE memory needed",
-                     "fits in 64K?"});
-    for (const auto id : computeBoundKernelIds()) {
-        const auto k = makeKernel(id);
-        // Single cell balances at R(M0) = C/IO = 0.5; every kernel
-        // satisfies that at tiny M0 — take M0 = 64 words as the
-        // baseline tile and apply the law with alpha = 10.
-        const auto per_pe =
-            requiredPerPeMemory(k->law(), spec, 64);
-        array.row()
-            .cell(k->name())
-            .cell(k->law().describe())
-            .cell(per_pe ? *per_pe : -1.0, 5)
-            .cell(per_pe && *per_pe <=
-                                static_cast<double>(
-                                    kWarpCellMemoryWords));
-    }
-    printHeading(std::cout,
-                 "10-cell array, alpha = 10: per-PE memory demanded "
-                 "by each law (baseline M0 = 64 words)");
-    array.print(std::cout);
-    std::cout
-        << "\nThe 64K-word cells absorb alpha = 10 easily for the "
-           "polynomial laws — \"having a rather large I/O bandwidth "
-           "and a relatively large local memory ... reflects the "
-           "results of this paper.\"\n";
-    return 0;
+        TextTable array({"kernel", "law", "per-PE memory needed",
+                         "fits in 64K?"});
+        for (const auto id : computeBoundKernelIds()) {
+            const auto k = makeKernel(id);
+            // Single cell balances at R(M0) = C/IO = 0.5; every kernel
+            // satisfies that at tiny M0 — take M0 = 64 words as the
+            // baseline tile and apply the law with alpha = 10.
+            const auto per_pe =
+                requiredPerPeMemory(k->law(), spec, 64);
+            array.row()
+                .cell(k->name())
+                .cell(k->law().describe())
+                .cell(per_pe ? *per_pe : -1.0, 5)
+                .cell(per_pe && *per_pe <=
+                                    static_cast<double>(
+                                        kWarpCellMemoryWords));
+        }
+        printHeading(std::cout,
+                     "10-cell array, alpha = 10: per-PE memory demanded "
+                     "by each law (baseline M0 = 64 words)");
+        array.print(std::cout);
+        std::cout
+            << "\nThe 64K-word cells absorb alpha = 10 easily for the "
+               "polynomial laws — \"having a rather large I/O bandwidth "
+               "and a relatively large local memory ... reflects the "
+               "results of this paper.\"\n";
+        return 0;
+    },
+        bench::BenchCaps{.kernels = false, .points = false,
+                         .threads = false});
 }

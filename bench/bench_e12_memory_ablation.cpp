@@ -6,7 +6,9 @@
  * The matmul trace is replayed through six memory disciplines at
  * every size; the fitted R(M) exponent survives all of them (with a
  * documented caveat for tiles sized to 100% of a set-associative
- * cache).
+ * cache). Demand-fill disciplines are replayed by *streaming* the
+ * trace straight into the model (ReplaySink) — no intermediate
+ * vector; only Belady OPT, which needs the future, buffers it.
  */
 
 #include <cmath>
@@ -14,11 +16,12 @@
 #include <iostream>
 #include <memory>
 
-#include "analysis/experiments.hpp"
+#include "bench/driver.hpp"
 #include "kernels/matmul.hpp"
 #include "mem/lru_cache.hpp"
 #include "mem/opt_cache.hpp"
 #include "mem/set_assoc.hpp"
+#include "trace/replay.hpp"
 #include "trace/sink.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -31,96 +34,101 @@ double
 traceIo(const MatmulKernel &k, std::uint64_t n, std::uint64_t sched_m,
         LocalMemory &mem)
 {
-    CallbackSink sink([&](const Access &a) { mem.access(a); });
+    // Streaming replay: emitTrace feeds the model in a single pass.
+    ReplaySink sink(mem);
     k.emitTrace(n, sched_m, sink);
-    mem.flush();
+    sink.flush();
     return static_cast<double>(mem.stats().ioWords());
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    printExperimentBanner("E12");
+    return bench::runBench(argc, argv, "E12", [](bench::BenchContext &) {
+        MatmulKernel kernel;
+        const std::uint64_t n = 160;
+        const double ops = 2.0 * static_cast<double>(n) * n * n;
 
-    MatmulKernel kernel;
-    const std::uint64_t n = 160;
-    const double ops = 2.0 * static_cast<double>(n) * n * n;
+        struct Discipline
+        {
+            std::string name;
+            /// returns measured io at capacity m
+            std::function<double(std::uint64_t)> io;
+        };
 
-    struct Discipline
-    {
-        std::string name;
-        /// returns measured io at capacity m
-        std::function<double(std::uint64_t)> io;
-    };
+        std::vector<Discipline> rows;
+        rows.push_back({"scratchpad (paper)", [&](std::uint64_t m) {
+                            return kernel.measure(n, m, false)
+                                .cost.io_words;
+                        }});
+        rows.push_back({"fully-assoc LRU", [&](std::uint64_t m) {
+                            LruCache c(m);
+                            return traceIo(kernel, n, m, c);
+                        }});
+        rows.push_back({"Belady OPT", [&](std::uint64_t m) {
+                            VectorSink sink;
+                            kernel.emitTrace(n, m, sink);
+                            return static_cast<double>(
+                                simulateOpt(sink.trace(), m)
+                                    .stats.ioWords());
+                        }});
+        rows.push_back({"8-way LRU (tile=M/2)", [&](std::uint64_t m) {
+                            SetAssocCache c(m / 8, 8,
+                                            ReplacementPolicy::LRU);
+                            return traceIo(kernel, n, m / 2, c);
+                        }});
+        rows.push_back({"8-way FIFO (tile=M/2)", [&](std::uint64_t m) {
+                            SetAssocCache c(m / 8, 8,
+                                            ReplacementPolicy::FIFO);
+                            return traceIo(kernel, n, m / 2, c);
+                        }});
+        rows.push_back({"random repl (tile=M/2)", [&](std::uint64_t m) {
+                            SetAssocCache c(1, m,
+                                            ReplacementPolicy::Random,
+                                            7);
+                            return traceIo(kernel, n, m / 2, c);
+                        }});
 
-    std::vector<Discipline> rows;
-    rows.push_back({"scratchpad (paper)", [&](std::uint64_t m) {
-                        return kernel.measure(n, m, false)
-                            .cost.io_words;
-                    }});
-    rows.push_back({"fully-assoc LRU", [&](std::uint64_t m) {
-                        LruCache c(m);
-                        return traceIo(kernel, n, m, c);
-                    }});
-    rows.push_back({"Belady OPT", [&](std::uint64_t m) {
-                        VectorSink sink;
-                        kernel.emitTrace(n, m, sink);
-                        return static_cast<double>(
-                            simulateOpt(sink.trace(), m)
-                                .stats.ioWords());
-                    }});
-    rows.push_back({"8-way LRU (tile=M/2)", [&](std::uint64_t m) {
-                        SetAssocCache c(m / 8, 8,
-                                        ReplacementPolicy::LRU);
-                        return traceIo(kernel, n, m / 2, c);
-                    }});
-    rows.push_back({"8-way FIFO (tile=M/2)", [&](std::uint64_t m) {
-                        SetAssocCache c(m / 8, 8,
-                                        ReplacementPolicy::FIFO);
-                        return traceIo(kernel, n, m / 2, c);
-                    }});
-    rows.push_back({"random repl (tile=M/2)", [&](std::uint64_t m) {
-                        SetAssocCache c(1, m,
-                                        ReplacementPolicy::Random, 7);
-                        return traceIo(kernel, n, m / 2, c);
-                    }});
+        const std::vector<std::uint64_t> mem_sizes = {64,  128,  256,
+                                                      512, 1024, 2048};
 
-    const std::vector<std::uint64_t> mem_sizes = {64,  128, 256,
-                                                  512, 1024, 2048};
+        std::vector<std::string> headers = {"discipline"};
+        for (const auto m : mem_sizes)
+            headers.push_back("M=" + std::to_string(m));
+        headers.push_back("fitted exponent");
+        headers.push_back("verdict");
 
-    std::vector<std::string> headers = {"discipline"};
-    for (const auto m : mem_sizes)
-        headers.push_back("M=" + std::to_string(m));
-    headers.push_back("fitted exponent");
-    headers.push_back("verdict");
-
-    TextTable table(headers);
-    for (const auto &d : rows) {
-        auto &r = table.row();
-        r.cell(d.name);
-        std::vector<double> ms, ratios;
-        for (const auto m : mem_sizes) {
-            const double io = d.io(m);
-            const double ratio = ops / io;
-            ms.push_back(static_cast<double>(m));
-            ratios.push_back(ratio);
-            r.cell(ratio, 4);
+        TextTable table(headers);
+        for (const auto &d : rows) {
+            auto &r = table.row();
+            r.cell(d.name);
+            std::vector<double> ms, ratios;
+            for (const auto m : mem_sizes) {
+                const double io = d.io(m);
+                const double ratio = ops / io;
+                ms.push_back(static_cast<double>(m));
+                ratios.push_back(ratio);
+                r.cell(ratio, 4);
+            }
+            const auto fit = fitPowerLaw(ms, ratios);
+            r.cell(fit.slope, 3);
+            const bool ok = fit.slope > 0.3 && fit.slope < 0.7;
+            r.cell(ok ? "sqrt shape holds" : "shape broken");
         }
-        const auto fit = fitPowerLaw(ms, ratios);
-        r.cell(fit.slope, 3);
-        const bool ok = fit.slope > 0.3 && fit.slope < 0.7;
-        r.cell(ok ? "sqrt shape holds" : "shape broken");
-    }
-    printHeading(std::cout,
-                 "matmul R(M) under six memory disciplines (N = 160)");
-    table.print(std::cout);
-    std::cout
-        << "\npaper exponent: 0.5. The law is a property of the "
-           "computation, not of the replacement policy.\n"
-           "(set-associative rows tile for M/2 — a tile sized to "
-           "100% of the capacity conflict-thrashes, which is why "
-           "real blocked kernels leave associativity headroom)\n";
-    return 0;
+        printHeading(
+            std::cout,
+            "matmul R(M) under six memory disciplines (N = 160)");
+        table.print(std::cout);
+        std::cout
+            << "\npaper exponent: 0.5. The law is a property of the "
+               "computation, not of the replacement policy.\n"
+               "(set-associative rows tile for M/2 — a tile sized to "
+               "100% of the capacity conflict-thrashes, which is why "
+               "real blocked kernels leave associativity headroom)\n";
+        return 0;
+    },
+        bench::BenchCaps{.kernels = false, .points = false,
+                         .threads = false});
 }

@@ -3,114 +3,110 @@
  * E1 — the paper's Section 3 summary table, regenerated.
  *
  * For every computation: measure R(M) on the simulated PE in the
- * kernel's paper regime, classify the curve, and print the recovered
- * rebalancing law next to the paper's. Then show the memory growth
- * a PE needs for alpha = 2, 4, 8 under both the paper's closed form
- * and numeric rebalancing on the measured curve.
+ * kernel's paper regime (the whole grid runs as one engine batch),
+ * classify the curve, and print the recovered rebalancing law next
+ * to the paper's. Then show the memory growth a PE needs for
+ * alpha = 2, 4, 8 under both the paper's closed form and numeric
+ * rebalancing on the measured curve.
  */
 
 #include <cmath>
 #include <iostream>
 
 #include "analysis/classify.hpp"
-#include "analysis/experiments.hpp"
-#include "analysis/sweep.hpp"
+#include "bench/driver.hpp"
 #include "core/rebalance.hpp"
 #include "kernels/kernel.hpp"
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kb;
-    printExperimentBanner("E1");
+    return bench::runBench(argc, argv, "E1", [](bench::BenchContext &ctx) {
+        // One declarative batch: every kernel's default sweep.
+        const auto results = ctx.experimentSweeps();
 
-    TextTable laws({"computation", "paper law", "measured shape",
-                    "fit", "verdict"});
+        TextTable laws({"computation", "paper law", "measured shape",
+                        "fit", "verdict"});
+        std::vector<RatioCurve> curves;
+        for (const auto &result : results) {
+            const auto kernel = makeKernel(result.job.kernel);
+            auto curve = toRatioCurve(result);
+            const auto fitted =
+                classifyRatioCurve(curve.memories(), curve.ratios());
+            const bool ok = lawMatches(fitted, kernel->law(), 0.3);
+            laws.row()
+                .cell(kernel->name())
+                .cell(kernel->law().describe())
+                .cell(fitted.describe())
+                .cell(ok)
+                .cell(ok ? "matches paper" : "MISMATCH");
+            curves.push_back(std::move(curve));
+        }
+        printHeading(std::cout, "Rebalancing laws (paper vs. measured)");
+        laws.print(std::cout);
 
-    struct CurveData
-    {
-        KernelId id;
-        RatioCurve curve;
-    };
-    std::vector<CurveData> curves;
-
-    for (const auto id : allKernelIds()) {
-        const auto kernel = makeKernel(id);
-        std::uint64_t lo = 0, hi = 0;
-        defaultSweepRange(id, lo, hi);
-        auto curve = measureRatioCurve(id, lo, hi, 6);
-        const auto fitted =
-            classifyRatioCurve(curve.memories(), curve.ratios());
-        const bool ok = lawMatches(fitted, kernel->law(), 0.3);
-        laws.row()
-            .cell(kernel->name())
-            .cell(kernel->law().describe())
-            .cell(fitted.describe())
-            .cell(ok)
-            .cell(ok ? "matches paper" : "MISMATCH");
-        curves.push_back({id, std::move(curve)});
-    }
-    printHeading(std::cout, "Rebalancing laws (paper vs. measured)");
-    laws.print(std::cout);
-
-    // Memory growth factors M_new / M_old for alpha = 2, 4, 8.
-    TextTable growth({"computation", "M_old", "alpha=2 (paper)",
-                      "alpha=2 (measured)", "alpha=4 (paper)",
-                      "alpha=4 (measured)", "alpha=8 (paper)"});
-    for (const auto &cd : curves) {
-        const auto kernel = makeKernel(cd.id);
-        // Interpolate the measured curve for numeric rebalancing.
-        const auto ms = cd.curve.memories();
-        const auto rs = cd.curve.ratios();
-        auto measured_ratio = [&](std::uint64_t m) {
-            const double dm = static_cast<double>(m);
-            if (dm <= ms.front())
-                return rs.front();
-            for (std::size_t i = 1; i < ms.size(); ++i) {
-                if (dm <= ms[i]) {
-                    const double t = (std::log(dm) - std::log(ms[i - 1])) /
-                                     (std::log(ms[i]) - std::log(ms[i - 1]));
-                    return rs[i - 1] + t * (rs[i] - rs[i - 1]);
+        // Memory growth factors M_new / M_old for alpha = 2, 4, 8.
+        TextTable growth({"computation", "M_old", "alpha=2 (paper)",
+                          "alpha=2 (measured)", "alpha=4 (paper)",
+                          "alpha=4 (measured)", "alpha=8 (paper)"});
+        for (const auto &cd : curves) {
+            const auto kernel = makeKernel(cd.name);
+            // Interpolate the measured curve for numeric rebalancing.
+            const auto ms = cd.memories();
+            const auto rs = cd.ratios();
+            auto measured_ratio = [&](std::uint64_t m) {
+                const double dm = static_cast<double>(m);
+                if (dm <= ms.front())
+                    return rs.front();
+                for (std::size_t i = 1; i < ms.size(); ++i) {
+                    if (dm <= ms[i]) {
+                        const double t =
+                            (std::log(dm) - std::log(ms[i - 1])) /
+                            (std::log(ms[i]) - std::log(ms[i - 1]));
+                        return rs[i - 1] + t * (rs[i] - rs[i - 1]);
+                    }
                 }
-            }
-            return rs.back();
-        };
-        const std::uint64_t m_old =
-            static_cast<std::uint64_t>(ms.front());
-        const std::uint64_t m_max =
-            static_cast<std::uint64_t>(ms.back());
+                return rs.back();
+            };
+            const std::uint64_t m_old =
+                static_cast<std::uint64_t>(ms.front());
+            const std::uint64_t m_max =
+                static_cast<std::uint64_t>(ms.back());
 
-        auto paper_cell = [&](double alpha) {
-            const auto r =
-                rebalanceClosedForm(kernel->law(), m_old, alpha);
-            return r.possible
-                       ? std::to_string(r.growth_factor).substr(0, 7)
-                       : std::string("impossible");
-        };
-        auto measured_cell = [&](double alpha) {
-            const auto r =
-                rebalanceNumeric(measured_ratio, m_old, alpha, m_max);
-            return r.possible
-                       ? std::to_string(r.growth_factor).substr(0, 7)
-                       : std::string("not reachable");
-        };
+            auto paper_cell = [&](double alpha) {
+                const auto r =
+                    rebalanceClosedForm(kernel->law(), m_old, alpha);
+                return r.possible
+                           ? std::to_string(r.growth_factor).substr(0, 7)
+                           : std::string("impossible");
+            };
+            auto measured_cell = [&](double alpha) {
+                const auto r = rebalanceNumeric(measured_ratio, m_old,
+                                                alpha, m_max);
+                return r.possible
+                           ? std::to_string(r.growth_factor).substr(0, 7)
+                           : std::string("not reachable");
+            };
 
-        growth.row()
-            .cell(kernel->name())
-            .cell(m_old)
-            .cell(paper_cell(2.0))
-            .cell(measured_cell(2.0))
-            .cell(paper_cell(4.0))
-            .cell(measured_cell(4.0))
-            .cell(paper_cell(8.0));
-    }
-    printHeading(std::cout,
-                 "Memory growth factor M_new/M_old after C/IO grows "
-                 "by alpha");
-    growth.print(std::cout);
-    std::cout << "\n(measured column is bounded by the sweep ceiling; "
-                 "'not reachable' within the sweep\n confirms "
-                 "impossibility only for the I/O-bounded kernels)\n";
-    return 0;
+            growth.row()
+                .cell(kernel->name())
+                .cell(m_old)
+                .cell(paper_cell(2.0))
+                .cell(measured_cell(2.0))
+                .cell(paper_cell(4.0))
+                .cell(measured_cell(4.0))
+                .cell(paper_cell(8.0));
+        }
+        printHeading(std::cout,
+                     "Memory growth factor M_new/M_old after C/IO "
+                     "grows by alpha");
+        growth.print(std::cout);
+        std::cout
+            << "\n(measured column is bounded by the sweep ceiling; "
+               "'not reachable' within the sweep\n confirms "
+               "impossibility only for the I/O-bounded kernels)\n";
+        return 0;
+    });
 }

@@ -3,78 +3,93 @@
  * E2 — Section 3.1: matrix multiplication.
  *
  * Regenerates the paper's Eq. (2) shape: Ccomp/Cio = Theta(sqrt(M)),
- * by running the real tiled schedule across a memory sweep, and
- * checks the rebalancing consequence M_new = alpha^2 M_old.
+ * by running the real tiled schedule across a memory sweep on the
+ * experiment engine, and checks the rebalancing consequence
+ * M_new = alpha^2 M_old.
  */
 
 #include <cmath>
 #include <iostream>
 
-#include "analysis/experiments.hpp"
+#include "bench/driver.hpp"
 #include "core/rebalance.hpp"
 #include "kernels/matmul.hpp"
-#include "util/csv.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kb;
-    printExperimentBanner("E2");
+    return bench::runBench(argc, argv, "E2", [](bench::BenchContext &ctx) {
+        MatmulKernel kernel;
 
-    MatmulKernel kernel;
-    const std::uint64_t n = 384;
+        SweepJob job;
+        job.kernel = "matmul";
+        job.m_lo = 48;
+        job.m_hi = 12288;
+        job.points = ctx.points(9);
+        const auto result = ctx.engine().runOne(job);
+        const std::uint64_t n = result.n_hint;
 
-    TextTable sweep({"M (words)", "tile b", "Ccomp", "Cio (measured)",
-                     "Cio (paper formula)", "R(M)", "R/sqrt(M)"});
-    std::vector<double> ms, ratios;
-    for (std::uint64_t m = 48; m <= 12288; m *= 2) {
-        const auto r = kernel.measure(n, m, /*verify=*/false);
-        const auto analytic = kernel.analyticCosts(n, m);
-        const double ratio = r.cost.ratio();
-        ms.push_back(static_cast<double>(m));
-        ratios.push_back(ratio);
-        sweep.row()
-            .cell(m)
-            .cell(MatmulKernel::tileSize(m))
-            .cell(r.cost.comp_ops, 4)
-            .cell(r.cost.io_words, 4)
-            .cell(analytic.io_words, 4)
-            .cell(ratio, 4)
-            .cell(ratio / std::sqrt(static_cast<double>(m)), 3);
-    }
-    printHeading(std::cout, "R(M) sweep (N = 384, real arithmetic)");
-    sweep.print(std::cout);
+        TextTable sweep({"M (words)", "tile b", "Ccomp",
+                         "Cio (measured)", "Cio (paper formula)",
+                         "R(M)", "R/sqrt(M)"});
+        std::vector<double> ms, ratios;
+        for (const auto &p : result.points) {
+            const auto &s = p.sample;
+            const auto analytic = kernel.analyticCosts(n, s.m);
+            ms.push_back(static_cast<double>(s.m));
+            ratios.push_back(s.ratio);
+            sweep.row()
+                .cell(s.m)
+                .cell(MatmulKernel::tileSize(s.m))
+                .cell(s.comp_ops, 4)
+                .cell(s.io_words, 4)
+                .cell(analytic.io_words, 4)
+                .cell(s.ratio, 4)
+                .cell(s.ratio / std::sqrt(static_cast<double>(s.m)), 3);
+        }
+        printHeading(std::cout, "R(M) sweep (N = " + std::to_string(n) +
+                                    ", real arithmetic)");
+        sweep.print(std::cout);
 
-    // Machine-readable series for replotting.
-    CsvWriter csv("e2_matmul_ratio.csv", {"m_words", "ratio"});
-    for (std::size_t i = 0; i < ms.size(); ++i)
-        csv.writeRow({std::to_string(ms[i]), std::to_string(ratios[i])});
-    std::cout << "\n(series written to e2_matmul_ratio.csv)\n";
+        // Machine-readable series for replotting.
+        if (auto csv =
+                ctx.csv("e2_matmul_ratio.csv", {"m_words", "ratio"})) {
+            for (std::size_t i = 0; i < ms.size(); ++i)
+                csv->writeRow({std::to_string(ms[i]),
+                               std::to_string(ratios[i])});
+            std::cout << "\n" << ctx.csvNote("e2_matmul_ratio.csv")
+                      << "\n";
+        }
 
-    const auto fit = fitPowerLaw(ms, ratios);
-    std::cout << "\nlog-log slope of R(M): " << fit.slope
-              << "   (paper: 0.5)   r2 = " << fit.r2 << "\n";
+        const auto fit = fitPowerLaw(ms, ratios);
+        std::cout << "\nlog-log slope of R(M): " << fit.slope
+                  << "   (paper: 0.5)   r2 = " << fit.r2 << "\n";
 
-    TextTable rebal({"alpha", "paper M_new/M_old",
-                     "measured M_new/M_old"});
-    auto ratio_at = [&](std::uint64_t m) {
-        return kernel.measure(n, m, false).cost.ratio();
-    };
-    const std::uint64_t m_old = 192;
-    for (double alpha : {1.5, 2.0, 3.0}) {
-        const auto paper =
-            rebalanceClosedForm(kernel.law(), m_old, alpha);
-        const auto measured =
-            rebalanceNumeric(ratio_at, m_old, alpha, 1u << 16);
-        rebal.row()
-            .cell(alpha, 3)
-            .cell(paper.growth_factor, 4)
-            .cell(measured.possible ? measured.growth_factor : -1.0, 4);
-    }
-    printHeading(std::cout,
-                 "Rebalancing factors (M_old = 192): alpha^2 law");
-    rebal.print(std::cout);
-    return 0;
+        TextTable rebal({"alpha", "paper M_new/M_old",
+                         "measured M_new/M_old"});
+        auto ratio_at = [&](std::uint64_t m) {
+            return kernel.measure(n, m, false).cost.ratio();
+        };
+        const std::uint64_t m_old = 192;
+        for (double alpha : {1.5, 2.0, 3.0}) {
+            const auto paper =
+                rebalanceClosedForm(kernel.law(), m_old, alpha);
+            const auto measured =
+                rebalanceNumeric(ratio_at, m_old, alpha, 1u << 16);
+            rebal.row()
+                .cell(alpha, 3)
+                .cell(paper.growth_factor, 4)
+                .cell(measured.possible ? measured.growth_factor : -1.0,
+                      4);
+        }
+        printHeading(std::cout,
+                     "Rebalancing factors (M_old = 192): alpha^2 law");
+        rebal.print(std::cout);
+        return 0;
+    },
+        bench::BenchCaps{.kernels = false, .points = true,
+                         .threads = true});
 }

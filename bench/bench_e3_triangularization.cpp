@@ -10,48 +10,57 @@
 #include <cmath>
 #include <iostream>
 
-#include "analysis/experiments.hpp"
+#include "bench/driver.hpp"
 #include "core/rebalance.hpp"
 #include "kernels/lu.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kb;
-    printExperimentBanner("E3");
+    return bench::runBench(argc, argv, "E3", [](bench::BenchContext &ctx) {
+        LuKernel kernel;
 
-    LuKernel kernel;
-    const std::uint64_t n = 320;
+        SweepJob job;
+        job.kernel = "triangularization";
+        job.m_lo = 48;
+        job.m_hi = 12288;
+        job.points = ctx.points(9);
+        const auto result = ctx.engine().runOne(job);
+        const std::uint64_t n = result.n_hint;
 
-    TextTable sweep({"M (words)", "tile b", "Ccomp", "Cio", "R(M)",
-                     "R/sqrt(M)"});
-    std::vector<double> ms, ratios;
-    for (std::uint64_t m = 48; m <= 12288; m *= 2) {
-        const auto r = kernel.measure(n, m, false);
-        const double ratio = r.cost.ratio();
-        ms.push_back(static_cast<double>(m));
-        ratios.push_back(ratio);
-        sweep.row()
-            .cell(m)
-            .cell(LuKernel::tileSize(m))
-            .cell(r.cost.comp_ops, 4)
-            .cell(r.cost.io_words, 4)
-            .cell(ratio, 4)
-            .cell(ratio / std::sqrt(static_cast<double>(m)), 3);
-    }
-    printHeading(std::cout,
-                 "R(M) sweep (N = 320, blocked Gaussian elimination)");
-    sweep.print(std::cout);
+        TextTable sweep({"M (words)", "tile b", "Ccomp", "Cio", "R(M)",
+                         "R/sqrt(M)"});
+        std::vector<double> ms, ratios;
+        for (const auto &p : result.points) {
+            const auto &s = p.sample;
+            ms.push_back(static_cast<double>(s.m));
+            ratios.push_back(s.ratio);
+            sweep.row()
+                .cell(s.m)
+                .cell(LuKernel::tileSize(s.m))
+                .cell(s.comp_ops, 4)
+                .cell(s.io_words, 4)
+                .cell(s.ratio, 4)
+                .cell(s.ratio / std::sqrt(static_cast<double>(s.m)), 3);
+        }
+        printHeading(std::cout,
+                     "R(M) sweep (N = " + std::to_string(n) +
+                         ", blocked Gaussian elimination)");
+        sweep.print(std::cout);
 
-    const auto fit = fitPowerLaw(ms, ratios);
-    std::cout << "\nlog-log slope of R(M): " << fit.slope
-              << "   (paper: 0.5)   r2 = " << fit.r2 << "\n";
+        const auto fit = fitPowerLaw(ms, ratios);
+        std::cout << "\nlog-log slope of R(M): " << fit.slope
+                  << "   (paper: 0.5)   r2 = " << fit.r2 << "\n";
 
-    // Same-law check against matmul (paper: both alpha^2).
-    const auto paper = rebalanceClosedForm(kernel.law(), 256, 2.0);
-    std::cout << "alpha = 2 memory growth (paper law): "
-              << paper.growth_factor << "x (same as matmul)\n";
-    return 0;
+        // Same-law check against matmul (paper: both alpha^2).
+        const auto paper = rebalanceClosedForm(kernel.law(), 256, 2.0);
+        std::cout << "alpha = 2 memory growth (paper law): "
+                  << paper.growth_factor << "x (same as matmul)\n";
+        return 0;
+    },
+        bench::BenchCaps{.kernels = false, .points = true,
+                         .threads = true});
 }

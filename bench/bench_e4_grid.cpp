@@ -4,97 +4,101 @@
  *
  * Paper claim: R(M) = Theta(M^(1/d)), hence M_new = alpha^d M_old.
  * Measured two ways: the paper's own resident-subgrid accounting
- * (halo-only I/O, steady state) and the executable single-PE
- * trapezoidal time tiling.
+ * (halo-only I/O, steady state, run as one engine batch across all
+ * four dimensions) and the executable single-PE trapezoidal time
+ * tiling.
  */
 
 #include <cmath>
 #include <iostream>
 
-#include "analysis/experiments.hpp"
-#include "analysis/sweep.hpp"
+#include "bench/driver.hpp"
 #include "core/rebalance.hpp"
 #include "kernels/grid.hpp"
-#include "util/csv.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kb;
-    printExperimentBanner("E4");
+    return bench::runBench(argc, argv, "E4", [](bench::BenchContext &ctx) {
+        // Part 1: resident-subgrid (the paper's Section 3.3
+        // accounting), all four dimensions as one engine batch.
+        const auto results = ctx.experimentSweeps();
 
-    // Part 1: resident-subgrid (the paper's Section 3.3 accounting).
-    CsvWriter csv("e4_grid_ratio.csv", {"d", "m_words", "ratio"});
-    TextTable resident({"d", "fit exponent of R(M)", "paper (1/d)",
-                        "r2", "law check alpha=2"});
-    for (unsigned d = 1; d <= 4; ++d) {
-        const KernelId id =
-            d == 1 ? KernelId::Grid1D
-                   : d == 2 ? KernelId::Grid2D
-                            : d == 3 ? KernelId::Grid3D
-                                     : KernelId::Grid4D;
-        std::uint64_t lo = 0, hi = 0;
-        defaultSweepRange(id, lo, hi);
-        const auto curve = measureRatioCurve(id, lo, hi, 5);
-        for (const auto &sample : curve.samples)
-            csv.writeRow({std::to_string(d), std::to_string(sample.m),
-                          std::to_string(sample.ratio)});
-        const auto fit =
-            fitPowerLaw(curve.memories(), curve.ratios());
-        const auto law = GridKernel(d).law();
-        const auto re = rebalanceClosedForm(law, 4096, 2.0);
-        resident.row()
-            .cell(static_cast<int>(d))
-            .cell(fit.slope, 3)
-            .cell(1.0 / d, 3)
-            .cell(fit.r2, 4)
-            .cell("M x " + std::to_string(re.growth_factor)
-                               .substr(0, 5));
-    }
-    printHeading(std::cout,
-                 "Resident subgrid (paper's model): R(M) exponent");
-    resident.print(std::cout);
-    std::cout << "(series written to e4_grid_ratio.csv)\n";
-
-    // Part 2: executable trapezoidal tiling for d = 1, 2 (single PE,
-    // N >> M; higher d needs bigger-than-laptop blocks to leave the
-    // halo-dominated regime — see EXPERIMENTS.md).
-    TextTable trap({"d", "M", "tau", "R(M) measured", "verified"});
-    for (unsigned d = 1; d <= 2; ++d) {
-        const std::uint64_t iters = d == 1 ? 256 : 64;
-        GridKernel k(d, iters);
-        const std::uint64_t g = d == 1 ? 4096 : 160;
-        for (std::uint64_t m = d == 1 ? 64 : 128;
-             m <= (d == 1 ? 1024u : 8192u); m *= 4) {
-            const auto r = k.measure(g, m, true);
-            trap.row()
+        auto csv = ctx.csv("e4_grid_ratio.csv",
+                           {"d", "m_words", "ratio"});
+        TextTable resident({"d", "fit exponent of R(M)", "paper (1/d)",
+                            "r2", "law check alpha=2"});
+        for (const auto &result : results) {
+            // "grid3d" -> 3
+            const unsigned d =
+                static_cast<unsigned>(result.job.kernel[4] - '0');
+            const auto curve = toRatioCurve(result);
+            if (csv) {
+                for (const auto &sample : curve.samples)
+                    csv->writeRow({std::to_string(d),
+                                   std::to_string(sample.m),
+                                   std::to_string(sample.ratio)});
+            }
+            const auto fit =
+                fitPowerLaw(curve.memories(), curve.ratios());
+            const auto law = GridKernel(d).law();
+            const auto re = rebalanceClosedForm(law, 4096, 2.0);
+            resident.row()
                 .cell(static_cast<int>(d))
-                .cell(m)
-                .cell(k.temporalDepth(m))
-                .cell(r.cost.ratio(), 4)
-                .cell(r.verified);
+                .cell(fit.slope, 3)
+                .cell(1.0 / d, 3)
+                .cell(fit.r2, 4)
+                .cell("M x " + std::to_string(re.growth_factor)
+                                   .substr(0, 5));
         }
-    }
-    printHeading(std::cout,
-                 "Trapezoidal time tiling (executable single-PE "
-                 "schedule)");
-    trap.print(std::cout);
+        printHeading(std::cout,
+                     "Resident subgrid (paper's model): R(M) exponent");
+        resident.print(std::cout);
+        const auto note = ctx.csvNote("e4_grid_ratio.csv");
+        if (!note.empty())
+            std::cout << note << "\n";
 
-    // The ordering consequence: alpha^d for fixed alpha.
-    TextTable growth({"alpha", "d=1", "d=2", "d=3", "d=4"});
-    for (double alpha : {2.0, 3.0, 4.0}) {
-        auto &row = growth.row();
-        row.cell(alpha, 3);
-        for (unsigned d = 1; d <= 4; ++d) {
-            const auto re = rebalanceClosedForm(
-                ScalingLaw::power(static_cast<double>(d)), 1024,
-                alpha);
-            row.cell(re.growth_factor, 5);
+        // Part 2: executable trapezoidal tiling for d = 1, 2 (single
+        // PE, N >> M; higher d needs bigger-than-laptop blocks to
+        // leave the halo-dominated regime — see EXPERIMENTS.md).
+        TextTable trap({"d", "M", "tau", "R(M) measured", "verified"});
+        for (unsigned d = 1; d <= 2; ++d) {
+            const std::uint64_t iters = d == 1 ? 256 : 64;
+            GridKernel k(d, iters);
+            const std::uint64_t g = d == 1 ? 4096 : 160;
+            for (std::uint64_t m = d == 1 ? 64 : 128;
+                 m <= (d == 1 ? 1024u : 8192u); m *= 4) {
+                const auto r = k.measure(g, m, true);
+                trap.row()
+                    .cell(static_cast<int>(d))
+                    .cell(m)
+                    .cell(k.temporalDepth(m))
+                    .cell(r.cost.ratio(), 4)
+                    .cell(r.verified);
+            }
         }
-    }
-    printHeading(std::cout, "Memory growth factor alpha^d");
-    growth.print(std::cout);
-    return 0;
+        printHeading(std::cout,
+                     "Trapezoidal time tiling (executable single-PE "
+                     "schedule)");
+        trap.print(std::cout);
+
+        // The ordering consequence: alpha^d for fixed alpha.
+        TextTable growth({"alpha", "d=1", "d=2", "d=3", "d=4"});
+        for (double alpha : {2.0, 3.0, 4.0}) {
+            auto &row = growth.row();
+            row.cell(alpha, 3);
+            for (unsigned d = 1; d <= 4; ++d) {
+                const auto re = rebalanceClosedForm(
+                    ScalingLaw::power(static_cast<double>(d)), 1024,
+                    alpha);
+                row.cell(re.growth_factor, 5);
+            }
+        }
+        printHeading(std::cout, "Memory growth factor alpha^d");
+        growth.print(std::cout);
+        return 0;
+    });
 }

@@ -7,110 +7,122 @@
  * with shuffles between them.
  *
  * Part 2 measures R(M) = Theta(log2 M) in the paper regime (N = P^2)
- * and the exponential rebalancing law M_new = M_old^alpha, including
- * the Section 5 warning that the growth factor blows up with M_old.
+ * on the engine, and the exponential rebalancing law
+ * M_new = M_old^alpha, including the Section 5 warning that the
+ * growth factor blows up with M_old.
  */
 
 #include <cmath>
 #include <iostream>
 
-#include "analysis/experiments.hpp"
+#include "bench/driver.hpp"
 #include "core/rebalance.hpp"
 #include "kernels/fft.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kb;
-    printExperimentBanner("E5");
+    return bench::runBench(argc, argv, "E5", [](bench::BenchContext &ctx) {
+        FftKernel kernel;
 
-    FftKernel kernel;
+        // Part 1: Fig. 2.
+        const auto fig2 = kernel.decompose(16, 4);
+        printHeading(std::cout,
+                     "Fig. 2 — decomposing the 16-point FFT with M = 4");
+        std::cout << "in-core blocks:       " << fig2.blocks
+                  << "  (paper: 8 = two ranks of N/M = 4 blocks)\n"
+                  << "block size:           " << fig2.max_block
+                  << "  (paper: M = 4 points)\n"
+                  << "shuffle passes:       " << fig2.shuffles
+                  << "  (external transposes between ranks)\n"
+                  << "recursion depth:      " << fig2.levels << "\n";
 
-    // Part 1: Fig. 2.
-    const auto fig2 = kernel.decompose(16, 4);
-    printHeading(std::cout, "Fig. 2 — decomposing the 16-point FFT "
-                            "with M = 4");
-    std::cout << "in-core blocks:       " << fig2.blocks
-              << "  (paper: 8 = two ranks of N/M = 4 blocks)\n"
-              << "block size:           " << fig2.max_block
-              << "  (paper: M = 4 points)\n"
-              << "shuffle passes:       " << fig2.shuffles
-              << "  (external transposes between ranks)\n"
-              << "recursion depth:      " << fig2.levels << "\n";
-
-    TextTable deeper({"N", "M", "blocks", "max block", "shuffles",
-                      "levels"});
-    for (std::uint64_t n : {64u, 1024u, 16384u}) {
-        for (std::uint64_t m : {4u, 16u, 64u}) {
-            const auto d = kernel.decompose(n, m);
-            deeper.row()
-                .cell(n)
-                .cell(m)
-                .cell(d.blocks)
-                .cell(d.max_block)
-                .cell(d.shuffles)
-                .cell(d.levels);
+        TextTable deeper({"N", "M", "blocks", "max block", "shuffles",
+                          "levels"});
+        for (std::uint64_t n : {64u, 1024u, 16384u}) {
+            for (std::uint64_t m : {4u, 16u, 64u}) {
+                const auto d = kernel.decompose(n, m);
+                deeper.row()
+                    .cell(n)
+                    .cell(m)
+                    .cell(d.blocks)
+                    .cell(d.max_block)
+                    .cell(d.shuffles)
+                    .cell(d.levels);
+            }
         }
-    }
-    printHeading(std::cout, "Decomposition structure vs (N, M)");
-    deeper.print(std::cout);
+        printHeading(std::cout, "Decomposition structure vs (N, M)");
+        deeper.print(std::cout);
 
-    // Part 2: R(M) ~ log2 M in the N = P^2 regime.
-    TextTable sweep({"M", "P", "N = P^2", "Ccomp", "Cio", "R(M)",
-                     "R/log2(M)"});
-    std::vector<double> ms, ratios;
-    for (std::uint64_t m = 8; m <= 2048; m *= 2) {
-        const std::uint64_t p = FftKernel::inCorePoints(m);
-        const auto r = kernel.measure(p * p, m, false);
-        const double ratio = r.cost.ratio();
-        ms.push_back(static_cast<double>(m));
-        ratios.push_back(ratio);
-        sweep.row()
-            .cell(m)
-            .cell(p)
-            .cell(p * p)
-            .cell(r.cost.comp_ops, 4)
-            .cell(r.cost.io_words, 4)
-            .cell(ratio, 4)
-            .cell(ratio / std::log2(static_cast<double>(m)), 3);
-    }
-    printHeading(std::cout, "R(M) sweep in the paper regime");
-    sweep.print(std::cout);
+        // Part 2: R(M) ~ log2 M in the N = P^2 regime (engine sweep;
+        // FftKernel::measureRatioPoint encodes the regime).
+        SweepJob job;
+        job.kernel = "fft";
+        job.m_lo = 8;
+        job.m_hi = 2048;
+        job.points = ctx.points(9);
+        const auto result = ctx.engine().runOne(job);
 
-    const auto log_fit = fitLogLaw(ms, ratios);
-    const auto pow_fit = fitPowerLaw(ms, ratios);
-    std::cout << "\nR vs log2 M slope: " << log_fit.slope
-              << " (r2 = " << log_fit.r2
-              << "); power-law exponent would be " << pow_fit.slope
-              << " — logarithmic, as the paper claims\n";
+        TextTable sweep({"M", "P", "N = P^2", "Ccomp", "Cio", "R(M)",
+                         "R/log2(M)"});
+        std::vector<double> ms, ratios;
+        for (const auto &p : result.points) {
+            const auto &s = p.sample;
+            const std::uint64_t pts = FftKernel::inCorePoints(s.m);
+            ms.push_back(static_cast<double>(s.m));
+            ratios.push_back(s.ratio);
+            sweep.row()
+                .cell(s.m)
+                .cell(pts)
+                .cell(pts * pts)
+                .cell(s.comp_ops, 4)
+                .cell(s.io_words, 4)
+                .cell(s.ratio, 4)
+                .cell(s.ratio / std::log2(static_cast<double>(s.m)),
+                      3);
+        }
+        printHeading(std::cout, "R(M) sweep in the paper regime");
+        sweep.print(std::cout);
 
-    // Exponential law: growth factor depends on M_old.
-    TextTable blowup({"M_old", "alpha", "paper M_new",
-                      "paper growth", "measured growth"});
-    auto ratio_at = [&](std::uint64_t m) {
-        const std::uint64_t p = FftKernel::inCorePoints(m);
-        return kernel.measure(p * p, m, false).cost.ratio();
-    };
-    for (std::uint64_t m_old : {16u, 32u, 64u}) {
-        const double alpha = 1.5;
-        const auto paper =
-            rebalanceClosedForm(ScalingLaw::exponential(), m_old,
-                                alpha);
-        const auto measured =
-            rebalanceNumeric(ratio_at, m_old, alpha, 4096);
-        blowup.row()
-            .cell(m_old)
-            .cell(alpha, 3)
-            .cell(paper.m_new)
-            .cell(paper.growth_factor, 4)
-            .cell(measured.possible ? measured.growth_factor : -1.0,
-                  4);
-    }
-    printHeading(std::cout,
-                 "Exponential law M_new = M_old^alpha: the growth "
-                 "factor itself grows with M_old (Section 5 warning)");
-    blowup.print(std::cout);
-    return 0;
+        const auto log_fit = fitLogLaw(ms, ratios);
+        const auto pow_fit = fitPowerLaw(ms, ratios);
+        std::cout << "\nR vs log2 M slope: " << log_fit.slope
+                  << " (r2 = " << log_fit.r2
+                  << "); power-law exponent would be " << pow_fit.slope
+                  << " — logarithmic, as the paper claims\n";
+
+        // Exponential law: growth factor depends on M_old.
+        TextTable blowup({"M_old", "alpha", "paper M_new",
+                          "paper growth", "measured growth"});
+        auto ratio_at = [&](std::uint64_t m) {
+            const std::uint64_t p = FftKernel::inCorePoints(m);
+            return kernel.measure(p * p, m, false).cost.ratio();
+        };
+        for (std::uint64_t m_old : {16u, 32u, 64u}) {
+            const double alpha = 1.5;
+            const auto paper = rebalanceClosedForm(
+                ScalingLaw::exponential(), m_old, alpha);
+            const auto measured =
+                rebalanceNumeric(ratio_at, m_old, alpha, 4096);
+            blowup.row()
+                .cell(m_old)
+                .cell(alpha, 3)
+                .cell(paper.m_new)
+                .cell(paper.growth_factor, 4)
+                .cell(measured.possible ? measured.growth_factor
+                                        : -1.0,
+                      4);
+        }
+        printHeading(
+            std::cout,
+            "Exponential law M_new = M_old^alpha: the growth "
+            "factor itself grows with M_old (Section 5 warning)");
+        blowup.print(std::cout);
+        return 0;
+    },
+        bench::BenchCaps{.kernels = false, .points = true,
+                         .threads = true});
 }

@@ -4,79 +4,89 @@
  *
  * Two-phase external merge sort: R(M) = Theta(log2 M) comparisons
  * per transferred word, measured in the paper's own setting
- * (N = M^2: N/M in-core runs, one M-way merge), plus the multi-pass
- * regime N >> M^2.
+ * (N = M^2: N/M in-core runs, one M-way merge) on the engine, plus
+ * the multi-pass regime N >> M^2.
  */
 
 #include <cmath>
 #include <iostream>
 
-#include "analysis/experiments.hpp"
+#include "bench/driver.hpp"
 #include "core/rebalance.hpp"
 #include "kernels/sort.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kb;
-    printExperimentBanner("E6");
+    return bench::runBench(argc, argv, "E6", [](bench::BenchContext &ctx) {
+        SortKernel kernel;
 
-    SortKernel kernel;
+        // Paper setting N = M^2 (SortKernel::measureRatioPoint).
+        SweepJob job;
+        job.kernel = "sorting";
+        job.m_lo = 32;
+        job.m_hi = 2048;
+        job.points = ctx.points(7);
+        const auto result = ctx.engine().runOne(job);
 
-    TextTable sweep({"M", "N = M^2", "comparisons", "Cio", "R(M)",
-                     "R/log2(M)"});
-    std::vector<double> ms, ratios;
-    for (std::uint64_t m = 32; m <= 2048; m *= 2) {
-        const auto r = kernel.measure(m * m, m, false);
-        const double ratio = r.cost.ratio();
-        ms.push_back(static_cast<double>(m));
-        ratios.push_back(ratio);
-        sweep.row()
-            .cell(m)
-            .cell(m * m)
-            .cell(r.cost.comp_ops, 4)
-            .cell(r.cost.io_words, 4)
-            .cell(ratio, 4)
-            .cell(ratio / std::log2(static_cast<double>(m)), 3);
-    }
-    printHeading(std::cout,
-                 "R(M) in the paper's two-phase setting (N = M^2)");
-    sweep.print(std::cout);
+        TextTable sweep({"M", "N = M^2", "comparisons", "Cio", "R(M)",
+                         "R/log2(M)"});
+        std::vector<double> ms, ratios;
+        for (const auto &p : result.points) {
+            const auto &s = p.sample;
+            ms.push_back(static_cast<double>(s.m));
+            ratios.push_back(s.ratio);
+            sweep.row()
+                .cell(s.m)
+                .cell(s.m * s.m)
+                .cell(s.comp_ops, 4)
+                .cell(s.io_words, 4)
+                .cell(s.ratio, 4)
+                .cell(s.ratio / std::log2(static_cast<double>(s.m)),
+                      3);
+        }
+        printHeading(std::cout,
+                     "R(M) in the paper's two-phase setting (N = M^2)");
+        sweep.print(std::cout);
 
-    const auto log_fit = fitLogLaw(ms, ratios);
-    const auto pow_fit = fitPowerLaw(ms, ratios);
-    std::cout << "\nR vs log2 M slope: " << log_fit.slope
-              << " (paper: 0.5; r2 = " << log_fit.r2
-              << "); power exponent would be " << pow_fit.slope
-              << "\n";
+        const auto log_fit = fitLogLaw(ms, ratios);
+        const auto pow_fit = fitPowerLaw(ms, ratios);
+        std::cout << "\nR vs log2 M slope: " << log_fit.slope
+                  << " (paper: 0.5; r2 = " << log_fit.r2
+                  << "); power exponent would be " << pow_fit.slope
+                  << "\n";
 
-    // Multi-pass regime: fixed N, pass count staircase.
-    TextTable passes({"M", "runs", "Cio", "R(M)", "note"});
-    const std::uint64_t n = 1u << 18;
-    for (std::uint64_t m = 16; m <= 16384; m *= 4) {
-        const auto r = kernel.measure(n, m, false);
-        const std::uint64_t runs = (n + m - 1) / m;
-        passes.row()
-            .cell(m)
-            .cell(runs)
-            .cell(r.cost.io_words, 4)
-            .cell(r.cost.ratio(), 4)
-            .cell(runs <= m - 1 ? "single merge pass"
-                                : "multi-pass");
-    }
-    printHeading(std::cout,
-                 "Fixed N = 2^18: integer pass counts give the "
-                 "staircase discussed in EXPERIMENTS.md");
-    passes.print(std::cout);
+        // Multi-pass regime: fixed N, pass count staircase.
+        TextTable passes({"M", "runs", "Cio", "R(M)", "note"});
+        const std::uint64_t n = 1u << 18;
+        for (std::uint64_t m = 16; m <= 16384; m *= 4) {
+            const auto r = kernel.measure(n, m, false);
+            const std::uint64_t runs = (n + m - 1) / m;
+            passes.row()
+                .cell(m)
+                .cell(runs)
+                .cell(r.cost.io_words, 4)
+                .cell(r.cost.ratio(), 4)
+                .cell(runs <= m - 1 ? "single merge pass"
+                                    : "multi-pass");
+        }
+        printHeading(std::cout,
+                     "Fixed N = 2^18: integer pass counts give the "
+                     "staircase discussed in EXPERIMENTS.md");
+        passes.print(std::cout);
 
-    // The exponential law, as for the FFT.
-    const auto paper =
-        rebalanceClosedForm(ScalingLaw::exponential(), 1024, 2.0);
-    std::cout << "\nalpha = 2 from M_old = 1024: paper M_new = "
-              << paper.m_new << " words (factor "
-              << paper.growth_factor
-              << ") — the Section 5 blow-up\n";
-    return 0;
+        // The exponential law, as for the FFT.
+        const auto paper =
+            rebalanceClosedForm(ScalingLaw::exponential(), 1024, 2.0);
+        std::cout << "\nalpha = 2 from M_old = 1024: paper M_new = "
+                  << paper.m_new << " words (factor "
+                  << paper.growth_factor
+                  << ") — the Section 5 blow-up\n";
+        return 0;
+    },
+        bench::BenchCaps{.kernels = false, .points = true,
+                         .threads = true});
 }

@@ -4,89 +4,104 @@
  *
  * Matrix-vector multiplication and triangular solve read their data
  * once and reuse nothing, so R(M) is bounded by a constant (2): no
- * memory size rebalances a PE whose C/IO grew by alpha >= 2.
+ * memory size rebalances a PE whose C/IO grew by alpha >= 2. The
+ * three flat curves run as one engine batch.
  */
 
 #include <cmath>
 #include <iostream>
 
 #include "analysis/classify.hpp"
-#include "analysis/experiments.hpp"
+#include "bench/driver.hpp"
 #include "core/rebalance.hpp"
 #include "kernels/matvec.hpp"
-#include "kernels/spmv.hpp"
 #include "kernels/trisolve.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kb;
-    printExperimentBanner("E7");
+    return bench::runBench(argc, argv, "E7", [](bench::BenchContext &ctx) {
+        // One job per I/O-bounded kernel, same grid for all three.
+        std::vector<SweepJob> jobs;
+        for (const char *name : {"matvec", "trisolve", "spmv"}) {
+            SweepJob job;
+            job.kernel = name;
+            job.m_lo = 8;
+            job.m_hi = 32768;
+            job.points = ctx.points(7);
+            jobs.push_back(job);
+        }
+        const auto results = ctx.engine().run(jobs);
+        const auto &mv = results[0], &ts = results[1], &sp = results[2];
 
-    MatvecKernel matvec;
-    TrisolveKernel trisolve;
-    SpmvKernel spmv;
-    const std::uint64_t n = 768;
+        TextTable sweep({"M", "matvec R(M)", "trisolve R(M)",
+                         "spmv R(M)"});
+        const std::size_t rows = std::min(
+            {mv.points.size(), ts.points.size(), sp.points.size()});
+        for (std::size_t i = 0; i < rows; ++i) {
+            sweep.row()
+                .cell(mv.points[i].sample.m)
+                .cell(mv.points[i].sample.ratio, 5)
+                .cell(ts.points[i].sample.ratio, 5)
+                .cell(sp.points[i].sample.ratio, 5);
+        }
+        printHeading(std::cout,
+                     "R(M) is flat: a 4096x memory increase buys "
+                     "almost nothing");
+        sweep.print(std::cout);
+        // The engine picks each kernel's own regime size.
+        std::cout << "(N: matvec " << mv.n_hint << ", trisolve "
+                  << ts.n_hint << ", spmv " << sp.n_hint << ")\n";
 
-    TextTable sweep({"M", "matvec R(M)", "trisolve R(M)",
-                     "spmv R(M)"});
-    std::vector<double> ms, mv_r, ts_r;
-    for (std::uint64_t m = 8; m <= 32768; m *= 4) {
-        const auto rm = matvec.measure(n, m, false);
-        const auto rt = trisolve.measure(n, m, false);
-        const auto rs = spmv.measure(4 * n, m, false);
-        ms.push_back(static_cast<double>(m));
-        mv_r.push_back(rm.cost.ratio());
-        ts_r.push_back(rt.cost.ratio());
-        sweep.row()
-            .cell(m)
-            .cell(rm.cost.ratio(), 5)
-            .cell(rt.cost.ratio(), 5)
-            .cell(rs.cost.ratio(), 5);
-    }
-    printHeading(std::cout,
-                 "R(M) is flat: a 4096x memory increase buys almost "
-                 "nothing (N = 768)");
-    sweep.print(std::cout);
+        const auto mv_fit = fitPowerLaw(mv.memories(), mv.ratios());
+        const auto ts_fit = fitPowerLaw(ts.memories(), ts.ratios());
+        std::cout << "\nlog-log slopes: matvec " << mv_fit.slope
+                  << ", trisolve " << ts_fit.slope
+                  << " (paper: 0 — no memory law exists)\n";
 
-    const auto mv_fit = fitPowerLaw(ms, mv_r);
-    const auto ts_fit = fitPowerLaw(ms, ts_r);
-    std::cout << "\nlog-log slopes: matvec " << mv_fit.slope
-              << ", trisolve " << ts_fit.slope
-              << " (paper: 0 — no memory law exists)\n";
+        const auto mv_law =
+            classifyRatioCurve(mv.memories(), mv.ratios());
+        const auto ts_law =
+            classifyRatioCurve(ts.memories(), ts.ratios());
+        std::cout << "classified: matvec -> " << mv_law.describe()
+                  << "\n            trisolve -> " << ts_law.describe()
+                  << "\n";
 
-    const auto mv_law = classifyRatioCurve(ms, mv_r);
-    const auto ts_law = classifyRatioCurve(ms, ts_r);
-    std::cout << "classified: matvec -> " << mv_law.describe()
-              << "\n            trisolve -> " << ts_law.describe()
-              << "\n";
-
-    // Numeric rebalancing attempts must fail.
-    TextTable attempts({"kernel", "alpha", "rebalance by memory?"});
-    for (double alpha : {2.0, 4.0}) {
-        auto mv_ratio = [&](std::uint64_t m) {
-            return matvec.measure(n, m, false).cost.ratio();
-        };
-        auto ts_ratio = [&](std::uint64_t m) {
-            return trisolve.measure(n, m, false).cost.ratio();
-        };
-        const auto rm = rebalanceNumeric(mv_ratio, 16, alpha, 1u << 17);
-        const auto rt = rebalanceNumeric(ts_ratio, 16, alpha, 1u << 17);
-        attempts.row()
-            .cell("matvec")
-            .cell(alpha, 3)
-            .cell(rm.possible ? "yes (!)" : "impossible");
-        attempts.row()
-            .cell("trisolve")
-            .cell(alpha, 3)
-            .cell(rt.possible ? "yes (!)" : "impossible");
-    }
-    printHeading(std::cout,
-                 "Rebalancing attempts (searching M up to 2^17)");
-    attempts.print(std::cout);
-    std::cout << "\npaper: \"there is no way to rebalance the PE by "
-                 "merely enlarging its local memory\"\n";
-    return 0;
+        // Numeric rebalancing attempts must fail.
+        MatvecKernel matvec;
+        TrisolveKernel trisolve;
+        const std::uint64_t n = mv.n_hint;
+        TextTable attempts({"kernel", "alpha", "rebalance by memory?"});
+        for (double alpha : {2.0, 4.0}) {
+            auto mv_ratio = [&](std::uint64_t m) {
+                return matvec.measure(n, m, false).cost.ratio();
+            };
+            auto ts_ratio = [&](std::uint64_t m) {
+                return trisolve.measure(n, m, false).cost.ratio();
+            };
+            const auto rm =
+                rebalanceNumeric(mv_ratio, 16, alpha, 1u << 17);
+            const auto rt =
+                rebalanceNumeric(ts_ratio, 16, alpha, 1u << 17);
+            attempts.row()
+                .cell("matvec")
+                .cell(alpha, 3)
+                .cell(rm.possible ? "yes (!)" : "impossible");
+            attempts.row()
+                .cell("trisolve")
+                .cell(alpha, 3)
+                .cell(rt.possible ? "yes (!)" : "impossible");
+        }
+        printHeading(std::cout,
+                     "Rebalancing attempts (searching M up to 2^17)");
+        attempts.print(std::cout);
+        std::cout << "\npaper: \"there is no way to rebalance the PE "
+                     "by merely enlarging its local memory\"\n";
+        return 0;
+    },
+        bench::BenchCaps{.kernels = false, .points = true,
+                         .threads = true});
 }

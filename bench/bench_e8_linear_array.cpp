@@ -12,7 +12,7 @@
 #include <cmath>
 #include <iostream>
 
-#include "analysis/experiments.hpp"
+#include "bench/driver.hpp"
 #include "parallel/aggregate.hpp"
 #include "parallel/array_sim.hpp"
 #include "parallel/workloads.hpp"
@@ -20,65 +20,69 @@
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kb;
-    printExperimentBanner("E8");
+    return bench::runBench(argc, argv, "E8",
+                           [](bench::BenchContext &) {
 
-    // Algebra: per-PE memory from the aggregate view.
-    PeConfig base{8.0, 1.0, 64}; // C/IO = 8; balanced matmul at b ~ 8
-    TextTable algebra({"p", "alpha", "total memory", "per-PE memory",
-                       "per-PE / p"});
-    for (std::uint64_t p : {1u, 2u, 4u, 8u, 16u, 32u}) {
-        const ArraySpec spec{Topology::Linear, p, base};
-        const auto per_pe =
-            requiredPerPeMemory(ScalingLaw::power(2.0), spec, 64);
-        algebra.row()
-            .cell(p)
-            .cell(aggregateAlpha(spec), 3)
-            .cell(*per_pe * static_cast<double>(p), 5)
-            .cell(*per_pe, 5)
-            .cell(*per_pe / static_cast<double>(p), 4);
-    }
-    printHeading(std::cout,
-                 "Aggregate-PE algebra (law alpha^2, single-PE M = "
-                 "64)");
-    algebra.print(std::cout);
-    std::cout << "\nper-PE / p constant -> each PE's memory grows "
-                 "linearly with p (the paper's Fig. 3 conclusion)\n";
+        // Algebra: per-PE memory from the aggregate view.
+        PeConfig base{8.0, 1.0, 64}; // C/IO = 8; balanced matmul at b ~ 8
+        TextTable algebra({"p", "alpha", "total memory", "per-PE memory",
+                           "per-PE / p"});
+        for (std::uint64_t p : {1u, 2u, 4u, 8u, 16u, 32u}) {
+            const ArraySpec spec{Topology::Linear, p, base};
+            const auto per_pe =
+                requiredPerPeMemory(ScalingLaw::power(2.0), spec, 64);
+            algebra.row()
+                .cell(p)
+                .cell(aggregateAlpha(spec), 3)
+                .cell(*per_pe * static_cast<double>(p), 5)
+                .cell(*per_pe, 5)
+                .cell(*per_pe / static_cast<double>(p), 4);
+        }
+        printHeading(std::cout,
+                     "Aggregate-PE algebra (law alpha^2, single-PE M = "
+                     "64)");
+        algebra.print(std::cout);
+        std::cout << "\nper-PE / p constant -> each PE's memory grows "
+                     "linearly with p (the paper's Fig. 3 conclusion)\n";
 
-    // Simulation: matmul dataflow on the chain.
-    TextTable sim({"p", "per-PE memory @95% util", "memory / p",
-                   "tile edge B", "utilization @ that memory"});
-    std::vector<double> ps, mems;
-    for (std::uint64_t p : {2u, 4u, 8u, 16u, 32u}) {
-        auto run = [&](std::uint64_t m_pe) {
-            const auto wl =
-                matmulLinearWorkload(512, p, m_pe, 8.0, 1.0);
-            return simulateArray(wl.machine, wl.steps);
-        };
-        const auto m_needed =
-            minMemoryForUtilization(run, 0.95, 8, 1u << 22);
-        const auto wl = matmulLinearWorkload(512, p, m_needed, 8.0, 1.0);
-        const auto result = simulateArray(wl.machine, wl.steps);
-        ps.push_back(static_cast<double>(p));
-        mems.push_back(static_cast<double>(m_needed));
-        sim.row()
-            .cell(p)
-            .cell(m_needed)
-            .cell(static_cast<double>(m_needed) /
-                      static_cast<double>(p),
-                  4)
-            .cell(wl.block_edge)
-            .cell(result.utilization(), 4);
-    }
-    printHeading(std::cout,
-                 "Time-stepped simulation (block matmul, N = 512, "
-                 "per-PE C/IO = 8)");
-    sim.print(std::cout);
+        // Simulation: matmul dataflow on the chain.
+        TextTable sim({"p", "per-PE memory @95% util", "memory / p",
+                       "tile edge B", "utilization @ that memory"});
+        std::vector<double> ps, mems;
+        for (std::uint64_t p : {2u, 4u, 8u, 16u, 32u}) {
+            auto run = [&](std::uint64_t m_pe) {
+                const auto wl =
+                    matmulLinearWorkload(512, p, m_pe, 8.0, 1.0);
+                return simulateArray(wl.machine, wl.steps);
+            };
+            const auto m_needed =
+                minMemoryForUtilization(run, 0.95, 8, 1u << 22);
+            const auto wl = matmulLinearWorkload(512, p, m_needed, 8.0, 1.0);
+            const auto result = simulateArray(wl.machine, wl.steps);
+            ps.push_back(static_cast<double>(p));
+            mems.push_back(static_cast<double>(m_needed));
+            sim.row()
+                .cell(p)
+                .cell(m_needed)
+                .cell(static_cast<double>(m_needed) /
+                          static_cast<double>(p),
+                      4)
+                .cell(wl.block_edge)
+                .cell(result.utilization(), 4);
+        }
+        printHeading(std::cout,
+                     "Time-stepped simulation (block matmul, N = 512, "
+                     "per-PE C/IO = 8)");
+        sim.print(std::cout);
 
-    const auto fit = fitPowerLaw(ps, mems);
-    std::cout << "\nlog-log slope of per-PE memory vs p: " << fit.slope
-              << " (paper: 1.0)   r2 = " << fit.r2 << "\n";
-    return 0;
+        const auto fit = fitPowerLaw(ps, mems);
+        std::cout << "\nlog-log slope of per-PE memory vs p: " << fit.slope
+                  << " (paper: 1.0)   r2 = " << fit.r2 << "\n";
+        return 0;
+    },
+        bench::BenchCaps{.kernels = false, .points = false,
+                         .threads = false});
 }

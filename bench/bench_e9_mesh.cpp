@@ -10,7 +10,7 @@
 #include <cmath>
 #include <iostream>
 
-#include "analysis/experiments.hpp"
+#include "bench/driver.hpp"
 #include "parallel/aggregate.hpp"
 #include "parallel/array_sim.hpp"
 #include "parallel/workloads.hpp"
@@ -18,86 +18,90 @@
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kb;
-    printExperimentBanner("E9");
+    return bench::runBench(argc, argv, "E9",
+                           [](bench::BenchContext &) {
 
-    PeConfig base{8.0, 1.0, 64};
+        PeConfig base{8.0, 1.0, 64};
 
-    TextTable algebra({"p (per side)", "alpha", "PEs",
-                       "per-PE (matmul, a^2)", "per-PE (grid3d, a^3)"});
-    for (std::uint64_t p : {1u, 2u, 4u, 8u, 16u}) {
-        const ArraySpec spec{Topology::Mesh2D, p, base};
-        const auto mm =
-            requiredPerPeMemory(ScalingLaw::power(2.0), spec, 64);
-        const auto g3 =
-            requiredPerPeMemory(ScalingLaw::power(3.0), spec, 64);
-        algebra.row()
-            .cell(p)
-            .cell(aggregateAlpha(spec), 3)
-            .cell(spec.peCount())
-            .cell(*mm, 4)
-            .cell(*g3, 4);
-    }
-    printHeading(std::cout, "Aggregate-PE algebra (single-PE M = 64)");
-    algebra.print(std::cout);
-    std::cout
-        << "\nmatmul column constant (automatic balance, Fig. 4); "
-           "grid3d column grows ~p (the paper's exception)\n";
+        TextTable algebra({"p (per side)", "alpha", "PEs",
+                           "per-PE (matmul, a^2)", "per-PE (grid3d, a^3)"});
+        for (std::uint64_t p : {1u, 2u, 4u, 8u, 16u}) {
+            const ArraySpec spec{Topology::Mesh2D, p, base};
+            const auto mm =
+                requiredPerPeMemory(ScalingLaw::power(2.0), spec, 64);
+            const auto g3 =
+                requiredPerPeMemory(ScalingLaw::power(3.0), spec, 64);
+            algebra.row()
+                .cell(p)
+                .cell(aggregateAlpha(spec), 3)
+                .cell(spec.peCount())
+                .cell(*mm, 4)
+                .cell(*g3, 4);
+        }
+        printHeading(std::cout, "Aggregate-PE algebra (single-PE M = 64)");
+        algebra.print(std::cout);
+        std::cout
+            << "\nmatmul column constant (automatic balance, Fig. 4); "
+               "grid3d column grows ~p (the paper's exception)\n";
 
-    // Simulation part (a): mesh matmul.
-    TextTable mm_sim({"p", "per-PE memory @95% util", "utilization"});
-    std::vector<double> ps, mems;
-    for (std::uint64_t p : {2u, 4u, 8u, 16u}) {
-        auto run = [&](std::uint64_t m_pe) {
-            const auto wl = matmulMeshWorkload(512, p, m_pe, 8.0, 1.0);
-            return simulateArray(wl.machine, wl.steps);
-        };
-        const auto m_needed =
-            minMemoryForUtilization(run, 0.95, 8, 1u << 22);
-        const auto wl = matmulMeshWorkload(512, p, m_needed, 8.0, 1.0);
-        ps.push_back(static_cast<double>(p));
-        mems.push_back(static_cast<double>(m_needed));
-        mm_sim.row()
-            .cell(p)
-            .cell(m_needed)
-            .cell(simulateArray(wl.machine, wl.steps).utilization(),
-                  4);
-    }
-    printHeading(std::cout,
-                 "Simulation: block matmul on the p x p mesh");
-    mm_sim.print(std::cout);
-    const auto mm_fit = fitPowerLaw(ps, mems);
-    std::cout << "\nslope of per-PE memory vs p: " << mm_fit.slope
-              << " (paper: 0 — independent of p)\n";
+        // Simulation part (a): mesh matmul.
+        TextTable mm_sim({"p", "per-PE memory @95% util", "utilization"});
+        std::vector<double> ps, mems;
+        for (std::uint64_t p : {2u, 4u, 8u, 16u}) {
+            auto run = [&](std::uint64_t m_pe) {
+                const auto wl = matmulMeshWorkload(512, p, m_pe, 8.0, 1.0);
+                return simulateArray(wl.machine, wl.steps);
+            };
+            const auto m_needed =
+                minMemoryForUtilization(run, 0.95, 8, 1u << 22);
+            const auto wl = matmulMeshWorkload(512, p, m_needed, 8.0, 1.0);
+            ps.push_back(static_cast<double>(p));
+            mems.push_back(static_cast<double>(m_needed));
+            mm_sim.row()
+                .cell(p)
+                .cell(m_needed)
+                .cell(simulateArray(wl.machine, wl.steps).utilization(),
+                      4);
+        }
+        printHeading(std::cout,
+                     "Simulation: block matmul on the p x p mesh");
+        mm_sim.print(std::cout);
+        const auto mm_fit = fitPowerLaw(ps, mems);
+        std::cout << "\nslope of per-PE memory vs p: " << mm_fit.slope
+                  << " (paper: 0 — independent of p)\n";
 
-    // Simulation part (b): 3-D grid on the mesh.
-    TextTable g3_sim({"p", "per-PE memory @95% util", "memory / p"});
-    std::vector<double> ps3, mems3;
-    for (std::uint64_t p : {2u, 4u, 8u}) {
-        auto run = [&](std::uint64_t m_pe) {
-            const auto wl =
-                grid3dMeshWorkload(1024, 64, p, m_pe, 24.0, 1.0);
-            return simulateArray(wl.machine, wl.steps);
-        };
-        const auto m_needed =
-            minMemoryForUtilization(run, 0.95, 32, 1u << 24);
-        ps3.push_back(static_cast<double>(p));
-        mems3.push_back(static_cast<double>(m_needed));
-        g3_sim.row()
-            .cell(p)
-            .cell(m_needed)
-            .cell(static_cast<double>(m_needed) /
-                      static_cast<double>(p),
-                  4);
-    }
-    printHeading(std::cout,
-                 "Simulation: 3-D grid relaxation on the p x p mesh");
-    g3_sim.print(std::cout);
-    const auto g3_fit = fitPowerLaw(ps3, mems3);
-    std::cout << "\nslope of per-PE memory vs p: " << g3_fit.slope
-              << " (paper: grows — an automatically balanced square "
-                 "array is never possible for d > 2)\n";
-    return 0;
+        // Simulation part (b): 3-D grid on the mesh.
+        TextTable g3_sim({"p", "per-PE memory @95% util", "memory / p"});
+        std::vector<double> ps3, mems3;
+        for (std::uint64_t p : {2u, 4u, 8u}) {
+            auto run = [&](std::uint64_t m_pe) {
+                const auto wl =
+                    grid3dMeshWorkload(1024, 64, p, m_pe, 24.0, 1.0);
+                return simulateArray(wl.machine, wl.steps);
+            };
+            const auto m_needed =
+                minMemoryForUtilization(run, 0.95, 32, 1u << 24);
+            ps3.push_back(static_cast<double>(p));
+            mems3.push_back(static_cast<double>(m_needed));
+            g3_sim.row()
+                .cell(p)
+                .cell(m_needed)
+                .cell(static_cast<double>(m_needed) /
+                          static_cast<double>(p),
+                      4);
+        }
+        printHeading(std::cout,
+                     "Simulation: 3-D grid relaxation on the p x p mesh");
+        g3_sim.print(std::cout);
+        const auto g3_fit = fitPowerLaw(ps3, mems3);
+        std::cout << "\nslope of per-PE memory vs p: " << g3_fit.slope
+                  << " (paper: grows — an automatically balanced square "
+                     "array is never possible for d > 2)\n";
+        return 0;
+    },
+        bench::BenchCaps{.kernels = false, .points = false,
+                         .threads = false});
 }

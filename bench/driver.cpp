@@ -1,0 +1,275 @@
+#include "bench/driver.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/experiments.hpp"
+#include "kernels/registry.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace kb {
+namespace bench {
+
+namespace {
+
+void
+printUsage(const char *prog, const char *experiment,
+           const BenchCaps &caps)
+{
+    std::fprintf(stderr,
+                 "usage: %s [options]\n"
+                 "\n"
+                 "%s%s"
+                 "options:\n",
+                 prog, experiment ? experiment : "",
+                 experiment ? ": see analysis/experiments.hpp\n\n" : "");
+    if (caps.kernels)
+        std::fprintf(
+            stderr,
+            "  --kernel NAME[,NAME...]  restrict sweeps to these "
+            "kernels\n"
+            "                           (repeatable; see "
+            "--list-kernels)\n");
+    if (caps.points)
+        std::fprintf(
+            stderr,
+            "  --points N               sweep samples per curve "
+            "(>= 3)\n");
+    if (caps.threads)
+        std::fprintf(
+            stderr,
+            "  --threads N              engine worker threads (0 = "
+            "all\n"
+            "                           hardware threads; output is\n"
+            "                           identical for every N)\n");
+    std::fprintf(
+        stderr,
+        "  --csv PATH               write the bench's CSV series here\n"
+        "  --no-csv                 suppress CSV side outputs\n"
+        "  --list-kernels           print registered kernels and exit\n"
+        "  --help                   this text\n");
+}
+
+void
+listKernels()
+{
+    const auto &registry = KernelRegistry::instance();
+    for (const auto &name : registry.names()) {
+        const auto kernel = registry.shared(name);
+        std::printf("%-18s %s\n", name.c_str(),
+                    kernel->description().c_str());
+    }
+}
+
+bool
+splitCommaList(const std::string &arg, std::vector<std::string> &out)
+{
+    std::stringstream ss(arg);
+    std::string item;
+    bool any = false;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        out.push_back(item);
+        any = true;
+    }
+    return any;
+}
+
+} // namespace
+
+BenchContext::BenchContext(DriverOptions opts, std::string experiment)
+    : opts_(std::move(opts)), experiment_(std::move(experiment)),
+      engine_(opts_.threads)
+{
+}
+
+unsigned
+BenchContext::points(unsigned fallback) const
+{
+    return opts_.points != 0 ? opts_.points : fallback;
+}
+
+std::vector<std::string>
+BenchContext::kernels(std::vector<std::string> fallback) const
+{
+    if (!opts_.kernels.empty())
+        return opts_.kernels;
+    if (!fallback.empty())
+        return fallback;
+    return KernelRegistry::instance().names();
+}
+
+RatioCurve
+BenchContext::curve(const std::string &kernel,
+                    unsigned fallback_points) const
+{
+    SweepJob job;
+    job.kernel = kernel;
+    job.points = points(fallback_points);
+    return toRatioCurve(engine_.runOne(job));
+}
+
+std::vector<SweepResult>
+BenchContext::experimentSweeps() const
+{
+    if (opts_.kernels.empty() && opts_.points == 0)
+        return runExperimentSweeps(experiment_, engine_);
+
+    auto jobs = experimentById(experiment_).sweep_jobs;
+    if (!opts_.kernels.empty()) {
+        std::vector<SweepJob> filtered;
+        for (const auto &job : jobs)
+            for (const auto &want : opts_.kernels)
+                if (job.kernel == want)
+                    filtered.push_back(job);
+        if (filtered.empty())
+            warn("--kernel selected none of " + experiment_ +
+                 "'s declared sweeps; its tables will be empty");
+        jobs = std::move(filtered);
+    }
+    if (opts_.points != 0)
+        for (auto &job : jobs)
+            job.points = opts_.points;
+    return engine_.run(jobs);
+}
+
+std::unique_ptr<CsvWriter>
+BenchContext::csv(const std::string &default_path,
+                  std::vector<std::string> headers) const
+{
+    if (opts_.no_csv)
+        return nullptr;
+    const std::string &path =
+        opts_.csv_path.empty() ? default_path : opts_.csv_path;
+    return std::make_unique<CsvWriter>(path, std::move(headers));
+}
+
+std::string
+BenchContext::csvNote(const std::string &default_path) const
+{
+    if (opts_.no_csv)
+        return "";
+    const std::string &path =
+        opts_.csv_path.empty() ? default_path : opts_.csv_path;
+    return "(series written to " + path + ")";
+}
+
+void
+printCurveTable(std::ostream &os, const RatioCurve &curve,
+                const char *shape_header,
+                const std::function<double(const RatioSample &)> &shape)
+{
+    std::vector<std::string> headers = {"M (words)", "Ccomp", "Cio",
+                                        "R(M)"};
+    if (shape_header != nullptr)
+        headers.push_back(shape_header);
+    TextTable table(headers);
+    for (const auto &s : curve.samples) {
+        auto &row = table.row();
+        row.cell(s.m).cell(s.comp_ops, 4).cell(s.io_words, 4).cell(
+            s.ratio, 4);
+        if (shape_header != nullptr)
+            row.cell(shape ? shape(s) : 0.0, 3);
+    }
+    table.print(os);
+}
+
+int
+runBench(int argc, char **argv, const char *experiment,
+         const std::function<int(BenchContext &)> &body,
+         const BenchCaps &caps)
+{
+    DriverOptions opts;
+    const char *prog = argc > 0 ? argv[0] : "bench";
+    auto unsupported = [&](const char *flag) {
+        std::fprintf(stderr, "%s: this bench does not take %s\n", prog,
+                     flag);
+        return 2;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", prog,
+                             flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            printUsage(prog, experiment, caps);
+            return 0;
+        } else if (arg == "--list-kernels") {
+            listKernels();
+            return 0;
+        } else if (arg == "--kernel") {
+            if (!caps.kernels)
+                return unsupported("--kernel");
+            const char *v = value("--kernel");
+            if (v == nullptr || !splitCommaList(v, opts.kernels)) {
+                printUsage(prog, experiment, caps);
+                return 2;
+            }
+        } else if (arg == "--points") {
+            if (!caps.points)
+                return unsupported("--points");
+            const char *v = value("--points");
+            if (v == nullptr)
+                return 2;
+            opts.points = static_cast<unsigned>(std::atoi(v));
+            if (opts.points < 3) {
+                std::fprintf(stderr, "%s: --points must be >= 3\n",
+                             prog);
+                return 2;
+            }
+        } else if (arg == "--threads") {
+            if (!caps.threads)
+                return unsupported("--threads");
+            const char *v = value("--threads");
+            if (v == nullptr)
+                return 2;
+            const int n = std::atoi(v);
+            if (n < 0) {
+                std::fprintf(stderr, "%s: --threads must be >= 0\n",
+                             prog);
+                return 2;
+            }
+            opts.threads = static_cast<unsigned>(n);
+        } else if (arg == "--csv") {
+            const char *v = value("--csv");
+            if (v == nullptr)
+                return 2;
+            opts.csv_path = v;
+        } else if (arg == "--no-csv") {
+            opts.no_csv = true;
+        } else {
+            std::fprintf(stderr, "%s: unknown option %s\n", prog,
+                         arg.c_str());
+            printUsage(prog, experiment, caps);
+            return 2;
+        }
+    }
+
+    // Validate --kernel names up front, against the registry.
+    for (const auto &name : opts.kernels) {
+        if (!KernelRegistry::instance().contains(name)) {
+            std::fprintf(stderr,
+                         "%s: unknown kernel '%s' (try --list-kernels)\n",
+                         prog, name.c_str());
+            return 2;
+        }
+    }
+
+    if (experiment != nullptr)
+        printExperimentBanner(experiment);
+    BenchContext ctx(std::move(opts),
+                     experiment ? experiment : std::string());
+    return body(ctx);
+}
+
+} // namespace bench
+} // namespace kb

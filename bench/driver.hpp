@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared harness for the bench binaries.
+ *
+ * The seed's 13 bench mains each hand-rolled the same things:
+ * banner printing, serial sweep loops, ASCII tables and ad-hoc CSV
+ * dumps, with no command line at all. The driver collapses that into
+ * one place. Every bench now:
+ *
+ *   * parses the common flags (--kernel, --points, --threads, --csv,
+ *     --no-csv, --list-kernels, --help);
+ *   * gets a BenchContext holding a ready ExperimentEngine sized by
+ *     --threads;
+ *   * runs its sweeps through the engine (deterministic: --threads N
+ *     prints byte-identical tables to --threads 1);
+ *   * keeps only its experiment-specific analysis code.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/sweep.hpp"
+#include "engine/engine.hpp"
+#include "util/csv.hpp"
+
+namespace kb {
+namespace bench {
+
+/**
+ * Which of the shared flags a bench actually honors. Flags a bench
+ * does not honor are rejected (exit 2) instead of silently ignored,
+ * and dropped from its --help text.
+ */
+struct BenchCaps
+{
+    bool kernels = true; ///< --kernel restricts its sweeps
+    bool points = true;  ///< --points resizes its sweeps
+    bool threads = true; ///< --threads feeds its engine use
+};
+
+/** Options shared by every bench binary. */
+struct DriverOptions
+{
+    /// --kernel: restrict multi-kernel benches to these registry
+    /// names (repeatable flag, commas allowed). Empty = bench default.
+    std::vector<std::string> kernels;
+    unsigned points = 0;  ///< --points: sweep samples; 0 = bench default
+    unsigned threads = 0; ///< --threads: engine workers; 0 = hardware
+    std::string csv_path; ///< --csv: override the bench's CSV path
+    bool no_csv = false;  ///< --no-csv: suppress CSV side outputs
+};
+
+/** Per-run state handed to a bench body. */
+class BenchContext
+{
+  public:
+    BenchContext(DriverOptions opts, std::string experiment);
+
+    const DriverOptions &options() const { return opts_; }
+    const ExperimentEngine &engine() const { return engine_; }
+    const std::string &experiment() const { return experiment_; }
+
+    /** --points if given, else @p fallback. */
+    unsigned points(unsigned fallback) const;
+
+    /**
+     * Kernel selection: --kernel names if given (validated against
+     * the registry), else @p fallback, else every registered kernel.
+     */
+    std::vector<std::string>
+    kernels(std::vector<std::string> fallback = {}) const;
+
+    /** Measure one curve on the engine (kernel default range). */
+    RatioCurve curve(const std::string &kernel,
+                     unsigned fallback_points = 6) const;
+
+    /** Run the experiment's declared SweepJobs, with --kernel and
+     *  --points applied on top. */
+    std::vector<SweepResult> experimentSweeps() const;
+
+    /**
+     * CSV writer honoring --csv/--no-csv: nullptr when suppressed,
+     * otherwise opened at --csv's path or @p default_path. The bench
+     * should mention the file in its stdout only via csvNote().
+     */
+    std::unique_ptr<CsvWriter>
+    csv(const std::string &default_path,
+        std::vector<std::string> headers) const;
+
+    /** "(series written to X)" line, or "" when CSV is suppressed. */
+    std::string csvNote(const std::string &default_path) const;
+
+  private:
+    DriverOptions opts_;
+    std::string experiment_;
+    ExperimentEngine engine_;
+};
+
+/**
+ * Standard R(M) sweep table: columns M, Ccomp, Cio, R(M), plus an
+ * optional shape column (e.g. R/sqrt(M)) computed per sample.
+ */
+void printCurveTable(
+    std::ostream &os, const RatioCurve &curve,
+    const char *shape_header = nullptr,
+    const std::function<double(const RatioSample &)> &shape = nullptr);
+
+/**
+ * Bench entry point: parse flags, print the experiment banner (when
+ * @p experiment is non-null), build the context, run @p body.
+ * Returns the body's exit code, or 2 on a bad command line (including
+ * a flag outside @p caps).
+ */
+int runBench(int argc, char **argv, const char *experiment,
+             const std::function<int(BenchContext &)> &body,
+             const BenchCaps &caps = {});
+
+} // namespace bench
+} // namespace kb

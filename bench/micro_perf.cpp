@@ -7,13 +7,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include "engine/engine.hpp"
 #include "kernels/fft.hpp"
 #include "kernels/matmul.hpp"
 #include "mem/lru_cache.hpp"
 #include "mem/opt_cache.hpp"
 #include "pebble/builders.hpp"
 #include "pebble/heuristic.hpp"
+#include "trace/replay.hpp"
 #include "trace/reuse.hpp"
+#include "trace/sink.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -103,5 +106,55 @@ BM_PebbleHeuristicFft(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PebbleHeuristicFft);
+
+void
+BM_CountingSinkRuns(benchmark::State &state)
+{
+    // Bulk onRun path: counting a range must be O(1), not O(words).
+    const std::uint64_t words =
+        static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        CountingSink sink;
+        sink.onRange(0, words, AccessType::Read);
+        benchmark::DoNotOptimize(sink.total());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CountingSinkRuns)->Arg(1 << 10)->Arg(1 << 20);
+
+void
+BM_StreamingReplayMatmul(benchmark::State &state)
+{
+    // Streaming emitTrace -> LRU (no intermediate trace vector).
+    MatmulKernel k;
+    for (auto _ : state) {
+        LruCache lru(256);
+        ReplaySink sink(lru);
+        k.emitTrace(64, 256, sink);
+        sink.flush();
+        benchmark::DoNotOptimize(lru.stats().ioWords());
+    }
+}
+BENCHMARK(BM_StreamingReplayMatmul);
+
+void
+BM_EngineSweep(benchmark::State &state)
+{
+    // Multi-kernel sweep at 1 vs N threads (the tentpole speedup).
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    ExperimentEngine engine(threads);
+    std::vector<SweepJob> jobs;
+    for (const char *name : {"matmul", "triangularization", "fft",
+                             "sorting", "matvec", "trisolve"}) {
+        SweepJob job;
+        job.kernel = name;
+        job.points = 4;
+        jobs.push_back(job);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.run(jobs));
+    }
+}
+BENCHMARK(BM_EngineSweep)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 } // namespace

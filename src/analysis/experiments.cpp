@@ -2,54 +2,90 @@
 
 #include <cstdio>
 
+#include "kernels/registry.hpp"
 #include "util/logging.hpp"
 
 namespace kb {
 
+namespace {
+
+/** Default-range schedule-only sweep of one kernel. */
+SweepJob
+sweepOf(const std::string &kernel, unsigned points = 6)
+{
+    SweepJob job;
+    job.kernel = kernel;
+    job.points = points;
+    return job;
+}
+
+/** One default sweep per registered kernel (paper order). */
+std::vector<SweepJob>
+allKernelSweeps(unsigned points)
+{
+    std::vector<SweepJob> jobs;
+    for (const auto &name : KernelRegistry::instance().names())
+        jobs.push_back(sweepOf(name, points));
+    return jobs;
+}
+
+} // namespace
+
 const std::vector<ExperimentInfo> &
 allExperiments()
 {
-    static const std::vector<ExperimentInfo> table = {
-        {"E1", "Section 3 summary table",
-         "all eight rebalancing laws recovered from measured curves",
-         "bench_e1_summary_table"},
-        {"E2", "Section 3.1 (Eqs. 2-3), matrix multiplication",
-         "R(M) ~ sqrt(M); M_new/M_old = alpha^2",
-         "bench_e2_matmul"},
-        {"E3", "Section 3.2, matrix triangularization",
-         "R(M) ~ sqrt(M) for blocked LU; law alpha^2",
-         "bench_e3_triangularization"},
-        {"E4", "Section 3.3, d-dimensional grid computation",
-         "R(M) ~ M^(1/d); law alpha^d for d = 1..4",
-         "bench_e4_grid"},
-        {"E5", "Section 3.4 and Fig. 2, FFT",
-         "Fig. 2 block structure at N=16, M=4; R(M) ~ log2 M; law "
-         "M_old^alpha",
-         "bench_e5_fft"},
-        {"E6", "Section 3.5, sorting",
-         "R(M) ~ log2 M for two-phase merge sort; law M_old^alpha",
-         "bench_e6_sorting"},
-        {"E7", "Section 3.6, I/O-bounded computations",
-         "flat R(M) for matvec and trisolve; rebalancing impossible",
-         "bench_e7_io_bounded"},
-        {"E8", "Section 4.1 and Fig. 3, linear processor array",
-         "per-PE memory for >=95% utilization grows linearly in p",
-         "bench_e8_linear_array"},
-        {"E9", "Section 4.2 and Fig. 4, square processor array",
-         "per-PE memory flat in p for matmul; grows for the 3-D grid",
-         "bench_e9_mesh"},
-        {"E10", "Hong-Kung optimality claims (3.1, 3.4, 3.5)",
-         "pebble-game achieved I/O within a constant of the lower "
-         "bounds",
-         "bench_e10_pebble"},
-        {"E11", "Section 5, CMU Warp remark",
-         "Warp cell (10 MFLOPS, 20 Mwords/s, 64K words) balance "
-         "across kernels",
-         "bench_e11_warp"},
-        {"E12", "design ablation (DESIGN.md, decision 2)",
-         "balance exponents survive LRU / OPT / set-assoc memories",
-         "bench_e12_memory_ablation"},
-    };
+    static const std::vector<ExperimentInfo> table = [] {
+        std::vector<ExperimentInfo> t = {
+            {"E1", "Section 3 summary table",
+             "all eight rebalancing laws recovered from measured curves",
+             "bench_e1_summary_table", allKernelSweeps(6)},
+            {"E2", "Section 3.1 (Eqs. 2-3), matrix multiplication",
+             "R(M) ~ sqrt(M); M_new/M_old = alpha^2",
+             "bench_e2_matmul", {sweepOf("matmul", 9)}},
+            {"E3", "Section 3.2, matrix triangularization",
+             "R(M) ~ sqrt(M) for blocked LU; law alpha^2",
+             "bench_e3_triangularization", {sweepOf("triangularization", 8)}},
+            {"E4", "Section 3.3, d-dimensional grid computation",
+             "R(M) ~ M^(1/d); law alpha^d for d = 1..4",
+             "bench_e4_grid",
+             {sweepOf("grid1d", 5), sweepOf("grid2d", 5),
+              sweepOf("grid3d", 5), sweepOf("grid4d", 5)}},
+            {"E5", "Section 3.4 and Fig. 2, FFT",
+             "Fig. 2 block structure at N=16, M=4; R(M) ~ log2 M; law "
+             "M_old^alpha",
+             "bench_e5_fft", {sweepOf("fft", 8)}},
+            {"E6", "Section 3.5, sorting",
+             "R(M) ~ log2 M for two-phase merge sort; law M_old^alpha",
+             "bench_e6_sorting", {sweepOf("sorting", 6)}},
+            {"E7", "Section 3.6, I/O-bounded computations",
+             "flat R(M) for matvec and trisolve; rebalancing impossible",
+             "bench_e7_io_bounded",
+             {sweepOf("matvec", 7), sweepOf("trisolve", 7),
+              sweepOf("spmv", 7)}},
+            {"E8", "Section 4.1 and Fig. 3, linear processor array",
+             "per-PE memory for >=95% utilization grows linearly in p",
+             "bench_e8_linear_array", {}},
+            {"E9", "Section 4.2 and Fig. 4, square processor array",
+             "per-PE memory flat in p for matmul; grows for the 3-D grid",
+             "bench_e9_mesh", {}},
+            {"E10", "Hong-Kung optimality claims (3.1, 3.4, 3.5)",
+             "pebble-game achieved I/O within a constant of the lower "
+             "bounds",
+             "bench_e10_pebble", {}},
+            {"E11", "Section 5, CMU Warp remark",
+             "Warp cell (10 MFLOPS, 20 Mwords/s, 64K words) balance "
+             "across kernels",
+             "bench_e11_warp", {}},
+            // E12 declares no SweepJob: its set-associative rows tile
+            // the schedule for M/2 while the cache holds M (headroom
+            // against conflict thrashing), a schedule-m != capacity-m
+            // split SweepJob cannot express yet (see ROADMAP).
+            {"E12", "design ablation (DESIGN.md, decision 2)",
+             "balance exponents survive LRU / OPT / set-assoc memories",
+             "bench_e12_memory_ablation", {}},
+        };
+        return t;
+    }();
     return table;
 }
 
@@ -60,6 +96,12 @@ experimentById(const std::string &id)
         if (e.id == id)
             return e;
     fatal("unknown experiment id " + id);
+}
+
+std::vector<SweepResult>
+runExperimentSweeps(const std::string &id, const ExperimentEngine &engine)
+{
+    return engine.run(experimentById(id).sweep_jobs);
 }
 
 void

@@ -3,12 +3,18 @@
  * Registry of the reproduction experiments E1..E12 (see DESIGN.md's
  * per-experiment index), so benches, docs and tests agree on what
  * each id means.
+ *
+ * Each experiment now also declares the engine sweeps it is built
+ * from (SweepJob lists), so bench binaries submit the same grids the
+ * docs describe instead of hand-rolling loops.
  */
 
 #pragma once
 
 #include <string>
 #include <vector>
+
+#include "engine/engine.hpp"
 
 namespace kb {
 
@@ -19,6 +25,9 @@ struct ExperimentInfo
     std::string paper_artifact; ///< table/figure/section reproduced
     std::string claim;          ///< what must hold for success
     std::string bench_target;   ///< binary that regenerates it
+    /// Declarative sweeps the experiment measures (empty for the
+    /// experiments that are not R(M) sweeps: arrays, Warp, pebbles).
+    std::vector<SweepJob> sweep_jobs;
 };
 
 /** All experiments, in order. */
@@ -26,6 +35,13 @@ const std::vector<ExperimentInfo> &allExperiments();
 
 /** Lookup by id; fatal on unknown id. */
 const ExperimentInfo &experimentById(const std::string &id);
+
+/**
+ * Execute an experiment's declared sweeps on @p engine (results in
+ * job order; empty when the experiment declares no sweeps).
+ */
+std::vector<SweepResult> runExperimentSweeps(const std::string &id,
+                                             const ExperimentEngine &engine);
 
 /**
  * Standard bench banner: prints the experiment header (id, artifact,

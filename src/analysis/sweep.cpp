@@ -1,12 +1,6 @@
 #include "analysis/sweep.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "kernels/fft.hpp"
-#include "kernels/grid.hpp"
-#include "util/intmath.hpp"
-#include "util/logging.hpp"
+#include "kernels/registry.hpp"
 
 namespace kb {
 
@@ -30,147 +24,44 @@ RatioCurve::ratios() const
     return out;
 }
 
-namespace {
-
-bool
-isGrid(KernelId id)
+RatioCurve
+toRatioCurve(const SweepResult &result)
 {
-    return id == KernelId::Grid1D || id == KernelId::Grid2D ||
-           id == KernelId::Grid3D || id == KernelId::Grid4D;
+    RatioCurve curve;
+    curve.name = result.job.kernel;
+    kernelIdFromName(curve.name, curve.kernel);
+    curve.samples.reserve(result.points.size());
+    for (const auto &p : result.points)
+        curve.samples.push_back(p.sample);
+    return curve;
 }
 
-unsigned
-gridDim(KernelId id)
+RatioCurve
+measureRatioCurve(const std::string &kernel, std::uint64_t m_lo,
+                  std::uint64_t m_hi, unsigned points)
 {
-    switch (id) {
-      case KernelId::Grid1D: return 1;
-      case KernelId::Grid2D: return 2;
-      case KernelId::Grid3D: return 3;
-      case KernelId::Grid4D: return 4;
-      default: panic("not a grid kernel");
-    }
-}
-
-RatioSample
-measureGridResident(unsigned d, std::uint64_t m)
-{
-    // Steady-state per-iteration costs by differencing two iteration
-    // counts (cancels the one-time block load/store).
-    GridKernel k4(d, 4), k8(d, 8);
-    const std::uint64_t s = k4.residentEdge(m);
-    const std::uint64_t g = 2 * (s + 2);
-    const auto r4 = k4.measureResident(g, m, false);
-    const auto r8 = k8.measureResident(g, m, false);
-    RatioSample sample;
-    sample.m = m;
-    sample.comp_ops = r8.cost.comp_ops - r4.cost.comp_ops;
-    sample.io_words = r8.cost.io_words - r4.cost.io_words;
-    KB_ASSERT(sample.io_words > 0.0);
-    sample.ratio = sample.comp_ops / sample.io_words;
-    return sample;
-}
-
-} // namespace
-
-void
-defaultSweepRange(KernelId id, std::uint64_t &m_lo, std::uint64_t &m_hi)
-{
-    switch (id) {
-      case KernelId::MatMul:
-      case KernelId::Triangularization:
-        m_lo = 48;
-        m_hi = 4096;
-        break;
-      case KernelId::QR:
-        // The panel width is capped at sqrt(n), so the sweep stays
-        // where b = sqrt(M/3) is the binding constraint.
-        m_lo = 27;
-        m_hi = 300;
-        break;
-      case KernelId::Grid1D:
-        m_lo = 256;
-        m_hi = 16384;
-        break;
-      case KernelId::Grid2D:
-        m_lo = 512;
-        m_hi = 32768;
-        break;
-      case KernelId::Grid3D:
-        m_lo = 8192;
-        m_hi = 1u << 19;
-        break;
-      case KernelId::Grid4D:
-        m_lo = 32768;
-        m_hi = 1u << 19;
-        break;
-      case KernelId::Fft:
-        m_lo = 8;
-        m_hi = 1024;
-        break;
-      case KernelId::Sort:
-        m_lo = 32;
-        m_hi = 1024;
-        break;
-      case KernelId::MatVec:
-      case KernelId::TriSolve:
-      case KernelId::SpMV:
-        m_lo = 8;
-        m_hi = 8192;
-        break;
-    }
+    ExperimentEngine engine;
+    SweepJob job;
+    job.kernel = kernel;
+    job.m_lo = m_lo;
+    job.m_hi = m_hi;
+    job.points = points;
+    return toRatioCurve(engine.runOne(job));
 }
 
 RatioCurve
 measureRatioCurve(KernelId id, std::uint64_t m_lo, std::uint64_t m_hi,
                   unsigned points)
 {
-    KB_REQUIRE(points >= 3, "need at least three sweep points");
-    KB_REQUIRE(m_lo >= 2 && m_lo < m_hi, "bad sweep range");
+    return measureRatioCurve(std::string(kernelIdName(id)), m_lo, m_hi,
+                             points);
+}
 
-    RatioCurve curve;
-    curve.kernel = id;
-
-    const auto kernel = makeKernel(id);
-    const std::uint64_t n_fixed = kernel->suggestProblemSize(m_hi);
-
-    const double step = std::pow(static_cast<double>(m_hi) /
-                                     static_cast<double>(m_lo),
-                                 1.0 / (points - 1));
-    std::uint64_t prev_m = 0;
-    for (unsigned i = 0; i < points; ++i) {
-        std::uint64_t m = static_cast<std::uint64_t>(
-            std::llround(static_cast<double>(m_lo) * std::pow(step, i)));
-        m = std::max(m, kernel->minMemory(n_fixed));
-        if (m == prev_m)
-            continue;
-        prev_m = m;
-
-        RatioSample sample;
-        if (isGrid(id)) {
-            sample = measureGridResident(gridDim(id), m);
-        } else if (id == KernelId::Fft) {
-            const std::uint64_t p = FftKernel::inCorePoints(m);
-            const auto r = kernel->measure(p * p, m, false);
-            sample.m = m;
-            sample.comp_ops = r.cost.comp_ops;
-            sample.io_words = r.cost.io_words;
-            sample.ratio = r.cost.ratio();
-        } else if (id == KernelId::Sort) {
-            const auto r = kernel->measure(m * m, m, false);
-            sample.m = m;
-            sample.comp_ops = r.cost.comp_ops;
-            sample.io_words = r.cost.io_words;
-            sample.ratio = r.cost.ratio();
-        } else {
-            const auto r = kernel->measure(n_fixed, m, false);
-            sample.m = m;
-            sample.comp_ops = r.cost.comp_ops;
-            sample.io_words = r.cost.io_words;
-            sample.ratio = r.cost.ratio();
-        }
-        curve.samples.push_back(sample);
-    }
-    return curve;
+void
+defaultSweepRange(KernelId id, std::uint64_t &m_lo, std::uint64_t &m_hi)
+{
+    KernelRegistry::instance().shared(kernelIdName(id))
+        ->defaultSweepRange(m_lo, m_hi);
 }
 
 } // namespace kb

@@ -1,38 +1,46 @@
 /**
  * @file
- * Shared measurement recipes: each kernel has a regime in which its
+ * Shared measurement recipes: every kernel has a regime in which its
  * asymptotic ratio shape is visible at laptop scale (the paper
  * assumes N >> M). Benches and tests use these sweeps so E1's summary
  * table and the per-kernel experiments agree by construction.
+ *
+ * The regime itself now lives on the kernels (Kernel::
+ * measureRatioPoint / defaultSweepRange) and execution lives in the
+ * experiment engine (engine/engine.hpp); this header keeps the
+ * curve-level vocabulary and the historical entry points on top of
+ * both.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "kernels/kernel.hpp"
 
 namespace kb {
 
-/** One measured point of a ratio curve. */
-struct RatioSample
-{
-    std::uint64_t m = 0;
-    double ratio = 0.0;
-    double comp_ops = 0.0;
-    double io_words = 0.0;
-};
+/** One measured point of a ratio curve (same layout as RatioPoint). */
+using RatioSample = RatioPoint;
 
 /** A measured ratio curve with its provenance. */
 struct RatioCurve
 {
-    KernelId kernel;
+    /// Built-in id; meaningful only when `name` is one of the paper's
+    /// twelve computations (plug-in kernels carry just the name).
+    KernelId kernel = KernelId::MatMul;
+    std::string name; ///< registry name of the measured kernel
     std::vector<RatioSample> samples;
 
     std::vector<double> memories() const;
     std::vector<double> ratios() const;
 };
+
+/** Curve view of an engine result (drops the per-model columns). */
+RatioCurve toRatioCurve(const SweepResult &result);
 
 /**
  * Measure R(M) for @p id over @p points geometrically spaced memory
@@ -45,6 +53,9 @@ struct RatioCurve
  *  * grids: resident-subgrid accounting with per-iteration
  *    (steady-state) costs.
  *
+ * Runs on the experiment engine with hardware threads; the result is
+ * identical to a serial sweep (the engine is deterministic).
+ *
  * @param m_lo    smallest memory (raised to the kernel minimum)
  * @param m_hi    largest memory
  * @param points  number of samples (>= 3)
@@ -52,9 +63,15 @@ struct RatioCurve
 RatioCurve measureRatioCurve(KernelId id, std::uint64_t m_lo,
                              std::uint64_t m_hi, unsigned points);
 
+/** Name-keyed form for plug-in kernels. */
+RatioCurve measureRatioCurve(const std::string &kernel,
+                             std::uint64_t m_lo, std::uint64_t m_hi,
+                             unsigned points);
+
 /**
  * Default sweep bounds per kernel that keep every point in the
- * asymptotic regime and the whole sweep under a couple of seconds.
+ * asymptotic regime and the whole sweep under a couple of seconds
+ * (forwards to Kernel::defaultSweepRange).
  */
 void defaultSweepRange(KernelId id, std::uint64_t &m_lo,
                        std::uint64_t &m_hi);

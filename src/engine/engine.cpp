@@ -1,0 +1,282 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <optional>
+#include <thread>
+
+#include "kernels/registry.hpp"
+#include "mem/lru_cache.hpp"
+#include "mem/opt_cache.hpp"
+#include "mem/set_assoc.hpp"
+#include "trace/replay.hpp"
+#include "trace/sink.hpp"
+#include "util/logging.hpp"
+
+namespace kb {
+
+const char *
+memoryModelName(MemoryModelKind kind)
+{
+    switch (kind) {
+      case MemoryModelKind::Lru:          return "lru";
+      case MemoryModelKind::SetAssocLru:  return "8way-lru";
+      case MemoryModelKind::SetAssocFifo: return "8way-fifo";
+      case MemoryModelKind::RandomRepl:   return "random";
+      case MemoryModelKind::Opt:          return "opt";
+    }
+    return "?";
+}
+
+std::unique_ptr<LocalMemory>
+makeMemoryModel(MemoryModelKind kind, std::uint64_t m)
+{
+    // 8-way models need sets * 8 words; round m *up* to the next
+    // multiple of the associativity so every model at a grid point
+    // has at least m words (exact for multiples of 8, else +<8 —
+    // never a silently smaller cache than the LRU column).
+    const std::uint64_t sets = std::max<std::uint64_t>((m + 7) / 8, 1);
+    switch (kind) {
+      case MemoryModelKind::Lru:
+        return std::make_unique<LruCache>(m);
+      case MemoryModelKind::SetAssocLru:
+        return std::make_unique<SetAssocCache>(sets, 8,
+                                               ReplacementPolicy::LRU);
+      case MemoryModelKind::SetAssocFifo:
+        return std::make_unique<SetAssocCache>(sets, 8,
+                                               ReplacementPolicy::FIFO);
+      case MemoryModelKind::RandomRepl:
+        return std::make_unique<SetAssocCache>(
+            1, m, ReplacementPolicy::Random, 7);
+      case MemoryModelKind::Opt:
+        break;
+    }
+    fatal("OPT has no streaming model; the engine buffers it per point");
+}
+
+std::vector<double>
+SweepResult::memories() const
+{
+    std::vector<double> out;
+    out.reserve(points.size());
+    for (const auto &p : points)
+        out.push_back(static_cast<double>(p.sample.m));
+    return out;
+}
+
+std::vector<double>
+SweepResult::ratios() const
+{
+    std::vector<double> out;
+    out.reserve(points.size());
+    for (const auto &p : points)
+        out.push_back(p.sample.ratio);
+    return out;
+}
+
+namespace {
+
+/**
+ * The geometric memory grid of a job: points spaced by a constant
+ * factor in [m_lo, m_hi], clamped to the kernel's minimum and
+ * deduplicated after rounding. Matches the seed's sweep loop so
+ * engine curves are bit-identical to the old serial ones.
+ */
+std::vector<std::uint64_t>
+memoryGrid(const Kernel &kernel, std::uint64_t n_hint,
+           std::uint64_t m_lo, std::uint64_t m_hi, unsigned points)
+{
+    KB_REQUIRE(points >= 3, "need at least three sweep points");
+    KB_REQUIRE(m_lo >= 2 && m_lo < m_hi, "bad sweep range");
+
+    const double step = std::pow(static_cast<double>(m_hi) /
+                                     static_cast<double>(m_lo),
+                                 1.0 / (points - 1));
+    std::vector<std::uint64_t> grid;
+    std::uint64_t prev_m = 0;
+    for (unsigned i = 0; i < points; ++i) {
+        std::uint64_t m = static_cast<std::uint64_t>(
+            std::llround(static_cast<double>(m_lo) * std::pow(step, i)));
+        m = std::max(m, kernel.minMemory(n_hint));
+        if (m == prev_m)
+            continue;
+        prev_m = m;
+        grid.push_back(m);
+    }
+    return grid;
+}
+
+/** A prepared job: resolved kernel, range, grid and result slots. */
+struct PreparedJob
+{
+    std::shared_ptr<const Kernel> kernel;
+    std::vector<std::uint64_t> grid;
+    SweepResult result;
+};
+
+/** One schedulable unit of work. */
+struct Task
+{
+    std::size_t job = 0;
+    std::size_t point = 0;
+};
+
+/** Measure one (job, point): schedule costs plus model replays. */
+void
+executeTask(PreparedJob &pj, std::size_t point_idx)
+{
+    const Kernel &kernel = *pj.kernel;
+    const SweepJob &job = pj.result.job;
+    const std::uint64_t m = pj.grid[point_idx];
+    auto &slot = pj.result.points[point_idx];
+
+    slot.sample = kernel.measureRatioPoint(pj.result.n_hint, m);
+    // Replay the regime's own problem size so the model columns and
+    // the schedule sample describe the same computation. (Grids are
+    // the one family whose sample is not a single measure() — their
+    // replay is the plain time-tiled schedule at n_hint.)
+    const std::uint64_t n_trace =
+        kernel.regimeProblemSize(pj.result.n_hint, m);
+
+    if (job.models.empty())
+        return;
+
+    // One emitTrace() pass feeds every demand-fill model through a
+    // streaming ReplaySink; a trace buffer exists only if OPT asked
+    // for the future.
+    std::vector<std::unique_ptr<LocalMemory>> streaming;
+    std::vector<LocalMemory *> streaming_ptrs;
+    bool wants_opt = false;
+    for (const auto kind : job.models) {
+        if (kind == MemoryModelKind::Opt) {
+            wants_opt = true;
+            continue;
+        }
+        streaming.push_back(makeMemoryModel(kind, m));
+        streaming_ptrs.push_back(streaming.back().get());
+    }
+
+    VectorSink buffer;
+    std::optional<ReplaySink> replay;
+    std::vector<TraceSink *> branches;
+    if (!streaming_ptrs.empty()) {
+        replay.emplace(streaming_ptrs);
+        branches.push_back(&*replay);
+    }
+    if (wants_opt)
+        branches.push_back(&buffer);
+
+    if (branches.size() == 1) {
+        kernel.emitTrace(n_trace, m, *branches.front());
+    } else {
+        TeeSink tee(branches);
+        kernel.emitTrace(n_trace, m, tee);
+    }
+    if (replay)
+        replay->flush();
+
+    slot.model_io.reserve(job.models.size());
+    std::size_t next_streaming = 0;
+    for (const auto kind : job.models) {
+        if (kind == MemoryModelKind::Opt) {
+            slot.model_io.push_back(
+                simulateOpt(buffer.trace(), m).stats.ioWords());
+        } else {
+            slot.model_io.push_back(
+                streaming[next_streaming++]->stats().ioWords());
+        }
+    }
+}
+
+} // namespace
+
+ExperimentEngine::ExperimentEngine(unsigned threads)
+    : threads_(threads == 0 ? hardwareThreads() : threads)
+{
+}
+
+unsigned
+ExperimentEngine::hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+std::vector<SweepResult>
+ExperimentEngine::run(const std::vector<SweepJob> &jobs) const
+{
+    auto &registry = KernelRegistry::instance();
+
+    // Phase 1: resolve jobs serially (cheap, deterministic).
+    std::vector<PreparedJob> prepared;
+    prepared.reserve(jobs.size());
+    std::vector<Task> tasks;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        PreparedJob pj;
+        pj.kernel = registry.shared(jobs[j].kernel);
+        pj.result.job_index = j;
+        pj.result.job = jobs[j];
+        // Resolve defaults per field: a job may pin one bound and
+        // default the other.
+        std::uint64_t def_lo = 0, def_hi = 0;
+        pj.kernel->defaultSweepRange(def_lo, def_hi);
+        if (pj.result.job.m_lo == 0)
+            pj.result.job.m_lo = def_lo;
+        if (pj.result.job.m_hi == 0)
+            pj.result.job.m_hi = def_hi;
+        pj.result.n_hint =
+            pj.kernel->suggestProblemSize(pj.result.job.m_hi);
+        pj.grid = memoryGrid(*pj.kernel, pj.result.n_hint,
+                             pj.result.job.m_lo, pj.result.job.m_hi,
+                             pj.result.job.points);
+        pj.result.points.resize(pj.grid.size());
+        for (std::size_t p = 0; p < pj.grid.size(); ++p)
+            tasks.push_back(Task{j, p});
+        prepared.push_back(std::move(pj));
+    }
+
+    // Phase 2: measure every (job, point) on the pool. Each task
+    // writes only its own pre-allocated slot, so no locking and no
+    // scheduling-dependent state: results are identical for any
+    // worker count.
+    const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+        threads_, std::max<std::size_t>(tasks.size(), 1)));
+    if (workers <= 1) {
+        for (const auto &t : tasks)
+            executeTask(prepared[t.job], t.point);
+    } else {
+        std::atomic<std::size_t> next{0};
+        auto worker = [&] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= tasks.size())
+                    return;
+                executeTask(prepared[tasks[i].job], tasks[i].point);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    std::vector<SweepResult> results;
+    results.reserve(prepared.size());
+    for (auto &pj : prepared)
+        results.push_back(std::move(pj.result));
+    return results;
+}
+
+SweepResult
+ExperimentEngine::runOne(const SweepJob &job) const
+{
+    auto results = run({job});
+    KB_ASSERT(results.size() == 1);
+    return std::move(results.front());
+}
+
+} // namespace kb

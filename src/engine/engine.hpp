@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The parallel experiment engine.
+ *
+ * Kung's balance analysis is consumed as sweeps: grids of
+ * (kernel x local-memory size x memory model) measurements. The seed
+ * ran every point serially inside each bench's main(); the engine
+ * executes a declarative list of SweepJobs on a fixed-size
+ * std::thread pool instead.
+ *
+ * Determinism is a design requirement, not an accident: every
+ * (job, point) measurement is a pure function of its inputs (kernels
+ * are immutable, memory models are seeded), each task writes to a
+ * pre-allocated slot keyed by (job index, point index), and results
+ * are returned in job order — so a 1-thread run and an N-thread run
+ * produce bit-identical results and byte-identical reports.
+ *
+ * Replay models are streamed: each point emits its trace once, piping
+ * it through a ReplaySink (fanned out with TeeSink) into every
+ * demand-fill model in a single pass with no intermediate vector.
+ * Only Belady OPT, which needs the future, buffers the trace — and
+ * then only when a job actually requests it.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/kernel.hpp"
+#include "mem/local_memory.hpp"
+
+namespace kb {
+
+/** Replacement disciplines a sweep can replay its traces through. */
+enum class MemoryModelKind
+{
+    Lru,          ///< fully associative LRU (reference model)
+    SetAssocLru,  ///< 8-way set-associative, LRU per set
+    SetAssocFifo, ///< 8-way set-associative, FIFO per set
+    RandomRepl,   ///< fully associative, seeded random replacement
+    Opt,          ///< Belady OPT (clairvoyant; needs a buffered trace)
+};
+
+/** Short name for reports ("lru", "opt", ...). */
+const char *memoryModelName(MemoryModelKind kind);
+
+/**
+ * Instantiate a demand-fill model of @p kind with capacity @p m.
+ * Fatal for MemoryModelKind::Opt, which has no streaming form.
+ */
+std::unique_ptr<LocalMemory> makeMemoryModel(MemoryModelKind kind,
+                                             std::uint64_t m);
+
+/**
+ * One declarative grid of measurements: a kernel, a geometric range
+ * of local-memory sizes, and a set of replay models evaluated at
+ * every point.
+ */
+struct SweepJob
+{
+    std::string kernel;      ///< registry name, e.g. "matmul"
+    std::uint64_t m_lo = 0;  ///< smallest memory; 0 = kernel default
+    std::uint64_t m_hi = 0;  ///< largest memory; 0 = kernel default
+    unsigned points = 6;     ///< geometric sample count (>= 3)
+    /// Replay disciplines evaluated per point (empty = schedule only).
+    std::vector<MemoryModelKind> models;
+};
+
+/** One measured point of a job. */
+struct SweepPointResult
+{
+    RatioPoint sample; ///< the schedule measurement (paper regime)
+    /// I/O words of each replayed model, parallel to SweepJob::models.
+    std::vector<std::uint64_t> model_io;
+};
+
+/** All measurements of one job, points in ascending-memory order. */
+struct SweepResult
+{
+    std::size_t job_index = 0; ///< index into the submitted job list
+    SweepJob job;              ///< the job, with defaults resolved
+    std::uint64_t n_hint = 0;  ///< fixed problem size used
+    std::vector<SweepPointResult> points;
+
+    std::vector<double> memories() const;
+    std::vector<double> ratios() const;
+};
+
+/**
+ * Fixed-size thread-pool executor for SweepJobs.
+ *
+ * Tasks are individual (job, point) measurements, so a single
+ * expensive job still spreads across the pool. run() may be called
+ * repeatedly and from any thread; each call spins up its own workers
+ * (jobs are seconds-scale, pool spin-up is microseconds).
+ */
+class ExperimentEngine
+{
+  public:
+    /** @param threads worker count; 0 = hardware concurrency. */
+    explicit ExperimentEngine(unsigned threads = 0);
+
+    /** Worker count this engine runs with. */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Execute every job and return results in job order. Results are
+     * independent of the worker count (see file comment).
+     */
+    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs) const;
+
+    /** Convenience: run a single job. */
+    SweepResult runOne(const SweepJob &job) const;
+
+    /** std::thread::hardware_concurrency with a sane floor of 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    unsigned threads_;
+};
+
+} // namespace kb

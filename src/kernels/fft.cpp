@@ -1,5 +1,7 @@
 #include "kernels/fft.hpp"
 
+#include "kernels/registry.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <numbers>
@@ -356,5 +358,14 @@ FftKernel::decompose(std::uint64_t n, std::uint64_t m) const
     extFft(ctx, x.data(), 0, n, 0);
     return dump;
 }
+
+
+namespace {
+
+const KernelRegistrar kRegistrar{
+    "fft", [] { return std::make_unique<FftKernel>(); }, 7,
+    /*compute_bound=*/true};
+
+} // namespace
 
 } // namespace kb

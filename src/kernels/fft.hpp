@@ -69,6 +69,23 @@ class FftKernel : public Kernel
     std::uint64_t minMemory(std::uint64_t n) const override;
     std::uint64_t suggestProblemSize(std::uint64_t m_max) const override;
 
+    /** Paper regime: n = P(M)^2, two decomposition ranks per point. */
+    std::uint64_t
+    regimeProblemSize(std::uint64_t /*n_hint*/,
+                      std::uint64_t m) const override
+    {
+        const std::uint64_t p = inCorePoints(m);
+        return p * p;
+    }
+
+    void
+    defaultSweepRange(std::uint64_t &m_lo,
+                      std::uint64_t &m_hi) const override
+    {
+        m_lo = 8;
+        m_hi = 1024;
+    }
+
     /**
      * Run the decomposition bookkeeping only (cheap) and report the
      * block/shuffle structure — regenerates Fig. 2 for n=16, M=4.

@@ -1,5 +1,7 @@
 #include "kernels/grid.hpp"
 
+#include "kernels/registry.hpp"
+
 #include <algorithm>
 #include <array>
 #include <cmath>
@@ -529,5 +531,69 @@ GridKernel::emitTrace(std::uint64_t n, std::uint64_t m,
         done += tau;
     }
 }
+
+
+RatioPoint
+GridKernel::measureRatioPoint(std::uint64_t /*n_hint*/,
+                              std::uint64_t m) const
+{
+    // Steady-state per-iteration costs by differencing two iteration
+    // counts (cancels the one-time block load/store).
+    GridKernel k4(dim_, 4), k8(dim_, 8);
+    const std::uint64_t s = k4.residentEdge(m);
+    const std::uint64_t g = 2 * (s + 2);
+    const auto r4 = k4.measureResident(g, m, false);
+    const auto r8 = k8.measureResident(g, m, false);
+    RatioPoint p;
+    p.m = m;
+    p.comp_ops = r8.cost.comp_ops - r4.cost.comp_ops;
+    p.io_words = r8.cost.io_words - r4.cost.io_words;
+    KB_ASSERT(p.io_words > 0.0);
+    p.ratio = p.comp_ops / p.io_words;
+    return p;
+}
+
+void
+GridKernel::defaultSweepRange(std::uint64_t &m_lo,
+                              std::uint64_t &m_hi) const
+{
+    switch (dim_) {
+      case 1:
+        m_lo = 256;
+        m_hi = 16384;
+        break;
+      case 2:
+        m_lo = 512;
+        m_hi = 32768;
+        break;
+      case 3:
+        m_lo = 8192;
+        m_hi = 1u << 19;
+        break;
+      default:
+        m_lo = 32768;
+        m_hi = 1u << 19;
+        break;
+    }
+}
+
+namespace {
+
+KernelRegistry::Factory
+gridFactory(unsigned dim)
+{
+    return [dim] { return std::make_unique<GridKernel>(dim); };
+}
+
+const KernelRegistrar kRegistrar1{"grid1d", gridFactory(1), 3,
+                                  /*compute_bound=*/true};
+const KernelRegistrar kRegistrar2{"grid2d", gridFactory(2), 4,
+                                  /*compute_bound=*/true};
+const KernelRegistrar kRegistrar3{"grid3d", gridFactory(3), 5,
+                                  /*compute_bound=*/true};
+const KernelRegistrar kRegistrar4{"grid4d", gridFactory(4), 6,
+                                  /*compute_bound=*/true};
+
+} // namespace
 
 } // namespace kb

@@ -65,6 +65,17 @@ class GridKernel : public Kernel
     std::uint64_t minMemory(std::uint64_t n) const override;
     std::uint64_t suggestProblemSize(std::uint64_t m_max) const override;
 
+    /**
+     * Paper regime: steady-state per-iteration costs of the resident
+     * subgrid, by differencing 8-sweep and 4-sweep runs (cancels the
+     * one-time block load/store). Ignores @p n_hint.
+     */
+    RatioPoint measureRatioPoint(std::uint64_t n_hint,
+                                 std::uint64_t m) const override;
+
+    void defaultSweepRange(std::uint64_t &m_lo,
+                           std::uint64_t &m_hi) const override;
+
     unsigned dim() const { return dim_; }
     std::uint64_t iterations() const { return iterations_; }
 

@@ -1,89 +1,103 @@
 #include "kernels/kernel.hpp"
 
-#include "kernels/fft.hpp"
-#include "kernels/grid.hpp"
-#include "kernels/lu.hpp"
-#include "kernels/matmul.hpp"
-#include "kernels/matvec.hpp"
-#include "kernels/qr.hpp"
-#include "kernels/sort.hpp"
-#include "kernels/spmv.hpp"
-#include "kernels/trisolve.hpp"
+#include "kernels/registry.hpp"
 #include "util/logging.hpp"
 
 namespace kb {
 
+RatioPoint
+Kernel::measureRatioPoint(std::uint64_t n_hint, std::uint64_t m) const
+{
+    const auto r = measure(regimeProblemSize(n_hint, m), m, false);
+    RatioPoint p;
+    p.m = m;
+    p.comp_ops = r.cost.comp_ops;
+    p.io_words = r.cost.io_words;
+    p.ratio = r.cost.ratio();
+    return p;
+}
+
+namespace {
+
+/**
+ * The paper's twelve computations, in Section 3 presentation order.
+ * This table is the only place the id enum and registry names meet;
+ * the concrete classes register themselves (see registry.hpp).
+ */
+constexpr struct
+{
+    KernelId id;
+    const char *name;
+} kBuiltins[] = {
+    {KernelId::MatMul, "matmul"},
+    {KernelId::Triangularization, "triangularization"},
+    {KernelId::QR, "qr"},
+    {KernelId::Grid1D, "grid1d"},
+    {KernelId::Grid2D, "grid2d"},
+    {KernelId::Grid3D, "grid3d"},
+    {KernelId::Grid4D, "grid4d"},
+    {KernelId::Fft, "fft"},
+    {KernelId::Sort, "sorting"},
+    {KernelId::MatVec, "matvec"},
+    {KernelId::TriSolve, "trisolve"},
+    {KernelId::SpMV, "spmv"},
+};
+
+} // namespace
+
 const char *
 kernelIdName(KernelId id)
 {
-    switch (id) {
-      case KernelId::MatMul:            return "matmul";
-      case KernelId::Triangularization: return "triangularization";
-      case KernelId::QR:                return "qr";
-      case KernelId::Grid1D:            return "grid1d";
-      case KernelId::Grid2D:            return "grid2d";
-      case KernelId::Grid3D:            return "grid3d";
-      case KernelId::Grid4D:            return "grid4d";
-      case KernelId::Fft:               return "fft";
-      case KernelId::Sort:              return "sorting";
-      case KernelId::MatVec:            return "matvec";
-      case KernelId::TriSolve:          return "trisolve";
-      case KernelId::SpMV:              return "spmv";
-    }
+    for (const auto &b : kBuiltins)
+        if (b.id == id)
+            return b.name;
     return "?";
+}
+
+bool
+kernelIdFromName(const std::string &name, KernelId &id)
+{
+    for (const auto &b : kBuiltins) {
+        if (name == b.name) {
+            id = b.id;
+            return true;
+        }
+    }
+    return false;
 }
 
 std::unique_ptr<Kernel>
 makeKernel(KernelId id)
 {
-    switch (id) {
-      case KernelId::MatMul:
-        return std::make_unique<MatmulKernel>();
-      case KernelId::Triangularization:
-        return std::make_unique<LuKernel>();
-      case KernelId::QR:
-        return std::make_unique<QrKernel>();
-      case KernelId::Grid1D:
-        return std::make_unique<GridKernel>(1);
-      case KernelId::Grid2D:
-        return std::make_unique<GridKernel>(2);
-      case KernelId::Grid3D:
-        return std::make_unique<GridKernel>(3);
-      case KernelId::Grid4D:
-        return std::make_unique<GridKernel>(4);
-      case KernelId::Fft:
-        return std::make_unique<FftKernel>();
-      case KernelId::Sort:
-        return std::make_unique<SortKernel>();
-      case KernelId::MatVec:
-        return std::make_unique<MatvecKernel>();
-      case KernelId::TriSolve:
-        return std::make_unique<TrisolveKernel>();
-      case KernelId::SpMV:
-        return std::make_unique<SpmvKernel>();
-    }
-    panic("unknown kernel id");
+    return KernelRegistry::instance().make(kernelIdName(id));
+}
+
+std::unique_ptr<Kernel>
+makeKernel(const std::string &name)
+{
+    return KernelRegistry::instance().make(name);
 }
 
 std::vector<KernelId>
 allKernelIds()
 {
-    return {KernelId::MatMul,   KernelId::Triangularization,
-            KernelId::QR,       KernelId::Grid1D,
-            KernelId::Grid2D,   KernelId::Grid3D,
-            KernelId::Grid4D,   KernelId::Fft,
-            KernelId::Sort,     KernelId::MatVec,
-            KernelId::TriSolve, KernelId::SpMV};
+    std::vector<KernelId> out;
+    for (const auto &b : kBuiltins)
+        out.push_back(b.id);
+    return out;
 }
 
 std::vector<KernelId>
 computeBoundKernelIds()
 {
-    return {KernelId::MatMul,   KernelId::Triangularization,
-            KernelId::QR,       KernelId::Grid1D,
-            KernelId::Grid2D,   KernelId::Grid3D,
-            KernelId::Grid4D,   KernelId::Fft,
-            KernelId::Sort};
+    std::vector<KernelId> out;
+    for (const auto &name :
+         KernelRegistry::instance().computeBoundNames()) {
+        KernelId id;
+        if (kernelIdFromName(name, id))
+            out.push_back(id);
+    }
+    return out;
 }
 
 } // namespace kb

@@ -1,5 +1,7 @@
 #include "kernels/lu.hpp"
 
+#include "kernels/registry.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -270,5 +272,14 @@ LuKernel::emitTrace(std::uint64_t n, std::uint64_t m,
         }
     }
 }
+
+
+namespace {
+
+const KernelRegistrar kRegistrar{
+    "triangularization", [] { return std::make_unique<LuKernel>(); }, 1,
+    /*compute_bound=*/true};
+
+} // namespace
 
 } // namespace kb

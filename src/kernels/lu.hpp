@@ -46,6 +46,14 @@ class LuKernel : public Kernel
     std::uint64_t minMemory(std::uint64_t n) const override;
     std::uint64_t suggestProblemSize(std::uint64_t m_max) const override;
 
+    void
+    defaultSweepRange(std::uint64_t &m_lo,
+                      std::uint64_t &m_hi) const override
+    {
+        m_lo = 48;
+        m_hi = 4096;
+    }
+
     /** Largest tile edge b with 3 b^2 <= m (at least 1). */
     static std::uint64_t tileSize(std::uint64_t m);
 };

@@ -1,5 +1,7 @@
 #include "kernels/matmul.hpp"
 
+#include "kernels/registry.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -174,5 +176,14 @@ MatmulKernel::emitTrace(std::uint64_t n, std::uint64_t m,
         }
     }
 }
+
+
+namespace {
+
+const KernelRegistrar kRegistrar{
+    "matmul", [] { return std::make_unique<MatmulKernel>(); }, 0,
+    /*compute_bound=*/true};
+
+} // namespace
 
 } // namespace kb

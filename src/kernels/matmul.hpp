@@ -48,6 +48,14 @@ class MatmulKernel : public Kernel
     std::uint64_t minMemory(std::uint64_t n) const override;
     std::uint64_t suggestProblemSize(std::uint64_t m_max) const override;
 
+    void
+    defaultSweepRange(std::uint64_t &m_lo,
+                      std::uint64_t &m_hi) const override
+    {
+        m_lo = 48;
+        m_hi = 4096;
+    }
+
     /**
      * Largest tile edge b with b^2 + 2b <= m (at least 1).
      * Exposed for tests and for the E8/E9 array workloads.

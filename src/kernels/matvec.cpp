@@ -1,5 +1,7 @@
 #include "kernels/matvec.hpp"
 
+#include "kernels/registry.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -135,5 +137,14 @@ MatvecKernel::emitTrace(std::uint64_t n, std::uint64_t m,
         }
     }
 }
+
+
+namespace {
+
+const KernelRegistrar kRegistrar{
+    "matvec", [] { return std::make_unique<MatvecKernel>(); }, 9,
+    /*compute_bound=*/false};
+
+} // namespace
 
 } // namespace kb

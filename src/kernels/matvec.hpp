@@ -46,6 +46,14 @@ class MatvecKernel : public Kernel
     std::uint64_t minMemory(std::uint64_t n) const override;
     std::uint64_t suggestProblemSize(std::uint64_t m_max) const override;
 
+    void
+    defaultSweepRange(std::uint64_t &m_lo,
+                      std::uint64_t &m_hi) const override
+    {
+        m_lo = 8;
+        m_hi = 8192;
+    }
+
     /** Resident y-block length: m - 2 (one x word, one A word). */
     static std::uint64_t blockRows(std::uint64_t m);
 };

@@ -1,5 +1,7 @@
 #include "kernels/qr.hpp"
 
+#include "kernels/registry.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -274,5 +276,14 @@ QrKernel::emitTrace(std::uint64_t n, std::uint64_t m,
         }
     }
 }
+
+
+namespace {
+
+const KernelRegistrar kRegistrar{
+    "qr", [] { return std::make_unique<QrKernel>(); }, 2,
+    /*compute_bound=*/true};
+
+} // namespace
 
 } // namespace kb

@@ -1,0 +1,154 @@
+#include "kernels/registry.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+struct KernelRegistry::Entry
+{
+    std::string name;
+    Factory factory;
+    int order = 0;
+    bool compute_bound = false;
+    std::shared_ptr<const Kernel> cached; // guarded by stateMutex()
+};
+
+namespace {
+
+std::mutex &
+stateMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
+std::vector<KernelRegistry::Entry> &
+KernelRegistry::entries() const
+{
+    // Function-local static so registration from other translation
+    // units' static initializers is always ordered after construction.
+    static std::vector<Entry> list;
+    return list;
+}
+
+KernelRegistry &
+KernelRegistry::instance()
+{
+    static KernelRegistry registry;
+    return registry;
+}
+
+void
+KernelRegistry::add(const std::string &name, Factory factory, int order,
+                    bool compute_bound)
+{
+    KB_REQUIRE(!name.empty(), "kernel name must not be empty");
+    KB_REQUIRE(factory != nullptr, "kernel factory must not be null");
+    std::lock_guard<std::mutex> lock(stateMutex());
+    auto &list = entries();
+    for (const auto &e : list)
+        KB_REQUIRE(e.name != name,
+                   "duplicate kernel registration: ", name);
+    list.push_back(Entry{name, std::move(factory), order, compute_bound,
+                         nullptr});
+    std::stable_sort(list.begin(), list.end(),
+                     [](const Entry &a, const Entry &b) {
+                         if (a.order != b.order)
+                             return a.order < b.order;
+                         return a.name < b.name;
+                     });
+}
+
+bool
+KernelRegistry::contains(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(stateMutex());
+    for (const auto &e : entries())
+        if (e.name == name)
+            return true;
+    return false;
+}
+
+std::unique_ptr<Kernel>
+KernelRegistry::make(const std::string &name) const
+{
+    Factory factory;
+    {
+        std::lock_guard<std::mutex> lock(stateMutex());
+        for (const auto &e : entries()) {
+            if (e.name == name) {
+                factory = e.factory;
+                break;
+            }
+        }
+    }
+    if (!factory)
+        fatal("unknown kernel name: " + name);
+    auto kernel = factory();
+    KB_ASSERT(kernel != nullptr, "factory returned null for ", name);
+    KB_ASSERT(kernel->name() == name,
+              "registered name mismatches Kernel::name(): ", name,
+              " vs ", kernel->name());
+    return kernel;
+}
+
+std::shared_ptr<const Kernel>
+KernelRegistry::shared(const std::string &name) const
+{
+    {
+        std::lock_guard<std::mutex> lock(stateMutex());
+        for (auto &e : entries()) {
+            if (e.name == name) {
+                if (!e.cached)
+                    e.cached = std::shared_ptr<const Kernel>(
+                        e.factory().release());
+                return e.cached;
+            }
+        }
+    }
+    fatal("unknown kernel name: " + name);
+}
+
+std::vector<std::string>
+KernelRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(stateMutex());
+    std::vector<std::string> out;
+    out.reserve(entries().size());
+    for (const auto &e : entries())
+        out.push_back(e.name);
+    return out;
+}
+
+std::vector<std::string>
+KernelRegistry::computeBoundNames() const
+{
+    std::lock_guard<std::mutex> lock(stateMutex());
+    std::vector<std::string> out;
+    for (const auto &e : entries())
+        if (e.compute_bound)
+            out.push_back(e.name);
+    return out;
+}
+
+std::size_t
+KernelRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(stateMutex());
+    return entries().size();
+}
+
+KernelRegistrar::KernelRegistrar(const std::string &name,
+                                 KernelRegistry::Factory f, int order,
+                                 bool compute_bound)
+{
+    KernelRegistry::instance().add(name, std::move(f), order,
+                                   compute_bound);
+}
+
+} // namespace kb

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Self-registering, name-keyed kernel registry.
+ *
+ * The seed instantiated kernels through a switch over KernelId, so
+ * every new workload meant editing core. Kernels now register
+ * themselves at static-initialization time via KernelRegistrar; core
+ * code (engine, analysis, benches) looks them up by name and never
+ * needs to know the concrete types. The KernelId enum survives as a
+ * convenience alias layer for the paper's twelve built-ins (see
+ * kernel.hpp).
+ *
+ * Registered instances are immutable (all Kernel methods are const),
+ * so the registry hands out one shared instance per name and engine
+ * workers use it concurrently without copies.
+ *
+ * Build note: self-registration happens in otherwise-unreferenced
+ * translation units, so the kb library is linked as a CMake OBJECT
+ * library — a static archive would let the linker strip the
+ * registrars and silently empty the registry.
+ */
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/kernel.hpp"
+
+namespace kb {
+
+/** Process-wide name-keyed kernel factory. */
+class KernelRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<Kernel>()>;
+
+    /** The singleton (created on first use, safe during static init). */
+    static KernelRegistry &instance();
+
+    /**
+     * Register a kernel under a unique @p name.
+     *
+     * @param name          registry key; must equal the instance's
+     *                      Kernel::name()
+     * @param factory       creates a fresh instance
+     * @param order         presentation order (the paper's built-ins
+     *                      use 0..11; plug-ins should use >= 100)
+     * @param compute_bound true iff the kernel's law is rebalanceable
+     */
+    void add(const std::string &name, Factory factory, int order,
+             bool compute_bound);
+
+    /** True iff @p name is registered. */
+    bool contains(const std::string &name) const;
+
+    /** New instance of @p name; fatal on unknown names. */
+    std::unique_ptr<Kernel> make(const std::string &name) const;
+
+    /**
+     * Shared immutable instance of @p name (created lazily, cached).
+     * This is what the engine hands to its worker threads.
+     */
+    std::shared_ptr<const Kernel> shared(const std::string &name) const;
+
+    /** All registered names, sorted by (order, name). */
+    std::vector<std::string> names() const;
+
+    /** Names of compute-bounded (rebalanceable) kernels, in order. */
+    std::vector<std::string> computeBoundNames() const;
+
+    /** Number of registered kernels. */
+    std::size_t size() const;
+
+  private:
+    KernelRegistry() = default;
+
+    struct Entry;
+    std::vector<Entry> &entries() const;
+};
+
+/**
+ * Registers a kernel from a static initializer:
+ *
+ *   namespace { const KernelRegistrar reg{
+ *       "matmul", [] { return std::make_unique<MatmulKernel>(); },
+ *       0, true}; }
+ */
+struct KernelRegistrar
+{
+    KernelRegistrar(const std::string &name, KernelRegistry::Factory f,
+                    int order, bool compute_bound);
+};
+
+} // namespace kb

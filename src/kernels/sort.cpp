@@ -1,5 +1,7 @@
 #include "kernels/sort.hpp"
 
+#include "kernels/registry.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -279,5 +281,14 @@ SortKernel::emitTrace(std::uint64_t n, std::uint64_t m,
         runs.swap(next_runs);
     }
 }
+
+
+namespace {
+
+const KernelRegistrar kRegistrar{
+    "sorting", [] { return std::make_unique<SortKernel>(); }, 8,
+    /*compute_bound=*/true};
+
+} // namespace
 
 } // namespace kb

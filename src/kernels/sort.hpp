@@ -50,6 +50,22 @@ class SortKernel : public Kernel
                    TraceSink &sink) const override;
     std::uint64_t minMemory(std::uint64_t n) const override;
     std::uint64_t suggestProblemSize(std::uint64_t m_max) const override;
+
+    /** Paper regime: n = M^2 (the two-phase setting). */
+    std::uint64_t
+    regimeProblemSize(std::uint64_t /*n_hint*/,
+                      std::uint64_t m) const override
+    {
+        return m * m;
+    }
+
+    void
+    defaultSweepRange(std::uint64_t &m_lo,
+                      std::uint64_t &m_hi) const override
+    {
+        m_lo = 32;
+        m_hi = 1024;
+    }
 };
 
 /** Deterministic keys used by measure(). */

@@ -1,5 +1,7 @@
 #include "kernels/spmv.hpp"
 
+#include "kernels/registry.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -164,5 +166,14 @@ SpmvKernel::emitTrace(std::uint64_t n, std::uint64_t m,
         sink.onAccess(writeOf(ly.at(i)));
     }
 }
+
+
+namespace {
+
+const KernelRegistrar kRegistrar{
+    "spmv", [] { return std::make_unique<SpmvKernel>(); }, 11,
+    /*compute_bound=*/false};
+
+} // namespace
 
 } // namespace kb

@@ -70,6 +70,14 @@ class SpmvKernel : public Kernel
     std::uint64_t minMemory(std::uint64_t n) const override;
     std::uint64_t suggestProblemSize(std::uint64_t m_max) const override;
 
+    void
+    defaultSweepRange(std::uint64_t &m_lo,
+                      std::uint64_t &m_hi) const override
+    {
+        m_lo = 8;
+        m_hi = 8192;
+    }
+
     std::uint64_t rowNnz() const { return row_nnz_; }
 
   private:

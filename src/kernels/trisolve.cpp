@@ -1,5 +1,7 @@
 #include "kernels/trisolve.hpp"
 
+#include "kernels/registry.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -179,5 +181,14 @@ TrisolveKernel::emitTrace(std::uint64_t n, std::uint64_t m,
         sink.onRange(lx.at(i0), bi, AccessType::Write);
     }
 }
+
+
+namespace {
+
+const KernelRegistrar kRegistrar{
+    "trisolve", [] { return std::make_unique<TrisolveKernel>(); }, 10,
+    /*compute_bound=*/false};
+
+} // namespace
 
 } // namespace kb

@@ -44,6 +44,14 @@ class TrisolveKernel : public Kernel
     std::uint64_t minMemory(std::uint64_t n) const override;
     std::uint64_t suggestProblemSize(std::uint64_t m_max) const override;
 
+    void
+    defaultSweepRange(std::uint64_t &m_lo,
+                      std::uint64_t &m_hi) const override
+    {
+        m_lo = 8;
+        m_hi = 8192;
+    }
+
     /** x-block length: largest b with b^2 + 2b <= m. */
     static std::uint64_t blockSize(std::uint64_t m);
 };

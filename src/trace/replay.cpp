@@ -1,0 +1,45 @@
+#include "trace/replay.hpp"
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+ReplaySink::ReplaySink(LocalMemory &memory) : memories_({&memory}) {}
+
+ReplaySink::ReplaySink(std::vector<LocalMemory *> memories)
+    : memories_(std::move(memories))
+{
+    KB_REQUIRE(!memories_.empty(), "ReplaySink needs at least one model");
+    for (const auto *m : memories_)
+        KB_REQUIRE(m != nullptr, "ReplaySink given a null model");
+}
+
+void
+ReplaySink::onAccess(const Access &access)
+{
+    for (auto *m : memories_)
+        m->access(access);
+    ++accesses_;
+}
+
+void
+ReplaySink::onRun(std::uint64_t base, std::uint64_t words,
+                  AccessType type)
+{
+    const bool write = type == AccessType::Write;
+    for (std::uint64_t i = 0; i < words; ++i) {
+        const std::uint64_t addr = base + i;
+        for (auto *m : memories_)
+            m->access(addr, write);
+    }
+    accesses_ += words;
+}
+
+void
+ReplaySink::flush()
+{
+    for (auto *m : memories_)
+        m->flush();
+}
+
+} // namespace kb

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Streaming trace replay: pipe a kernel's emitTrace() output directly
+ * into one or more local-memory models in a single pass.
+ *
+ * The seed's OPT-style workflow materialized whole word traces in a
+ * VectorSink before touching a cache model; for demand-fill models
+ * (LRU, set-associative, scratchpad-shadowing) that buffer is pure
+ * overhead. ReplaySink feeds each access to the models as it is
+ * emitted, so replay memory is O(model state), not O(trace length).
+ * Only clairvoyant policies (Belady OPT) still need the buffered
+ * path, because they must see the future.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/local_memory.hpp"
+#include "trace/sink.hpp"
+
+namespace kb {
+
+/**
+ * A TraceSink that drives one or more LocalMemory models from the
+ * stream. Models are borrowed, not owned; each access is applied to
+ * every model in order, so a single emitTrace() pass replays through
+ * a whole model set.
+ */
+class ReplaySink : public TraceSink
+{
+  public:
+    /** Replay into a single model. */
+    explicit ReplaySink(LocalMemory &memory);
+
+    /** Replay into several models at once (all non-null). */
+    explicit ReplaySink(std::vector<LocalMemory *> memories);
+
+    void onAccess(const Access &access) override;
+
+    /** Expands the run locally: one virtual call from the emitter,
+     *  then a tight loop over the models. */
+    void onRun(std::uint64_t base, std::uint64_t words,
+               AccessType type) override;
+
+    /** Write back dirty state in every model (end of replay). */
+    void flush();
+
+    /** Accesses forwarded so far (per model). */
+    std::uint64_t accessCount() const { return accesses_; }
+
+  private:
+    std::vector<LocalMemory *> memories_;
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace kb

@@ -17,4 +17,11 @@ TeeSink::onAccess(const Access &access)
         sink->onAccess(access);
 }
 
+void
+TeeSink::onRun(std::uint64_t base, std::uint64_t words, AccessType type)
+{
+    for (auto *sink : sinks_)
+        sink->onRun(base, words, type);
+}
+
 } // namespace kb

@@ -3,10 +3,18 @@
  * Trace sinks: destinations for the access streams emitted by kernel
  * schedules. A kernel writes its trace once; sinks decide whether to
  * count it, record it, replay it into a cache model, or fan it out.
+ *
+ * Sinks receive the stream through two entry points: onAccess() for
+ * single accesses and onRun() for contiguous same-type runs. The run
+ * form lets kernels hand a whole strip (a tile row, a merge segment)
+ * to the sink in one virtual call; sinks that can process a run in
+ * O(1) (counting, discarding) override it, everything else inherits
+ * the word-at-a-time expansion.
  */
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -24,16 +32,29 @@ class TraceSink
     /** Consume one access. */
     virtual void onAccess(const Access &access) = 0;
 
-    /** Consume a contiguous run of same-type accesses. */
-    void
-    onRange(std::uint64_t base, std::uint64_t words, AccessType type)
+    /**
+     * Consume a contiguous run of @p words same-type accesses starting
+     * at @p base. Semantically identical to @p words onAccess() calls
+     * with consecutive addresses; the default does exactly that.
+     * Override when the sink can do better than O(words) work or wants
+     * to avoid the per-word virtual dispatch.
+     */
+    virtual void
+    onRun(std::uint64_t base, std::uint64_t words, AccessType type)
     {
         for (std::uint64_t i = 0; i < words; ++i)
             onAccess(Access{base + i, type});
     }
+
+    /** Historical alias for onRun() (kept for emitters and tests). */
+    void
+    onRange(std::uint64_t base, std::uint64_t words, AccessType type)
+    {
+        onRun(base, words, type);
+    }
 };
 
-/** Counts accesses without storing them. */
+/** Counts accesses without storing them; runs count in O(1). */
 class CountingSink : public TraceSink
 {
   public:
@@ -44,6 +65,15 @@ class CountingSink : public TraceSink
             ++writes_;
         else
             ++reads_;
+    }
+
+    void
+    onRun(std::uint64_t, std::uint64_t words, AccessType type) override
+    {
+        if (type == AccessType::Write)
+            writes_ += words;
+        else
+            reads_ += words;
     }
 
     std::uint64_t reads() const { return reads_; }
@@ -63,6 +93,19 @@ class VectorSink : public TraceSink
     onAccess(const Access &access) override
     {
         trace_.push_back(access);
+    }
+
+    void
+    onRun(std::uint64_t base, std::uint64_t words,
+          AccessType type) override
+    {
+        // Grow geometrically: an exact-size reserve per run would
+        // reallocate (and copy the whole trace) on every run.
+        if (trace_.size() + words > trace_.capacity())
+            trace_.reserve(std::max(trace_.size() + words,
+                                    2 * trace_.capacity()));
+        for (std::uint64_t i = 0; i < words; ++i)
+            trace_.push_back(Access{base + i, type});
     }
 
     const std::vector<Access> &trace() const { return trace_; }
@@ -94,16 +137,22 @@ class TeeSink : public TraceSink
 
     void onAccess(const Access &access) override;
 
+    /** Runs are forwarded as runs, so each branch keeps its own
+     *  fast path (a counting branch stays O(1) per run). */
+    void onRun(std::uint64_t base, std::uint64_t words,
+               AccessType type) override;
+
   private:
     std::vector<TraceSink *> sinks_;
 };
 
 /** Discards everything (placeholder when only explicit I/O counts
- *  matter). */
+ *  matter); runs are discarded in O(1). */
 class NullSink : public TraceSink
 {
   public:
     void onAccess(const Access &) override {}
+    void onRun(std::uint64_t, std::uint64_t, AccessType) override {}
 };
 
 } // namespace kb
