@@ -12,20 +12,185 @@
  *   bench_engine_sweep --threads 1 > a.txt
  *   bench_engine_sweep --threads 8 > b.txt
  *   diff a.txt b.txt   # empty; stderr shows the speedup
+ *
+ * --perf-json PATH switches to the perf-report mode: it A/B-measures
+ * the stack-distance fast path against direct per-point replay on an
+ * LRU-only fixed-schedule sweep (the same job, force_replay toggled;
+ * results are bit-identical, the engine tests assert it), plus raw
+ * trace-replay throughput, and writes the numbers as JSON. CI stores
+ * the file as the BENCH_sweep.json artifact so every PR leaves a perf
+ * trajectory.
  */
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 
 #include "bench/driver.hpp"
+#include "kernels/registry.hpp"
+#include "mem/lru_cache.hpp"
+#include "trace/replay.hpp"
+#include "trace/reuse.hpp"
+#include "trace/sink.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+using namespace kb;
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/** Wall time of one engine run of @p job. */
+double
+timedRun(const ExperimentEngine &engine, const SweepJob &job)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = engine.runOne(job);
+    (void)result;
+    return secondsSince(t0);
+}
+
+int
+writePerfReport(const bench::BenchContext &ctx, const std::string &path)
+{
+    const auto selected = ctx.kernels({"matmul"});
+    if (selected.size() != 1) {
+        std::cerr << "perf-json: the report measures exactly one "
+                     "kernel; pass a single --kernel NAME\n";
+        return 2;
+    }
+    // Fail on an unwritable path up front, before minutes of timed
+    // sweeps run for nothing.
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "perf-json: cannot open " << path << "\n";
+        return 1;
+    }
+    const std::string kernel_name = selected.front();
+    const auto kernel = KernelRegistry::instance().shared(kernel_name);
+    std::uint64_t m_lo = 0, m_hi = 0;
+    kernel->defaultSweepRange(m_lo, m_hi);
+    const std::uint64_t schedule_m = m_hi;
+    const std::uint64_t n_hint = kernel->suggestProblemSize(m_hi);
+    const std::uint64_t n_trace =
+        kernel->regimeProblemSize(n_hint, schedule_m);
+
+    // --- raw trace-replay throughput on the fixed-schedule trace ---
+    CountingSink counter;
+    kernel->emitTrace(n_trace, schedule_m, counter);
+    const std::uint64_t words = counter.total();
+
+    auto t0 = std::chrono::steady_clock::now();
+    NullSink null;
+    kernel->emitTrace(n_trace, schedule_m, null);
+    const double emit_s = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    LruCache lru(schedule_m);
+    ReplaySink replay(lru);
+    kernel->emitTrace(n_trace, schedule_m, replay);
+    replay.flush();
+    const double direct_s = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    ReuseDistanceAnalyzer analyzer;
+    kernel->emitTrace(n_trace, schedule_m, analyzer);
+    const auto curve = analyzer.missCurve();
+    const double stack_s = secondsSince(t0);
+
+    // Cross-check while we are here: the one-pass curve must agree
+    // with the replay it is about to be benchmarked against.
+    if (curve.ioWords(schedule_m) != lru.stats().ioWords()) {
+        std::cerr << "perf-json: fast path diverged from direct "
+                     "replay; refusing to report\n";
+        return 1;
+    }
+
+    // --- end-to-end LRU-only sweep, fast path vs direct replay ---
+    SweepJob job;
+    job.kernel = kernel_name;
+    job.points = ctx.points(8);
+    job.models = {MemoryModelKind::Lru};
+    job.schedule_m = schedule_m;
+    job.models_only = true;
+
+    SweepJob direct_job = job;
+    direct_job.force_replay = true;
+
+    const ExperimentEngine serial(1);
+    const double serial_direct_s = timedRun(serial, direct_job);
+    const double serial_fast_s = timedRun(serial, job);
+
+    const unsigned pool_threads = ctx.engine().threads();
+    const double pool_direct_s = timedRun(ctx.engine(), direct_job);
+    const double pool_fast_s = timedRun(ctx.engine(), job);
+
+    const auto rate = [words](double s) {
+        return s > 0.0 ? static_cast<double>(words) / s : 0.0;
+    };
+    out.precision(6);
+    out << "{\n"
+        << "  \"bench\": \"bench_engine_sweep\",\n"
+        << "  \"kernel\": \"" << kernel_name << "\",\n"
+        << "  \"schedule_m\": " << schedule_m << ",\n"
+        << "  \"n_trace\": " << n_trace << ",\n"
+        << "  \"trace_words\": " << words << ",\n"
+        << "  \"replay\": {\n"
+        << "    \"emit_only_s\": " << emit_s << ",\n"
+        << "    \"emit_words_per_s\": " << rate(emit_s) << ",\n"
+        << "    \"direct_lru_s\": " << direct_s << ",\n"
+        << "    \"direct_lru_words_per_s\": " << rate(direct_s) << ",\n"
+        << "    \"stack_distance_s\": " << stack_s << ",\n"
+        << "    \"stack_distance_words_per_s\": " << rate(stack_s)
+        << "\n"
+        << "  },\n"
+        << "  \"sweep\": {\n"
+        << "    \"points\": " << job.points << ",\n"
+        << "    \"models\": [\"lru\"],\n"
+        << "    \"threads_1\": {\n"
+        << "      \"direct_replay_s\": " << serial_direct_s << ",\n"
+        << "      \"fast_path_s\": " << serial_fast_s << ",\n"
+        << "      \"speedup\": "
+        << (serial_fast_s > 0.0 ? serial_direct_s / serial_fast_s : 0.0)
+        << "\n"
+        << "    },\n"
+        << "    \"threads_n\": {\n"
+        << "      \"threads\": " << pool_threads << ",\n"
+        << "      \"direct_replay_s\": " << pool_direct_s << ",\n"
+        << "      \"fast_path_s\": " << pool_fast_s << ",\n"
+        << "      \"speedup\": "
+        << (pool_fast_s > 0.0 ? pool_direct_s / pool_fast_s : 0.0)
+        << "\n"
+        << "    }\n"
+        << "  }\n"
+        << "}\n";
+    std::cerr << "perf: " << words << " trace words; 1-thread sweep "
+              << job.points << " pts: direct " << serial_direct_s
+              << " s, fast " << serial_fast_s << " s ("
+              << (serial_fast_s > 0.0 ? serial_direct_s / serial_fast_s
+                                      : 0.0)
+              << "x); report written to " << path << "\n";
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace kb;
     return bench::runBench(
-        argc, argv, nullptr, [](bench::BenchContext &ctx) {
+        argc, argv, nullptr,
+        [](bench::BenchContext &ctx) {
+            if (!ctx.options().perf_json.empty())
+                return writePerfReport(ctx, ctx.options().perf_json);
+
             std::vector<SweepJob> jobs;
             for (const auto &name : ctx.kernels()) {
                 SweepJob job;
@@ -57,5 +222,7 @@ main(int argc, char **argv)
                       << ctx.engine().threads() << " threads, "
                       << seconds << " s wall\n";
             return 0;
-        });
+        },
+        bench::BenchCaps{.kernels = true, .points = true,
+                         .threads = true, .perf_json = true});
 }

@@ -45,6 +45,13 @@ printUsage(const char *prog, const char *experiment,
             "all\n"
             "                           hardware threads; output is\n"
             "                           identical for every N)\n");
+    if (caps.perf_json)
+        std::fprintf(
+            stderr,
+            "  --perf-json PATH         measure and write the perf "
+            "report\n"
+            "                           (JSON) instead of the normal "
+            "tables\n");
     std::fprintf(
         stderr,
         "  --csv PATH               write the bench's CSV series here\n"
@@ -239,6 +246,13 @@ runBench(int argc, char **argv, const char *experiment,
                 return 2;
             }
             opts.threads = static_cast<unsigned>(n);
+        } else if (arg == "--perf-json") {
+            if (!caps.perf_json)
+                return unsupported("--perf-json");
+            const char *v = value("--perf-json");
+            if (v == nullptr)
+                return 2;
+            opts.perf_json = v;
         } else if (arg == "--csv") {
             const char *v = value("--csv");
             if (v == nullptr)

@@ -39,9 +39,10 @@ namespace bench {
  */
 struct BenchCaps
 {
-    bool kernels = true; ///< --kernel restricts its sweeps
-    bool points = true;  ///< --points resizes its sweeps
-    bool threads = true; ///< --threads feeds its engine use
+    bool kernels = true;    ///< --kernel restricts its sweeps
+    bool points = true;     ///< --points resizes its sweeps
+    bool threads = true;    ///< --threads feeds its engine use
+    bool perf_json = false; ///< --perf-json runs its perf-report mode
 };
 
 /** Options shared by every bench binary. */
@@ -54,6 +55,10 @@ struct DriverOptions
     unsigned threads = 0; ///< --threads: engine workers; 0 = hardware
     std::string csv_path; ///< --csv: override the bench's CSV path
     bool no_csv = false;  ///< --no-csv: suppress CSV side outputs
+    /// --perf-json: write the bench's machine-readable perf report
+    /// here instead of running its normal tables (benches with
+    /// BenchCaps::perf_json only).
+    std::string perf_json;
 };
 
 /** Per-run state handed to a bench body. */

@@ -61,6 +61,39 @@ BM_ReuseDistance(benchmark::State &state)
 BENCHMARK(BM_ReuseDistance);
 
 void
+BM_ReuseDistanceColdRuns(benchmark::State &state)
+{
+    // First-touch runs take the bulk path: no distance queries, marks
+    // written in blocks, Fenwick tree rebuilt lazily.
+    const std::uint64_t words =
+        static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        ReuseDistanceAnalyzer rd;
+        rd.onRange(0, words, AccessType::Read);
+        rd.onRange(words, words, AccessType::Write);
+        benchmark::DoNotOptimize(rd.coldMisses());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * state.range(0));
+}
+BENCHMARK(BM_ReuseDistanceColdRuns)->Arg(1 << 12)->Arg(1 << 18);
+
+void
+BM_StackDistanceCurveMatmul(benchmark::State &state)
+{
+    // The fast-path unit: one emitTrace pass through the analyzer
+    // yields Cio(M) for EVERY capacity (compare BM_SweepDirect /
+    // BM_SweepFastPath for the end-to-end engine numbers).
+    MatmulKernel k;
+    for (auto _ : state) {
+        ReuseDistanceAnalyzer rd;
+        k.emitTrace(64, 256, rd);
+        const auto curve = rd.missCurve();
+        benchmark::DoNotOptimize(curve.ioWords(256));
+    }
+}
+BENCHMARK(BM_StackDistanceCurveMatmul);
+
+void
 BM_OptSimulation(benchmark::State &state)
 {
     Xoshiro256 rng(3);
@@ -136,6 +169,49 @@ BM_StreamingReplayMatmul(benchmark::State &state)
     }
 }
 BENCHMARK(BM_StreamingReplayMatmul);
+
+/** LRU-only fixed-schedule sweep job shared by the A/B pair below. */
+SweepJob
+lruSweepJob(bool force_replay)
+{
+    SweepJob job;
+    job.kernel = "matmul";
+    job.m_lo = 48;
+    job.m_hi = 1024;
+    job.points = 8;
+    job.models = {MemoryModelKind::Lru};
+    job.schedule_m = 1024;
+    job.models_only = true;
+    job.force_replay = force_replay;
+    return job;
+}
+
+void
+BM_SweepDirect(benchmark::State &state)
+{
+    // Baseline: every point re-emits and re-replays the trace through
+    // its own LruCache — O(points x trace).
+    ExperimentEngine engine(1);
+    const SweepJob job = lruSweepJob(/*force_replay=*/true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.runOne(job));
+    }
+}
+BENCHMARK(BM_SweepDirect)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepFastPath(benchmark::State &state)
+{
+    // Stack-distance fast path: one emission, whole curve —
+    // O(trace log U + points). Bit-identical results to the direct
+    // run above (asserted by the engine tests).
+    ExperimentEngine engine(1);
+    const SweepJob job = lruSweepJob(/*force_replay=*/false);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.runOne(job));
+    }
+}
+BENCHMARK(BM_SweepFastPath)->Unit(benchmark::kMillisecond);
 
 void
 BM_EngineSweep(benchmark::State &state)

@@ -7,18 +7,31 @@
  * difficult in practice"). For each computation class, how much
  * local memory does a balanced PE need over a decade?
  *
+ * Unlike the original hard-coded table, the study now runs on the
+ * experiment engine: each computation class is a declarative SweepJob
+ * whose measured R(M) exponent grounds the projection, and each job
+ * also carries an LRU model column measured through the engine's
+ * stack-distance fast path — the job pins one schedule (schedule_m)
+ * and the whole Cio(M) curve falls out of a single trace pass.
+ *
  * Build & run:  ./build/examples/design_explorer
  */
 
 #include <cmath>
+#include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "core/rebalance.hpp"
-#include "core/scaling_law.hpp"
+#include "analysis/sweep.hpp"
+#include "engine/engine.hpp"
+#include "kernels/registry.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
+
+using namespace kb;
 
 std::string
 humanWords(double words)
@@ -43,40 +56,82 @@ humanWords(double words)
 int
 main()
 {
-    using namespace kb;
-
     std::cout
         << "Technology scenario: C doubles every 18 months, IO "
            "fixed.\nBaseline: a balanced PE with M = 4096 words "
-           "(16 KiB of 32-bit words).\n";
+           "(16 KiB of 32-bit words).\n\n";
 
-    struct Class
-    {
-        const char *name;
-        ScalingLaw law;
-    };
-    const Class classes[] = {
-        {"matmul / LU (alpha^2)", ScalingLaw::power(2.0)},
-        {"grid 2-D (alpha^2)", ScalingLaw::power(2.0)},
-        {"grid 3-D (alpha^3)", ScalingLaw::power(3.0)},
-        {"grid 4-D (alpha^4)", ScalingLaw::power(4.0)},
-        {"FFT / sorting (M^alpha)", ScalingLaw::exponential()},
-        {"matvec / trisolve", ScalingLaw::impossible()},
-    };
+    // One declarative job per computation class. Every job asks for
+    // an LRU model column with a pinned schedule (schedule_m =
+    // m_hi), so the engine measures the whole Cio(M) curve from ONE
+    // trace emission per kernel (the stack-distance fast path).
+    const std::vector<std::string> class_kernels = {
+        "matmul", "grid2d", "grid3d", "grid4d", "fft", "matvec"};
+    auto &registry = KernelRegistry::instance();
 
+    std::vector<SweepJob> jobs;
+    for (const auto &name : class_kernels) {
+        std::uint64_t m_lo = 0, m_hi = 0;
+        registry.shared(name)->defaultSweepRange(m_lo, m_hi);
+        SweepJob job;
+        job.kernel = name;
+        // A quarter of the default ceiling keeps the whole study in
+        // the asymptotic regime but interactive-fast.
+        job.m_hi = std::max<std::uint64_t>(m_hi / 4, m_lo * 4);
+        job.points = 5;
+        job.models = {MemoryModelKind::Lru};
+        job.schedule_m = job.m_hi;
+        jobs.push_back(job);
+    }
+
+    ExperimentEngine engine;
+    const auto results = engine.run(jobs);
+
+    printHeading(std::cout,
+                 "Measured balance curves (engine SweepJobs; LRU "
+                 "column = Cio(M) of one fixed schedule, single-pass "
+                 "stack-distance sweep)");
+    TextTable measured({"kernel", "R(M) exponent", "r^2",
+                        "LRU Cio at m_lo", "LRU Cio at m_hi",
+                        "paper law"});
+    for (const auto &result : results) {
+        const auto curve = toRatioCurve(result);
+        const auto fit =
+            fitPowerLaw(curve.memories(), curve.ratios());
+        const auto lru = modelColumn(result, MemoryModelKind::Lru);
+        const auto kernel = registry.shared(result.job.kernel);
+        auto &row = measured.row();
+        row.cell(result.job.kernel)
+            .cell(fit.slope, 3)
+            .cell(fit.r2, 3)
+            .cell(static_cast<double>(
+                      result.points.front().model_io[lru]),
+                  0)
+            .cell(static_cast<double>(
+                      result.points.back().model_io[lru]),
+                  0)
+            .cell(kernel->law().describe());
+    }
+    measured.print(std::cout);
+    std::cout << "\n(the LRU column shrinking with M is Kung's "
+                 "premise: more local memory, less I/O — matvec's "
+                 "flat column is Section 3.6's impossibility)\n\n";
+
+    // The decade projection, driven by each kernel's rebalancing law.
     std::vector<std::string> headers = {"computation class"};
     for (int year : {0, 3, 6, 9})
         headers.push_back("year " + std::to_string(year));
     TextTable table(headers);
 
     const double m_old = 4096.0;
-    for (const auto &cls : classes) {
+    for (const auto &name : class_kernels) {
+        const auto kernel = registry.shared(name);
         auto &row = table.row();
-        row.cell(cls.name);
+        row.cell(name + " (" + kernel->law().describe() + ")");
         for (int year : {0, 3, 6, 9}) {
             const double alpha =
                 std::pow(2.0, static_cast<double>(year) / 1.5);
-            const auto m_new = cls.law.predict(m_old, alpha);
+            const auto m_new = kernel->law().predict(m_old, alpha);
             row.cell(m_new ? humanWords(*m_new)
                            : std::string("impossible"));
         }

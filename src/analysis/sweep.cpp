@@ -1,6 +1,7 @@
 #include "analysis/sweep.hpp"
 
 #include "kernels/registry.hpp"
+#include "util/logging.hpp"
 
 namespace kb {
 
@@ -55,6 +56,32 @@ measureRatioCurve(KernelId id, std::uint64_t m_lo, std::uint64_t m_hi,
 {
     return measureRatioCurve(std::string(kernelIdName(id)), m_lo, m_hi,
                              points);
+}
+
+SweepResult
+measureCioCurve(const std::string &kernel, std::uint64_t schedule_m,
+                std::uint64_t m_lo, std::uint64_t m_hi, unsigned points)
+{
+    ExperimentEngine engine;
+    SweepJob job;
+    job.kernel = kernel;
+    job.m_lo = m_lo;
+    job.m_hi = m_hi;
+    job.points = points;
+    job.models = {MemoryModelKind::Lru};
+    job.schedule_m = schedule_m;
+    job.models_only = true;
+    return engine.runOne(job);
+}
+
+std::size_t
+modelColumn(const SweepResult &result, MemoryModelKind kind)
+{
+    for (std::size_t i = 0; i < result.job.models.size(); ++i)
+        if (result.job.models[i] == kind)
+            return i;
+    fatal(std::string("sweep result has no ") + memoryModelName(kind) +
+          " column");
 }
 
 void

@@ -69,6 +69,30 @@ RatioCurve measureRatioCurve(const std::string &kernel,
                              unsigned points);
 
 /**
+ * Measure the full Cio(M) curve of ONE fixed schedule (tiled for
+ * @p schedule_m) under fully associative write-back LRU — Kung's
+ * balance curve: the same computation replayed at every local-memory
+ * size. Runs as a single-pass stack-distance sweep on the engine
+ * (the trace is emitted once; every point is read off the one-pass
+ * MissCurve), so cost is O(trace log U + points) rather than
+ * O(points x trace). The result's model_io[0] column holds the LRU
+ * I/O words per point; samples carry the memory grid (models_only).
+ *
+ * @param kernel      registry name
+ * @param schedule_m  memory size the schedule is tiled for (>= the
+ *                    kernel's minMemory)
+ * @param m_lo,m_hi   capacity sweep bounds (0 = kernel default)
+ * @param points      geometric sample count (>= 3)
+ */
+SweepResult measureCioCurve(const std::string &kernel,
+                            std::uint64_t schedule_m, std::uint64_t m_lo,
+                            std::uint64_t m_hi, unsigned points);
+
+/** Index of @p kind in @p result's model columns;
+ *  result.points[i].model_io[index]. Fatal when absent. */
+std::size_t modelColumn(const SweepResult &result, MemoryModelKind kind);
+
+/**
  * Default sweep bounds per kernel that keep every point in the
  * asymptotic regime and the whole sweep under a couple of seconds
  * (forwards to Kernel::defaultSweepRange).

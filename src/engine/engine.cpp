@@ -11,6 +11,7 @@
 #include "mem/opt_cache.hpp"
 #include "mem/set_assoc.hpp"
 #include "trace/replay.hpp"
+#include "trace/reuse.hpp"
 #include "trace/sink.hpp"
 #include "util/logging.hpp"
 
@@ -118,9 +119,62 @@ struct PreparedJob
 /** One schedulable unit of work. */
 struct Task
 {
+    /// point == kJobTrace is the job-level single-pass trace task of
+    /// the stack-distance fast path; other values are point indices.
+    static constexpr std::size_t kJobTrace =
+        static_cast<std::size_t>(-1);
+
     std::size_t job = 0;
     std::size_t point = 0;
 };
+
+/** True when the job's model columns come from the single-pass
+ *  job-level trace task instead of per-point replays: a pinned
+ *  schedule AND at least one model that gains from the single
+ *  emission (LRU reads every point off one MissCurve; OPT buffers
+ *  the trace once instead of once per point). A fixed-schedule job
+ *  with only non-inclusion models keeps per-point tasks — they
+ *  produce identical results and spread across the pool. */
+bool
+usesJobTrace(const SweepJob &job)
+{
+    if (job.schedule_m == 0 || job.force_replay)
+        return false;
+    for (const auto kind : job.models) {
+        if (kind == MemoryModelKind::Lru ||
+            kind == MemoryModelKind::Opt)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Emit one (n, m) trace through a sink fan-out shared by both replay
+ * paths: the streaming models (if any) behind one ReplaySink —
+ * flushed at end of trace — plus any extra branches (OPT's buffer,
+ * the stack-distance analyzer).
+ */
+void
+emitThroughBranches(const Kernel &kernel, std::uint64_t n,
+                    std::uint64_t m,
+                    const std::vector<LocalMemory *> &streaming,
+                    std::vector<TraceSink *> branches)
+{
+    std::optional<ReplaySink> replay;
+    if (!streaming.empty()) {
+        replay.emplace(streaming);
+        branches.push_back(&*replay);
+    }
+    KB_ASSERT(!branches.empty());
+    if (branches.size() == 1) {
+        kernel.emitTrace(n, m, *branches.front());
+    } else {
+        TeeSink tee(branches);
+        kernel.emitTrace(n, m, tee);
+    }
+    if (replay)
+        replay->flush();
+}
 
 /** Measure one (job, point): schedule costs plus model replays. */
 void
@@ -131,16 +185,24 @@ executeTask(PreparedJob &pj, std::size_t point_idx)
     const std::uint64_t m = pj.grid[point_idx];
     auto &slot = pj.result.points[point_idx];
 
-    slot.sample = kernel.measureRatioPoint(pj.result.n_hint, m);
+    if (job.models_only) {
+        slot.sample.m = m; // keep the grid visible in the samples
+    } else {
+        slot.sample = kernel.measureRatioPoint(pj.result.n_hint, m);
+    }
+
+    if (job.models.empty() || usesJobTrace(job))
+        return;
+
     // Replay the regime's own problem size so the model columns and
     // the schedule sample describe the same computation. (Grids are
     // the one family whose sample is not a single measure() — their
-    // replay is the plain time-tiled schedule at n_hint.)
+    // replay is the plain time-tiled schedule at n_hint.) A fixed
+    // schedule_m pins both the tiling and the regime size, so every
+    // point replays the identical trace at its own capacity.
+    const std::uint64_t trace_m = job.schedule_m ? job.schedule_m : m;
     const std::uint64_t n_trace =
-        kernel.regimeProblemSize(pj.result.n_hint, m);
-
-    if (job.models.empty())
-        return;
+        kernel.regimeProblemSize(pj.result.n_hint, trace_m);
 
     // One emitTrace() pass feeds every demand-fill model through a
     // streaming ReplaySink; a trace buffer exists only if OPT asked
@@ -158,23 +220,11 @@ executeTask(PreparedJob &pj, std::size_t point_idx)
     }
 
     VectorSink buffer;
-    std::optional<ReplaySink> replay;
     std::vector<TraceSink *> branches;
-    if (!streaming_ptrs.empty()) {
-        replay.emplace(streaming_ptrs);
-        branches.push_back(&*replay);
-    }
     if (wants_opt)
         branches.push_back(&buffer);
-
-    if (branches.size() == 1) {
-        kernel.emitTrace(n_trace, m, *branches.front());
-    } else {
-        TeeSink tee(branches);
-        kernel.emitTrace(n_trace, m, tee);
-    }
-    if (replay)
-        replay->flush();
+    emitThroughBranches(kernel, n_trace, trace_m, streaming_ptrs,
+                        std::move(branches));
 
     slot.model_io.reserve(job.models.size());
     std::size_t next_streaming = 0;
@@ -185,6 +235,75 @@ executeTask(PreparedJob &pj, std::size_t point_idx)
         } else {
             slot.model_io.push_back(
                 streaming[next_streaming++]->stats().ioWords());
+        }
+    }
+}
+
+/**
+ * The stack-distance fast path: emit the job's fixed-schedule trace
+ * ONCE and fill the model columns of every point from that single
+ * pass. LRU columns come off the one-pass MissCurve (inclusion
+ * property: one Mattson pass yields the exact miss and write-back
+ * counts at every capacity). Models without the inclusion property
+ * are replayed from the same emission — one live instance per
+ * (point, model) — and OPT buffers it, once, for its per-capacity
+ * offline simulations.
+ */
+void
+executeJobTrace(PreparedJob &pj)
+{
+    const Kernel &kernel = *pj.kernel;
+    const SweepJob &job = pj.result.job;
+    KB_ASSERT(usesJobTrace(job));
+    const std::uint64_t n_trace =
+        kernel.regimeProblemSize(pj.result.n_hint, job.schedule_m);
+
+    bool wants_lru = false, wants_opt = false;
+    for (const auto kind : job.models) {
+        wants_lru |= kind == MemoryModelKind::Lru;
+        wants_opt |= kind == MemoryModelKind::Opt;
+    }
+
+    // Per-(point, model) instances for the direct-replay disciplines,
+    // in (point-major, model-minor) order for the readback below.
+    std::vector<std::unique_ptr<LocalMemory>> streaming;
+    std::vector<LocalMemory *> streaming_ptrs;
+    for (const std::uint64_t m : pj.grid) {
+        for (const auto kind : job.models) {
+            if (kind == MemoryModelKind::Lru ||
+                kind == MemoryModelKind::Opt)
+                continue;
+            streaming.push_back(makeMemoryModel(kind, m));
+            streaming_ptrs.push_back(streaming.back().get());
+        }
+    }
+
+    ReuseDistanceAnalyzer analyzer;
+    VectorSink buffer;
+    std::vector<TraceSink *> branches;
+    if (wants_lru)
+        branches.push_back(&analyzer);
+    if (wants_opt)
+        branches.push_back(&buffer);
+    emitThroughBranches(kernel, n_trace, job.schedule_m,
+                        streaming_ptrs, std::move(branches));
+
+    const MissCurve curve = analyzer.missCurve();
+    std::size_t next_streaming = 0;
+    for (std::size_t p = 0; p < pj.grid.size(); ++p) {
+        const std::uint64_t m = pj.grid[p];
+        auto &slot = pj.result.points[p];
+        slot.model_io.reserve(job.models.size());
+        for (const auto kind : job.models) {
+            if (kind == MemoryModelKind::Lru) {
+                slot.model_io.push_back(curve.ioWords(m));
+            } else if (kind == MemoryModelKind::Opt) {
+                slot.model_io.push_back(
+                    simulateOpt(buffer.trace(), m).stats.ioWords());
+            } else {
+                slot.model_io.push_back(
+                    streaming[next_streaming++]->stats().ioWords());
+            }
         }
     }
 }
@@ -231,6 +350,11 @@ ExperimentEngine::run(const std::vector<SweepJob> &jobs) const
                              pj.result.job.m_lo, pj.result.job.m_hi,
                              pj.result.job.points);
         pj.result.points.resize(pj.grid.size());
+        // The single-pass trace task (when the job has one) goes
+        // first: it is the heaviest unit, so an early start keeps the
+        // pool balanced.
+        if (usesJobTrace(pj.result.job))
+            tasks.push_back(Task{j, Task::kJobTrace});
         for (std::size_t p = 0; p < pj.grid.size(); ++p)
             tasks.push_back(Task{j, p});
         prepared.push_back(std::move(pj));
@@ -242,9 +366,15 @@ ExperimentEngine::run(const std::vector<SweepJob> &jobs) const
     // worker count.
     const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
         threads_, std::max<std::size_t>(tasks.size(), 1)));
+    auto dispatch = [&prepared](const Task &t) {
+        if (t.point == Task::kJobTrace)
+            executeJobTrace(prepared[t.job]);
+        else
+            executeTask(prepared[t.job], t.point);
+    };
     if (workers <= 1) {
         for (const auto &t : tasks)
-            executeTask(prepared[t.job], t.point);
+            dispatch(t);
     } else {
         std::atomic<std::size_t> next{0};
         auto worker = [&] {
@@ -253,7 +383,7 @@ ExperimentEngine::run(const std::vector<SweepJob> &jobs) const
                     next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= tasks.size())
                     return;
-                executeTask(prepared[tasks[i].job], tasks[i].point);
+                dispatch(tasks[i]);
             }
         };
         std::vector<std::thread> pool;

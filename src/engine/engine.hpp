@@ -20,6 +20,20 @@
  * demand-fill model in a single pass with no intermediate vector.
  * Only Belady OPT, which needs the future, buffers the trace — and
  * then only when a job actually requests it.
+ *
+ * Stack-distance fast path: a job with a fixed schedule (schedule_m
+ * != 0) measures Kung's Cio(M) — the *same* computation replayed at
+ * every local-memory size. Fully associative LRU has the inclusion
+ * property, so the whole capacity->I/O curve falls out of ONE trace
+ * pass through a ReuseDistanceAnalyzer (Mattson stack distances plus
+ * a dirty-distance pass for write-backs; see trace/reuse.hpp). The
+ * engine therefore emits such a job's trace once, reads every LRU
+ * point off the MissCurve, and replays the remaining models
+ * (set-associative, FIFO, random — no inclusion property; OPT —
+ * needs the future) from the same single emission. Per-job LRU cost
+ * drops from O(points x trace) to O(trace log U + points), and the
+ * results are bit-identical to the direct per-point replay
+ * (force_replay = true), which the equivalence tests assert.
  */
 
 #pragma once
@@ -67,6 +81,35 @@ struct SweepJob
     unsigned points = 6;     ///< geometric sample count (>= 3)
     /// Replay disciplines evaluated per point (empty = schedule only).
     std::vector<MemoryModelKind> models;
+    /**
+     * Schedule selection for the model replays.
+     *
+     *   0 (default): historical behavior — every point re-tiles the
+     *     schedule for its own m and replays that trace (schedule and
+     *     capacity move together).
+     *
+     *   != 0: the paper's Cio(M) setting — one fixed schedule, tiled
+     *     for this m, replayed at every point's capacity. Decouples
+     *     schedule-m from capacity-m (tile-headroom studies) and
+     *     enables the stack-distance fast path: the trace is emitted
+     *     once per job and every LRU point is read off the one-pass
+     *     MissCurve.
+     */
+    std::uint64_t schedule_m = 0;
+    /**
+     * Disable the stack-distance fast path and replay every point
+     * directly (only meaningful with schedule_m != 0). The results
+     * are identical either way; this exists for the equivalence tests
+     * and the A/B speedup bench.
+     */
+    bool force_replay = false;
+    /**
+     * Skip the per-point schedule measurement (measureRatioPoint) and
+     * fill only the model columns; samples keep their m so the grid
+     * is still visible. This is the "LRU-only sweep" shape: all the
+     * work is trace replay, which is what the fast path accelerates.
+     */
+    bool models_only = false;
 };
 
 /** One measured point of a job. */

@@ -13,50 +13,84 @@ LruCache::LruCache(std::uint64_t capacity_words)
 bool
 LruCache::contains(std::uint64_t addr) const
 {
-    return map_.find(addr) != map_.end();
+    return map_.find(addr) != nullptr;
 }
 
 void
-LruCache::evictLru()
+LruCache::unlink(std::uint32_t i)
 {
-    KB_ASSERT(!order_.empty());
-    const Entry &victim = order_.back();
-    ++stats_.evictions;
-    if (victim.dirty)
-        ++stats_.writebacks;
-    map_.erase(victim.addr);
-    order_.pop_back();
+    Node &n = nodes_[i];
+    if (n.prev != kNull)
+        nodes_[n.prev].next = n.next;
+    else
+        head_ = n.next;
+    if (n.next != kNull)
+        nodes_[n.next].prev = n.prev;
+    else
+        tail_ = n.prev;
+}
+
+void
+LruCache::linkFront(std::uint32_t i)
+{
+    Node &n = nodes_[i];
+    n.prev = kNull;
+    n.next = head_;
+    if (head_ != kNull)
+        nodes_[head_].prev = i;
+    head_ = i;
+    if (tail_ == kNull)
+        tail_ = i;
 }
 
 bool
 LruCache::access(std::uint64_t addr, bool write)
 {
     ++stats_.accesses;
-    auto it = map_.find(addr);
-    if (it != map_.end()) {
+    if (std::uint32_t *idx = map_.find(addr)) {
+        const std::uint32_t i = *idx;
         ++stats_.hits;
-        it->second->dirty |= write;
-        order_.splice(order_.begin(), order_, it->second);
+        nodes_[i].dirty |= write;
+        if (head_ != i) {
+            unlink(i);
+            linkFront(i);
+        }
         return true;
     }
 
     ++stats_.misses;
-    if (map_.size() >= capacity_)
-        evictLru();
-    order_.push_front(Entry{addr, write});
-    map_[addr] = order_.begin();
+    std::uint32_t slot;
+    if (nodes_.size() >= capacity_) {
+        // Evict the LRU word and reuse its node in place.
+        slot = tail_;
+        Node &victim = nodes_[slot];
+        ++stats_.evictions;
+        if (victim.dirty)
+            ++stats_.writebacks;
+        map_.erase(victim.addr);
+        unlink(slot);
+        victim.addr = addr;
+        victim.dirty = write;
+    } else {
+        KB_ASSERT(nodes_.size() < kNull); // index space of the list
+        slot = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.push_back(Node{addr, kNull, kNull, write});
+    }
+    linkFront(slot);
+    map_.insert(addr, slot);
     return false;
 }
 
 void
 LruCache::flush()
 {
-    for (const Entry &entry : order_) {
-        if (entry.dirty)
+    for (const Node &node : nodes_) {
+        if (node.dirty)
             ++stats_.writebacks;
     }
-    order_.clear();
+    nodes_.clear();
     map_.clear();
+    head_ = tail_ = kNull;
 }
 
 } // namespace kb

@@ -5,16 +5,24 @@
  * This is the reference model for the balance measurements: a PE that
  * keeps the M most recently used words resident. Together with the
  * reuse-distance analyzer it defines the measured Cio(M).
+ *
+ * The recency order is an intrusive doubly linked list threaded
+ * through a flat node array (indices, not pointers), with residency
+ * lookups in an open-addressing FlatWordMap. A miss at capacity
+ * reuses the evicted node in place, so steady-state replay does no
+ * per-miss allocation at all — the std::list/unordered_map version
+ * this replaces paid one node allocation per miss plus a pointer
+ * chase per touch.
  */
 
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "mem/local_memory.hpp"
+#include "util/flat_map.hpp"
 
 namespace kb {
 
@@ -32,24 +40,34 @@ class LruCache : public LocalMemory
     std::string name() const override { return "lru"; }
 
     /** Number of words currently resident. */
-    std::uint64_t occupancy() const { return map_.size(); }
+    std::uint64_t occupancy() const { return nodes_.size(); }
 
     /** True iff @p addr is resident (no side effects). */
     bool contains(std::uint64_t addr) const;
 
   private:
-    struct Entry
+    static constexpr std::uint32_t kNull = 0xFFFFFFFFu;
+
+    /** One resident word, linked MRU (head) to LRU (tail). */
+    struct Node
     {
-        std::uint64_t addr;
-        bool dirty;
+        std::uint64_t addr = 0;
+        std::uint32_t prev = kNull;
+        std::uint32_t next = kNull;
+        bool dirty = false;
     };
 
-    void evictLru();
+    void unlink(std::uint32_t i);
+    void linkFront(std::uint32_t i);
 
     std::uint64_t capacity_;
-    /// MRU at front, LRU at back.
-    std::list<Entry> order_;
-    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
+    /// Every element is resident; size() is the occupancy (nodes are
+    /// reused in place on eviction, so the vector never shrinks or
+    /// holds holes until flush()).
+    std::vector<Node> nodes_;
+    FlatWordMap<std::uint32_t> map_; ///< addr -> index into nodes_
+    std::uint32_t head_ = kNull;     ///< most recently used
+    std::uint32_t tail_ = kNull;     ///< least recently used
 };
 
 } // namespace kb

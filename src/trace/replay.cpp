@@ -27,10 +27,18 @@ ReplaySink::onRun(std::uint64_t base, std::uint64_t words,
                   AccessType type)
 {
     const bool write = type == AccessType::Write;
-    for (std::uint64_t i = 0; i < words; ++i) {
-        const std::uint64_t addr = base + i;
-        for (auto *m : memories_)
-            m->access(addr, write);
+    if (memories_.size() == 1) {
+        // Single-model replay (the common sweep case): keep the inner
+        // loop free of the model-set iteration.
+        LocalMemory &m = *memories_.front();
+        for (std::uint64_t i = 0; i < words; ++i)
+            m.access(base + i, write);
+    } else {
+        for (std::uint64_t i = 0; i < words; ++i) {
+            const std::uint64_t addr = base + i;
+            for (auto *m : memories_)
+                m->access(addr, write);
+        }
     }
     accesses_ += words;
 }

@@ -6,15 +6,44 @@
 
 namespace kb {
 
+namespace {
+
+/** histogram -> suffix-sum table: out[d] = #entries with value >= d. */
+std::vector<std::uint64_t>
+suffixSums(const std::vector<std::uint64_t> &histogram)
+{
+    std::vector<std::uint64_t> suffix(histogram.size() + 1, 0);
+    for (std::size_t d = histogram.size(); d-- > 0;)
+        suffix[d] = suffix[d + 1] + histogram[d];
+    return suffix;
+}
+
+} // namespace
+
 MissCurve::MissCurve(std::vector<std::uint64_t> histogram,
                      std::uint64_t cold_misses, std::uint64_t accesses)
-    : cold_(cold_misses), accesses_(accesses)
+    : MissCurve(std::move(histogram), cold_misses, accesses, {}, 0)
 {
-    // Convert the histogram into a suffix-sum table:
-    //   suffix_[d] = #accesses with finite reuse distance >= d.
-    suffix_.assign(histogram.size() + 1, 0);
-    for (std::size_t d = histogram.size(); d-- > 0;)
-        suffix_[d] = suffix_[d + 1] + histogram[d];
+}
+
+MissCurve::MissCurve(std::vector<std::uint64_t> histogram,
+                     std::uint64_t cold_misses, std::uint64_t accesses,
+                     const std::vector<std::uint64_t> &write_histogram,
+                     std::uint64_t cold_writebacks)
+    : cold_(cold_misses), accesses_(accesses),
+      cold_writebacks_(cold_writebacks)
+{
+    suffix_ = suffixSums(histogram);
+    wb_suffix_ = suffixSums(write_histogram);
+    // The largest finite distance + 1 is the capacity at which all
+    // finite-distance accesses hit; precomputed so per-point sweep
+    // lookups stay O(1).
+    for (std::size_t d = suffix_.size(); d-- > 0;) {
+        if (suffix_[d] > 0) {
+            footprint_ = d + 1;
+            break;
+        }
+    }
 }
 
 std::uint64_t
@@ -28,28 +57,37 @@ MissCurve::missesAt(std::uint64_t capacity) const
 }
 
 std::uint64_t
-MissCurve::footprint() const
+MissCurve::writebacksAt(std::uint64_t capacity) const
 {
-    // The largest finite distance + 1 is the capacity at which all
-    // finite-distance accesses hit.
-    for (std::size_t d = suffix_.size(); d-- > 0;) {
-        if (suffix_[d] > 0)
-            return d + 1;
-    }
-    return 0;
+    // A write begins a new dirty epoch iff its word was evicted since
+    // the previous write, i.e. its dirty distance is >= capacity;
+    // each word's first write always does.
+    if (capacity >= wb_suffix_.size())
+        return cold_writebacks_;
+    return cold_writebacks_ + wb_suffix_[capacity];
 }
 
 ReuseDistanceAnalyzer::ReuseDistanceAnalyzer() = default;
 
 void
-ReuseDistanceAnalyzer::growTo(std::size_t n)
+ReuseDistanceAnalyzer::growMarks(std::size_t n)
 {
-    if (tree_.size() >= n)
+    if (marks_.size() >= n)
         return;
-    const std::size_t size = std::max(n, tree_.size() * 2 + 16);
+    const std::size_t size = std::max(n, marks_.size() * 2 + 16);
     marks_.resize(size, 0);
-    // Rebuild the tree from the raw marks: O(size), amortized O(1)
-    // per access thanks to the doubling.
+    // Zero-extending a Fenwick tree would corrupt the new high nodes'
+    // partial sums; rebuild from the marks lazily (amortized O(1) per
+    // access thanks to the doubling).
+    tree_stale_ = true;
+}
+
+void
+ReuseDistanceAnalyzer::ensureTree()
+{
+    if (!tree_stale_)
+        return;
+    const std::size_t size = marks_.size();
     tree_.assign(size, 0);
     for (std::size_t i = 1; i <= size; ++i) {
         tree_[i - 1] += marks_[i - 1];
@@ -57,12 +95,13 @@ ReuseDistanceAnalyzer::growTo(std::size_t n)
         if (parent <= size)
             tree_[parent - 1] += tree_[i - 1];
     }
+    tree_stale_ = false;
 }
 
 void
 ReuseDistanceAnalyzer::fenwickAdd(std::size_t pos, std::int64_t delta)
 {
-    growTo(pos + 1);
+    // Caller guarantees pos < marks_.size() and a fresh tree.
     marks_[pos] = static_cast<std::uint8_t>(
         static_cast<std::int64_t>(marks_[pos]) + delta);
     for (std::size_t i = pos + 1; i <= tree_.size(); i += i & (~i + 1))
@@ -81,17 +120,54 @@ ReuseDistanceAnalyzer::fenwickSum(std::size_t pos) const
 }
 
 void
-ReuseDistanceAnalyzer::onAccess(const Access &access)
+ReuseDistanceAnalyzer::flushColdMarks(std::uint64_t first_pos,
+                                      std::uint64_t count)
 {
-    const std::uint64_t now = time_++;
-    auto [it, inserted] = last_use_.try_emplace(access.addr, now);
-    if (inserted) {
-        ++cold_;
-        fenwickAdd(static_cast<std::size_t>(now), +1);
+    if (count == 0)
+        return;
+    growMarks(static_cast<std::size_t>(first_pos + count));
+    // Cold accesses ask no distance query, so their marks can land in
+    // bulk. Rebuilding the tree costs O(size); point updates cost
+    // O(count log size). Take the rebuild when it is the cheaper side
+    // (or already owed): its cost is then <= 16 * count, i.e. O(1)
+    // amortized per cold access.
+    if (tree_stale_ || count >= marks_.size() / 16) {
+        std::fill(marks_.begin() + static_cast<std::ptrdiff_t>(first_pos),
+                  marks_.begin() +
+                      static_cast<std::ptrdiff_t>(first_pos + count),
+                  1);
+        tree_stale_ = true;
         return;
     }
+    for (std::uint64_t i = 0; i < count; ++i)
+        fenwickAdd(static_cast<std::size_t>(first_pos + i), +1);
+}
 
-    const std::uint64_t prev = it->second;
+void
+ReuseDistanceAnalyzer::coldAccess(WordState &state, bool write)
+{
+    state.last_use = time_++;
+    ++cold_;
+    if (write) {
+        // A word's first write is dirty at every capacity: whether
+        // the epoch ends by eviction or by the final flush, this
+        // write's data crosses the boundary exactly once.
+        ++cold_writebacks_;
+        state.dirty_window = 0;
+    } else {
+        state.dirty_window = kColdWindow;
+    }
+}
+
+void
+ReuseDistanceAnalyzer::warmAccess(WordState &state, bool write)
+{
+    const std::uint64_t now = time_++;
+    const std::uint64_t prev = state.last_use;
+
+    growMarks(static_cast<std::size_t>(now) + 1);
+    ensureTree();
+
     // Distinct words touched strictly after prev: total marked in
     // (prev, now) = sum[0..now-1] - sum[0..prev].
     const std::uint64_t marked_until_now =
@@ -108,13 +184,64 @@ ReuseDistanceAnalyzer::onAccess(const Access &access)
     // Move the word's marker from its previous slot to "now".
     fenwickAdd(static_cast<std::size_t>(prev), -1);
     fenwickAdd(static_cast<std::size_t>(now), +1);
-    it->second = now;
+    state.last_use = now;
+
+    // kColdWindow is the max of uint64, so std::max keeps it sticky.
+    state.dirty_window = std::max(state.dirty_window, distance);
+    if (write) {
+        if (state.dirty_window == kColdWindow) {
+            ++cold_writebacks_;
+        } else {
+            if (wb_hist_.size() <= state.dirty_window)
+                wb_hist_.resize(state.dirty_window + 1, 0);
+            ++wb_hist_[state.dirty_window];
+        }
+        state.dirty_window = 0;
+    }
+}
+
+void
+ReuseDistanceAnalyzer::onAccess(const Access &access)
+{
+    const auto [state, inserted] = words_.tryEmplace(access.addr);
+    if (inserted) {
+        const std::uint64_t pos = time_;
+        coldAccess(*state, access.isWrite());
+        flushColdMarks(pos, 1);
+        return;
+    }
+    warmAccess(*state, access.isWrite());
+}
+
+void
+ReuseDistanceAnalyzer::onRun(std::uint64_t base, std::uint64_t words,
+                             AccessType type)
+{
+    const bool write = type == AccessType::Write;
+    std::uint64_t streak_pos = 0; ///< trace position of the streak head
+    std::uint64_t streak_len = 0;
+    for (std::uint64_t i = 0; i < words; ++i) {
+        const auto [state, inserted] = words_.tryEmplace(base + i);
+        if (inserted) {
+            if (streak_len == 0)
+                streak_pos = time_;
+            ++streak_len;
+            coldAccess(*state, write);
+            continue;
+        }
+        // A warm access queries the tree, so the pending cold marks
+        // must land first.
+        flushColdMarks(streak_pos, streak_len);
+        streak_len = 0;
+        warmAccess(*state, write);
+    }
+    flushColdMarks(streak_pos, streak_len);
 }
 
 MissCurve
 ReuseDistanceAnalyzer::missCurve() const
 {
-    return MissCurve(hist_, cold_, time_);
+    return MissCurve(hist_, cold_, time_, wb_hist_, cold_writebacks_);
 }
 
 } // namespace kb

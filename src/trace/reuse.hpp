@@ -7,32 +7,66 @@
  * first touch). A fully associative LRU memory of capacity W misses
  * exactly on accesses whose reuse distance is >= W, so one pass over a
  * trace yields the whole miss-count-versus-capacity curve — which is
- * how the benches measure Cio(M) for every M at once.
+ * how the engine's stack-distance fast path measures Cio(M) for every
+ * M at once (see engine/engine.hpp).
+ *
+ * Write-back traffic obeys the same inclusion structure. A resident
+ * word's dirty interval ends when it is evicted, and under LRU it is
+ * evicted before its next access iff that chain of accesses contains
+ * a reuse distance >= W. So each write carries a "dirty distance": the
+ * largest reuse distance among the accesses to its word since the
+ * previous write (infinite for a word's first write). A capacity-W
+ * LRU with end-of-trace flush writes back exactly the writes whose
+ * dirty distance is >= W plus every first write — one histogram gives
+ * writebacksAt(M) for all M, and ioWords(M) = misses + writebacks
+ * matches a direct LruCache replay bit for bit.
  *
  * Implementation: the classic Fenwick-tree algorithm (Olken'81 style),
- * O(log T) per access over a trace of length T.
+ * O(log T) per access over a trace of length T, with two fast-path
+ * refinements: the last-use table is an open-addressing FlatWordMap
+ * (no node allocation, one or two cache lines per probe), and onRun()
+ * batches contiguous first-touch runs — cold accesses need no
+ * distance query, so their marks are written in bulk and the Fenwick
+ * tree is rebuilt lazily only when the next finite distance is asked
+ * for.
  */
 
 #pragma once
 
 #include <cstdint>
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
 #include "trace/sink.hpp"
+#include "util/flat_map.hpp"
 
 namespace kb {
 
 /**
- * Miss counts as a function of LRU capacity, derived from a reuse
- * distance histogram.
+ * Miss and writeback counts as a function of LRU capacity, derived
+ * from reuse-distance histograms.
  */
 class MissCurve
 {
   public:
+    /** Miss curve only (no write-back accounting). */
     MissCurve(std::vector<std::uint64_t> histogram,
               std::uint64_t cold_misses, std::uint64_t accesses);
+
+    /**
+     * Full curve with write-back accounting.
+     *
+     * @param histogram        finite reuse distances (index = distance)
+     * @param cold_misses      first touches
+     * @param accesses         total accesses analyzed
+     * @param write_histogram  finite dirty distances (index = distance)
+     * @param cold_writebacks  writes that begin a dirty epoch at every
+     *                         capacity (each word's first write)
+     */
+    MissCurve(std::vector<std::uint64_t> histogram,
+              std::uint64_t cold_misses, std::uint64_t accesses,
+              const std::vector<std::uint64_t> &write_histogram,
+              std::uint64_t cold_writebacks);
 
     /**
      * Number of misses a fully associative LRU memory of @p capacity
@@ -41,26 +75,54 @@ class MissCurve
      */
     std::uint64_t missesAt(std::uint64_t capacity) const;
 
+    /** Hits at @p capacity (accesses minus misses). */
+    std::uint64_t
+    hitsAt(std::uint64_t capacity) const
+    {
+        return accesses_ - missesAt(capacity);
+    }
+
+    /**
+     * Dirty words a capacity-@p capacity LRU writes back over the
+     * trace, counting the end-of-trace flush (LruCache semantics:
+     * dirty evictions plus dirty residents at flush()).
+     */
+    std::uint64_t writebacksAt(std::uint64_t capacity) const;
+
+    /** Words crossing the PE boundary: misses + writebacks. This is
+     *  the paper's Cio(M) under a write-back LRU memory. */
+    std::uint64_t
+    ioWords(std::uint64_t capacity) const
+    {
+        return missesAt(capacity) + writebacksAt(capacity);
+    }
+
     /** Accesses with no prior touch of the same word. */
     std::uint64_t coldMisses() const { return cold_; }
 
     /** Total accesses analyzed. */
     std::uint64_t accesses() const { return accesses_; }
 
-    /** Smallest capacity at which only cold misses remain. */
-    std::uint64_t footprint() const;
+    /** Smallest capacity at which only cold misses remain
+     *  (precomputed; O(1)). */
+    std::uint64_t footprint() const { return footprint_; }
 
   private:
     /// suffix_[d] = number of finite-distance accesses with
     /// reuse distance >= d (d indexes from 0).
     std::vector<std::uint64_t> suffix_;
+    /// wb_suffix_[d] = number of writes with finite dirty distance
+    /// >= d.
+    std::vector<std::uint64_t> wb_suffix_;
     std::uint64_t cold_;
     std::uint64_t accesses_;
+    std::uint64_t cold_writebacks_ = 0;
+    std::uint64_t footprint_ = 0;
 };
 
 /**
  * Streaming reuse-distance analyzer; feed it a trace (it is a
- * TraceSink) and then ask for the histogram or the MissCurve.
+ * TraceSink) and then ask for the histograms or the MissCurve.
  */
 class ReuseDistanceAnalyzer : public TraceSink
 {
@@ -69,31 +131,69 @@ class ReuseDistanceAnalyzer : public TraceSink
 
     void onAccess(const Access &access) override;
 
+    /**
+     * Run fast path: contiguous first-touch runs (a fresh array
+     * streamed in) skip the per-access distance query entirely and
+     * mark the Fenwick tree in bulk; warm accesses fall back to the
+     * exact per-access update.
+     */
+    void onRun(std::uint64_t base, std::uint64_t words,
+               AccessType type) override;
+
     /** Histogram of finite reuse distances (index = distance). */
     const std::vector<std::uint64_t> &histogram() const { return hist_; }
 
+    /** Histogram of finite dirty distances (index = distance). */
+    const std::vector<std::uint64_t> &
+    writeHistogram() const
+    {
+        return wb_hist_;
+    }
+
     std::uint64_t coldMisses() const { return cold_; }
+    /** First writes: writebacks present at every capacity. */
+    std::uint64_t coldWritebacks() const { return cold_writebacks_; }
     std::uint64_t accesses() const { return time_; }
     /** Number of distinct words touched. */
-    std::uint64_t distinctWords() const { return last_use_.size(); }
+    std::uint64_t distinctWords() const { return words_.size(); }
 
-    /** Build the capacity->misses curve from the current state. */
+    /** Build the capacity -> misses/writebacks curve. */
     MissCurve missCurve() const;
 
   private:
+    /// Dirty-distance sentinel: "window reaches back past a cold
+    /// touch / no write yet" — such a write is dirty at any capacity.
+    static constexpr std::uint64_t kColdWindow =
+        std::numeric_limits<std::uint64_t>::max();
+
+    struct WordState
+    {
+        std::uint64_t last_use = 0;
+        /// Max reuse distance among this word's accesses since its
+        /// last write (kColdWindow until the first write).
+        std::uint64_t dirty_window = 0;
+    };
+
+    void coldAccess(WordState &state, bool write);
+    void warmAccess(WordState &state, bool write);
+    void flushColdMarks(std::uint64_t first_pos, std::uint64_t count);
+    void growMarks(std::size_t n);
+    void ensureTree();
     void fenwickAdd(std::size_t pos, std::int64_t delta);
     std::uint64_t fenwickSum(std::size_t pos) const; // sum of [0, pos]
-    void growTo(std::size_t n);
 
     /// Raw 0/1 marks (one per trace position holding a word's most
-    /// recent use); kept so the Fenwick tree can be rebuilt when it
-    /// grows — zero-extending a Fenwick tree would corrupt the new
-    /// high nodes' partial sums.
+    /// recent use). Source of truth for the Fenwick tree: bulk cold
+    /// runs and table growth write marks only and set tree_stale_;
+    /// the tree is rebuilt from the marks before the next query.
     std::vector<std::uint8_t> marks_;
-    std::vector<std::int64_t> tree_;                    ///< Fenwick tree
-    std::unordered_map<std::uint64_t, std::uint64_t> last_use_;
+    std::vector<std::int64_t> tree_; ///< Fenwick tree over marks_
+    bool tree_stale_ = true;
+    FlatWordMap<WordState> words_;
     std::vector<std::uint64_t> hist_;
+    std::vector<std::uint64_t> wb_hist_;
     std::uint64_t cold_ = 0;
+    std::uint64_t cold_writebacks_ = 0;
     std::uint64_t time_ = 0;
 };
 

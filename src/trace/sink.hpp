@@ -120,13 +120,42 @@ class CallbackSink : public TraceSink
 {
   public:
     using Callback = std::function<void(const Access &)>;
+    using RunCallback =
+        std::function<void(std::uint64_t base, std::uint64_t words,
+                           AccessType type)>;
 
     explicit CallbackSink(Callback cb) : cb_(std::move(cb)) {}
 
+    /**
+     * Run-aware form: contiguous runs go to @p run_cb in one dispatch
+     * instead of one std::function call per word, so adapters that can
+     * stream a whole strip (replay into a model, bulk counting) keep
+     * the emitters' O(1)-per-run granularity.
+     */
+    CallbackSink(Callback cb, RunCallback run_cb)
+        : cb_(std::move(cb)), run_cb_(std::move(run_cb))
+    {
+    }
+
     void onAccess(const Access &access) override { cb_(access); }
+
+    void
+    onRun(std::uint64_t base, std::uint64_t words,
+          AccessType type) override
+    {
+        if (run_cb_) {
+            run_cb_(base, words, type);
+            return;
+        }
+        // No run callback: expand locally, one std::function dispatch
+        // per word but no virtual hop per word.
+        for (std::uint64_t i = 0; i < words; ++i)
+            cb_(Access{base + i, type});
+    }
 
   private:
     Callback cb_;
+    RunCallback run_cb_;
 };
 
 /** Duplicates the stream into several downstream sinks. */

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Equivalence tests for the stack-distance fast path: the single-pass
+ * miss/writeback curve must be bit-identical to direct LRU replay —
+ * per kernel, per capacity, for misses, writebacks (including the
+ * end-of-trace flush) and ioWords — and the engine's fast-path jobs
+ * must return exactly what the forced direct-replay jobs return.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/sweep.hpp"
+#include "engine/engine.hpp"
+#include "kernels/registry.hpp"
+#include "mem/lru_cache.hpp"
+#include "trace/reuse.hpp"
+#include "trace/sink.hpp"
+#include "util/rng.hpp"
+
+namespace kb {
+namespace {
+
+/** Direct replay reference: trace through LruCache(cap) + flush. */
+MemoryStats
+replayLru(const std::vector<Access> &trace, std::uint64_t cap)
+{
+    LruCache lru(cap);
+    for (const auto &a : trace)
+        lru.access(a);
+    lru.flush();
+    return lru.stats();
+}
+
+/** Candidate capacities bracketing the interesting regions. */
+std::vector<std::uint64_t>
+capacityGrid(std::uint64_t schedule_m, std::uint64_t footprint)
+{
+    std::set<std::uint64_t> caps = {1,
+                                    2,
+                                    3,
+                                    7,
+                                    std::max<std::uint64_t>(
+                                        schedule_m / 2, 1),
+                                    schedule_m,
+                                    2 * schedule_m,
+                                    std::max<std::uint64_t>(footprint, 1),
+                                    footprint + 9};
+    return {caps.begin(), caps.end()};
+}
+
+/**
+ * The tentpole property, per registered kernel: one analyzer pass
+ * over the kernel's fixed-schedule trace reproduces direct LRU replay
+ * at every capacity, bit for bit.
+ */
+TEST(StackDistanceFastPath, CurveMatchesDirectLruForAllKernels)
+{
+    auto &registry = KernelRegistry::instance();
+    for (const auto &name : registry.names()) {
+        SCOPED_TRACE("kernel " + name);
+        const auto kernel = registry.shared(name);
+
+        std::uint64_t m_lo = 0, m_hi = 0;
+        kernel->defaultSweepRange(m_lo, m_hi);
+        const std::uint64_t schedule_m = m_lo; // small, fast traces
+        const std::uint64_t n = kernel->regimeProblemSize(
+            kernel->suggestProblemSize(schedule_m), schedule_m);
+
+        VectorSink buffer;
+        kernel->emitTrace(n, schedule_m, buffer);
+        const auto &trace = buffer.trace();
+        ASSERT_FALSE(trace.empty());
+
+        ReuseDistanceAnalyzer analyzer;
+        kernel->emitTrace(n, schedule_m, analyzer);
+        const auto curve = analyzer.missCurve();
+        EXPECT_EQ(curve.accesses(), trace.size());
+
+        for (const auto cap :
+             capacityGrid(schedule_m, curve.footprint())) {
+            SCOPED_TRACE("capacity " + std::to_string(cap));
+            const auto direct = replayLru(trace, cap);
+            EXPECT_EQ(curve.missesAt(cap), direct.misses);
+            EXPECT_EQ(curve.hitsAt(cap), direct.hits);
+            EXPECT_EQ(curve.writebacksAt(cap), direct.writebacks);
+            EXPECT_EQ(curve.ioWords(cap), direct.ioWords());
+        }
+    }
+}
+
+/**
+ * Randomized property: on random read/write mixes (fed partly through
+ * onRun so the bulk cold path is exercised), the one-pass curve
+ * equals direct replay at every probed capacity.
+ */
+class FastPathRandom : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FastPathRandom, RandomTracesMatchDirectReplay)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    Xoshiro256 rng(seed);
+    const std::uint64_t addr_space = 64 + rng.below(512);
+
+    std::vector<Access> trace;
+    ReuseDistanceAnalyzer analyzer;
+    for (int step = 0; step < 600; ++step) {
+        if (rng.below(4) == 0) {
+            // A contiguous run (sometimes entirely first-touch).
+            const std::uint64_t base = rng.below(4 * addr_space);
+            const std::uint64_t words = 1 + rng.below(64);
+            const auto type = rng.below(3) == 0 ? AccessType::Write
+                                                : AccessType::Read;
+            for (std::uint64_t i = 0; i < words; ++i)
+                trace.push_back(Access{base + i, type});
+            analyzer.onRun(base, words, type);
+        } else {
+            const std::uint64_t a = rng.below(addr_space);
+            const Access access =
+                rng.below(3) == 0 ? writeOf(a) : readOf(a);
+            trace.push_back(access);
+            analyzer.onAccess(access);
+        }
+    }
+    const auto curve = analyzer.missCurve();
+    ASSERT_EQ(curve.accesses(), trace.size());
+
+    for (std::uint64_t cap :
+         {1u, 2u, 5u, 16u, 33u, 100u, 250u, 750u, 5000u}) {
+        SCOPED_TRACE("capacity " + std::to_string(cap));
+        const auto direct = replayLru(trace, cap);
+        EXPECT_EQ(curve.missesAt(cap), direct.misses);
+        EXPECT_EQ(curve.writebacksAt(cap), direct.writebacks);
+        EXPECT_EQ(curve.ioWords(cap), direct.ioWords());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastPathRandom,
+                         ::testing::Range(1, 9));
+
+/**
+ * Regression: flush()-time writeback accounting. A trace that ends
+ * with dirty residents must count them in both paths.
+ */
+TEST(StackDistanceFastPath, FlushWritebacksMatchDirectReplay)
+{
+    // Three words written and never evicted at large capacity: only
+    // the flush writes them back.
+    std::vector<Access> trace = {writeOf(1), writeOf(2), writeOf(3),
+                                 readOf(1),  readOf(2),  readOf(3)};
+    ReuseDistanceAnalyzer analyzer;
+    for (const auto &a : trace)
+        analyzer.onAccess(a);
+    const auto curve = analyzer.missCurve();
+
+    for (std::uint64_t cap : {1u, 2u, 3u, 4u, 100u}) {
+        SCOPED_TRACE("capacity " + std::to_string(cap));
+        const auto direct = replayLru(trace, cap);
+        EXPECT_EQ(curve.writebacksAt(cap), direct.writebacks);
+        EXPECT_EQ(curve.ioWords(cap), direct.ioWords());
+    }
+    // At capacity >= 3 nothing is evicted: exactly 3 flush writebacks.
+    EXPECT_EQ(curve.writebacksAt(100), 3u);
+}
+
+/** Engine level: fast path vs forced direct replay, bit-identical. */
+TEST(EngineFastPath, JobResultsMatchForcedDirectReplay)
+{
+    SweepJob job;
+    job.kernel = "matmul";
+    job.m_lo = 48;
+    job.m_hi = 512;
+    job.points = 5;
+    job.models = {MemoryModelKind::Lru, MemoryModelKind::SetAssocLru,
+                  MemoryModelKind::SetAssocFifo,
+                  MemoryModelKind::RandomRepl, MemoryModelKind::Opt};
+    job.schedule_m = 512;
+
+    SweepJob direct_job = job;
+    direct_job.force_replay = true;
+
+    const auto fast = ExperimentEngine(1).runOne(job);
+    const auto direct = ExperimentEngine(1).runOne(direct_job);
+    const auto fast_mt = ExperimentEngine(4).runOne(job);
+
+    ASSERT_EQ(fast.points.size(), direct.points.size());
+    for (std::size_t p = 0; p < fast.points.size(); ++p) {
+        SCOPED_TRACE("point " + std::to_string(p));
+        EXPECT_EQ(fast.points[p].sample.m, direct.points[p].sample.m);
+        EXPECT_EQ(fast.points[p].sample.ratio,
+                  direct.points[p].sample.ratio);
+        // The whole model row, every discipline, bit for bit.
+        EXPECT_EQ(fast.points[p].model_io, direct.points[p].model_io);
+        EXPECT_EQ(fast.points[p].model_io,
+                  fast_mt.points[p].model_io);
+    }
+}
+
+/** FFT couples its regime size to M; a pinned schedule_m must pin the
+ *  replayed computation too, so fast and direct still agree. */
+TEST(EngineFastPath, CoupledRegimeKernelMatchesDirectReplay)
+{
+    SweepJob job;
+    job.kernel = "fft";
+    job.m_lo = 16;
+    job.m_hi = 128;
+    job.points = 4;
+    job.models = {MemoryModelKind::Lru};
+    job.schedule_m = 64;
+
+    SweepJob direct_job = job;
+    direct_job.force_replay = true;
+
+    const auto fast = ExperimentEngine(1).runOne(job);
+    const auto direct = ExperimentEngine(1).runOne(direct_job);
+    ASSERT_EQ(fast.points.size(), direct.points.size());
+    for (std::size_t p = 0; p < fast.points.size(); ++p)
+        EXPECT_EQ(fast.points[p].model_io, direct.points[p].model_io);
+}
+
+TEST(EngineFastPath, ModelsOnlySkipsSamplesButKeepsGrid)
+{
+    SweepJob job;
+    job.kernel = "matmul";
+    job.m_lo = 64;
+    job.m_hi = 512;
+    job.points = 4;
+    job.models = {MemoryModelKind::Lru};
+    job.schedule_m = 512;
+
+    SweepJob quick = job;
+    quick.models_only = true;
+
+    const auto full = ExperimentEngine(1).runOne(job);
+    const auto io_only = ExperimentEngine(1).runOne(quick);
+    ASSERT_EQ(full.points.size(), io_only.points.size());
+    for (std::size_t p = 0; p < full.points.size(); ++p) {
+        EXPECT_EQ(io_only.points[p].sample.m,
+                  full.points[p].sample.m);
+        EXPECT_EQ(io_only.points[p].sample.ratio, 0.0);
+        EXPECT_EQ(io_only.points[p].model_io,
+                  full.points[p].model_io);
+    }
+}
+
+TEST(EngineFastPath, MeasureCioCurveIsMonotoneAndLruBacked)
+{
+    const auto result = measureCioCurve("matmul", 512, 64, 512, 5);
+    const auto lru = modelColumn(result, MemoryModelKind::Lru);
+    ASSERT_GE(result.points.size(), 3u);
+    for (std::size_t p = 1; p < result.points.size(); ++p) {
+        // Inclusion property: more memory never costs more I/O.
+        EXPECT_LE(result.points[p].model_io[lru],
+                  result.points[p - 1].model_io[lru]);
+    }
+}
+
+} // namespace
+} // namespace kb

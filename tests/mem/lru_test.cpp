@@ -3,9 +3,14 @@
  * Unit tests for the fully associative LRU memory.
  */
 
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
 #include <gtest/gtest.h>
 
 #include "mem/lru_cache.hpp"
+#include "util/rng.hpp"
 
 namespace kb {
 namespace {
@@ -109,6 +114,89 @@ TEST(LruCache, ResetStatsKeepsContents)
     c.resetStats();
     EXPECT_EQ(c.stats().accesses, 0u);
     EXPECT_TRUE(c.contains(1));
+}
+
+/**
+ * Straightforward std::list + map LRU, the textbook formulation the
+ * array-backed implementation replaced; kept here as the oracle for
+ * the randomized cross-check.
+ */
+class ReferenceLru
+{
+  public:
+    explicit ReferenceLru(std::uint64_t capacity) : capacity_(capacity)
+    {
+    }
+
+    bool
+    access(std::uint64_t addr, bool write)
+    {
+        auto it = map_.find(addr);
+        if (it != map_.end()) {
+            it->second->second |= write;
+            order_.splice(order_.begin(), order_, it->second);
+            return true;
+        }
+        ++misses_;
+        if (map_.size() >= capacity_) {
+            const auto &victim = order_.back();
+            if (victim.second)
+                ++writebacks_;
+            map_.erase(victim.first);
+            order_.pop_back();
+        }
+        order_.emplace_front(addr, write);
+        map_[addr] = order_.begin();
+        return false;
+    }
+
+    void
+    flush()
+    {
+        for (const auto &e : order_)
+            if (e.second)
+                ++writebacks_;
+        order_.clear();
+        map_.clear();
+    }
+
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+  private:
+    std::uint64_t capacity_;
+    std::list<std::pair<std::uint64_t, bool>> order_;
+    std::unordered_map<
+        std::uint64_t,
+        std::list<std::pair<std::uint64_t, bool>>::iterator>
+        map_;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+TEST(LruCache, RandomizedMatchesReferenceImplementation)
+{
+    for (const std::uint64_t cap : {1u, 2u, 7u, 32u, 257u}) {
+        SCOPED_TRACE("capacity " + std::to_string(cap));
+        Xoshiro256 rng(cap);
+        LruCache cache(cap);
+        ReferenceLru ref(cap);
+        for (int i = 0; i < 20000; ++i) {
+            // Skewed mix: hot set, cold tail, occasional fresh words.
+            const std::uint64_t addr =
+                rng.below(4) == 0 ? rng.below(8 * cap + 64)
+                                  : rng.below(2 * cap + 8);
+            const bool write = rng.below(5) == 0;
+            const bool hit = cache.access(addr, write);
+            const bool ref_hit = ref.access(addr, write);
+            ASSERT_EQ(hit, ref_hit) << "access " << i;
+        }
+        cache.flush();
+        ref.flush();
+        EXPECT_EQ(cache.stats().misses, ref.misses());
+        EXPECT_EQ(cache.stats().writebacks, ref.writebacks());
+        EXPECT_EQ(cache.occupancy(), 0u);
+    }
 }
 
 } // namespace

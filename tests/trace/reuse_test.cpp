@@ -129,5 +129,99 @@ TEST(ReuseDistance, AccessesCounted)
     EXPECT_EQ(rd.missCurve().accesses(), 42u);
 }
 
+TEST(ReuseDistance, HitsComplementMisses)
+{
+    ReuseDistanceAnalyzer rd;
+    for (int rep = 0; rep < 4; ++rep)
+        for (std::uint64_t a = 0; a < 6; ++a)
+            rd.onAccess(readOf(a));
+    const auto curve = rd.missCurve();
+    for (std::uint64_t cap : {1u, 3u, 6u, 10u})
+        EXPECT_EQ(curve.hitsAt(cap) + curve.missesAt(cap),
+                  curve.accesses());
+    EXPECT_EQ(curve.hitsAt(6), 18u); // everything after the cold lap
+}
+
+TEST(ReuseDistance, FirstWriteIsDirtyAtEveryCapacity)
+{
+    // r1 w1: the word's only write begins its one dirty epoch; at any
+    // capacity exactly one writeback crosses the boundary (eviction
+    // or flush).
+    ReuseDistanceAnalyzer rd;
+    rd.onAccess(readOf(1));
+    rd.onAccess(writeOf(1));
+    EXPECT_EQ(rd.coldWritebacks(), 1u);
+    const auto curve = rd.missCurve();
+    for (std::uint64_t cap : {1u, 2u, 100u})
+        EXPECT_EQ(curve.writebacksAt(cap), 1u);
+}
+
+TEST(ReuseDistance, RepeatedWriteSplitsEpochsBelowItsDirtyDistance)
+{
+    // w1 r2 w1: the second write's dirty distance is 1 (word 2 touched
+    // between the writes). Capacity 1 evicts in between -> two dirty
+    // epochs; capacity >= 2 keeps the word resident -> one.
+    ReuseDistanceAnalyzer rd;
+    rd.onAccess(writeOf(1));
+    rd.onAccess(readOf(2));
+    rd.onAccess(writeOf(1));
+    const auto curve = rd.missCurve();
+    EXPECT_EQ(curve.writebacksAt(1), 2u);
+    EXPECT_EQ(curve.writebacksAt(2), 1u);
+    EXPECT_EQ(curve.writebacksAt(100), 1u);
+    EXPECT_EQ(curve.ioWords(2),
+              curve.missesAt(2) + curve.writebacksAt(2));
+}
+
+TEST(ReuseDistance, OnRunIsBitIdenticalToPerAccessFeed)
+{
+    // Same access stream fed as runs vs word-at-a-time must produce
+    // identical histograms — the bulk first-touch path is an
+    // optimization, not an approximation.
+    Xoshiro256 rng(77);
+    struct Run
+    {
+        std::uint64_t base;
+        std::uint64_t words;
+        AccessType type;
+    };
+    std::vector<Run> runs;
+    for (int i = 0; i < 200; ++i) {
+        runs.push_back(Run{rng.below(2000), 1 + rng.below(100),
+                           rng.below(3) == 0 ? AccessType::Write
+                                             : AccessType::Read});
+    }
+
+    ReuseDistanceAnalyzer via_runs, via_words;
+    for (const auto &r : runs) {
+        via_runs.onRun(r.base, r.words, r.type);
+        for (std::uint64_t i = 0; i < r.words; ++i)
+            via_words.onAccess(Access{r.base + i, r.type});
+    }
+
+    EXPECT_EQ(via_runs.accesses(), via_words.accesses());
+    EXPECT_EQ(via_runs.coldMisses(), via_words.coldMisses());
+    EXPECT_EQ(via_runs.coldWritebacks(), via_words.coldWritebacks());
+    EXPECT_EQ(via_runs.distinctWords(), via_words.distinctWords());
+    EXPECT_EQ(via_runs.histogram(), via_words.histogram());
+    EXPECT_EQ(via_runs.writeHistogram(), via_words.writeHistogram());
+}
+
+TEST(ReuseDistance, LargeColdRunsUseTheBulkPathCorrectly)
+{
+    // A fresh array streamed in (one big first-touch run), then
+    // re-read: every distance in the second lap is footprint-1 ...
+    // exercised through the lazy tree rebuild.
+    const std::uint64_t n = 100000;
+    ReuseDistanceAnalyzer rd;
+    rd.onRange(0, n, AccessType::Read);
+    EXPECT_EQ(rd.coldMisses(), n);
+    rd.onRange(0, n, AccessType::Read);
+    const auto curve = rd.missCurve();
+    EXPECT_EQ(curve.footprint(), n);
+    EXPECT_EQ(curve.missesAt(n), n);      // second lap all hits
+    EXPECT_EQ(curve.missesAt(n - 1), 2 * n); // one short: thrash
+}
+
 } // namespace
 } // namespace kb

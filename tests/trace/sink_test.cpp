@@ -71,6 +71,36 @@ TEST(CallbackSink, InvokesCallback)
     EXPECT_EQ(calls, 1);
 }
 
+TEST(CallbackSink, RunCallbackReceivesWholeRuns)
+{
+    std::uint64_t run_words = 0;
+    int run_calls = 0, word_calls = 0;
+    CallbackSink sink(
+        [&](const Access &) { ++word_calls; },
+        [&](std::uint64_t base, std::uint64_t words, AccessType type) {
+            ++run_calls;
+            run_words += words;
+            EXPECT_EQ(base, 50u);
+            EXPECT_EQ(type, AccessType::Write);
+        });
+    sink.onRange(50, 12, AccessType::Write);
+    EXPECT_EQ(run_calls, 1);
+    EXPECT_EQ(run_words, 12u);
+    EXPECT_EQ(word_calls, 0); // one dispatch for the run, not twelve
+    sink.onAccess(readOf(1));
+    EXPECT_EQ(word_calls, 1);
+}
+
+TEST(CallbackSink, WithoutRunCallbackRunsExpandPerWord)
+{
+    std::vector<Access> seen;
+    CallbackSink sink([&](const Access &a) { seen.push_back(a); });
+    sink.onRange(7, 3, AccessType::Read);
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], readOf(7));
+    EXPECT_EQ(seen[2], readOf(9));
+}
+
 TEST(TeeSink, FansOut)
 {
     CountingSink a, b;
