@@ -6,97 +6,63 @@
  * The matmul trace is replayed through six memory disciplines at
  * every size; the fitted R(M) exponent survives all of them (with a
  * documented caveat for tiles sized to 100% of a set-associative
- * cache). Demand-fill disciplines are replayed by *streaming* the
- * trace straight into the model (ReplaySink) — no intermediate
- * vector; only Belady OPT, which needs the future, buffers it.
+ * cache). The grid is fully declarative now: two engine SweepJobs
+ * (see e12AblationJobs in analysis/experiments.cpp) — one carrying
+ * the scratchpad sample plus the LRU and Belady-OPT columns, one
+ * carrying the tile = M/2 set-associative and random columns via
+ * SweepJob::schedule_headroom — and this bench only formats their
+ * results.
  */
 
 #include <cmath>
-#include <functional>
 #include <iostream>
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/driver.hpp"
-#include "kernels/matmul.hpp"
-#include "mem/lru_cache.hpp"
-#include "mem/opt_cache.hpp"
-#include "mem/set_assoc.hpp"
-#include "trace/replay.hpp"
-#include "trace/sink.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
-
-namespace {
-
-using namespace kb;
-
-double
-traceIo(const MatmulKernel &k, std::uint64_t n, std::uint64_t sched_m,
-        LocalMemory &mem)
-{
-    // Streaming replay: emitTrace feeds the model in a single pass.
-    ReplaySink sink(mem);
-    k.emitTrace(n, sched_m, sink);
-    sink.flush();
-    return static_cast<double>(mem.stats().ioWords());
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    return bench::runBench(argc, argv, "E12", [](bench::BenchContext &) {
-        MatmulKernel kernel;
+    using namespace kb;
+    return bench::runBench(argc, argv, "E12", [](bench::BenchContext &ctx) {
         const std::uint64_t n = 160;
         const double ops = 2.0 * static_cast<double>(n) * n * n;
+
+        const auto results = ctx.experimentSweeps();
+        KB_REQUIRE(results.size() == 2,
+                   "E12 declares two sweep jobs (tight + headroom)");
+        const SweepResult &tight = results[0];
+        const SweepResult &headroom = results[1];
 
         struct Discipline
         {
             std::string name;
-            /// returns measured io at capacity m
-            std::function<double(std::uint64_t)> io;
+            const SweepResult *sweep;   ///< which job carries the row
+            /// model column index, or npos for the schedule sample
+            std::size_t column;
+        };
+        constexpr std::size_t kSample = static_cast<std::size_t>(-1);
+
+        const std::vector<Discipline> rows = {
+            {"scratchpad (paper)", &tight, kSample},
+            {"fully-assoc LRU", &tight,
+             modelColumn(tight, MemoryModelKind::Lru)},
+            {"Belady OPT", &tight,
+             modelColumn(tight, MemoryModelKind::Opt)},
+            {"8-way LRU (tile=M/2)", &headroom,
+             modelColumn(headroom, MemoryModelKind::SetAssocLru)},
+            {"8-way FIFO (tile=M/2)", &headroom,
+             modelColumn(headroom, MemoryModelKind::SetAssocFifo)},
+            {"random repl (tile=M/2)", &headroom,
+             modelColumn(headroom, MemoryModelKind::RandomRepl)},
         };
 
-        std::vector<Discipline> rows;
-        rows.push_back({"scratchpad (paper)", [&](std::uint64_t m) {
-                            return kernel.measure(n, m, false)
-                                .cost.io_words;
-                        }});
-        rows.push_back({"fully-assoc LRU", [&](std::uint64_t m) {
-                            LruCache c(m);
-                            return traceIo(kernel, n, m, c);
-                        }});
-        rows.push_back({"Belady OPT", [&](std::uint64_t m) {
-                            VectorSink sink;
-                            kernel.emitTrace(n, m, sink);
-                            return static_cast<double>(
-                                simulateOpt(sink.trace(), m)
-                                    .stats.ioWords());
-                        }});
-        rows.push_back({"8-way LRU (tile=M/2)", [&](std::uint64_t m) {
-                            SetAssocCache c(m / 8, 8,
-                                            ReplacementPolicy::LRU);
-                            return traceIo(kernel, n, m / 2, c);
-                        }});
-        rows.push_back({"8-way FIFO (tile=M/2)", [&](std::uint64_t m) {
-                            SetAssocCache c(m / 8, 8,
-                                            ReplacementPolicy::FIFO);
-                            return traceIo(kernel, n, m / 2, c);
-                        }});
-        rows.push_back({"random repl (tile=M/2)", [&](std::uint64_t m) {
-                            SetAssocCache c(1, m,
-                                            ReplacementPolicy::Random,
-                                            7);
-                            return traceIo(kernel, n, m / 2, c);
-                        }});
-
-        const std::vector<std::uint64_t> mem_sizes = {64,  128,  256,
-                                                      512, 1024, 2048};
-
         std::vector<std::string> headers = {"discipline"};
-        for (const auto m : mem_sizes)
-            headers.push_back("M=" + std::to_string(m));
+        for (const auto &p : tight.points)
+            headers.push_back("M=" + std::to_string(p.sample.m));
         headers.push_back("fitted exponent");
         headers.push_back("verdict");
 
@@ -105,10 +71,13 @@ main(int argc, char **argv)
             auto &r = table.row();
             r.cell(d.name);
             std::vector<double> ms, ratios;
-            for (const auto m : mem_sizes) {
-                const double io = d.io(m);
+            for (const auto &p : d.sweep->points) {
+                const double io =
+                    d.column == kSample
+                        ? p.sample.io_words
+                        : static_cast<double>(p.model_io[d.column]);
                 const double ratio = ops / io;
-                ms.push_back(static_cast<double>(m));
+                ms.push_back(static_cast<double>(p.sample.m));
                 ratios.push_back(ratio);
                 r.cell(ratio, 4);
             }
@@ -130,5 +99,5 @@ main(int argc, char **argv)
         return 0;
     },
         bench::BenchCaps{.kernels = false, .points = false,
-                         .threads = false});
+                         .threads = true});
 }

@@ -14,12 +14,15 @@
  *   diff a.txt b.txt   # empty; stderr shows the speedup
  *
  * --perf-json PATH switches to the perf-report mode: it A/B-measures
- * the stack-distance fast path against direct per-point replay on an
- * LRU-only fixed-schedule sweep (the same job, force_replay toggled;
- * results are bit-identical, the engine tests assert it), plus raw
- * trace-replay throughput, and writes the numbers as JSON. CI stores
- * the file as the BENCH_sweep.json artifact so every PR leaves a perf
- * trajectory.
+ * the stack-distance fast path against direct per-point replay on
+ * fixed-schedule sweeps (the same job, force_replay toggled; results
+ * are bit-identical, the engine tests assert it) — the historical
+ * LRU-only sweep plus the set-associative-LRU, Belady-OPT and
+ * combined ablation columns — plus raw trace-replay throughput and
+ * the cache-hot re-run time of each fast job, and writes the numbers
+ * as JSON. The CurveCache is cleared before every cold measurement
+ * so the A/B stays honest. CI stores the file as the
+ * BENCH_sweep.json artifact so every PR leaves a perf trajectory.
  */
 
 #include <chrono>
@@ -27,6 +30,7 @@
 #include <iostream>
 
 #include "bench/driver.hpp"
+#include "engine/curve_cache.hpp"
 #include "kernels/registry.hpp"
 #include "mem/lru_cache.hpp"
 #include "trace/replay.hpp"
@@ -54,6 +58,59 @@ timedRun(const ExperimentEngine &engine, const SweepJob &job)
     const auto result = engine.runOne(job);
     (void)result;
     return secondsSince(t0);
+}
+
+/** One model family's fast-vs-replay A/B numbers. */
+struct SweepAb
+{
+    double direct_s = 0.0;      ///< force_replay, curve cache cleared
+    double fast_cold_s = 0.0;   ///< fast path, curve cache cleared
+    double fast_cached_s = 0.0; ///< fast path again, cache hot
+};
+
+/**
+ * A/B one fixed-schedule sweep: direct per-point replay vs the
+ * single-pass fast path (cold and cache-hot). The cache is cleared
+ * before each cold run so earlier measurements cannot subsidize
+ * later ones.
+ */
+SweepAb
+measureSweepAb(const ExperimentEngine &engine, const SweepJob &job)
+{
+    SweepJob direct_job = job;
+    direct_job.force_replay = true;
+
+    SweepAb ab;
+    CurveCache::instance().clear();
+    ab.direct_s = timedRun(engine, direct_job);
+    CurveCache::instance().clear();
+    ab.fast_cold_s = timedRun(engine, job);
+    ab.fast_cached_s = timedRun(engine, job);
+    return ab;
+}
+
+double
+speedup(const SweepAb &ab)
+{
+    return ab.fast_cold_s > 0.0 ? ab.direct_s / ab.fast_cold_s : 0.0;
+}
+
+void
+writeAbJson(std::ostream &out, const char *name,
+            const std::vector<const char *> &models, unsigned points,
+            const SweepAb &ab, bool trailing_comma)
+{
+    out << "  \"" << name << "\": {\n"
+        << "    \"points\": " << points << ",\n"
+        << "    \"models\": [";
+    for (std::size_t i = 0; i < models.size(); ++i)
+        out << (i ? ", " : "") << "\"" << models[i] << "\"";
+    out << "],\n"
+        << "    \"direct_replay_s\": " << ab.direct_s << ",\n"
+        << "    \"fast_path_s\": " << ab.fast_cold_s << ",\n"
+        << "    \"cached_fast_path_s\": " << ab.fast_cached_s << ",\n"
+        << "    \"speedup\": " << speedup(ab) << "\n"
+        << "  }" << (trailing_comma ? "," : "") << "\n";
 }
 
 int
@@ -112,7 +169,7 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
         return 1;
     }
 
-    // --- end-to-end LRU-only sweep, fast path vs direct replay ---
+    // --- end-to-end fixed-schedule sweeps, fast path vs replay ---
     SweepJob job;
     job.kernel = kernel_name;
     job.points = ctx.points(8);
@@ -120,15 +177,32 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
     job.schedule_m = schedule_m;
     job.models_only = true;
 
+    const ExperimentEngine serial(1);
+    const SweepAb lru_ab = measureSweepAb(serial, job);
+
+    // Per-column A/B for the PR-3 fast paths, single-threaded, plus
+    // the combined set-assoc + OPT ablation shape (what E12-style
+    // studies pay for).
+    SweepJob sa_job = job;
+    sa_job.models = {MemoryModelKind::SetAssocLru};
+    const SweepAb sa_ab = measureSweepAb(serial, sa_job);
+
+    SweepJob opt_job = job;
+    opt_job.models = {MemoryModelKind::Opt};
+    const SweepAb opt_ab = measureSweepAb(serial, opt_job);
+
+    SweepJob ablation_job = job;
+    ablation_job.models = {MemoryModelKind::SetAssocLru,
+                           MemoryModelKind::Opt};
+    const SweepAb ablation_ab = measureSweepAb(serial, ablation_job);
+
+    // The historical threads-N LRU numbers (pool scaling trajectory).
+    const unsigned pool_threads = ctx.engine().threads();
     SweepJob direct_job = job;
     direct_job.force_replay = true;
-
-    const ExperimentEngine serial(1);
-    const double serial_direct_s = timedRun(serial, direct_job);
-    const double serial_fast_s = timedRun(serial, job);
-
-    const unsigned pool_threads = ctx.engine().threads();
+    CurveCache::instance().clear();
     const double pool_direct_s = timedRun(ctx.engine(), direct_job);
+    CurveCache::instance().clear();
     const double pool_fast_s = timedRun(ctx.engine(), job);
 
     const auto rate = [words](double s) {
@@ -154,11 +228,11 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
         << "    \"points\": " << job.points << ",\n"
         << "    \"models\": [\"lru\"],\n"
         << "    \"threads_1\": {\n"
-        << "      \"direct_replay_s\": " << serial_direct_s << ",\n"
-        << "      \"fast_path_s\": " << serial_fast_s << ",\n"
-        << "      \"speedup\": "
-        << (serial_fast_s > 0.0 ? serial_direct_s / serial_fast_s : 0.0)
-        << "\n"
+        << "      \"direct_replay_s\": " << lru_ab.direct_s << ",\n"
+        << "      \"fast_path_s\": " << lru_ab.fast_cold_s << ",\n"
+        << "      \"cached_fast_path_s\": " << lru_ab.fast_cached_s
+        << ",\n"
+        << "      \"speedup\": " << speedup(lru_ab) << "\n"
         << "    },\n"
         << "    \"threads_n\": {\n"
         << "      \"threads\": " << pool_threads << ",\n"
@@ -168,14 +242,29 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
         << (pool_fast_s > 0.0 ? pool_direct_s / pool_fast_s : 0.0)
         << "\n"
         << "    }\n"
-        << "  }\n"
-        << "}\n";
-    std::cerr << "perf: " << words << " trace words; 1-thread sweep "
-              << job.points << " pts: direct " << serial_direct_s
-              << " s, fast " << serial_fast_s << " s ("
-              << (serial_fast_s > 0.0 ? serial_direct_s / serial_fast_s
-                                      : 0.0)
-              << "x); report written to " << path << "\n";
+        << "  },\n";
+    writeAbJson(out, "setassoc_sweep", {"8way-lru"}, job.points, sa_ab,
+                true);
+    writeAbJson(out, "opt_sweep", {"opt"}, job.points, opt_ab, true);
+    writeAbJson(out, "ablation_sweep", {"8way-lru", "opt"}, job.points,
+                ablation_ab, false);
+    out << "}\n";
+    std::cerr << "perf: " << words << " trace words; 1-thread sweeps of "
+              << job.points << " pts (direct / fast / cached, speedup):"
+              << "\n  lru      " << lru_ab.direct_s << " / "
+              << lru_ab.fast_cold_s << " / " << lru_ab.fast_cached_s
+              << " s (" << speedup(lru_ab) << "x)"
+              << "\n  8way-lru " << sa_ab.direct_s << " / "
+              << sa_ab.fast_cold_s << " / " << sa_ab.fast_cached_s
+              << " s (" << speedup(sa_ab) << "x)"
+              << "\n  opt      " << opt_ab.direct_s << " / "
+              << opt_ab.fast_cold_s << " / " << opt_ab.fast_cached_s
+              << " s (" << speedup(opt_ab) << "x)"
+              << "\n  ablation " << ablation_ab.direct_s << " / "
+              << ablation_ab.fast_cold_s << " / "
+              << ablation_ab.fast_cached_s << " s ("
+              << speedup(ablation_ab) << "x)"
+              << "\nreport written to " << path << "\n";
     return 0;
 }
 

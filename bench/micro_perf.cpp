@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "engine/curve_cache.hpp"
 #include "engine/engine.hpp"
 #include "kernels/fft.hpp"
 #include "kernels/matmul.hpp"
@@ -202,16 +203,35 @@ BENCHMARK(BM_SweepDirect)->Unit(benchmark::kMillisecond);
 void
 BM_SweepFastPath(benchmark::State &state)
 {
-    // Stack-distance fast path: one emission, whole curve —
+    // Stack-distance fast path, cold: one emission, whole curve —
     // O(trace log U + points). Bit-identical results to the direct
-    // run above (asserted by the engine tests).
+    // run above (asserted by the engine tests). The CurveCache is
+    // cleared per iteration so this keeps measuring the single-pass
+    // analyzer, not the cache.
     ExperimentEngine engine(1);
     const SweepJob job = lruSweepJob(/*force_replay=*/false);
     for (auto _ : state) {
+        CurveCache::instance().clear();
         benchmark::DoNotOptimize(engine.runOne(job));
     }
 }
 BENCHMARK(BM_SweepFastPath)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepCached(benchmark::State &state)
+{
+    // Cache-hot repeat of the same job: curves served from the
+    // CurveCache, no emission at all (the repeated-sweep case the
+    // cache exists for).
+    ExperimentEngine engine(1);
+    const SweepJob job = lruSweepJob(/*force_replay=*/false);
+    CurveCache::instance().clear();
+    benchmark::DoNotOptimize(engine.runOne(job)); // warm the cache
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.runOne(job));
+    }
+}
+BENCHMARK(BM_SweepCached)->Unit(benchmark::kMicrosecond);
 
 void
 BM_EngineSweep(benchmark::State &state)

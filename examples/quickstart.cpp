@@ -7,15 +7,19 @@
  *    get its exact Ccomp and Cio.
  * 3. Check Kung's balance condition.
  * 4. Grow C/IO by alpha and compute the memory that restores balance
- *    — closed form and by search on the measured curve.
+ *    — closed form and by search on the measured curve. The measured
+ *    curve comes from a declarative SweepJob on the experiment
+ *    engine, which also brackets the numeric search.
  *
  * Build & run:  ./build/examples/quickstart
  */
 
 #include <iostream>
 
+#include "analysis/sweep.hpp"
 #include "core/balance.hpp"
 #include "core/rebalance.hpp"
+#include "engine/engine.hpp"
 #include "kernels/matmul.hpp"
 
 int
@@ -61,12 +65,34 @@ main()
               << " -> M_new = " << closed.m_new << " words ("
               << closed.growth_factor << "x)\n";
 
-    // The same answer, recovered purely from measurements.
+    // The same answer, recovered purely from measurements. The R(M)
+    // curve is measured as one declarative SweepJob (fixed problem
+    // pinned with n_hint so every point describes the same matmul);
+    // the grid sample that first reaches the target ratio brackets
+    // the numeric search, which then only refines inside [M_old,
+    // bracket] — same smallest-M answer, fewer probes.
+    const std::uint64_t m_max = 1u << 18;
+    SweepJob sweep;
+    sweep.kernel = "matmul";
+    sweep.m_lo = pe.memory_words;
+    sweep.m_hi = m_max;
+    sweep.points = 7;
+    sweep.n_hint = n;
+    const auto curve = toRatioCurve(ExperimentEngine().runOne(sweep));
+
     auto measured_ratio = [&](std::uint64_t m) {
         return matmul.measure(n, m, false).cost.ratio();
     };
+    const double target = alpha * curve.samples.front().ratio;
+    std::uint64_t bracket = m_max;
+    for (const auto &sample : curve.samples) {
+        if (sample.ratio >= target) {
+            bracket = sample.m;
+            break;
+        }
+    }
     const auto numeric = rebalanceNumeric(
-        measured_ratio, pe.memory_words, alpha, 1u << 18);
+        measured_ratio, pe.memory_words, alpha, bracket);
     if (numeric.possible) {
         std::cout << "numeric rebalancing on the measured R(M): "
                   << numeric.m_new << " words ("

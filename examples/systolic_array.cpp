@@ -6,20 +6,59 @@
  * several sizes while sweeping the per-PE memory, printing the
  * utilization surface — the empirical content of Figs. 3 and 4.
  *
+ * The surfaces are declared as (array size x memory) grids and the
+ * cells run on the experiment engine's pool (parallelFor — the
+ * SweepJob treatment applied to a grid that is an array simulation
+ * rather than a kernel sweep): each cell writes only its own slot,
+ * so the tables are identical for any worker count.
+ *
  * Build & run:  ./build/examples/systolic_array
  */
 
 #include <iostream>
+#include <vector>
 
+#include "engine/engine.hpp"
 #include "parallel/array_sim.hpp"
 #include "parallel/workloads.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+using namespace kb;
+
+/** One declared utilization surface: rows x memory grid of cells. */
+struct SurfaceSpec
+{
+    std::string row_header;
+    std::string heading;
+    std::vector<std::uint64_t> rows; ///< array sizes p
+    /// cell(p, m) -> utilization
+    double (*cell)(std::uint64_t p, std::uint64_t m, std::uint64_t n,
+                   double ops_rate);
+};
+
+double
+linearCell(std::uint64_t p, std::uint64_t m, std::uint64_t n,
+           double ops_rate)
+{
+    const auto wl = matmulLinearWorkload(n, p, m, ops_rate);
+    return simulateArray(wl.machine, wl.steps).utilization();
+}
+
+double
+meshCell(std::uint64_t p, std::uint64_t m, std::uint64_t n,
+         double ops_rate)
+{
+    const auto wl = matmulMeshWorkload(n, p, m, ops_rate);
+    return simulateArray(wl.machine, wl.steps).utilization();
+}
+
+} // namespace
+
 int
 main()
 {
-    using namespace kb;
-
     const double ops_rate = 8.0; // per-PE C/IO = 8
     const std::uint64_t n = 512;
 
@@ -30,42 +69,40 @@ main()
 
     const std::vector<std::uint64_t> mems = {64,   256,  1024,
                                              4096, 16384, 65536};
+    const std::vector<SurfaceSpec> surfaces = {
+        {"linear p",
+         "Linear array: longer chains need more per-PE memory to "
+         "saturate",
+         {2, 4, 8, 16, 32}, linearCell},
+        {"mesh p x p",
+         "Square mesh: the saturation memory is independent of p "
+         "(automatic balance)",
+         {2, 4, 8, 16}, meshCell},
+    };
 
-    // Linear arrays (Fig. 3): saturation moves right as p grows.
-    std::vector<std::string> headers = {"linear p"};
-    for (const auto m : mems)
-        headers.push_back("M=" + std::to_string(m));
-    TextTable linear(headers);
-    for (std::uint64_t p : {2u, 4u, 8u, 16u, 32u}) {
-        auto &row = linear.row();
-        row.cell(p);
-        for (const auto m : mems) {
-            const auto wl = matmulLinearWorkload(n, p, m, ops_rate);
-            const auto r = simulateArray(wl.machine, wl.steps);
-            row.cell(r.utilization(), 3);
-        }
-    }
-    printHeading(std::cout,
-                 "Linear array: longer chains need more per-PE "
-                 "memory to saturate");
-    linear.print(std::cout);
+    ExperimentEngine engine;
+    for (const auto &spec : surfaces) {
+        // Measure the declared grid on the pool, then print.
+        std::vector<double> util(spec.rows.size() * mems.size());
+        engine.parallelFor(util.size(), [&](std::size_t i) {
+            const std::uint64_t p = spec.rows[i / mems.size()];
+            const std::uint64_t m = mems[i % mems.size()];
+            util[i] = spec.cell(p, m, n, ops_rate);
+        });
 
-    // Meshes (Fig. 4): the saturation point stays put.
-    headers[0] = "mesh p x p";
-    TextTable mesh(headers);
-    for (std::uint64_t p : {2u, 4u, 8u, 16u}) {
-        auto &row = mesh.row();
-        row.cell(p);
-        for (const auto m : mems) {
-            const auto wl = matmulMeshWorkload(n, p, m, ops_rate);
-            const auto r = simulateArray(wl.machine, wl.steps);
-            row.cell(r.utilization(), 3);
+        std::vector<std::string> headers = {spec.row_header};
+        for (const auto m : mems)
+            headers.push_back("M=" + std::to_string(m));
+        TextTable table(headers);
+        for (std::size_t r = 0; r < spec.rows.size(); ++r) {
+            auto &row = table.row();
+            row.cell(spec.rows[r]);
+            for (std::size_t c = 0; c < mems.size(); ++c)
+                row.cell(util[r * mems.size() + c], 3);
         }
+        printHeading(std::cout, spec.heading);
+        table.print(std::cout);
     }
-    printHeading(std::cout,
-                 "Square mesh: the saturation memory is independent "
-                 "of p (automatic balance)");
-    mesh.print(std::cout);
 
     std::cout
         << "\nRead across a row to find where utilization reaches "

@@ -7,13 +7,21 @@
  * the cell balanced, and how long can the array grow before the 64K
  * local memories become the binding constraint?
  *
+ * Both tables are declared as row lists and their cells measured on
+ * the experiment engine's pool (parallelFor — deterministic, each
+ * cell owns its slot), the same declarative shape the SweepJob
+ * benches use.
+ *
  * Build & run:  ./build/examples/warp_machine
  */
 
 #include <cmath>
 #include <iostream>
+#include <optional>
+#include <vector>
 
 #include "core/balance.hpp"
+#include "engine/engine.hpp"
 #include "kernels/kernel.hpp"
 #include "parallel/aggregate.hpp"
 #include "parallel/warp.hpp"
@@ -33,49 +41,69 @@ main()
               << " — the channel is *faster* than the ALU, a "
                  "deliberately conservative design.\n\n";
 
+    ExperimentEngine engine;
+
     // How much C/IO growth can the 64K memory absorb per kernel?
     // Solve R(64K) = alpha_max * R(M0) with M0 = 64 words baseline.
-    TextTable headroom({"kernel", "law",
-                        "alpha the 64K cell absorbs (from M0=64)"});
-    for (const auto id : computeBoundKernelIds()) {
-        const auto k = makeKernel(id);
+    const auto headroom_ids = computeBoundKernelIds();
+    struct HeadroomRow
+    {
+        std::string name;
+        std::string law;
+        double alpha = 0.0;
+    };
+    std::vector<HeadroomRow> headroom_rows(headroom_ids.size());
+    engine.parallelFor(headroom_ids.size(), [&](std::size_t i) {
+        const auto k = makeKernel(headroom_ids[i]);
         const double r0 = k->asymptoticRatio(64);
         const double r_warp =
             k->asymptoticRatio(kWarpCellMemoryWords);
-        headroom.row()
-            .cell(k->name())
-            .cell(k->law().describe())
-            .cell(r_warp / r0, 4);
-    }
+        headroom_rows[i] = {k->name(), k->law().describe(),
+                            r_warp / r0};
+    });
+    TextTable headroom({"kernel", "law",
+                        "alpha the 64K cell absorbs (from M0=64)"});
+    for (const auto &r : headroom_rows)
+        headroom.row().cell(r.name).cell(r.law).cell(r.alpha, 4);
     printHeading(std::cout,
                  "C/IO growth absorbable by the 64K-word memory");
     headroom.print(std::cout);
 
     // Array scaling: per-PE memory demanded as cells are added.
+    const std::vector<std::uint64_t> cell_counts = {2, 4, 10, 20, 100};
+    struct ScalingRow
+    {
+        std::uint64_t p = 0;
+        double alpha = 0.0;
+        std::optional<double> matmul, grid3d, fft;
+    };
+    std::vector<ScalingRow> scaling_rows(cell_counts.size());
+    engine.parallelFor(cell_counts.size(), [&](std::size_t i) {
+        const std::uint64_t p = cell_counts[i];
+        const auto spec = warpArray(p);
+        scaling_rows[i] = {
+            p, aggregateAlpha(spec),
+            requiredPerPeMemory(ScalingLaw::power(2.0), spec, 64),
+            requiredPerPeMemory(ScalingLaw::power(3.0), spec, 64),
+            requiredPerPeMemory(ScalingLaw::exponential(), spec, 64)};
+    });
     TextTable scaling({"cells p", "alpha", "matmul per-PE",
                        "grid3d per-PE", "fft per-PE (from M0=64)"});
-    for (std::uint64_t p : {2u, 4u, 10u, 20u, 100u}) {
-        const auto spec = warpArray(p);
-        const auto mm =
-            requiredPerPeMemory(ScalingLaw::power(2.0), spec, 64);
-        const auto g3 =
-            requiredPerPeMemory(ScalingLaw::power(3.0), spec, 64);
-        const auto fft =
-            requiredPerPeMemory(ScalingLaw::exponential(), spec, 64);
-        auto fmt = [&](const std::optional<double> &v) {
-            if (!v)
-                return std::string("impossible");
-            if (*v > 1e12)
-                return std::string("astronomical");
-            std::string s = std::to_string(*v);
-            return s.substr(0, s.find('.') + 2);
-        };
+    auto fmt = [&](const std::optional<double> &v) {
+        if (!v)
+            return std::string("impossible");
+        if (*v > 1e12)
+            return std::string("astronomical");
+        std::string s = std::to_string(*v);
+        return s.substr(0, s.find('.') + 2);
+    };
+    for (const auto &r : scaling_rows) {
         scaling.row()
-            .cell(p)
-            .cell(aggregateAlpha(spec), 3)
-            .cell(fmt(mm))
-            .cell(fmt(g3))
-            .cell(fmt(fft));
+            .cell(r.p)
+            .cell(r.alpha, 3)
+            .cell(fmt(r.matmul))
+            .cell(fmt(r.grid3d))
+            .cell(fmt(r.fft));
     }
     printHeading(std::cout,
                  "Per-PE memory (words) to keep a p-cell linear Warp "

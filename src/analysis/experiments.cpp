@@ -29,6 +29,39 @@ allKernelSweeps(unsigned points)
     return jobs;
 }
 
+/**
+ * E12's ablation grid, declaratively. Two jobs over the same matmul
+ * regime (N = 160, M in {64..2048}):
+ *
+ *  * the schedule-follows-capacity disciplines: the scratchpad
+ *    sample plus fully associative LRU and Belady OPT columns, each
+ *    point replaying the schedule tiled for its own M;
+ *  * the tile = M/2 disciplines (schedule_headroom = 2): the
+ *    set-associative LRU/FIFO and random-replacement columns, each
+ *    point replaying the schedule tiled for half its capacity —
+ *    the associativity-headroom setting the ablation is about.
+ */
+std::vector<SweepJob>
+e12AblationJobs()
+{
+    SweepJob tight;
+    tight.kernel = "matmul";
+    tight.m_lo = 64;
+    tight.m_hi = 2048;
+    tight.points = 6;
+    tight.n_hint = 160;
+    tight.models = {MemoryModelKind::Lru, MemoryModelKind::Opt};
+
+    SweepJob headroom = tight;
+    headroom.models = {MemoryModelKind::SetAssocLru,
+                       MemoryModelKind::SetAssocFifo,
+                       MemoryModelKind::RandomRepl};
+    headroom.schedule_headroom = 2;
+    headroom.models_only = true;
+
+    return {tight, headroom};
+}
+
 } // namespace
 
 const std::vector<ExperimentInfo> &
@@ -76,13 +109,13 @@ allExperiments()
              "Warp cell (10 MFLOPS, 20 Mwords/s, 64K words) balance "
              "across kernels",
              "bench_e11_warp", {}},
-            // E12 declares no SweepJob: its set-associative rows tile
-            // the schedule for M/2 while the cache holds M (headroom
-            // against conflict thrashing), a schedule-m != capacity-m
-            // split SweepJob cannot express yet (see ROADMAP).
+            // E12's set-associative rows tile the schedule for M/2
+            // while the cache holds M (headroom against conflict
+            // thrashing) — the per-point ratio schedule_headroom
+            // expresses.
             {"E12", "design ablation (DESIGN.md, decision 2)",
              "balance exponents survive LRU / OPT / set-assoc memories",
-             "bench_e12_memory_ablation", {}},
+             "bench_e12_memory_ablation", e12AblationJobs()},
         };
         return t;
     }();

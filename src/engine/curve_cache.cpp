@@ -1,0 +1,169 @@
+#include "engine/curve_cache.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+namespace kb {
+
+CurveCache &
+CurveCache::instance()
+{
+    static CurveCache cache;
+    return cache;
+}
+
+void
+CurveCache::insert(EntryKey key, Entry entry)
+{
+    const auto [it, inserted] = entries_.try_emplace(key);
+    it->second = std::move(entry);
+    if (inserted) {
+        order_.push_back(std::move(key));
+        while (order_.size() > kMaxEntries) {
+            entries_.erase(order_.front());
+            order_.pop_front();
+        }
+    }
+}
+
+std::shared_ptr<const MissCurve>
+CurveCache::findLru(const TraceKey &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(EntryKey{key, 0, 0});
+    if (it == entries_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    ++stats_.hits;
+    return it->second.miss;
+}
+
+void
+CurveCache::storeLru(const TraceKey &key,
+                     std::shared_ptr<const MissCurve> curve)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    insert(EntryKey{key, 0, 0}, Entry{std::move(curve), nullptr, 0});
+}
+
+std::shared_ptr<const MissCurve>
+CurveCache::findSetAssoc(const TraceKey &key, std::uint64_t sets,
+                         std::uint64_t ways)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(EntryKey{key, 1, sets});
+    if (it == entries_.end() || it->second.ways < ways) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    ++stats_.hits;
+    return it->second.miss;
+}
+
+void
+CurveCache::storeSetAssoc(const TraceKey &key, std::uint64_t sets,
+                          std::uint64_t ways,
+                          std::shared_ptr<const MissCurve> curve)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Never narrow an entry: a curve exact to fewer ways replacing a
+    // wider one would make the next wider lookup miss forever.
+    const auto it = entries_.find(EntryKey{key, 1, sets});
+    if (it != entries_.end() && it->second.ways >= ways)
+        return;
+    insert(EntryKey{key, 1, sets},
+           Entry{std::move(curve), nullptr, ways});
+}
+
+std::shared_ptr<const OptCurve>
+CurveCache::findOpt(const TraceKey &key,
+                    const std::vector<std::uint64_t> &capacities)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(EntryKey{key, 2, 0});
+    if (it != entries_.end()) {
+        const auto &have = it->second.opt->capacities();
+        const bool covered = std::includes(have.begin(), have.end(),
+                                           capacities.begin(),
+                                           capacities.end());
+        if (covered) {
+            ++stats_.hits;
+            return it->second.opt;
+        }
+    }
+    ++stats_.misses;
+    return nullptr;
+}
+
+namespace {
+
+/**
+ * Union of two OPT curves over the same trace: every capacity either
+ * curve resolves, answered by whichever has it. Keeps alternating
+ * jobs with different grids from evicting each other's entry — the
+ * exact reuse the cache exists for.
+ */
+std::shared_ptr<const OptCurve>
+mergeOptCurves(const OptCurve &a, const OptCurve &b)
+{
+    std::vector<std::uint64_t> caps;
+    std::set_union(a.capacities().begin(), a.capacities().end(),
+                   b.capacities().begin(), b.capacities().end(),
+                   std::back_inserter(caps));
+    std::vector<std::uint64_t> misses, writebacks;
+    misses.reserve(caps.size());
+    writebacks.reserve(caps.size());
+    for (const auto cap : caps) {
+        const OptCurve &from =
+            std::binary_search(a.capacities().begin(),
+                               a.capacities().end(), cap)
+                ? a
+                : b;
+        misses.push_back(from.missesAt(cap));
+        writebacks.push_back(from.writebacksAt(cap));
+    }
+    return std::make_shared<const OptCurve>(
+        std::move(caps), std::move(misses), std::move(writebacks),
+        a.accesses());
+}
+
+} // namespace
+
+void
+CurveCache::storeOpt(const TraceKey &key,
+                     std::shared_ptr<const OptCurve> curve)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Merge with an existing entry instead of replacing it, so jobs
+    // with different grids over the same trace widen one shared
+    // curve rather than thrash the slot.
+    const auto it = entries_.find(EntryKey{key, 2, 0});
+    if (it != entries_.end()) {
+        const auto &have = it->second.opt->capacities();
+        if (std::includes(have.begin(), have.end(),
+                          curve->capacities().begin(),
+                          curve->capacities().end()))
+            return;
+        curve = mergeOptCurves(*it->second.opt, *curve);
+    }
+    insert(EntryKey{key, 2, 0}, Entry{nullptr, std::move(curve), 0});
+}
+
+CurveCacheStats
+CurveCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+CurveCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    order_.clear();
+    stats_ = CurveCacheStats{};
+}
+
+} // namespace kb

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Cross-job cache for single-pass miss curves.
+ *
+ * A fixed-schedule SweepJob's model columns are pure functions of
+ * (kernel, traced problem size, schedule memory) — the trace they are
+ * read from is deterministic, and the curves (fully associative LRU,
+ * per-set-count set-associative LRU, OPT at a capacity set) summarize
+ * it losslessly for their model family. Repeated sweeps over the same
+ * schedule — design_explorer's grid re-runs, the A/B perf bench, a
+ * bench invoked twice in one process — therefore do not need to
+ * re-emit the trace: the engine consults this cache first and only
+ * attaches analyzers (and pays the emission) for curves it has never
+ * built.
+ *
+ * The cache is process-wide and thread-safe; entries are immutable
+ * once stored (shared_ptr<const ...>), so concurrent jobs can read a
+ * curve while another job stores a new one. Capacity is bounded by
+ * evicting the oldest entries (curves are a few MB at most; the bound
+ * exists so a long-lived process scanning many schedules cannot grow
+ * without limit). Results are bit-identical with the cache hot or
+ * cold, which the engine's equivalence tests assert.
+ */
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mem/opt_cache.hpp"
+#include "trace/reuse.hpp"
+
+namespace kb {
+
+/** Identity of a fixed-schedule trace: what emitTrace() would see. */
+struct TraceKey
+{
+    std::string kernel;          ///< registry name
+    std::uint64_t n_trace = 0;   ///< traced problem size
+    std::uint64_t schedule_m = 0; ///< memory the schedule is tiled for
+
+    friend auto operator<=>(const TraceKey &, const TraceKey &) = default;
+};
+
+/** Hit/miss counters, for tests and reports. */
+struct CurveCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+/** Process-wide store of single-pass curves keyed by trace identity. */
+class CurveCache
+{
+  public:
+    static CurveCache &instance();
+
+    /** Fully associative LRU curve of @p key, or nullptr. */
+    std::shared_ptr<const MissCurve> findLru(const TraceKey &key);
+    void storeLru(const TraceKey &key,
+                  std::shared_ptr<const MissCurve> curve);
+
+    /**
+     * Set-associative LRU ways-curve of @p key at @p sets sets,
+     * exact for associativities up to @p ways, or nullptr. A cached
+     * curve built for a larger ways bound also satisfies the lookup
+     * (its lumped bucket sits higher).
+     */
+    std::shared_ptr<const MissCurve> findSetAssoc(const TraceKey &key,
+                                                  std::uint64_t sets,
+                                                  std::uint64_t ways);
+    void storeSetAssoc(const TraceKey &key, std::uint64_t sets,
+                       std::uint64_t ways,
+                       std::shared_ptr<const MissCurve> curve);
+
+    /**
+     * OPT curve of @p key resolving every capacity in @p capacities
+     * (a cached curve built for a superset satisfies the lookup), or
+     * nullptr.
+     */
+    std::shared_ptr<const OptCurve>
+    findOpt(const TraceKey &key,
+            const std::vector<std::uint64_t> &capacities);
+    void storeOpt(const TraceKey &key,
+                  std::shared_ptr<const OptCurve> curve);
+
+    /** Counters since construction or the last clear(). */
+    CurveCacheStats stats() const;
+
+    /** Drop every entry and zero the counters (tests). */
+    void clear();
+
+  private:
+    CurveCache() = default;
+
+    /// Full entry identity: the trace plus which curve family over it
+    /// (kind 0 = LRU, 1 = set-assoc at `sets`, 2 = OPT).
+    struct EntryKey
+    {
+        TraceKey trace;
+        int kind = 0;
+        std::uint64_t sets = 0;
+
+        friend auto operator<=>(const EntryKey &,
+                                const EntryKey &) = default;
+    };
+
+    struct Entry
+    {
+        std::shared_ptr<const MissCurve> miss;  ///< kinds 0 and 1
+        std::shared_ptr<const OptCurve> opt;    ///< kind 2
+        std::uint64_t ways = 0; ///< kind 1: exact-associativity bound
+    };
+
+    void insert(EntryKey key, Entry entry);
+
+    static constexpr std::size_t kMaxEntries = 64;
+
+    mutable std::mutex mutex_;
+    std::map<EntryKey, Entry> entries_;
+    std::deque<EntryKey> order_; ///< insertion order, for eviction
+    CurveCacheStats stats_;
+};
+
+} // namespace kb

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <map>
 #include <optional>
 #include <thread>
 
+#include "engine/curve_cache.hpp"
 #include "kernels/registry.hpp"
 #include "mem/lru_cache.hpp"
 #include "mem/opt_cache.hpp"
@@ -16,6 +18,28 @@
 #include "util/logging.hpp"
 
 namespace kb {
+
+namespace {
+
+std::atomic<std::uint64_t> g_emissions{0};
+
+/** Set count of the engine's 8-way models at capacity @p m (rounded
+ *  up so the model never holds fewer than m words). */
+std::uint64_t
+setAssocSets(std::uint64_t m)
+{
+    return std::max<std::uint64_t>((m + 7) / 8, 1);
+}
+
+constexpr std::uint64_t kSetAssocWays = 8;
+
+} // namespace
+
+std::uint64_t
+engineEmissionCount()
+{
+    return g_emissions.load(std::memory_order_relaxed);
+}
 
 const char *
 memoryModelName(MemoryModelKind kind)
@@ -36,8 +60,9 @@ makeMemoryModel(MemoryModelKind kind, std::uint64_t m)
     // 8-way models need sets * 8 words; round m *up* to the next
     // multiple of the associativity so every model at a grid point
     // has at least m words (exact for multiples of 8, else +<8 —
-    // never a silently smaller cache than the LRU column).
-    const std::uint64_t sets = std::max<std::uint64_t>((m + 7) / 8, 1);
+    // never a silently smaller cache than the LRU column). The
+    // set-associative fast path mirrors this via setAssocSets().
+    const std::uint64_t sets = setAssocSets(m);
     switch (kind) {
       case MemoryModelKind::Lru:
         return std::make_unique<LruCache>(m);
@@ -88,8 +113,12 @@ std::vector<std::uint64_t>
 memoryGrid(const Kernel &kernel, std::uint64_t n_hint,
            std::uint64_t m_lo, std::uint64_t m_hi, unsigned points)
 {
-    KB_REQUIRE(points >= 3, "need at least three sweep points");
-    KB_REQUIRE(m_lo >= 2 && m_lo < m_hi, "bad sweep range");
+    // Name the offending job in the failure: a batch submits many
+    // jobs and "bad sweep range" alone does not say whose.
+    KB_REQUIRE(points >= 3, "sweep job '", kernel.name(),
+               "' needs at least three points (got ", points, ")");
+    KB_REQUIRE(m_lo >= 2 && m_lo < m_hi, "sweep job '", kernel.name(),
+               "' has a bad memory range [", m_lo, ", ", m_hi, "]");
 
     const double step = std::pow(static_cast<double>(m_hi) /
                                      static_cast<double>(m_lo),
@@ -100,8 +129,14 @@ memoryGrid(const Kernel &kernel, std::uint64_t n_hint,
         std::uint64_t m = static_cast<std::uint64_t>(
             std::llround(static_cast<double>(m_lo) * std::pow(step, i)));
         m = std::max(m, kernel.minMemory(n_hint));
+        // Rounding (or the minMemory clamp) can collapse adjacent
+        // points of a narrow range onto one capacity; keep each
+        // capacity once so downstream consumers see a strictly
+        // increasing grid. The geometric sequence is monotone, so
+        // comparing against the previous point suffices.
         if (m == prev_m)
             continue;
+        KB_ASSERT(m > prev_m);
         prev_m = m;
         grid.push_back(m);
     }
@@ -130,11 +165,12 @@ struct Task
 
 /** True when the job's model columns come from the single-pass
  *  job-level trace task instead of per-point replays: a pinned
- *  schedule AND at least one model that gains from the single
- *  emission (LRU reads every point off one MissCurve; OPT buffers
- *  the trace once instead of once per point). A fixed-schedule job
- *  with only non-inclusion models keeps per-point tasks — they
- *  produce identical results and spread across the pool. */
+ *  schedule AND at least one inclusion-respecting model (LRU,
+ *  set-associative LRU, OPT), whose whole column falls out of one
+ *  pass — and whose curve the CurveCache can serve on a repeat. A
+ *  fixed-schedule job with only non-inclusion models keeps per-point
+ *  tasks — they produce identical results and spread across the
+ *  pool. */
 bool
 usesJobTrace(const SweepJob &job)
 {
@@ -142,6 +178,7 @@ usesJobTrace(const SweepJob &job)
         return false;
     for (const auto kind : job.models) {
         if (kind == MemoryModelKind::Lru ||
+            kind == MemoryModelKind::SetAssocLru ||
             kind == MemoryModelKind::Opt)
             return true;
     }
@@ -166,6 +203,7 @@ emitThroughBranches(const Kernel &kernel, std::uint64_t n,
         branches.push_back(&*replay);
     }
     KB_ASSERT(!branches.empty());
+    g_emissions.fetch_add(1, std::memory_order_relaxed);
     if (branches.size() == 1) {
         kernel.emitTrace(n, m, *branches.front());
     } else {
@@ -199,8 +237,13 @@ executeTask(PreparedJob &pj, std::size_t point_idx)
     // the one family whose sample is not a single measure() — their
     // replay is the plain time-tiled schedule at n_hint.) A fixed
     // schedule_m pins both the tiling and the regime size, so every
-    // point replays the identical trace at its own capacity.
-    const std::uint64_t trace_m = job.schedule_m ? job.schedule_m : m;
+    // point replays the identical trace at its own capacity; a
+    // schedule_headroom job re-tiles per point for a fixed fraction
+    // of its capacity (tile-headroom studies, E12's M/2 rows).
+    std::uint64_t trace_m = job.schedule_m ? job.schedule_m : m;
+    if (job.schedule_headroom > 1)
+        trace_m = std::max(trace_m / job.schedule_headroom,
+                           kernel.minMemory(pj.result.n_hint));
     const std::uint64_t n_trace =
         kernel.regimeProblemSize(pj.result.n_hint, trace_m);
 
@@ -241,13 +284,19 @@ executeTask(PreparedJob &pj, std::size_t point_idx)
 
 /**
  * The stack-distance fast path: emit the job's fixed-schedule trace
- * ONCE and fill the model columns of every point from that single
- * pass. LRU columns come off the one-pass MissCurve (inclusion
- * property: one Mattson pass yields the exact miss and write-back
- * counts at every capacity). Models without the inclusion property
- * are replayed from the same emission — one live instance per
- * (point, model) — and OPT buffers it, once, for its per-capacity
- * offline simulations.
+ * at most ONCE and fill the model columns of every point from
+ * single-pass curves. LRU columns come off the one-pass MissCurve;
+ * set-associative LRU columns off one per-set Mattson pass per
+ * distinct set count on the grid (inclusion holds per set); OPT
+ * columns off one segmented Belady-stack walk over the single
+ * buffered emission. Models without the inclusion property
+ * (set-associative FIFO, random) are replayed from the same
+ * emission — one live instance per (point, model).
+ *
+ * Every curve is looked up in the process-wide CurveCache first and
+ * stored after computing; when all requested curves are already
+ * cached and no non-inclusion model is in the job, the trace is not
+ * emitted at all.
  */
 void
 executeJobTrace(PreparedJob &pj)
@@ -257,20 +306,41 @@ executeJobTrace(PreparedJob &pj)
     KB_ASSERT(usesJobTrace(job));
     const std::uint64_t n_trace =
         kernel.regimeProblemSize(pj.result.n_hint, job.schedule_m);
+    const TraceKey trace_key{job.kernel, n_trace, job.schedule_m};
+    auto &cache = CurveCache::instance();
 
-    bool wants_lru = false, wants_opt = false;
+    bool wants_lru = false, wants_sa = false, wants_opt = false;
     for (const auto kind : job.models) {
         wants_lru |= kind == MemoryModelKind::Lru;
+        wants_sa |= kind == MemoryModelKind::SetAssocLru;
         wants_opt |= kind == MemoryModelKind::Opt;
     }
 
-    // Per-(point, model) instances for the direct-replay disciplines,
+    // --- consult the cache before committing to any trace work ---
+    std::shared_ptr<const MissCurve> lru_curve;
+    if (wants_lru)
+        lru_curve = cache.findLru(trace_key);
+    // One ways-curve per distinct set count on the grid (a geometric
+    // grid rarely repeats a set count, but dense grids do).
+    std::map<std::uint64_t, std::shared_ptr<const MissCurve>> sa_curves;
+    if (wants_sa) {
+        for (const std::uint64_t m : pj.grid)
+            sa_curves.emplace(setAssocSets(m), nullptr);
+        for (auto &[sets, curve] : sa_curves)
+            curve = cache.findSetAssoc(trace_key, sets, kSetAssocWays);
+    }
+    std::shared_ptr<const OptCurve> opt_curve;
+    if (wants_opt)
+        opt_curve = cache.findOpt(trace_key, pj.grid);
+
+    // Per-(point, model) instances for the non-inclusion disciplines,
     // in (point-major, model-minor) order for the readback below.
     std::vector<std::unique_ptr<LocalMemory>> streaming;
     std::vector<LocalMemory *> streaming_ptrs;
     for (const std::uint64_t m : pj.grid) {
         for (const auto kind : job.models) {
             if (kind == MemoryModelKind::Lru ||
+                kind == MemoryModelKind::SetAssocLru ||
                 kind == MemoryModelKind::Opt)
                 continue;
             streaming.push_back(makeMemoryModel(kind, m));
@@ -278,17 +348,46 @@ executeJobTrace(PreparedJob &pj)
         }
     }
 
-    ReuseDistanceAnalyzer analyzer;
+    // --- one emission feeds every analyzer whose curve is missing ---
+    ReuseDistanceAnalyzer lru_analyzer;
+    std::vector<std::unique_ptr<SetAssocReuseAnalyzer>> sa_analyzers;
     VectorSink buffer;
     std::vector<TraceSink *> branches;
-    if (wants_lru)
-        branches.push_back(&analyzer);
-    if (wants_opt)
+    if (wants_lru && !lru_curve)
+        branches.push_back(&lru_analyzer);
+    for (auto &[sets, curve] : sa_curves) {
+        if (curve)
+            continue;
+        sa_analyzers.push_back(std::make_unique<SetAssocReuseAnalyzer>(
+            sets, kSetAssocWays));
+        branches.push_back(sa_analyzers.back().get());
+    }
+    if (wants_opt && !opt_curve)
         branches.push_back(&buffer);
-    emitThroughBranches(kernel, n_trace, job.schedule_m,
-                        streaming_ptrs, std::move(branches));
 
-    const MissCurve curve = analyzer.missCurve();
+    if (!branches.empty() || !streaming_ptrs.empty())
+        emitThroughBranches(kernel, n_trace, job.schedule_m,
+                            streaming_ptrs, std::move(branches));
+
+    if (wants_lru && !lru_curve) {
+        lru_curve = std::make_shared<const MissCurve>(
+            lru_analyzer.missCurve());
+        cache.storeLru(trace_key, lru_curve);
+    }
+    for (auto &analyzer : sa_analyzers) {
+        auto curve = std::make_shared<const MissCurve>(
+            analyzer->waysCurve());
+        cache.storeSetAssoc(trace_key, analyzer->sets(), kSetAssocWays,
+                            curve);
+        sa_curves[analyzer->sets()] = std::move(curve);
+    }
+    if (wants_opt && !opt_curve) {
+        opt_curve = std::make_shared<const OptCurve>(
+            simulateOptCurve(buffer.trace(), pj.grid));
+        cache.storeOpt(trace_key, opt_curve);
+    }
+
+    // --- read every point's model row off the curves ---
     std::size_t next_streaming = 0;
     for (std::size_t p = 0; p < pj.grid.size(); ++p) {
         const std::uint64_t m = pj.grid[p];
@@ -296,10 +395,12 @@ executeJobTrace(PreparedJob &pj)
         slot.model_io.reserve(job.models.size());
         for (const auto kind : job.models) {
             if (kind == MemoryModelKind::Lru) {
-                slot.model_io.push_back(curve.ioWords(m));
-            } else if (kind == MemoryModelKind::Opt) {
+                slot.model_io.push_back(lru_curve->ioWords(m));
+            } else if (kind == MemoryModelKind::SetAssocLru) {
                 slot.model_io.push_back(
-                    simulateOpt(buffer.trace(), m).stats.ioWords());
+                    sa_curves[setAssocSets(m)]->ioWords(kSetAssocWays));
+            } else if (kind == MemoryModelKind::Opt) {
+                slot.model_io.push_back(opt_curve->ioWords(m));
             } else {
                 slot.model_io.push_back(
                     streaming[next_streaming++]->stats().ioWords());
@@ -344,8 +445,16 @@ ExperimentEngine::run(const std::vector<SweepJob> &jobs) const
             pj.result.job.m_lo = def_lo;
         if (pj.result.job.m_hi == 0)
             pj.result.job.m_hi = def_hi;
+        KB_REQUIRE(pj.result.job.schedule_m == 0 ||
+                       pj.result.job.schedule_headroom == 0,
+                   "sweep job '", pj.result.job.kernel,
+                   "' sets both schedule_m and schedule_headroom; a "
+                   "schedule is either fixed or a per-point fraction, "
+                   "not both");
         pj.result.n_hint =
-            pj.kernel->suggestProblemSize(pj.result.job.m_hi);
+            pj.result.job.n_hint != 0
+                ? pj.result.job.n_hint
+                : pj.kernel->suggestProblemSize(pj.result.job.m_hi);
         pj.grid = memoryGrid(*pj.kernel, pj.result.n_hint,
                              pj.result.job.m_lo, pj.result.job.m_hi,
                              pj.result.job.points);
@@ -364,41 +473,50 @@ ExperimentEngine::run(const std::vector<SweepJob> &jobs) const
     // writes only its own pre-allocated slot, so no locking and no
     // scheduling-dependent state: results are identical for any
     // worker count.
-    const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
-        threads_, std::max<std::size_t>(tasks.size(), 1)));
-    auto dispatch = [&prepared](const Task &t) {
+    parallelFor(tasks.size(), [&prepared, &tasks](std::size_t i) {
+        const Task &t = tasks[i];
         if (t.point == Task::kJobTrace)
             executeJobTrace(prepared[t.job]);
         else
             executeTask(prepared[t.job], t.point);
-    };
-    if (workers <= 1) {
-        for (const auto &t : tasks)
-            dispatch(t);
-    } else {
-        std::atomic<std::size_t> next{0};
-        auto worker = [&] {
-            for (;;) {
-                const std::size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= tasks.size())
-                    return;
-                dispatch(tasks[i]);
-            }
-        };
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (unsigned w = 0; w < workers; ++w)
-            pool.emplace_back(worker);
-        for (auto &t : pool)
-            t.join();
-    }
+    });
 
     std::vector<SweepResult> results;
     results.reserve(prepared.size());
     for (auto &pj : prepared)
         results.push_back(std::move(pj.result));
     return results;
+}
+
+void
+ExperimentEngine::parallelFor(
+    std::size_t count,
+    const std::function<void(std::size_t)> &body) const
+{
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(threads_,
+                              std::max<std::size_t>(count, 1)));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            body(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
 }
 
 SweepResult

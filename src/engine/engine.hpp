@@ -23,22 +23,37 @@
  *
  * Stack-distance fast path: a job with a fixed schedule (schedule_m
  * != 0) measures Kung's Cio(M) — the *same* computation replayed at
- * every local-memory size. Fully associative LRU has the inclusion
- * property, so the whole capacity->I/O curve falls out of ONE trace
- * pass through a ReuseDistanceAnalyzer (Mattson stack distances plus
- * a dirty-distance pass for write-backs; see trace/reuse.hpp). The
- * engine therefore emits such a job's trace once, reads every LRU
- * point off the MissCurve, and replays the remaining models
- * (set-associative, FIFO, random — no inclusion property; OPT —
- * needs the future) from the same single emission. Per-job LRU cost
- * drops from O(points x trace) to O(trace log U + points), and the
- * results are bit-identical to the direct per-point replay
+ * every local-memory size. Every inclusion-respecting model column
+ * then falls out of single passes over ONE trace emission:
+ *
+ *  * fully associative LRU: the whole capacity->I/O curve from one
+ *    ReuseDistanceAnalyzer pass (Mattson stack distances plus a
+ *    dirty-distance histogram for write-backs; see trace/reuse.hpp);
+ *  * set-associative LRU: inclusion holds per set, so one
+ *    SetAssocReuseAnalyzer pass per distinct set count on the grid
+ *    yields the exact miss/write-back curve over every associativity
+ *    at that set count;
+ *  * Belady OPT: OPT is a stack algorithm, so one segmented Belady
+ *    stack walk (simulateOptCurve) over the single buffered emission
+ *    resolves every grid capacity at once.
+ *
+ * Models without the inclusion property (set-associative FIFO,
+ * random replacement) are replayed from the same single emission.
+ * The results are bit-identical to the direct per-point replay
  * (force_replay = true), which the equivalence tests assert.
+ *
+ * The single-pass curves are pure functions of (kernel, traced
+ * problem size, schedule_m), so the engine keeps them in a
+ * process-wide CurveCache (engine/curve_cache.hpp): a repeated job —
+ * a re-run grid, an A/B bench — reads its columns without re-
+ * emitting the trace at all. engineEmissionCount() exposes the
+ * emission counter so tests can assert exactly that.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -79,6 +94,12 @@ struct SweepJob
     std::uint64_t m_lo = 0;  ///< smallest memory; 0 = kernel default
     std::uint64_t m_hi = 0;  ///< largest memory; 0 = kernel default
     unsigned points = 6;     ///< geometric sample count (>= 3)
+    /**
+     * Fixed problem size for the whole job; 0 picks the kernel's
+     * suggestProblemSize(m_hi). Pinning it makes a job reproduce a
+     * bench's exact historical regime (e.g. E12's N = 160).
+     */
+    std::uint64_t n_hint = 0;
     /// Replay disciplines evaluated per point (empty = schedule only).
     std::vector<MemoryModelKind> models;
     /**
@@ -96,6 +117,20 @@ struct SweepJob
      *     MissCurve.
      */
     std::uint64_t schedule_m = 0;
+    /**
+     * Capacity divisor for the per-point schedule: when != 0, the
+     * point at capacity m replays the schedule tiled for
+     * m / schedule_headroom. This is the declarative form of E12's
+     * "tile = M/2" rows — a per-point schedule/capacity ratio that a
+     * fixed schedule_m cannot state (1 reproduces the historical
+     * schedule-follows-capacity behavior exactly). Mutually
+     * exclusive with schedule_m; per-point traces differ, so such
+     * jobs always replay per point. A point whose m / headroom falls
+     * below the kernel's minMemory replays the smallest valid
+     * schedule instead (clamped up, never dropped) — keep m_lo >=
+     * headroom * minMemory when the exact ratio matters.
+     */
+    std::uint64_t schedule_headroom = 0;
     /**
      * Disable the stack-distance fast path and replay every point
      * directly (only meaningful with schedule_m != 0). The results
@@ -158,11 +193,30 @@ class ExperimentEngine
     /** Convenience: run a single job. */
     SweepResult runOne(const SweepJob &job) const;
 
+    /**
+     * Deterministic parallel map: run @p body for every index in
+     * [0, count) on the pool. The body must write only its own
+     * index's slot (the SweepJob contract applied to arbitrary
+     * grids); results are then independent of the worker count.
+     * Examples whose grids are not kernel sweeps (processor-array
+     * utilization surfaces, Warp scaling tables) declare their cells
+     * as indices and run here.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body) const;
+
     /** std::thread::hardware_concurrency with a sane floor of 1. */
     static unsigned hardwareThreads();
 
   private:
     unsigned threads_;
 };
+
+/**
+ * Trace emissions performed by engine sweeps in this process (one
+ * per emitTrace() call the engine makes). The curve cache exists to
+ * keep this from growing on repeated jobs; tests assert on it.
+ */
+std::uint64_t engineEmissionCount();
 
 } // namespace kb

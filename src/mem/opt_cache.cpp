@@ -1,10 +1,13 @@
 #include "mem/opt_cache.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <set>
 #include <unordered_map>
 
+#include "util/flat_map.hpp"
 #include "util/logging.hpp"
 
 namespace kb {
@@ -83,6 +86,297 @@ simulateOpt(std::span<const Access> trace, std::uint64_t capacity,
         }
     }
     return result;
+}
+
+OptCurve::OptCurve(std::vector<std::uint64_t> capacities,
+                   std::vector<std::uint64_t> misses,
+                   std::vector<std::uint64_t> writebacks,
+                   std::uint64_t accesses)
+    : capacities_(std::move(capacities)), misses_(std::move(misses)),
+      writebacks_(std::move(writebacks)), accesses_(accesses)
+{
+    KB_ASSERT(capacities_.size() == misses_.size() &&
+              capacities_.size() == writebacks_.size());
+}
+
+std::size_t
+OptCurve::indexOf(std::uint64_t capacity) const
+{
+    const auto it = std::lower_bound(capacities_.begin(),
+                                     capacities_.end(), capacity);
+    KB_REQUIRE(it != capacities_.end() && *it == capacity,
+               "OPT curve was not built for capacity ", capacity);
+    return static_cast<std::size_t>(it - capacities_.begin());
+}
+
+std::uint64_t
+OptCurve::missesAt(std::uint64_t capacity) const
+{
+    return misses_[indexOf(capacity)];
+}
+
+std::uint64_t
+OptCurve::writebacksAt(std::uint64_t capacity) const
+{
+    return writebacks_[indexOf(capacity)];
+}
+
+namespace {
+
+/**
+ * The segmented Belady stack. Bands are numbered 1..k for the slices
+ * between consecutive requested capacities (band b holds the words
+ * resident at capacity C_b but not at C_{b-1}); band k+1 is the
+ * unordered overflow beyond C_k. Words only sink between their own
+ * accesses, so each band needs just a lazy max-heap on the eviction
+ * priority (next use, then address — the victim is the heap top) and
+ * the depth information the curve needs is the band an access finds
+ * its word in.
+ */
+class SegmentedOptStack
+{
+  public:
+    explicit SegmentedOptStack(const std::vector<std::uint64_t> &caps)
+        : caps_(caps), heaps_(caps.size()), live_(caps.size(), 0),
+          hist_(caps.size() + 2, 0), wb_hist_(caps.size() + 2, 0)
+    {
+    }
+
+    void access(const Access &a, std::uint64_t next_use);
+
+    OptCurve
+    curve(std::uint64_t accesses) const
+    {
+        const std::size_t k = caps_.size();
+        std::vector<std::uint64_t> misses(k, 0), writebacks(k, 0);
+        // An access found in band j misses at capacities C_q with
+        // q < j; a write with dirty-window band w starts a new epoch
+        // (= one eventual writeback, by eviction or final flush) at
+        // capacities C_q with q < w.
+        std::uint64_t miss_suffix = 0, wb_suffix = 0;
+        for (std::size_t q = k; q-- > 0;) {
+            miss_suffix += hist_[q + 2];
+            wb_suffix += wb_hist_[q + 2];
+            misses[q] = cold_ + miss_suffix;
+            writebacks[q] = cold_writebacks_ + wb_suffix;
+        }
+        return OptCurve(caps_, std::move(misses),
+                        std::move(writebacks), accesses);
+    }
+
+  private:
+    /// (next use, address) — operator< gives a max-heap whose top is
+    /// the eviction victim, matching simulateOpt's tie-break. The
+    /// dense word id rides along so validity checks are one array
+    /// load instead of a hash probe (they run once per heap entry
+    /// per compaction, the hot path of the walk).
+    struct Entry
+    {
+        std::uint64_t next;
+        std::uint64_t addr;
+        std::uint32_t id;
+
+        friend bool
+        operator<(const Entry &a, const Entry &b)
+        {
+            return a.next != b.next ? a.next < b.next
+                                    : a.addr < b.addr;
+        }
+    };
+
+    struct Word
+    {
+        std::uint64_t next = 0;
+        std::uint32_t band = 0; ///< 1..k+1 (k+1 = overflow)
+        /// Max band this word was found in since its last write
+        /// (kColdWindow until the first write).
+        std::uint32_t window = 0;
+    };
+
+    static constexpr std::uint32_t kColdWindow =
+        std::numeric_limits<std::uint32_t>::max();
+
+    bool
+    valid(std::size_t b, const Entry &e) const
+    {
+        const Word &w = words_[e.id];
+        return w.band == b + 1 && w.next == e.next;
+    }
+
+    /** Drop stale entries; the valid victim of band @p b, or null. */
+    const Entry *
+    peek(std::size_t b)
+    {
+        auto &h = heaps_[b];
+        while (!h.empty() && !valid(b, h.front())) {
+            std::pop_heap(h.begin(), h.end());
+            h.pop_back();
+        }
+        return h.empty() ? nullptr : &h.front();
+    }
+
+    /** Remove the (valid) top of band @p b. */
+    Entry
+    take(std::size_t b)
+    {
+        auto &h = heaps_[b];
+        std::pop_heap(h.begin(), h.end());
+        const Entry e = h.back();
+        h.pop_back();
+        return e;
+    }
+
+    /** Place the entry's word into band b+1. */
+    void
+    land(std::size_t b, const Entry &e)
+    {
+        words_[e.id].band = static_cast<std::uint32_t>(b + 1);
+        auto &h = heaps_[b];
+        h.push_back(e);
+        std::push_heap(h.begin(), h.end());
+        ++live_[b];
+        // Lazy deletion accumulates stale entries; compact when they
+        // dominate so heap memory stays O(live set).
+        if (h.size() > 256 && h.size() > 4 * live_[b]) {
+            std::erase_if(h,
+                          [&](const Entry &e2) { return !valid(b, e2); });
+            std::make_heap(h.begin(), h.end());
+        }
+    }
+
+    const std::vector<std::uint64_t> caps_;
+    std::vector<std::vector<Entry>> heaps_;
+    std::vector<std::uint64_t> live_;
+    FlatWordMap<std::uint32_t> ids_; ///< addr -> dense word id
+    std::vector<Word> words_;        ///< dense word states
+    std::vector<std::uint64_t> hist_;    ///< index = band found (1..k+1)
+    std::vector<std::uint64_t> wb_hist_; ///< index = window band
+    std::uint64_t cold_ = 0;
+    std::uint64_t cold_writebacks_ = 0;
+};
+
+void
+SegmentedOptStack::access(const Access &a, std::uint64_t next_use)
+{
+    const std::size_t k = caps_.size();
+    const auto [id_slot, inserted] = ids_.tryEmplace(a.addr);
+    if (inserted) {
+        *id_slot = static_cast<std::uint32_t>(words_.size());
+        words_.push_back(Word{});
+    }
+    const std::uint32_t id = *id_slot;
+    Word *w = &words_[id];
+    // Band the access found its word in; k+1 also stands in for cold
+    // words (miss at every capacity, like overflow).
+    const std::size_t j =
+        inserted ? k + 1 : static_cast<std::size_t>(w->band);
+
+    if (inserted) {
+        ++cold_;
+    } else {
+        ++hist_[j];
+        if (w->window != kColdWindow)
+            w->window = std::max(w->window,
+                                 static_cast<std::uint32_t>(j));
+    }
+    if (a.isWrite()) {
+        if (inserted || w->window == kColdWindow)
+            ++cold_writebacks_;
+        else
+            ++wb_hist_[w->window];
+        w->window = 0;
+    } else if (inserted) {
+        w->window = kColdWindow;
+    }
+    w->next = next_use;
+
+    if (!inserted && j == 1) {
+        // Hit at every capacity: contents unchanged, priority refresh.
+        auto &h = heaps_[0];
+        h.push_back(Entry{next_use, a.addr, id});
+        std::push_heap(h.begin(), h.end());
+        return;
+    }
+
+    // Remove the word from its old band (its heap entry goes stale
+    // through the band change below). Overflow has no heap or count.
+    if (!inserted && j <= k)
+        --live_[j - 1];
+
+    // Cascade the per-capacity victims downward through the miss
+    // levels q = 1..j-1 (all of them for cold/overflow words). At
+    // each full level the victim of cache_q — the max of the in-
+    // flight carry and band q's top — sinks one band; the last carry
+    // lands in the word's vacated band.
+    std::optional<Entry> carry;
+    std::uint64_t size_above = 0; // residents in bands 1..q-1 - carry
+    bool carry_landed = false;
+    const std::size_t miss_levels = std::min(j - 1, k);
+    for (std::size_t q = 1; q <= miss_levels; ++q) {
+        const std::uint64_t size_q =
+            size_above + live_[q - 1] + (carry ? 1 : 0);
+        if (size_q < caps_[q - 1]) {
+            // Not full: no eviction here or below (a non-full cache
+            // has never evicted, so larger ones are non-full too).
+            if (carry) {
+                land(q - 1, *carry);
+                carry_landed = true;
+            }
+            break;
+        }
+        const Entry *top = live_[q - 1] > 0 ? peek(q - 1) : nullptr;
+        KB_ASSERT(top != nullptr || carry.has_value());
+        if (top != nullptr && (!carry || *carry < *top)) {
+            // Band q's top is the victim; the old carry (if any)
+            // stays resident at this capacity and fills the band.
+            const Entry victim = take(q - 1);
+            --live_[q - 1];
+            if (carry)
+                land(q - 1, *carry);
+            carry = victim;
+        }
+        // else: the carry is still the victim; band q is untouched.
+        size_above += live_[q - 1];
+    }
+    if (carry && !carry_landed) {
+        if (j <= k)
+            land(j - 1, *carry);
+        else
+            words_[carry->id].band = static_cast<std::uint32_t>(k + 1);
+    }
+
+    // Finally the accessed word itself enters the top band.
+    land(0, Entry{next_use, a.addr, id});
+}
+
+} // namespace
+
+OptCurve
+simulateOptCurve(std::span<const Access> trace,
+                 std::vector<std::uint64_t> capacities)
+{
+    std::sort(capacities.begin(), capacities.end());
+    capacities.erase(
+        std::unique(capacities.begin(), capacities.end()),
+        capacities.end());
+    KB_REQUIRE(!capacities.empty() && capacities.front() > 0,
+               "OPT curve needs at least one positive capacity");
+
+    // Pass 1: next-use indices, as in simulateOpt.
+    std::vector<std::uint64_t> next_use(trace.size(), kNever);
+    FlatWordMap<std::uint64_t> last_seen;
+    for (std::uint64_t i = trace.size(); i-- > 0;) {
+        const auto [slot, inserted] = last_seen.tryEmplace(trace[i].addr);
+        if (!inserted)
+            next_use[i] = *slot;
+        *slot = i;
+    }
+
+    // Pass 2: one walk of the segmented stack.
+    SegmentedOptStack stack(capacities);
+    for (std::uint64_t i = 0; i < trace.size(); ++i)
+        stack.access(trace[i], next_use[i]);
+    return stack.curve(trace.size());
 }
 
 } // namespace kb

@@ -42,4 +42,73 @@ struct OptResult
 OptResult simulateOpt(std::span<const Access> trace, std::uint64_t capacity,
                       bool flush_at_end = true);
 
+/**
+ * Miss and writeback counts of Belady OPT at a fixed set of
+ * capacities, computed in one pass (see simulateOptCurve).
+ */
+class OptCurve
+{
+  public:
+    OptCurve() = default;
+    OptCurve(std::vector<std::uint64_t> capacities,
+             std::vector<std::uint64_t> misses,
+             std::vector<std::uint64_t> writebacks,
+             std::uint64_t accesses);
+
+    /** The (ascending, unique) capacities the curve was built for. */
+    const std::vector<std::uint64_t> &
+    capacities() const
+    {
+        return capacities_;
+    }
+
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Misses at @p capacity; fatal unless @p capacity is one of the
+     *  capacities the curve was built for. */
+    std::uint64_t missesAt(std::uint64_t capacity) const;
+
+    /** Writebacks (dirty evictions plus the end-of-trace flush). */
+    std::uint64_t writebacksAt(std::uint64_t capacity) const;
+
+    /** Words crossing the PE boundary: misses + writebacks. */
+    std::uint64_t
+    ioWords(std::uint64_t capacity) const
+    {
+        return missesAt(capacity) + writebacksAt(capacity);
+    }
+
+  private:
+    std::size_t indexOf(std::uint64_t capacity) const;
+
+    std::vector<std::uint64_t> capacities_;
+    std::vector<std::uint64_t> misses_;
+    std::vector<std::uint64_t> writebacks_;
+    std::uint64_t accesses_ = 0;
+};
+
+/**
+ * One-pass OPT miss/writeback curve over a whole capacity set.
+ *
+ * OPT with a fixed priority order (next use, then address — exactly
+ * simulateOpt's tie-break) is a stack algorithm in the Mattson sense,
+ * so its per-capacity contents are nested. The simulator keeps the
+ * Belady stack partitioned into bands between consecutive requested
+ * capacities (plus an unordered overflow beyond the largest) and, on
+ * each miss, cascades the per-band victims downward — one pass over
+ * the trace replaces one full simulateOpt() run per capacity, and
+ * the counts are bit-identical to those runs (with flush_at_end),
+ * which the equivalence tests assert. Write-backs use the same
+ * dirty-epoch argument as the LRU analyzer: between two accesses a
+ * word only sinks in the stack, so "evicted from capacity C since
+ * the last write" is exactly "some access since then found it below
+ * C".
+ *
+ * @param trace      access sequence (OPT needs the whole future)
+ * @param capacities capacities to resolve; must be non-empty and
+ *                   positive (sorted and deduplicated internally)
+ */
+OptCurve simulateOptCurve(std::span<const Access> trace,
+                          std::vector<std::uint64_t> capacities);
+
 } // namespace kb

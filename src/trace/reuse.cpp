@@ -67,6 +67,111 @@ MissCurve::writebacksAt(std::uint64_t capacity) const
     return cold_writebacks_ + wb_suffix_[capacity];
 }
 
+SetAssocReuseAnalyzer::SetAssocReuseAnalyzer(std::uint64_t sets,
+                                             std::uint64_t max_ways)
+    : sets_(sets), max_ways_(max_ways)
+{
+    KB_REQUIRE(sets_ > 0 && max_ways_ > 0,
+               "per-set analyzer needs sets > 0 and max_ways > 0");
+    rows_.assign(static_cast<std::size_t>(sets_ * max_ways_), Slot{});
+    hist_.assign(static_cast<std::size_t>(max_ways_) + 1, 0);
+    wb_hist_.assign(static_cast<std::size_t>(max_ways_) + 1, 0);
+}
+
+void
+SetAssocReuseAnalyzer::step(std::uint64_t addr, bool write)
+{
+    ++accesses_;
+    const std::uint64_t now = ++clock_;
+    Slot *row = rows_.data() + (addr % sets_) * max_ways_;
+
+    // Resident fast path: words used after this one's last use are
+    // exactly the row slots with a larger stamp (a more recent
+    // distinct word cannot have left the row while an older one
+    // stays), so the per-set stack distance is one count — no list
+    // maintenance and no word-table lookup.
+    Slot *hit = nullptr;
+    for (std::uint64_t i = 0; i < max_ways_; ++i) {
+        if (row[i].stamp != 0 && row[i].addr == addr) {
+            hit = &row[i];
+            break;
+        }
+    }
+    if (hit != nullptr) {
+        std::uint64_t distance = 0;
+        for (std::uint64_t i = 0; i < max_ways_; ++i)
+            distance += row[i].stamp > hit->stamp;
+        ++hist_[distance];
+        hit->stamp = now;
+        // kColdWindow is the max of uint64, so std::max keeps the
+        // "no write yet" state sticky (same trick as the fully
+        // associative analyzer).
+        hit->dirty_window = std::max(hit->dirty_window, distance);
+        if (write) {
+            if (hit->dirty_window == kColdWindow)
+                ++cold_writebacks_;
+            else
+                ++wb_hist_[hit->dirty_window];
+            hit->dirty_window = 0;
+        }
+        return;
+    }
+
+    // Cold or lumped — indistinguishable on purpose: both miss and
+    // both start a dirty epoch at every queried associativity
+    // W <= max_ways_, so no word table is needed at all (that
+    // telling them apart is unobservable in the curve's exact range
+    // is what keeps this pass as cheap as the replay it replaces).
+    ++hist_[max_ways_];
+    std::uint64_t window = kColdWindow;
+    if (write) {
+        ++cold_writebacks_;
+        window = 0;
+    }
+
+    // Fill an empty slot, else displace the set's LRU word; its
+    // epoch state needs no saving, for the same reason.
+    Slot *victim = &row[0];
+    for (std::uint64_t i = 0; i < max_ways_; ++i) {
+        if (row[i].stamp == 0) {
+            victim = &row[i];
+            break;
+        }
+        if (row[i].stamp < victim->stamp)
+            victim = &row[i];
+    }
+    *victim = Slot{addr, now, window};
+}
+
+void
+SetAssocReuseAnalyzer::onAccess(const Access &access)
+{
+    step(access.addr, access.isWrite());
+}
+
+void
+SetAssocReuseAnalyzer::onRun(std::uint64_t base, std::uint64_t words,
+                             AccessType type)
+{
+    const bool write = type == AccessType::Write;
+    for (std::uint64_t i = 0; i < words; ++i)
+        step(base + i, write);
+}
+
+MissCurve
+SetAssocReuseAnalyzer::waysCurve() const
+{
+    // The lumped bucket rides in the cold term so queries beyond
+    // max_ways_ saturate at it (the documented behavior) instead of
+    // silently reporting zero misses; for W <= max_ways_ the split
+    // is equivalent (both terms miss at every such W).
+    std::vector<std::uint64_t> finite(
+        hist_.begin(),
+        hist_.begin() + static_cast<std::ptrdiff_t>(max_ways_));
+    return MissCurve(std::move(finite), hist_[max_ways_], accesses_,
+                     wb_hist_, cold_writebacks_);
+}
+
 ReuseDistanceAnalyzer::ReuseDistanceAnalyzer() = default;
 
 void

@@ -1,6 +1,6 @@
 /**
  * @file
- * Exact LRU reuse-distance analysis.
+ * Exact LRU reuse-distance analysis, fully associative and per-set.
  *
  * The reuse distance of an access is the number of *distinct* words
  * touched since the previous access to the same word (infinite for the
@@ -118,6 +118,90 @@ class MissCurve
     std::uint64_t accesses_;
     std::uint64_t cold_writebacks_ = 0;
     std::uint64_t footprint_ = 0;
+};
+
+/**
+ * Per-set Mattson pass for set-associative LRU.
+ *
+ * A set-associative memory with LRU replacement partitions the
+ * address space by `addr % sets`, and each set behaves as an
+ * independent fully associative LRU of `ways` words. Inclusion
+ * therefore holds per set: an access hits a W-way memory iff fewer
+ * than W distinct same-set words were touched since its previous
+ * use. One pass over a trace with a fixed set count yields the whole
+ * associativity->misses/writebacks curve — every capacity
+ * M = sets * W at that set count — bit-identical to replaying a
+ * SetAssocCache(sets, W, LRU) per W (the equivalence tests assert
+ * it), write-backs included via the same dirty-epoch argument as the
+ * fully associative analyzer above.
+ *
+ * Distances are tracked exactly up to max_ways and lumped beyond
+ * it, so the curve is exact for every W <= max_ways (at such W a
+ * lumped access and a cold access are indistinguishable — both miss
+ * and both open a dirty epoch — so the analyzer does not tell them
+ * apart and needs no word table at all; coldMisses()/footprint() of
+ * the returned curve are therefore not meaningful, and queries
+ * beyond max_ways saturate at the lumped bucket). Each set keeps its
+ * top max_ways words in a stamp row: the per-set stack distance of a
+ * resident word is the number of larger stamps in its row — no list
+ * maintenance, just the scan a SetAssocCache pays anyway — so the
+ * pass costs what the direct replay it replaces costs.
+ */
+class SetAssocReuseAnalyzer : public TraceSink
+{
+  public:
+    /**
+     * @param sets     set count (addresses map by modulo, matching
+     *                 SetAssocCache)
+     * @param max_ways largest associativity the curve resolves
+     *                 exactly; distances >= max_ways are lumped
+     */
+    SetAssocReuseAnalyzer(std::uint64_t sets, std::uint64_t max_ways);
+
+    void onAccess(const Access &access) override;
+    void onRun(std::uint64_t base, std::uint64_t words,
+               AccessType type) override;
+
+    std::uint64_t sets() const { return sets_; }
+    std::uint64_t maxWays() const { return max_ways_; }
+    std::uint64_t accesses() const { return accesses_; }
+
+    /**
+     * The associativity -> misses/writebacks curve: querying the
+     * result at W gives the counts of a (sets x W)-word LRU
+     * set-associative memory with end-of-trace flush. Exact for
+     * W <= maxWays(); larger W saturate at the lumped bucket (it is
+     * carried in the curve's cold term, so missesAt never drops
+     * below it).
+     */
+    MissCurve waysCurve() const;
+
+  private:
+    static constexpr std::uint64_t kColdWindow =
+        std::numeric_limits<std::uint64_t>::max();
+
+    /** One resident word of a set's exact region. */
+    struct Slot
+    {
+        std::uint64_t addr = 0;
+        std::uint64_t stamp = 0; ///< last use; 0 = empty slot
+        /// Max per-set stack distance among this word's accesses
+        /// since its last write (kColdWindow until the first write).
+        std::uint64_t dirty_window = 0;
+    };
+
+    void step(std::uint64_t addr, bool write);
+
+    std::uint64_t sets_;
+    std::uint64_t max_ways_;
+    /// sets_ x max_ways_ slot rows holding each set's max_ways most
+    /// recently used distinct words.
+    std::vector<Slot> rows_;
+    std::vector<std::uint64_t> hist_;
+    std::vector<std::uint64_t> wb_hist_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t cold_writebacks_ = 0;
+    std::uint64_t accesses_ = 0;
 };
 
 /**

@@ -289,5 +289,75 @@ TEST(Engine, UnknownKernelIsFatal)
                 ::testing::ExitedWithCode(1), "unknown kernel");
 }
 
+TEST(Engine, GridDeduplicatesCollapsedPoints)
+{
+    // A narrow range with many points rounds adjacent samples onto
+    // the same capacity; the grid must keep each capacity once, in
+    // strictly increasing order.
+    SweepJob job;
+    job.kernel = "matmul";
+    job.m_lo = 60;
+    job.m_hi = 70;
+    job.points = 12;
+    const auto result = ExperimentEngine(1).runOne(job);
+    ASSERT_GE(result.points.size(), 3u);
+    ASSERT_LE(result.points.size(), 11u); // 60..70 has 11 integers
+    for (std::size_t p = 1; p < result.points.size(); ++p)
+        EXPECT_GT(result.points[p].sample.m,
+                  result.points[p - 1].sample.m);
+}
+
+TEST(Engine, GridRequireMessagesNameTheOffendingKernel)
+{
+    // A batch submits many jobs; the failure must say whose grid is
+    // bad, not just that one is.
+    SweepJob job;
+    job.kernel = "matmul";
+    job.points = 2;
+    EXPECT_EXIT({ (void)ExperimentEngine(1).run({job}); },
+                ::testing::ExitedWithCode(1),
+                "sweep job 'matmul' needs at least three points");
+
+    SweepJob bad_range;
+    bad_range.kernel = "fft";
+    bad_range.m_lo = 512;
+    bad_range.m_hi = 128;
+    EXPECT_EXIT({ (void)ExperimentEngine(1).run({bad_range}); },
+                ::testing::ExitedWithCode(1),
+                "sweep job 'fft' has a bad memory range");
+}
+
+TEST(Engine, PinnedProblemSizeOverridesTheKernelSuggestion)
+{
+    SweepJob job;
+    job.kernel = "matmul";
+    job.m_lo = 64;
+    job.m_hi = 512;
+    job.points = 3;
+    job.n_hint = 96;
+    const auto result = ExperimentEngine(1).runOne(job);
+    EXPECT_EQ(result.n_hint, 96u);
+    // The sample really measured N = 96.
+    const auto kernel = KernelRegistry::instance().shared("matmul");
+    const auto expected = kernel->measureRatioPoint(
+        96, result.points.front().sample.m);
+    EXPECT_DOUBLE_EQ(result.points.front().sample.comp_ops,
+                     expected.comp_ops);
+    EXPECT_DOUBLE_EQ(result.points.front().sample.io_words,
+                     expected.io_words);
+}
+
+TEST(Engine, ScheduleModeAndHeadroomAreMutuallyExclusive)
+{
+    SweepJob job;
+    job.kernel = "matmul";
+    job.schedule_m = 256;
+    job.schedule_headroom = 2;
+    job.models = {MemoryModelKind::Lru};
+    EXPECT_EXIT({ (void)ExperimentEngine(1).run({job}); },
+                ::testing::ExitedWithCode(1),
+                "schedule_m and schedule_headroom");
+}
+
 } // namespace
 } // namespace kb

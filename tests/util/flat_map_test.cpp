@@ -1,0 +1,160 @@
+/**
+ * @file
+ * FlatWordMap tests, centered on erase's backward-shift compaction.
+ *
+ * Backward-shift deletion is the classic place open-addressing maps
+ * corrupt themselves: when a probe chain crosses the table-wraparound
+ * boundary (slots ..., N-1, 0, 1, ...), a naive shift-stop condition
+ * moves an entry in front of its home slot and lookups lose it. The
+ * audit of FlatWordMap::shiftBackward found the cyclic-distance
+ * condition ((j - ideal) & mask >= (j - hole) & mask) handles the
+ * wrap correctly; these tests pin that behavior down so a future
+ * "simplification" of the condition cannot silently reintroduce the
+ * bug class.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/flat_map.hpp"
+#include "util/rng.hpp"
+
+namespace kb {
+namespace {
+
+/** Mirror of FlatWordMap's slot hash for a 16-slot table. */
+std::size_t
+homeSlot16(std::uint64_t key)
+{
+    std::uint64_t h = key * 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h) & 15;
+}
+
+/** Keys whose home slots build a probe chain across index 0. */
+std::vector<std::uint64_t>
+wrappedChainKeys()
+{
+    // Two keys homed at 14, two at 15, one at 0, one at 1: inserted
+    // in order they occupy 14, 15, 0, 1, 2, 3 — a chain crossing the
+    // wraparound boundary with displaced members on both sides.
+    std::vector<std::vector<std::uint64_t>> by_slot(16);
+    for (std::uint64_t k = 0; by_slot[14].size() < 2 ||
+                              by_slot[15].size() < 2 ||
+                              by_slot[0].empty() || by_slot[1].empty();
+         ++k)
+        by_slot[homeSlot16(k)].push_back(k);
+    return {by_slot[14][0], by_slot[14][1], by_slot[15][0],
+            by_slot[15][1], by_slot[0][0],  by_slot[1][0]};
+}
+
+/**
+ * Regression for the backward-shift bug class: delete every 3-subset
+ * of a wrapped chain, in every order, and verify the survivors stay
+ * findable with their values intact.
+ */
+TEST(FlatWordMap, EraseFromWrappedChainKeepsSurvivorsFindable)
+{
+    const auto keys = wrappedChainKeys();
+    for (std::size_t a = 0; a < keys.size(); ++a) {
+        for (std::size_t b = 0; b < keys.size(); ++b) {
+            for (std::size_t c = 0; c < keys.size(); ++c) {
+                if (a == b || b == c || a == c)
+                    continue;
+                FlatWordMap<std::uint64_t> map;
+                map.reserve(12); // capacity 16, no rehash below
+                for (const auto k : keys)
+                    map.insert(k, k * 3 + 1);
+                ASSERT_TRUE(map.erase(keys[a]));
+                ASSERT_TRUE(map.erase(keys[b]));
+                ASSERT_TRUE(map.erase(keys[c]));
+                EXPECT_EQ(map.size(), keys.size() - 3);
+                for (std::size_t i = 0; i < keys.size(); ++i) {
+                    SCOPED_TRACE("erase order " + std::to_string(a) +
+                                 "," + std::to_string(b) + "," +
+                                 std::to_string(c) + " key " +
+                                 std::to_string(i));
+                    const auto *v = map.find(keys[i]);
+                    if (i == a || i == b || i == c) {
+                        EXPECT_EQ(v, nullptr);
+                    } else {
+                        ASSERT_NE(v, nullptr);
+                        EXPECT_EQ(*v, keys[i] * 3 + 1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/** Erasing a key whose chain wrapped must not resurrect or orphan
+ *  anything after reinsertion cycles (tombstone-free invariant). */
+TEST(FlatWordMap, EraseReinsertCyclesOnWrappedChain)
+{
+    const auto keys = wrappedChainKeys();
+    FlatWordMap<std::uint64_t> map;
+    map.reserve(12);
+    for (const auto k : keys)
+        map.insert(k, k);
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        const auto victim = keys[cycle % keys.size()];
+        ASSERT_TRUE(map.erase(victim));
+        EXPECT_EQ(map.find(victim), nullptr);
+        map.insert(victim, victim + cycle);
+        for (const auto k : keys) {
+            const auto *v = map.find(k);
+            ASSERT_NE(v, nullptr);
+            EXPECT_EQ(*v, k == victim
+                              ? victim + static_cast<std::uint64_t>(cycle)
+                              : k);
+        }
+        map.insert(victim, victim); // restore value
+    }
+    EXPECT_EQ(map.size(), keys.size());
+}
+
+/** Randomized differential test against std::unordered_map, with a
+ *  dense key space so chains wrap constantly. */
+TEST(FlatWordMap, RandomizedMatchesUnorderedMap)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Xoshiro256 rng(seed);
+        FlatWordMap<std::uint64_t> map;
+        std::unordered_map<std::uint64_t, std::uint64_t> ref;
+        const std::uint64_t space = 8 + rng.below(48);
+        for (int step = 0; step < 5000; ++step) {
+            const std::uint64_t key = rng.below(space);
+            switch (rng.below(3)) {
+              case 0: {
+                const std::uint64_t value = rng.below(1u << 20);
+                map.insert(key, value);
+                ref[key] = value;
+                break;
+              }
+              case 1:
+                ASSERT_EQ(map.erase(key), ref.erase(key) > 0);
+                break;
+              default: {
+                const auto *v = map.find(key);
+                const auto it = ref.find(key);
+                ASSERT_EQ(v != nullptr, it != ref.end());
+                if (v != nullptr)
+                    ASSERT_EQ(*v, it->second);
+              }
+            }
+            ASSERT_EQ(map.size(), ref.size());
+        }
+        for (const auto &[key, value] : ref) {
+            const auto *v = map.find(key);
+            ASSERT_NE(v, nullptr);
+            EXPECT_EQ(*v, value);
+        }
+    }
+}
+
+} // namespace
+} // namespace kb
