@@ -3,14 +3,17 @@
  * E12 — design ablation: are the balance exponents artifacts of the
  * explicitly managed scratchpad the paper assumes?
  *
- * The matmul trace is replayed through six memory disciplines at
+ * The matmul trace is replayed through a dozen memory disciplines at
  * every size; the fitted R(M) exponent survives all of them (with a
- * documented caveat for tiles sized to 100% of a set-associative
- * cache). The grid is fully declarative now: two engine SweepJobs
- * (see e12AblationJobs in analysis/experiments.cpp) — one carrying
- * the scratchpad sample plus the LRU and Belady-OPT columns, one
- * carrying the tile = M/2 set-associative and random columns via
- * SweepJob::schedule_headroom — and this bench only formats their
+ * documented caveat for tiles sized close to 100% of a
+ * set-associative cache). The grid is fully declarative: four engine
+ * SweepJobs (see e12AblationJobs in analysis/experiments.cpp) — one
+ * carrying the scratchpad sample plus the LRU and Belady-OPT
+ * columns, and three tile-headroom jobs (tile = M/2, M/4, 3M/4 via
+ * SweepJob::schedule_headroom[_num]) carrying the set-associative
+ * and random columns. The headroom block maps where conflict
+ * thrashing sets in: the closer the tile is to the full capacity,
+ * the less associativity slack remains. This bench only formats the
  * results.
  */
 
@@ -32,10 +35,13 @@ main(int argc, char **argv)
         const double ops = 2.0 * static_cast<double>(n) * n * n;
 
         const auto results = ctx.experimentSweeps();
-        KB_REQUIRE(results.size() == 2,
-                   "E12 declares two sweep jobs (tight + headroom)");
+        KB_REQUIRE(results.size() == 4,
+                   "E12 declares four sweep jobs (tight + M/2 + M/4 "
+                   "+ 3M/4 headroom)");
         const SweepResult &tight = results[0];
         const SweepResult &headroom = results[1];
+        const SweepResult &quarter = results[2];
+        const SweepResult &three_quarter = results[3];
 
         struct Discipline
         {
@@ -52,12 +58,24 @@ main(int argc, char **argv)
              modelColumn(tight, MemoryModelKind::Lru)},
             {"Belady OPT", &tight,
              modelColumn(tight, MemoryModelKind::Opt)},
+            {"8-way LRU (tile=M/4)", &quarter,
+             modelColumn(quarter, MemoryModelKind::SetAssocLru)},
             {"8-way LRU (tile=M/2)", &headroom,
              modelColumn(headroom, MemoryModelKind::SetAssocLru)},
+            {"8-way LRU (tile=3M/4)", &three_quarter,
+             modelColumn(three_quarter, MemoryModelKind::SetAssocLru)},
+            {"8-way FIFO (tile=M/4)", &quarter,
+             modelColumn(quarter, MemoryModelKind::SetAssocFifo)},
             {"8-way FIFO (tile=M/2)", &headroom,
              modelColumn(headroom, MemoryModelKind::SetAssocFifo)},
+            {"8-way FIFO (tile=3M/4)", &three_quarter,
+             modelColumn(three_quarter, MemoryModelKind::SetAssocFifo)},
+            {"random repl (tile=M/4)", &quarter,
+             modelColumn(quarter, MemoryModelKind::RandomRepl)},
             {"random repl (tile=M/2)", &headroom,
              modelColumn(headroom, MemoryModelKind::RandomRepl)},
+            {"random repl (tile=3M/4)", &three_quarter,
+             modelColumn(three_quarter, MemoryModelKind::RandomRepl)},
         };
 
         std::vector<std::string> headers = {"discipline"};
@@ -88,16 +106,18 @@ main(int argc, char **argv)
         }
         printHeading(
             std::cout,
-            "matmul R(M) under six memory disciplines (N = 160)");
+            "matmul R(M) under twelve memory disciplines (N = 160)");
         table.print(std::cout);
         std::cout
             << "\npaper exponent: 0.5. The law is a property of the "
                "computation, not of the replacement policy.\n"
-               "(set-associative rows tile for M/2 — a tile sized to "
-               "100% of the capacity conflict-thrashes, which is why "
-               "real blocked kernels leave associativity headroom)\n";
+               "(set-associative rows tile for a fraction of M — a "
+               "tile sized to 100% of the capacity conflict-thrashes, "
+               "which is why real blocked kernels leave associativity "
+               "headroom; the M/4 -> M/2 -> 3M/4 block maps how the "
+               "slack erodes as the tile approaches the capacity)\n";
         return 0;
     },
         bench::BenchCaps{.kernels = false, .points = false,
-                         .threads = true});
+                         .threads = true, .shard = true});
 }

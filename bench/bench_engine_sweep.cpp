@@ -13,24 +13,35 @@
  *   bench_engine_sweep --threads 8 > b.txt
  *   diff a.txt b.txt   # empty; stderr shows the speedup
  *
+ * --shard I/N splits the batch's (job, point) grid across N
+ * invocations and writes a fragment; --merge reassembles fragments
+ * into the full report, byte-identical to the unsharded run (CI
+ * diffs exactly that). See engine/shard.hpp.
+ *
  * --perf-json PATH switches to the perf-report mode: it A/B-measures
  * the stack-distance fast path against direct per-point replay on
  * fixed-schedule sweeps (the same job, force_replay toggled; results
  * are bit-identical, the engine tests assert it) — the historical
  * LRU-only sweep plus the set-associative-LRU, Belady-OPT and
- * combined ablation columns — plus raw trace-replay throughput and
- * the cache-hot re-run time of each fast job, and writes the numbers
- * as JSON. The CurveCache is cleared before every cold measurement
- * so the A/B stays honest. CI stores the file as the
- * BENCH_sweep.json artifact so every PR leaves a perf trajectory.
+ * combined ablation columns — plus raw trace-replay throughput, the
+ * cache-hot re-run time of each fast job, and the two-tier curve
+ * store's cold-disk vs warm-disk sweep times (a scratch directory
+ * stands in for a shared cache dir; tier 1 is cleared between the
+ * runs so the warm number is what a *fresh process* would pay). The
+ * CurveStore is cleared before every cold measurement so the A/B
+ * stays honest. CI stores the file as the BENCH_sweep.json artifact
+ * so every PR leaves a perf trajectory.
  */
 
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
+#include <unistd.h>
+
 #include "bench/driver.hpp"
-#include "engine/curve_cache.hpp"
+#include "engine/curve_store.hpp"
 #include "kernels/registry.hpp"
 #include "mem/lru_cache.hpp"
 #include "trace/replay.hpp"
@@ -81,11 +92,56 @@ measureSweepAb(const ExperimentEngine &engine, const SweepJob &job)
     direct_job.force_replay = true;
 
     SweepAb ab;
-    CurveCache::instance().clear();
+    CurveStore::instance().clear();
     ab.direct_s = timedRun(engine, direct_job);
-    CurveCache::instance().clear();
+    CurveStore::instance().clear();
     ab.fast_cold_s = timedRun(engine, job);
     ab.fast_cached_s = timedRun(engine, job);
+    return ab;
+}
+
+/** Cold-disk vs warm-disk (fresh-process) times of one fast job. */
+struct StoreAb
+{
+    double disk_cold_s = 0.0; ///< empty disk dir, empty tier 1
+    double disk_warm_s = 0.0; ///< warm disk dir, empty tier 1
+    std::uint64_t warm_emissions = 0; ///< trace emissions of the warm run
+};
+
+/**
+ * Time the two-tier store: run @p job against an empty scratch
+ * directory (cold: builds curves and persists them), then clear tier
+ * 1 only and run again (warm: what a separate invocation pays —
+ * curves come off disk, zero trace emissions). The store is restored
+ * to its previous directory afterwards.
+ */
+StoreAb
+measureStoreAb(const ExperimentEngine &engine, const SweepJob &job)
+{
+    auto &store = CurveStore::instance();
+    const std::string previous_dir = store.diskDirectory();
+    // Pid-suffixed scratch: concurrent perf runs on one host must
+    // not clear each other's entries mid-measurement.
+    const auto scratch =
+        std::filesystem::temp_directory_path() /
+        ("kb_curve_store_perf." +
+         std::to_string(static_cast<unsigned long>(::getpid())));
+
+    StoreAb ab;
+    store.setDiskDirectory(scratch.string());
+    store.clearDisk();
+    store.clear();
+    ab.disk_cold_s = timedRun(engine, job);
+    store.clear(); // tier 1 only: model a fresh process, warm disk
+    const std::uint64_t emissions_before = engineEmissionCount();
+    ab.disk_warm_s = timedRun(engine, job);
+    ab.warm_emissions = engineEmissionCount() - emissions_before;
+
+    store.clearDisk();
+    store.setDiskDirectory(previous_dir);
+    store.clear();
+    std::error_code ec;
+    std::filesystem::remove(scratch, ec);
     return ab;
 }
 
@@ -129,6 +185,15 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
         std::cerr << "perf-json: cannot open " << path << "\n";
         return 1;
     }
+    // Detach the disk tier for the whole report: clear() empties
+    // tier 1 only, so an ambient KB_CURVE_CACHE_DIR (or a previous
+    // sweep's entries) would otherwise serve the "cold" runs from
+    // disk and fake the A/B numbers. measureStoreAb re-attaches a
+    // scratch directory for the one section that measures the disk
+    // tier on purpose.
+    auto &curve_store = CurveStore::instance();
+    const std::string ambient_store_dir = curve_store.diskDirectory();
+    curve_store.setDiskDirectory("");
     const std::string kernel_name = selected.front();
     const auto kernel = KernelRegistry::instance().shared(kernel_name);
     std::uint64_t m_lo = 0, m_hi = 0;
@@ -196,14 +261,19 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
                            MemoryModelKind::Opt};
     const SweepAb ablation_ab = measureSweepAb(serial, ablation_job);
 
+    // The two-tier store: cold disk vs warm disk on the ablation
+    // shape (the heaviest fast-path job in this report).
+    const StoreAb store_ab = measureStoreAb(serial, ablation_job);
+
     // The historical threads-N LRU numbers (pool scaling trajectory).
     const unsigned pool_threads = ctx.engine().threads();
     SweepJob direct_job = job;
     direct_job.force_replay = true;
-    CurveCache::instance().clear();
+    CurveStore::instance().clear();
     const double pool_direct_s = timedRun(ctx.engine(), direct_job);
-    CurveCache::instance().clear();
+    CurveStore::instance().clear();
     const double pool_fast_s = timedRun(ctx.engine(), job);
+    curve_store.setDiskDirectory(ambient_store_dir);
 
     const auto rate = [words](double s) {
         return s > 0.0 ? static_cast<double>(words) / s : 0.0;
@@ -247,8 +317,22 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
                 true);
     writeAbJson(out, "opt_sweep", {"opt"}, job.points, opt_ab, true);
     writeAbJson(out, "ablation_sweep", {"8way-lru", "opt"}, job.points,
-                ablation_ab, false);
-    out << "}\n";
+                ablation_ab, true);
+    out << "  \"curve_store\": {\n"
+        << "    \"format_version\": " << CurveStore::kFormatVersion
+        << ",\n"
+        << "    \"job\": \"ablation_sweep\",\n"
+        << "    \"disk_cold_s\": " << store_ab.disk_cold_s << ",\n"
+        << "    \"disk_warm_s\": " << store_ab.disk_warm_s << ",\n"
+        << "    \"warm_trace_emissions\": " << store_ab.warm_emissions
+        << ",\n"
+        << "    \"warm_speedup\": "
+        << (store_ab.disk_warm_s > 0.0
+                ? store_ab.disk_cold_s / store_ab.disk_warm_s
+                : 0.0)
+        << "\n"
+        << "  }\n"
+        << "}\n";
     std::cerr << "perf: " << words << " trace words; 1-thread sweeps of "
               << job.points << " pts (direct / fast / cached, speedup):"
               << "\n  lru      " << lru_ab.direct_s << " / "
@@ -264,6 +348,10 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
               << ablation_ab.fast_cold_s << " / "
               << ablation_ab.fast_cached_s << " s ("
               << speedup(ablation_ab) << "x)"
+              << "\ncurve store (ablation job): disk-cold "
+              << store_ab.disk_cold_s << " s, disk-warm "
+              << store_ab.disk_warm_s << " s, warm emissions "
+              << store_ab.warm_emissions
               << "\nreport written to " << path << "\n";
     return 0;
 }
@@ -277,8 +365,18 @@ main(int argc, char **argv)
     return bench::runBench(
         argc, argv, nullptr,
         [](bench::BenchContext &ctx) {
-            if (!ctx.options().perf_json.empty())
+            if (!ctx.options().perf_json.empty()) {
+                // The perf report times a fixed A/B grid of its own;
+                // silently ignoring sharding flags would leave the
+                // caller waiting for a fragment that never appears.
+                if (!ctx.options().shard.empty() ||
+                    !ctx.options().merge_paths.empty()) {
+                    std::cerr << "perf-json: --shard/--merge do not "
+                                 "apply to the perf report\n";
+                    return 2;
+                }
                 return writePerfReport(ctx, ctx.options().perf_json);
+            }
 
             std::vector<SweepJob> jobs;
             for (const auto &name : ctx.kernels()) {
@@ -289,7 +387,7 @@ main(int argc, char **argv)
             }
 
             const auto t0 = std::chrono::steady_clock::now();
-            const auto results = ctx.engine().run(jobs);
+            const auto results = ctx.runJobs(jobs);
             const auto t1 = std::chrono::steady_clock::now();
             const double seconds =
                 std::chrono::duration<double>(t1 - t0).count();
@@ -313,5 +411,6 @@ main(int argc, char **argv)
             return 0;
         },
         bench::BenchCaps{.kernels = true, .points = true,
-                         .threads = true, .perf_json = true});
+                         .threads = true, .perf_json = true,
+                         .shard = true});
 }

@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "analysis/experiments.hpp"
+#include "engine/curve_store.hpp"
+#include "engine/shard.hpp"
 #include "kernels/registry.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
@@ -14,6 +16,17 @@ namespace kb {
 namespace bench {
 
 namespace {
+
+/**
+ * Thrown by runJobs() after a --shard run has written its fragment:
+ * the bench body's report would be meaningless on a partial grid, so
+ * the driver unwinds out of it and exits 0. Internal to the driver —
+ * bench bodies just run runJobs() and never see it.
+ */
+struct ShardFragmentWritten
+{
+    std::string path;
+};
 
 void
 printUsage(const char *prog, const char *experiment,
@@ -52,8 +65,23 @@ printUsage(const char *prog, const char *experiment,
             "report\n"
             "                           (JSON) instead of the normal "
             "tables\n");
+    if (caps.shard)
+        std::fprintf(
+            stderr,
+            "  --shard I/N              run slice I of the sweep grid "
+            "and\n"
+            "                           write a fragment (see "
+            "--shard-out)\n"
+            "  --shard-out PATH         fragment path for --shard\n"
+            "  --merge F0,F1,...        reassemble fragments and "
+            "print the\n"
+            "                           report (byte-identical to an\n"
+            "                           unsharded run; repeatable)\n");
     std::fprintf(
         stderr,
+        "  --curve-store DIR        persist single-pass curves in DIR\n"
+        "                           (two-tier store; same as\n"
+        "                           KB_CURVE_CACHE_DIR)\n"
         "  --csv PATH               write the bench's CSV series here\n"
         "  --no-csv                 suppress CSV side outputs\n"
         "  --list-kernels           print registered kernels and exit\n"
@@ -121,11 +149,38 @@ BenchContext::curve(const std::string &kernel,
 }
 
 std::vector<SweepResult>
+BenchContext::runJobs(const std::vector<SweepJob> &jobs) const
+{
+    if (!opts_.merge_paths.empty()) {
+        // Resolve the grid without measuring anything (a filter that
+        // owns no cell), then fill it from the fragments.
+        auto skeleton =
+            engine_.run(jobs, [](std::size_t, std::size_t) {
+                return false;
+            });
+        mergeShardFragments(skeleton, opts_.merge_paths);
+        return skeleton;
+    }
+    if (!opts_.shard.empty()) {
+        ShardSpec spec;
+        KB_REQUIRE(parseShardSpec(opts_.shard, spec),
+                   "bad --shard value '", opts_.shard,
+                   "' (expected I/N with I < N)");
+        auto results = engine_.run(jobs, shardFilter(spec));
+        const std::string path =
+            !opts_.shard_out.empty()
+                ? opts_.shard_out
+                : "shard_" + std::to_string(spec.index) + "_of_" +
+                      std::to_string(spec.count) + ".kbshard";
+        writeShardFragment(path, spec, results);
+        throw ShardFragmentWritten{path};
+    }
+    return engine_.run(jobs);
+}
+
+std::vector<SweepResult>
 BenchContext::experimentSweeps() const
 {
-    if (opts_.kernels.empty() && opts_.points == 0)
-        return runExperimentSweeps(experiment_, engine_);
-
     auto jobs = experimentById(experiment_).sweep_jobs;
     if (!opts_.kernels.empty()) {
         std::vector<SweepJob> filtered;
@@ -141,7 +196,7 @@ BenchContext::experimentSweeps() const
     if (opts_.points != 0)
         for (auto &job : jobs)
             job.points = opts_.points;
-    return engine_.run(jobs);
+    return runJobs(jobs);
 }
 
 std::unique_ptr<CsvWriter>
@@ -253,6 +308,41 @@ runBench(int argc, char **argv, const char *experiment,
             if (v == nullptr)
                 return 2;
             opts.perf_json = v;
+        } else if (arg == "--shard") {
+            if (!caps.shard)
+                return unsupported("--shard");
+            const char *v = value("--shard");
+            if (v == nullptr)
+                return 2;
+            opts.shard = v;
+            ShardSpec spec;
+            if (!parseShardSpec(opts.shard, spec)) {
+                std::fprintf(stderr,
+                             "%s: --shard wants I/N with I < N, got "
+                             "'%s'\n",
+                             prog, v);
+                return 2;
+            }
+        } else if (arg == "--shard-out") {
+            if (!caps.shard)
+                return unsupported("--shard-out");
+            const char *v = value("--shard-out");
+            if (v == nullptr)
+                return 2;
+            opts.shard_out = v;
+        } else if (arg == "--merge") {
+            if (!caps.shard)
+                return unsupported("--merge");
+            const char *v = value("--merge");
+            if (v == nullptr || !splitCommaList(v, opts.merge_paths)) {
+                printUsage(prog, experiment, caps);
+                return 2;
+            }
+        } else if (arg == "--curve-store") {
+            const char *v = value("--curve-store");
+            if (v == nullptr)
+                return 2;
+            opts.curve_store_dir = v;
         } else if (arg == "--csv") {
             const char *v = value("--csv");
             if (v == nullptr)
@@ -277,12 +367,28 @@ runBench(int argc, char **argv, const char *experiment,
             return 2;
         }
     }
+    if (!opts.shard.empty() && !opts.merge_paths.empty()) {
+        std::fprintf(stderr,
+                     "%s: --shard and --merge are mutually exclusive\n",
+                     prog);
+        return 2;
+    }
+    if (!opts.curve_store_dir.empty())
+        CurveStore::instance().setDiskDirectory(opts.curve_store_dir);
 
     if (experiment != nullptr)
         printExperimentBanner(experiment);
     BenchContext ctx(std::move(opts),
                      experiment ? experiment : std::string());
-    return body(ctx);
+    try {
+        return body(ctx);
+    } catch (const ShardFragmentWritten &done) {
+        // Not an error: the body's report is replaced by the
+        // fragment; the merge invocation prints the real report.
+        std::fprintf(stderr, "shard fragment written to %s\n",
+                     done.path.c_str());
+        return 0;
+    }
 }
 
 } // namespace bench

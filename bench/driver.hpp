@@ -14,6 +14,17 @@
  *   * runs its sweeps through the engine (deterministic: --threads N
  *     prints byte-identical tables to --threads 1);
  *   * keeps only its experiment-specific analysis code.
+ *
+ * Sharding (benches with BenchCaps::shard): `--shard i/N` runs only
+ * the i-th slice of the expanded (job, point) grid and writes a
+ * fragment file (--shard-out) instead of the normal report;
+ * `--merge f0,f1,...` reassembles N fragments and prints the report
+ * byte-identical to an unsharded run. The split is deterministic
+ * (engine/shard.hpp), so a sweep grid can be distributed across
+ * processes or hosts and merged afterwards. `--curve-store DIR`
+ * points the two-tier CurveStore's disk tier at DIR (equivalent to
+ * KB_CURVE_CACHE_DIR), letting shards and repeated invocations share
+ * their single-pass curves.
  */
 
 #pragma once
@@ -43,6 +54,10 @@ struct BenchCaps
     bool points = true;     ///< --points resizes its sweeps
     bool threads = true;    ///< --threads feeds its engine use
     bool perf_json = false; ///< --perf-json runs its perf-report mode
+    /// --shard/--merge: the bench routes exactly one job batch
+    /// through BenchContext::runJobs(), so its grid can be split
+    /// across processes and its report reassembled.
+    bool shard = false;
 };
 
 /** Options shared by every bench binary. */
@@ -59,6 +74,16 @@ struct DriverOptions
     /// here instead of running its normal tables (benches with
     /// BenchCaps::perf_json only).
     std::string perf_json;
+    /// --shard i/N: run one slice of the sweep grid and write a
+    /// fragment instead of the report (benches with BenchCaps::shard).
+    std::string shard;
+    /// --shard-out: fragment path (default shard_<i>_of_<N>.kbshard).
+    std::string shard_out;
+    /// --merge: fragment paths to reassemble into the full report
+    /// (repeatable flag, commas allowed).
+    std::vector<std::string> merge_paths;
+    /// --curve-store DIR: enable the CurveStore's on-disk tier at DIR.
+    std::string curve_store_dir;
 };
 
 /** Per-run state handed to a bench body. */
@@ -86,8 +111,22 @@ class BenchContext
                      unsigned fallback_points = 6) const;
 
     /** Run the experiment's declared SweepJobs, with --kernel and
-     *  --points applied on top. */
+     *  --points applied on top. Routed through runJobs(), so the
+     *  declared grid shards and merges like any other batch. */
     std::vector<SweepResult> experimentSweeps() const;
+
+    /**
+     * Run one batch of jobs honoring the sharding flags. Without
+     * --shard/--merge this is engine().run(jobs). With --merge it
+     * reassembles the fragments into the full result (so the bench
+     * body formats a report byte-identical to an unsharded run).
+     * With --shard it measures only the owned grid slice, writes the
+     * fragment, and unwinds out of the bench body (runBench catches
+     * the unwind and exits 0) — a bench with BenchCaps::shard must
+     * route its one job batch through here.
+     */
+    std::vector<SweepResult>
+    runJobs(const std::vector<SweepJob> &jobs) const;
 
     /**
      * CSV writer honoring --csv/--no-csv: nullptr when suppressed,

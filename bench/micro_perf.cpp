@@ -7,7 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "engine/curve_cache.hpp"
+#include "engine/curve_store.hpp"
 #include "engine/engine.hpp"
 #include "kernels/fft.hpp"
 #include "kernels/matmul.hpp"
@@ -205,15 +205,21 @@ BM_SweepFastPath(benchmark::State &state)
 {
     // Stack-distance fast path, cold: one emission, whole curve —
     // O(trace log U + points). Bit-identical results to the direct
-    // run above (asserted by the engine tests). The CurveCache is
-    // cleared per iteration so this keeps measuring the single-pass
-    // analyzer, not the cache.
+    // run above (asserted by the engine tests). The CurveStore's
+    // tier 1 is cleared per iteration and its disk tier detached for
+    // the duration (an ambient KB_CURVE_CACHE_DIR would serve the
+    // "cold" runs), so this keeps measuring the single-pass
+    // analyzer, not the store.
+    auto &store = CurveStore::instance();
+    const std::string ambient_dir = store.diskDirectory();
+    store.setDiskDirectory("");
     ExperimentEngine engine(1);
     const SweepJob job = lruSweepJob(/*force_replay=*/false);
     for (auto _ : state) {
-        CurveCache::instance().clear();
+        store.clear();
         benchmark::DoNotOptimize(engine.runOne(job));
     }
+    store.setDiskDirectory(ambient_dir);
 }
 BENCHMARK(BM_SweepFastPath)->Unit(benchmark::kMillisecond);
 
@@ -221,11 +227,11 @@ void
 BM_SweepCached(benchmark::State &state)
 {
     // Cache-hot repeat of the same job: curves served from the
-    // CurveCache, no emission at all (the repeated-sweep case the
+    // CurveStore (tier 1), no emission at all (the repeated-sweep case the
     // cache exists for).
     ExperimentEngine engine(1);
     const SweepJob job = lruSweepJob(/*force_replay=*/false);
-    CurveCache::instance().clear();
+    CurveStore::instance().clear();
     benchmark::DoNotOptimize(engine.runOne(job)); // warm the cache
     for (auto _ : state) {
         benchmark::DoNotOptimize(engine.runOne(job));

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "analysis/sweep.hpp"
+#include "engine/curve_store.hpp"
 #include "engine/engine.hpp"
 #include "kernels/registry.hpp"
 #include "util/stats.hpp"
@@ -86,6 +87,18 @@ main()
 
     ExperimentEngine engine;
     const auto results = engine.run(jobs);
+
+    // Status only (stderr keeps stdout byte-stable): with
+    // KB_CURVE_CACHE_DIR set, a re-run of the explorer serves every
+    // curve from the on-disk store and emits no traces at all.
+    const auto store_stats = CurveStore::instance().stats();
+    const std::string dir = CurveStore::instance().diskDirectory();
+    std::cerr << "curve store: " << store_stats.hits << " hits ("
+              << store_stats.disk_hits << " from disk), "
+              << store_stats.misses << " misses; disk tier "
+              << (dir.empty() ? "disabled (set KB_CURVE_CACHE_DIR)"
+                              : "at " + dir)
+              << "\n";
 
     printHeading(std::cout,
                  "Measured balance curves (engine SweepJobs; LRU "

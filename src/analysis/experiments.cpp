@@ -19,27 +19,34 @@ sweepOf(const std::string &kernel, unsigned points = 6)
     return job;
 }
 
-/** One default sweep per registered kernel (paper order). */
+/**
+ * One default sweep per paper kernel, in paper order. E1 regenerates
+ * the *paper's* Section 3 table, so this deliberately enumerates the
+ * twelve built-ins rather than the whole registry: plug-in kernels
+ * (stencil9, toy test kernels) have no paper row to match.
+ */
 std::vector<SweepJob>
 allKernelSweeps(unsigned points)
 {
     std::vector<SweepJob> jobs;
-    for (const auto &name : KernelRegistry::instance().names())
-        jobs.push_back(sweepOf(name, points));
+    for (const auto id : allKernelIds())
+        jobs.push_back(sweepOf(kernelIdName(id), points));
     return jobs;
 }
 
 /**
- * E12's ablation grid, declaratively. Two jobs over the same matmul
+ * E12's ablation grid, declaratively. Four jobs over the same matmul
  * regime (N = 160, M in {64..2048}):
  *
  *  * the schedule-follows-capacity disciplines: the scratchpad
  *    sample plus fully associative LRU and Belady OPT columns, each
  *    point replaying the schedule tiled for its own M;
- *  * the tile = M/2 disciplines (schedule_headroom = 2): the
- *    set-associative LRU/FIFO and random-replacement columns, each
- *    point replaying the schedule tiled for half its capacity —
- *    the associativity-headroom setting the ablation is about.
+ *  * three tile-headroom jobs (tile = M/2, M/4 and 3M/4 via
+ *    schedule_headroom[_num]): the set-associative LRU/FIFO and
+ *    random-replacement columns, each point replaying the schedule
+ *    tiled for a fixed fraction of its capacity. Together the rows
+ *    map where conflict thrashing sets in versus associativity
+ *    headroom — 3M/4 leaves the least slack, M/4 the most.
  */
 std::vector<SweepJob>
 e12AblationJobs()
@@ -59,7 +66,14 @@ e12AblationJobs()
     headroom.schedule_headroom = 2;
     headroom.models_only = true;
 
-    return {tight, headroom};
+    SweepJob quarter = headroom; // tile = M/4
+    quarter.schedule_headroom = 4;
+
+    SweepJob three_quarter = headroom; // tile = 3M/4
+    three_quarter.schedule_headroom = 4;
+    three_quarter.schedule_headroom_num = 3;
+
+    return {tight, headroom, quarter, three_quarter};
 }
 
 } // namespace

@@ -1,0 +1,562 @@
+#include "engine/curve_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+
+namespace kb {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'K', 'B', 'C', 'V'};
+constexpr const char *kEntrySuffix = ".kbc";
+
+/** Whole-file read; false on any I/O error. */
+bool
+readFile(const fs::path &path, std::vector<std::uint8_t> &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    out.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+    return in.good() || in.eof();
+}
+
+/**
+ * Union of two OPT curves over the same trace: every capacity either
+ * curve resolves, answered by whichever has it. Keeps alternating
+ * jobs with different grids from evicting each other's entry — the
+ * exact reuse the store exists for.
+ */
+std::shared_ptr<const OptCurve>
+mergeOptCurves(const OptCurve &a, const OptCurve &b)
+{
+    std::vector<std::uint64_t> caps;
+    std::set_union(a.capacities().begin(), a.capacities().end(),
+                   b.capacities().begin(), b.capacities().end(),
+                   std::back_inserter(caps));
+    std::vector<std::uint64_t> misses, writebacks;
+    misses.reserve(caps.size());
+    writebacks.reserve(caps.size());
+    for (const auto cap : caps) {
+        const OptCurve &from =
+            std::binary_search(a.capacities().begin(),
+                               a.capacities().end(), cap)
+                ? a
+                : b;
+        misses.push_back(from.missesAt(cap));
+        writebacks.push_back(from.writebacksAt(cap));
+    }
+    return std::make_shared<const OptCurve>(
+        std::move(caps), std::move(misses), std::move(writebacks),
+        a.accesses());
+}
+
+} // namespace
+
+void
+TraceKey::encode(ByteWriter &out) const
+{
+    out.str(kernel);
+    out.u64(n_trace);
+    out.u64(schedule_m);
+}
+
+bool
+TraceKey::decode(ByteReader &in, TraceKey &out)
+{
+    out.kernel = in.str();
+    out.n_trace = in.u64();
+    out.schedule_m = in.u64();
+    return in.ok();
+}
+
+void
+CurveStore::EntryKey::encode(ByteWriter &out) const
+{
+    out.u8(static_cast<std::uint8_t>(kind));
+    out.u64(sets);
+    trace.encode(out);
+}
+
+bool
+CurveStore::EntryKey::decode(ByteReader &in, EntryKey &out)
+{
+    out.kind = in.u8();
+    out.sets = in.u64();
+    return TraceKey::decode(in, out.trace) && out.kind >= 0 &&
+           out.kind <= 2;
+}
+
+CurveStore::CurveStore()
+{
+    if (const char *env = std::getenv("KB_CURVE_CACHE_DIR");
+        env != nullptr && *env != '\0')
+        setDiskDirectory(env);
+}
+
+CurveStore &
+CurveStore::instance()
+{
+    static CurveStore store;
+    return store;
+}
+
+void
+CurveStore::setDiskDirectory(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    disk_dir_ = dir;
+    disk_usage_ = -1; // unknown until the next eviction scan
+    if (!disk_dir_.empty()) {
+        std::error_code ec;
+        fs::create_directories(disk_dir_, ec);
+        // An uncreatable directory degrades to "tier 2 absent": every
+        // read misses and every write fails silently. Correctness is
+        // unaffected; don't abort a sweep over a cache path.
+    }
+}
+
+std::string
+CurveStore::diskDirectory() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return disk_dir_;
+}
+
+void
+CurveStore::setDiskCapacityBytes(std::uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    disk_capacity_bytes_ = bytes;
+}
+
+void
+CurveStore::setTier1Capacity(std::size_t entries)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    tier1_capacity_ = std::max<std::size_t>(entries, 1);
+    while (entries_.size() > tier1_capacity_) {
+        entries_.erase(order_.front());
+        order_.pop_front();
+        ++stats_.tier1_evictions;
+    }
+}
+
+void
+CurveStore::touchLocked(EntryMap::iterator it)
+{
+    order_.splice(order_.end(), order_, it->second.order_it);
+}
+
+CurveStore::EntryMap::iterator
+CurveStore::insertLocked(const EntryKey &key, Entry entry)
+{
+    const auto [it, inserted] = entries_.try_emplace(key);
+    if (inserted)
+        it->second.order_it = order_.insert(order_.end(), key);
+    else
+        touchLocked(it);
+    entry.order_it = it->second.order_it;
+    it->second = std::move(entry);
+    while (entries_.size() > tier1_capacity_) {
+        entries_.erase(order_.front());
+        order_.pop_front();
+        ++stats_.tier1_evictions;
+    }
+    return it;
+}
+
+std::string
+CurveStore::entryPath(const EntryKey &key) const
+{
+    ByteWriter w;
+    key.encode(w);
+    return disk_dir_ + "/kb-" + toHex16(fnv1a64(w.bytes())) +
+           kEntrySuffix;
+}
+
+CurveStore::EntryMap::iterator
+CurveStore::diskLoadLocked(const EntryKey &key)
+{
+    const auto end = entries_.end();
+    if (disk_dir_.empty())
+        return end;
+    std::vector<std::uint8_t> bytes;
+    if (!readFile(entryPath(key), bytes))
+        return end; // missing file: a plain miss, not corruption
+    // Everything below is validation of an existing file; any failure
+    // rejects the entry (it will be recomputed and overwritten).
+    const auto reject = [this, &end] {
+        ++stats_.disk_rejects;
+        return end;
+    };
+    if (bytes.size() < sizeof(kMagic) + sizeof(std::uint32_t) + 8)
+        return reject();
+    const std::size_t body_size = bytes.size() - 8;
+    const std::span<const std::uint8_t> body(bytes.data(), body_size);
+    ByteReader tail(
+        std::span<const std::uint8_t>(bytes.data() + body_size, 8));
+    if (tail.u64() != fnv1a64(body))
+        return reject();
+
+    ByteReader in(body);
+    for (const auto m : kMagic)
+        in.require(in.u8() == m);
+    in.require(in.u32() == kFormatVersion);
+    EntryKey stored;
+    if (!in.ok() || !EntryKey::decode(in, stored) || stored != key)
+        return reject(); // wrong version or a content-hash collision
+    Entry entry;
+    switch (key.kind) {
+      case 0: {
+        MissCurve curve({}, 0, 0);
+        if (!MissCurve::decode(in, curve))
+            return reject();
+        entry.miss = std::make_shared<const MissCurve>(std::move(curve));
+        break;
+      }
+      case 1: {
+        entry.ways = in.u64();
+        MissCurve curve({}, 0, 0);
+        if (!in.ok() || entry.ways == 0 ||
+            !MissCurve::decode(in, curve))
+            return reject();
+        entry.miss = std::make_shared<const MissCurve>(std::move(curve));
+        break;
+      }
+      case 2: {
+        OptCurve curve;
+        if (!OptCurve::decode(in, curve))
+            return reject();
+        entry.opt = std::make_shared<const OptCurve>(std::move(curve));
+        break;
+      }
+      default:
+        return reject();
+    }
+    if (!in.exhausted())
+        return reject(); // trailing garbage: treat as corrupt
+    const auto existing = entries_.find(key);
+    // Never let a narrower disk ways-curve displace a wider
+    // in-memory one — the cross-tier form of storeSetAssoc's
+    // never-narrow invariant.
+    if (key.kind == 1 && existing != entries_.end() &&
+        existing->second.ways >= entry.ways)
+        return existing;
+    // OPT entries union instead of replace, so neither tier's
+    // capacities are lost when both hold curves over the trace
+    // (another invocation may have widened the disk entry, this one
+    // the in-memory entry).
+    if (key.kind == 2 && existing != entries_.end()) {
+        const auto &have = existing->second.opt->capacities();
+        if (std::includes(have.begin(), have.end(),
+                          entry.opt->capacities().begin(),
+                          entry.opt->capacities().end()))
+            return existing; // disk adds nothing
+        entry.opt = mergeOptCurves(*existing->second.opt, *entry.opt);
+    }
+    return insertLocked(key, std::move(entry));
+}
+
+void
+CurveStore::diskStoreLocked(const EntryKey &key, const Entry &entry)
+{
+    if (disk_dir_.empty())
+        return;
+    ByteWriter w;
+    for (const auto m : kMagic)
+        w.u8(m);
+    w.u32(kFormatVersion);
+    key.encode(w);
+    switch (key.kind) {
+      case 0:
+        entry.miss->encode(w);
+        break;
+      case 1:
+        w.u64(entry.ways);
+        entry.miss->encode(w);
+        break;
+      case 2:
+        entry.opt->encode(w);
+        break;
+    }
+    w.u64(fnv1a64(w.bytes()));
+    const auto bytes = w.take();
+
+    // Write-then-rename: concurrent readers (other shards, other
+    // invocations) either see the complete previous entry or the
+    // complete new one, never a torn file.
+    const std::string final_path = entryPath(key);
+    const std::string tmp_path =
+        final_path + ".tmp" +
+        std::to_string(static_cast<unsigned long>(::getpid()));
+    std::error_code ec;
+    {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return; // unwritable tier 2 degrades to absent
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out.good()) {
+            out.close();
+            fs::remove(tmp_path, ec);
+            return;
+        }
+    }
+    // Keep the running byte total current without a directory scan:
+    // subtract the entry being replaced (if any), add the new bytes.
+    std::uint64_t replaced = 0;
+    if (disk_usage_ >= 0) {
+        const auto old_size = fs::file_size(final_path, ec);
+        if (!ec)
+            replaced = old_size;
+        ec.clear();
+    }
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        fs::remove(tmp_path, ec);
+        return;
+    }
+    ++stats_.disk_stores;
+    if (disk_usage_ >= 0)
+        disk_usage_ += static_cast<std::int64_t>(bytes.size()) -
+                       static_cast<std::int64_t>(replaced);
+    // Scan-and-evict only when the total is unknown or over the
+    // bound; the steady-state store path never touches the
+    // directory listing.
+    if (disk_capacity_bytes_ != 0 &&
+        (disk_usage_ < 0 ||
+         static_cast<std::uint64_t>(disk_usage_) >
+             disk_capacity_bytes_))
+        diskEvictLocked();
+}
+
+void
+CurveStore::diskEvictLocked()
+{
+    struct FileInfo
+    {
+        fs::path path;
+        std::uint64_t size = 0;
+        fs::file_time_type mtime;
+    };
+    std::vector<FileInfo> files;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(disk_dir_, ec)) {
+        if (!de.is_regular_file(ec) ||
+            de.path().extension() != kEntrySuffix)
+            continue;
+        FileInfo info;
+        info.path = de.path();
+        info.size = de.file_size(ec);
+        info.mtime = de.last_write_time(ec);
+        total += info.size;
+        files.push_back(std::move(info));
+    }
+    if (total > disk_capacity_bytes_ && disk_capacity_bytes_ != 0) {
+        std::sort(files.begin(), files.end(),
+                  [](const FileInfo &a, const FileInfo &b) {
+                      return a.mtime < b.mtime;
+                  });
+        for (const auto &info : files) {
+            if (total <= disk_capacity_bytes_)
+                break;
+            if (fs::remove(info.path, ec))
+                total -= info.size;
+        }
+    }
+    disk_usage_ = static_cast<std::int64_t>(total);
+}
+
+std::shared_ptr<const MissCurve>
+CurveStore::findLru(const TraceKey &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const EntryKey entry_key{key, 0, 0};
+    auto it = entries_.find(entry_key);
+    if (it != entries_.end()) {
+        touchLocked(it);
+        ++stats_.hits;
+        return it->second.miss;
+    }
+    it = diskLoadLocked(entry_key);
+    if (it != entries_.end()) {
+        ++stats_.hits;
+        ++stats_.disk_hits;
+        return it->second.miss;
+    }
+    ++stats_.misses;
+    return nullptr;
+}
+
+void
+CurveStore::storeLru(const TraceKey &key,
+                     std::shared_ptr<const MissCurve> curve)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const EntryKey entry_key{key, 0, 0};
+    const auto it =
+        insertLocked(entry_key, Entry{std::move(curve), nullptr, 0, {}});
+    diskStoreLocked(entry_key, it->second);
+}
+
+std::shared_ptr<const MissCurve>
+CurveStore::findSetAssoc(const TraceKey &key, std::uint64_t sets,
+                         std::uint64_t ways)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const EntryKey entry_key{key, 1, sets};
+    const auto it = entries_.find(entry_key);
+    if (it != entries_.end() && it->second.ways >= ways) {
+        touchLocked(it);
+        ++stats_.hits;
+        return it->second.miss;
+    }
+    // Tier 2 may hold a wider curve than tier 1 (another invocation's
+    // larger ways bound); diskLoadLocked refuses to narrow, so this
+    // is safe even when a too-narrow tier-1 entry exists.
+    const auto dit = diskLoadLocked(entry_key);
+    if (dit != entries_.end() && dit->second.ways >= ways) {
+        ++stats_.hits;
+        ++stats_.disk_hits;
+        return dit->second.miss;
+    }
+    ++stats_.misses;
+    return nullptr;
+}
+
+void
+CurveStore::storeSetAssoc(const TraceKey &key, std::uint64_t sets,
+                          std::uint64_t ways,
+                          std::shared_ptr<const MissCurve> curve)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const EntryKey entry_key{key, 1, sets};
+    // Never narrow an entry: a curve exact to fewer ways replacing a
+    // wider one would make the next wider lookup miss forever. The
+    // disk probe covers a wider entry stored by another invocation
+    // even when tier 1 holds a narrower one (diskLoadLocked refuses
+    // to narrow, so probing cannot lose width either).
+    auto it = entries_.find(entry_key);
+    if (it == entries_.end() || it->second.ways < ways) {
+        const auto dit = diskLoadLocked(entry_key);
+        if (dit != entries_.end())
+            it = dit;
+    }
+    if (it != entries_.end() && it->second.ways >= ways)
+        return;
+    it = insertLocked(entry_key,
+                      Entry{std::move(curve), nullptr, ways, {}});
+    diskStoreLocked(entry_key, it->second);
+}
+
+std::shared_ptr<const OptCurve>
+CurveStore::findOpt(const TraceKey &key,
+                    const std::vector<std::uint64_t> &capacities)
+{
+    const auto covers = [&capacities](const EntryMap::iterator &it) {
+        const auto &have = it->second.opt->capacities();
+        return std::includes(have.begin(), have.end(),
+                             capacities.begin(), capacities.end());
+    };
+    std::lock_guard<std::mutex> lock(mutex_);
+    const EntryKey entry_key{key, 2, 0};
+    const auto it = entries_.find(entry_key);
+    if (it != entries_.end() && covers(it)) {
+        touchLocked(it);
+        ++stats_.hits;
+        return it->second.opt;
+    }
+    // Tier 2 may resolve capacities tier 1 does not (another
+    // invocation's grid); diskLoadLocked unions OPT entries, so the
+    // probe widens the tier-1 curve and can never lose capacities.
+    const auto dit = diskLoadLocked(entry_key);
+    if (dit != entries_.end() && covers(dit)) {
+        ++stats_.hits;
+        ++stats_.disk_hits;
+        return dit->second.opt;
+    }
+    // Still not covering — the (possibly widened) tier-1 entry stays:
+    // the next storeOpt merges with it, widening one shared curve
+    // instead of thrashing the slot (within and across invocations).
+    ++stats_.misses;
+    return nullptr;
+}
+
+void
+CurveStore::storeOpt(const TraceKey &key,
+                     std::shared_ptr<const OptCurve> curve)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const EntryKey entry_key{key, 2, 0};
+    // Merge with an existing entry instead of replacing it, so jobs
+    // with different grids over the same trace widen one shared
+    // curve rather than thrash the slot. The disk probe folds in
+    // capacities another invocation contributed (diskLoadLocked
+    // unions OPT entries), so the rewrite below widens the disk file
+    // relative to everything this process has observed. Two
+    // *concurrent* writers still race read-merge-write (last rename
+    // wins); that is accepted — a lost union costs a later
+    // recompute, never correctness.
+    auto it = entries_.find(entry_key);
+    {
+        const auto dit = diskLoadLocked(entry_key);
+        if (dit != entries_.end())
+            it = dit;
+    }
+    if (it != entries_.end()) {
+        const auto &have = it->second.opt->capacities();
+        if (std::includes(have.begin(), have.end(),
+                          curve->capacities().begin(),
+                          curve->capacities().end()))
+            return;
+        curve = mergeOptCurves(*it->second.opt, *curve);
+    }
+    it = insertLocked(entry_key,
+                      Entry{nullptr, std::move(curve), 0, {}});
+    diskStoreLocked(entry_key, it->second);
+}
+
+CurveStoreStats
+CurveStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+CurveStore::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    order_.clear();
+    stats_ = CurveStoreStats{};
+}
+
+void
+CurveStore::clearDisk()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (disk_dir_.empty())
+        return;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(disk_dir_, ec)) {
+        if (de.is_regular_file(ec) &&
+            de.path().extension() == kEntrySuffix)
+            fs::remove(de.path(), ec);
+    }
+    disk_usage_ = 0;
+}
+
+} // namespace kb

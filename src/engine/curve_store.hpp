@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Two-tier store for single-pass miss curves.
+ *
+ * A fixed-schedule SweepJob's model columns are pure functions of
+ * (kernel, traced problem size, schedule memory) — the trace they are
+ * read from is deterministic, and the curves (fully associative LRU,
+ * per-set-count set-associative LRU, OPT at a capacity set) summarize
+ * it losslessly for their model family. Repeated sweeps over the same
+ * schedule therefore do not need to re-emit the trace: the engine
+ * consults this store first and only attaches analyzers (and pays the
+ * emission) for curves it has never built.
+ *
+ * Tier 1 is a process-wide in-memory map with LRU eviction (entries
+ * are touched on every hit, so hot schedules survive long scans of
+ * cold ones). Tier 2 is an optional versioned on-disk cache — enable
+ * it with setDiskDirectory() or the KB_CURVE_CACHE_DIR environment
+ * variable — so *separate* bench invocations (and shards of one
+ * sweep grid split across processes) reuse each other's curves. A
+ * tier-1 miss falls through to disk; a decoded entry is promoted back
+ * into tier 1; every store writes both tiers.
+ *
+ * On-disk format (version 1), one entry per file, file name
+ * content-addressed from the encoded entry key:
+ *
+ *   "KBCV" magic | u32 format version | encoded entry key
+ *   | per-kind payload (MissCurve / ways+MissCurve / OptCurve)
+ *   | u64 FNV-1a checksum of everything before it
+ *
+ * Files are written to a temp name and atomically renamed into
+ * place, so readers never see a torn entry. Any malformed file —
+ * truncated, checksum mismatch, wrong version, key collision,
+ * structurally inconsistent payload — is silently ignored and the
+ * curve recomputed: corruption can cost time, never correctness.
+ * The directory is size-bounded (setDiskCapacityBytes); the oldest
+ * entries by modification time are evicted after each store.
+ *
+ * The store is thread-safe; entries are immutable once stored
+ * (shared_ptr<const ...>), so concurrent jobs can read a curve while
+ * another job stores a new one. Results are bit-identical with the
+ * store hot, cold, or absent, which the engine's equivalence tests
+ * assert.
+ */
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mem/opt_cache.hpp"
+#include "trace/reuse.hpp"
+#include "util/binio.hpp"
+
+namespace kb {
+
+/** Identity of a fixed-schedule trace: what emitTrace() would see. */
+struct TraceKey
+{
+    std::string kernel;          ///< registry name
+    std::uint64_t n_trace = 0;   ///< traced problem size
+    std::uint64_t schedule_m = 0; ///< memory the schedule is tiled for
+
+    friend auto operator<=>(const TraceKey &, const TraceKey &) = default;
+
+    /** Stable serialization (on-disk entry identity). */
+    void encode(ByteWriter &out) const;
+    static bool decode(ByteReader &in, TraceKey &out);
+};
+
+/** Hit/miss and tier-traffic counters, for tests and reports. */
+struct CurveStoreStats
+{
+    std::uint64_t hits = 0;   ///< lookups served (either tier)
+    std::uint64_t misses = 0; ///< lookups that forced a fresh build
+    std::uint64_t disk_hits = 0;    ///< hits that came from tier 2
+    std::uint64_t disk_stores = 0;  ///< entry files written
+    std::uint64_t disk_rejects = 0; ///< malformed entries ignored
+    std::uint64_t tier1_evictions = 0; ///< LRU evictions from tier 1
+};
+
+/// Historical name (the store grew out of the in-process CurveCache).
+using CurveCacheStats = CurveStoreStats;
+
+/** Process-wide two-tier store of single-pass curves keyed by trace
+ *  identity. */
+class CurveStore
+{
+  public:
+    /** On-disk entry format version; bump on any layout change. */
+    static constexpr std::uint32_t kFormatVersion = 1;
+
+    /** The singleton. Tier 2 starts at $KB_CURVE_CACHE_DIR ("" =
+     *  disabled) and can be repointed with setDiskDirectory(). */
+    static CurveStore &instance();
+
+    /** Fully associative LRU curve of @p key, or nullptr. */
+    std::shared_ptr<const MissCurve> findLru(const TraceKey &key);
+    void storeLru(const TraceKey &key,
+                  std::shared_ptr<const MissCurve> curve);
+
+    /**
+     * Set-associative LRU ways-curve of @p key at @p sets sets,
+     * exact for associativities up to @p ways, or nullptr. A cached
+     * curve built for a larger ways bound also satisfies the lookup
+     * (its lumped bucket sits higher).
+     */
+    std::shared_ptr<const MissCurve> findSetAssoc(const TraceKey &key,
+                                                  std::uint64_t sets,
+                                                  std::uint64_t ways);
+    void storeSetAssoc(const TraceKey &key, std::uint64_t sets,
+                       std::uint64_t ways,
+                       std::shared_ptr<const MissCurve> curve);
+
+    /**
+     * OPT curve of @p key resolving every capacity in @p capacities
+     * (a cached curve built for a superset satisfies the lookup), or
+     * nullptr.
+     */
+    std::shared_ptr<const OptCurve>
+    findOpt(const TraceKey &key,
+            const std::vector<std::uint64_t> &capacities);
+    void storeOpt(const TraceKey &key,
+                  std::shared_ptr<const OptCurve> curve);
+
+    /** Counters since construction or the last clear(). */
+    CurveStoreStats stats() const;
+
+    /**
+     * Drop every tier-1 entry and zero the counters. Tier 2 is left
+     * untouched — this models a fresh process against a warm disk
+     * store (tests, the A/B bench); use clearDisk() for a cold disk.
+     */
+    void clear();
+
+    /** Remove every store entry file from the disk directory. */
+    void clearDisk();
+
+    /** Point tier 2 at @p dir (created if missing; "" disables). */
+    void setDiskDirectory(const std::string &dir);
+    std::string diskDirectory() const;
+
+    /** Tier-2 size bound in bytes (default 256 MiB; 0 = unbounded).
+     *  Enforced after each store by evicting oldest-mtime entries. */
+    void setDiskCapacityBytes(std::uint64_t bytes);
+
+    /** Tier-1 entry bound (default 64); shrinking evicts LRU-first. */
+    void setTier1Capacity(std::size_t entries);
+
+  private:
+    CurveStore();
+
+    /// Full entry identity: the trace plus which curve family over it
+    /// (kind 0 = LRU, 1 = set-assoc at `sets`, 2 = OPT).
+    struct EntryKey
+    {
+        TraceKey trace;
+        int kind = 0;
+        std::uint64_t sets = 0;
+
+        friend auto operator<=>(const EntryKey &,
+                                const EntryKey &) = default;
+
+        void encode(ByteWriter &out) const;
+        static bool decode(ByteReader &in, EntryKey &out);
+    };
+
+    struct Entry
+    {
+        std::shared_ptr<const MissCurve> miss;  ///< kinds 0 and 1
+        std::shared_ptr<const OptCurve> opt;    ///< kind 2
+        std::uint64_t ways = 0; ///< kind 1: exact-associativity bound
+        /// Position in order_ (tier-1 LRU list), valid while mapped.
+        std::list<EntryKey>::iterator order_it;
+    };
+
+    using EntryMap = std::map<EntryKey, Entry>;
+
+    /** Mark @p it most recently used. */
+    void touchLocked(EntryMap::iterator it);
+
+    /** Insert/overwrite in tier 1 (most-recent position), evicting
+     *  LRU entries beyond the tier-1 bound. */
+    EntryMap::iterator insertLocked(const EntryKey &key, Entry entry);
+
+    /**
+     * Tier-2 lookup: decode @p key's entry file into tier 1 and
+     * return its iterator, or entries_.end() when tier 2 is disabled,
+     * the file is missing, or it is malformed (malformed files count
+     * as disk_rejects).
+     */
+    EntryMap::iterator diskLoadLocked(const EntryKey &key);
+
+    /** Write @p entry to @p key's tier-2 file (atomic rename), then
+     *  enforce the size bound. No-op when tier 2 is disabled. */
+    void diskStoreLocked(const EntryKey &key, const Entry &entry);
+
+    /** Rescan the directory and evict oldest-mtime entries down to
+     *  the size bound; refreshes disk_usage_. Called when the
+     *  running total is unknown or crosses the bound — not on every
+     *  store, so the steady-state store path stays scan-free. */
+    void diskEvictLocked();
+
+    std::string entryPath(const EntryKey &key) const;
+
+    mutable std::mutex mutex_;
+    EntryMap entries_;
+    std::list<EntryKey> order_; ///< LRU order, most recent at back
+    std::size_t tier1_capacity_ = 64;
+    std::string disk_dir_; ///< "" = tier 2 disabled
+    std::uint64_t disk_capacity_bytes_ = 256ull << 20;
+    /// Running byte total of the disk directory's entries; -1 =
+    /// unknown (recomputed by the next diskEvictLocked scan).
+    std::int64_t disk_usage_ = -1;
+    CurveStoreStats stats_;
+};
+
+/// Historical name (see CurveStoreStats).
+using CurveCache = CurveStore;
+
+} // namespace kb

@@ -7,7 +7,7 @@
 #include <optional>
 #include <thread>
 
-#include "engine/curve_cache.hpp"
+#include "engine/curve_store.hpp"
 #include "kernels/registry.hpp"
 #include "mem/lru_cache.hpp"
 #include "mem/opt_cache.hpp"
@@ -148,6 +148,9 @@ struct PreparedJob
 {
     std::shared_ptr<const Kernel> kernel;
     std::vector<std::uint64_t> grid;
+    /// Sharding mask, parallel to grid: owned[p] != 0 iff this
+    /// process measures point p (all-ones without a PointFilter).
+    std::vector<char> owned;
     SweepResult result;
 };
 
@@ -167,7 +170,7 @@ struct Task
  *  job-level trace task instead of per-point replays: a pinned
  *  schedule AND at least one inclusion-respecting model (LRU,
  *  set-associative LRU, OPT), whose whole column falls out of one
- *  pass — and whose curve the CurveCache can serve on a repeat. A
+ *  pass — and whose curve the CurveStore can serve on a repeat. A
  *  fixed-schedule job with only non-inclusion models keeps per-point
  *  tasks — they produce identical results and spread across the
  *  pool. */
@@ -241,8 +244,9 @@ executeTask(PreparedJob &pj, std::size_t point_idx)
     // schedule_headroom job re-tiles per point for a fixed fraction
     // of its capacity (tile-headroom studies, E12's M/2 rows).
     std::uint64_t trace_m = job.schedule_m ? job.schedule_m : m;
-    if (job.schedule_headroom > 1)
-        trace_m = std::max(trace_m / job.schedule_headroom,
+    if (job.schedule_headroom > 0)
+        trace_m = std::max(trace_m * job.schedule_headroom_num /
+                               job.schedule_headroom,
                            kernel.minMemory(pj.result.n_hint));
     const std::uint64_t n_trace =
         kernel.regimeProblemSize(pj.result.n_hint, trace_m);
@@ -293,7 +297,7 @@ executeTask(PreparedJob &pj, std::size_t point_idx)
  * (set-associative FIFO, random) are replayed from the same
  * emission — one live instance per (point, model).
  *
- * Every curve is looked up in the process-wide CurveCache first and
+ * Every curve is looked up in the process-wide CurveStore first and
  * stored after computing; when all requested curves are already
  * cached and no non-inclusion model is in the job, the trace is not
  * emitted at all.
@@ -307,7 +311,7 @@ executeJobTrace(PreparedJob &pj)
     const std::uint64_t n_trace =
         kernel.regimeProblemSize(pj.result.n_hint, job.schedule_m);
     const TraceKey trace_key{job.kernel, n_trace, job.schedule_m};
-    auto &cache = CurveCache::instance();
+    auto &store = CurveStore::instance();
 
     bool wants_lru = false, wants_sa = false, wants_opt = false;
     for (const auto kind : job.models) {
@@ -316,34 +320,43 @@ executeJobTrace(PreparedJob &pj)
         wants_opt |= kind == MemoryModelKind::Opt;
     }
 
-    // --- consult the cache before committing to any trace work ---
+    // --- consult the store before committing to any trace work ---
     std::shared_ptr<const MissCurve> lru_curve;
     if (wants_lru)
-        lru_curve = cache.findLru(trace_key);
-    // One ways-curve per distinct set count on the grid (a geometric
-    // grid rarely repeats a set count, but dense grids do).
+        lru_curve = store.findLru(trace_key);
+    // One ways-curve per distinct set count among the OWNED grid
+    // points (a geometric grid rarely repeats a set count, but dense
+    // grids do). Unowned points belong to another shard.
     std::map<std::uint64_t, std::shared_ptr<const MissCurve>> sa_curves;
     if (wants_sa) {
-        for (const std::uint64_t m : pj.grid)
-            sa_curves.emplace(setAssocSets(m), nullptr);
+        for (std::size_t p = 0; p < pj.grid.size(); ++p)
+            if (pj.owned[p])
+                sa_curves.emplace(setAssocSets(pj.grid[p]), nullptr);
         for (auto &[sets, curve] : sa_curves)
-            curve = cache.findSetAssoc(trace_key, sets, kSetAssocWays);
+            curve = store.findSetAssoc(trace_key, sets, kSetAssocWays);
     }
+    // The OPT curve is always built for the FULL grid (not just the
+    // owned capacities): the one-pass walk costs the same either way
+    // and every shard then stores the identical disk entry instead of
+    // per-shard partial curves.
     std::shared_ptr<const OptCurve> opt_curve;
     if (wants_opt)
-        opt_curve = cache.findOpt(trace_key, pj.grid);
+        opt_curve = store.findOpt(trace_key, pj.grid);
 
     // Per-(point, model) instances for the non-inclusion disciplines,
-    // in (point-major, model-minor) order for the readback below.
+    // owned points only, in (point-major, model-minor) order for the
+    // readback below.
     std::vector<std::unique_ptr<LocalMemory>> streaming;
     std::vector<LocalMemory *> streaming_ptrs;
-    for (const std::uint64_t m : pj.grid) {
+    for (std::size_t p = 0; p < pj.grid.size(); ++p) {
+        if (!pj.owned[p])
+            continue;
         for (const auto kind : job.models) {
             if (kind == MemoryModelKind::Lru ||
                 kind == MemoryModelKind::SetAssocLru ||
                 kind == MemoryModelKind::Opt)
                 continue;
-            streaming.push_back(makeMemoryModel(kind, m));
+            streaming.push_back(makeMemoryModel(kind, pj.grid[p]));
             streaming_ptrs.push_back(streaming.back().get());
         }
     }
@@ -372,24 +385,26 @@ executeJobTrace(PreparedJob &pj)
     if (wants_lru && !lru_curve) {
         lru_curve = std::make_shared<const MissCurve>(
             lru_analyzer.missCurve());
-        cache.storeLru(trace_key, lru_curve);
+        store.storeLru(trace_key, lru_curve);
     }
     for (auto &analyzer : sa_analyzers) {
         auto curve = std::make_shared<const MissCurve>(
             analyzer->waysCurve());
-        cache.storeSetAssoc(trace_key, analyzer->sets(), kSetAssocWays,
+        store.storeSetAssoc(trace_key, analyzer->sets(), kSetAssocWays,
                             curve);
         sa_curves[analyzer->sets()] = std::move(curve);
     }
     if (wants_opt && !opt_curve) {
         opt_curve = std::make_shared<const OptCurve>(
             simulateOptCurve(buffer.trace(), pj.grid));
-        cache.storeOpt(trace_key, opt_curve);
+        store.storeOpt(trace_key, opt_curve);
     }
 
-    // --- read every point's model row off the curves ---
+    // --- read every owned point's model row off the curves ---
     std::size_t next_streaming = 0;
     for (std::size_t p = 0; p < pj.grid.size(); ++p) {
+        if (!pj.owned[p])
+            continue;
         const std::uint64_t m = pj.grid[p];
         auto &slot = pj.result.points[p];
         slot.model_io.reserve(job.models.size());
@@ -426,9 +441,18 @@ ExperimentEngine::hardwareThreads()
 std::vector<SweepResult>
 ExperimentEngine::run(const std::vector<SweepJob> &jobs) const
 {
+    return run(jobs, nullptr);
+}
+
+std::vector<SweepResult>
+ExperimentEngine::run(const std::vector<SweepJob> &jobs,
+                      const PointFilter &owns) const
+{
     auto &registry = KernelRegistry::instance();
 
-    // Phase 1: resolve jobs serially (cheap, deterministic).
+    // Phase 1: resolve jobs serially (cheap, deterministic). This
+    // phase is identical for every PointFilter, so shards agree on
+    // grids and result shapes by construction.
     std::vector<PreparedJob> prepared;
     prepared.reserve(jobs.size());
     std::vector<Task> tasks;
@@ -451,6 +475,20 @@ ExperimentEngine::run(const std::vector<SweepJob> &jobs) const
                    "' sets both schedule_m and schedule_headroom; a "
                    "schedule is either fixed or a per-point fraction, "
                    "not both");
+        KB_REQUIRE(pj.result.job.schedule_headroom_num >= 1 &&
+                       (pj.result.job.schedule_headroom == 0 ||
+                        pj.result.job.schedule_headroom_num <=
+                            pj.result.job.schedule_headroom),
+                   "sweep job '", pj.result.job.kernel,
+                   "' has a bad tile fraction ",
+                   pj.result.job.schedule_headroom_num, "/",
+                   pj.result.job.schedule_headroom,
+                   " (need 1 <= num <= headroom)");
+        KB_REQUIRE(pj.result.job.schedule_headroom != 0 ||
+                       pj.result.job.schedule_headroom_num == 1,
+                   "sweep job '", pj.result.job.kernel,
+                   "' sets schedule_headroom_num without "
+                   "schedule_headroom");
         pj.result.n_hint =
             pj.result.job.n_hint != 0
                 ? pj.result.job.n_hint
@@ -459,13 +497,28 @@ ExperimentEngine::run(const std::vector<SweepJob> &jobs) const
                              pj.result.job.m_lo, pj.result.job.m_hi,
                              pj.result.job.points);
         pj.result.points.resize(pj.grid.size());
+        // Stamp the resolved grid into every slot up front (owned
+        // slots overwrite it with their full sample). Unowned slots
+        // of a sharded run then still carry their capacity, and the
+        // shard signature can cover the resolved grid itself.
+        for (std::size_t p = 0; p < pj.grid.size(); ++p)
+            pj.result.points[p].sample.m = pj.grid[p];
+        pj.owned.assign(pj.grid.size(), 1);
+        if (owns)
+            for (std::size_t p = 0; p < pj.grid.size(); ++p)
+                pj.owned[p] = owns(j, p) ? 1 : 0;
+        const bool any_owned =
+            std::find(pj.owned.begin(), pj.owned.end(), char{1}) !=
+            pj.owned.end();
         // The single-pass trace task (when the job has one) goes
         // first: it is the heaviest unit, so an early start keeps the
-        // pool balanced.
-        if (usesJobTrace(pj.result.job))
+        // pool balanced. A job none of whose points are owned does no
+        // work at all in this shard.
+        if (any_owned && usesJobTrace(pj.result.job))
             tasks.push_back(Task{j, Task::kJobTrace});
         for (std::size_t p = 0; p < pj.grid.size(); ++p)
-            tasks.push_back(Task{j, p});
+            if (pj.owned[p])
+                tasks.push_back(Task{j, p});
         prepared.push_back(std::move(pj));
     }
 

@@ -44,10 +44,20 @@
  *
  * The single-pass curves are pure functions of (kernel, traced
  * problem size, schedule_m), so the engine keeps them in a
- * process-wide CurveCache (engine/curve_cache.hpp): a repeated job —
- * a re-run grid, an A/B bench — reads its columns without re-
- * emitting the trace at all. engineEmissionCount() exposes the
- * emission counter so tests can assert exactly that.
+ * process-wide two-tier CurveStore (engine/curve_store.hpp): a
+ * repeated job — a re-run grid, an A/B bench, and with the on-disk
+ * tier enabled even a whole separate invocation — reads its columns
+ * without re-emitting the trace at all. engineEmissionCount()
+ * exposes the emission counter so tests can assert exactly that.
+ *
+ * Sharding: run() optionally takes a PointFilter that restricts the
+ * measurement to a subset of the expanded (job, point) grid. The
+ * grid itself (job resolution, memory grids, result shapes) is
+ * always prepared in full and identically for every filter, so
+ * disjoint shards computed in different processes can be merged into
+ * a result bit-identical to an unsharded run (engine/shard.hpp
+ * builds the fragment format and the bench driver's --shard/--merge
+ * on top of this).
  */
 
 #pragma once
@@ -132,6 +142,16 @@ struct SweepJob
      */
     std::uint64_t schedule_headroom = 0;
     /**
+     * Numerator of the per-point tile fraction: with
+     * schedule_headroom != 0 the point at capacity m replays the
+     * schedule tiled for m * schedule_headroom_num /
+     * schedule_headroom. The default (1) keeps the historical "tile
+     * = M/h" reading; E12's 3M/4 rows set num = 3, headroom = 4.
+     * Must satisfy 1 <= num <= headroom (the tile never exceeds the
+     * capacity); meaningful only with schedule_headroom != 0.
+     */
+    std::uint64_t schedule_headroom_num = 1;
+    /**
      * Disable the stack-distance fast path and replay every point
      * directly (only meaningful with schedule_m != 0). The results
      * are identical either way; this exists for the equivalence tests
@@ -185,10 +205,27 @@ class ExperimentEngine
     unsigned threads() const { return threads_; }
 
     /**
+     * Ownership predicate for sharded runs: true iff this process
+     * measures (job_index, point_index). Job resolution and grids
+     * are unaffected — only the per-point work is skipped.
+     */
+    using PointFilter =
+        std::function<bool(std::size_t job, std::size_t point)>;
+
+    /**
      * Execute every job and return results in job order. Results are
      * independent of the worker count (see file comment).
      */
     std::vector<SweepResult> run(const std::vector<SweepJob> &jobs) const;
+
+    /**
+     * Sharded form: measure only the (job, point) cells @p owns
+     * accepts (nullptr = all). Unowned points keep default-initialized
+     * slots; owned points are bit-identical to an unfiltered run, so
+     * disjoint shards merge into the full result (engine/shard.hpp).
+     */
+    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs,
+                                 const PointFilter &owns) const;
 
     /** Convenience: run a single job. */
     SweepResult runOne(const SweepJob &job) const;

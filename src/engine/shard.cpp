@@ -1,0 +1,266 @@
+#include "engine/shard.hpp"
+
+#include <bit>
+#include <fstream>
+#include <sstream>
+
+#include "util/binio.hpp"
+#include "util/logging.hpp"
+
+namespace kb {
+
+namespace {
+
+constexpr const char *kFragmentMagic = "kbshard";
+constexpr unsigned kFragmentVersion = 1;
+
+std::string
+hexBits(double v)
+{
+    return toHex16(std::bit_cast<std::uint64_t>(v));
+}
+
+double
+bitsFromHex(const std::string &hex, bool &ok)
+{
+    std::uint64_t bits = 0;
+    if (!fromHex16(hex, bits)) {
+        ok = false;
+        return 0.0;
+    }
+    return std::bit_cast<double>(bits);
+}
+
+} // namespace
+
+bool
+parseShardSpec(const std::string &text, ShardSpec &out)
+{
+    const auto slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size())
+        return false;
+    const std::string idx = text.substr(0, slash);
+    const std::string cnt = text.substr(slash + 1);
+    // Digits only, and few enough of them that stoull cannot throw
+    // out_of_range (no real split needs more than 9 digits anyway).
+    const auto numeric = [](const std::string &s) {
+        return !s.empty() && s.size() <= 9 &&
+               s.find_first_not_of("0123456789") == std::string::npos;
+    };
+    if (!numeric(idx) || !numeric(cnt))
+        return false;
+    out.index = static_cast<std::size_t>(std::stoull(idx));
+    out.count = static_cast<std::size_t>(std::stoull(cnt));
+    return out.count >= 1 && out.index < out.count;
+}
+
+bool
+shardOwnsPoint(const ShardSpec &spec, std::size_t job,
+               std::size_t point)
+{
+    return (job + point) % spec.count == spec.index;
+}
+
+ExperimentEngine::PointFilter
+shardFilter(const ShardSpec &spec)
+{
+    return [spec](std::size_t job, std::size_t point) {
+        return shardOwnsPoint(spec, job, point);
+    };
+}
+
+std::uint64_t
+sweepSignature(const std::vector<SweepResult> &results)
+{
+    ByteWriter w;
+    w.u64(results.size());
+    for (const auto &r : results) {
+        const SweepJob &job = r.job;
+        w.str(job.kernel);
+        w.u64(job.m_lo);
+        w.u64(job.m_hi);
+        w.u64(job.points);
+        w.u64(job.n_hint);
+        w.u64(job.models.size());
+        for (const auto kind : job.models)
+            w.u8(static_cast<std::uint8_t>(kind));
+        w.u64(job.schedule_m);
+        w.u64(job.schedule_headroom);
+        w.u64(job.schedule_headroom_num);
+        w.u8(job.force_replay ? 1 : 0);
+        w.u8(job.models_only ? 1 : 0);
+        w.u64(r.n_hint);
+        w.u64(r.points.size());
+        // The resolved capacities themselves: a change to the grid
+        // construction (rounding, clamping, dedup) must invalidate
+        // old fragments even when every job field is unchanged —
+        // merging them would splice in capacities this binary never
+        // computed. The engine stamps sample.m during resolution, so
+        // this is filter-independent.
+        for (const auto &point : r.points)
+            w.u64(point.sample.m);
+    }
+    return fnv1a64(w.bytes());
+}
+
+void
+writeShardFragment(const std::string &path, const ShardSpec &spec,
+                   const std::vector<SweepResult> &results)
+{
+    std::ofstream out(path, std::ios::trunc);
+    KB_REQUIRE(static_cast<bool>(out), "cannot open shard fragment ",
+               path, " for writing");
+    out << kFragmentMagic << " " << kFragmentVersion << "\n"
+        << "signature " << toHex16(sweepSignature(results)) << "\n"
+        << "shard " << spec.index << " " << spec.count << "\n"
+        << "jobs " << results.size() << "\n";
+    for (std::size_t j = 0; j < results.size(); ++j) {
+        const auto &points = results[j].points;
+        for (std::size_t p = 0; p < points.size(); ++p) {
+            if (!shardOwnsPoint(spec, j, p))
+                continue;
+            const auto &pt = points[p];
+            out << "point " << j << " " << p << " " << pt.sample.m
+                << " " << hexBits(pt.sample.ratio) << " "
+                << hexBits(pt.sample.comp_ops) << " "
+                << hexBits(pt.sample.io_words);
+            for (const auto io : pt.model_io)
+                out << " " << io;
+            out << "\n";
+        }
+    }
+    out << "end\n";
+    KB_REQUIRE(out.good(), "write error on shard fragment ", path);
+}
+
+void
+mergeShardFragments(std::vector<SweepResult> &skeleton,
+                    const std::vector<std::string> &paths)
+{
+    const std::string expect_sig = toHex16(sweepSignature(skeleton));
+
+    // filled[j][p]: which fragment (index into paths) supplied the
+    // cell; -1 = still missing.
+    std::vector<std::vector<int>> filled(skeleton.size());
+    for (std::size_t j = 0; j < skeleton.size(); ++j)
+        filled[j].assign(skeleton[j].points.size(), -1);
+
+    std::size_t shard_count = 0;
+    std::vector<char> shard_seen;
+    for (std::size_t f = 0; f < paths.size(); ++f) {
+        const std::string &path = paths[f];
+        std::ifstream in(path);
+        KB_REQUIRE(static_cast<bool>(in), "cannot open shard fragment ",
+                   path);
+
+        std::string line;
+        auto nextLine = [&](const char *what) {
+            KB_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                       "shard fragment ", path, " is truncated (no ",
+                       what, " line)");
+            return std::istringstream(line);
+        };
+
+        std::string word;
+        unsigned version = 0;
+        {
+            auto ls = nextLine("header");
+            ls >> word >> version;
+            KB_REQUIRE(word == kFragmentMagic &&
+                           version == kFragmentVersion,
+                       path, " is not a version-", kFragmentVersion,
+                       " shard fragment");
+        }
+        {
+            auto ls = nextLine("signature");
+            std::string sig;
+            ls >> word >> sig;
+            KB_REQUIRE(word == "signature" && sig == expect_sig,
+                       "shard fragment ", path,
+                       " was produced from a different job grid "
+                       "(signature ", sig, ", expected ", expect_sig,
+                       ")");
+        }
+        {
+            auto ls = nextLine("shard");
+            std::size_t index = 0, count = 0;
+            ls >> word >> index >> count;
+            KB_REQUIRE(word == "shard" && count >= 1 && index < count,
+                       "shard fragment ", path, " has a bad shard line");
+            if (f == 0) {
+                shard_count = count;
+                shard_seen.assign(count, 0);
+            }
+            KB_REQUIRE(count == shard_count, "shard fragment ", path,
+                       " is a 1/", count, " split but the first "
+                       "fragment was 1/", shard_count);
+            KB_REQUIRE(!shard_seen[index], "shard ", index, "/", count,
+                       " appears twice in the merge list");
+            shard_seen[index] = 1;
+        }
+        {
+            auto ls = nextLine("jobs");
+            std::size_t jobs = 0;
+            ls >> word >> jobs;
+            KB_REQUIRE(word == "jobs" && jobs == skeleton.size(),
+                       "shard fragment ", path, " has ", jobs,
+                       " jobs, expected ", skeleton.size());
+        }
+
+        bool saw_end = false;
+        while (std::getline(in, line)) {
+            std::istringstream ls(line);
+            ls >> word;
+            if (word == "end") {
+                saw_end = true;
+                break;
+            }
+            KB_REQUIRE(word == "point", "shard fragment ", path,
+                       " has an unexpected line: ", line);
+            std::size_t j = 0, p = 0;
+            std::uint64_t m = 0;
+            std::string ratio_hex, comp_hex, io_hex;
+            ls >> j >> p >> m >> ratio_hex >> comp_hex >> io_hex;
+            KB_REQUIRE(static_cast<bool>(ls) && j < skeleton.size() &&
+                           p < skeleton[j].points.size(),
+                       "shard fragment ", path,
+                       " has a malformed point line: ", line);
+            KB_REQUIRE(filled[j][p] < 0, "cell (job ", j, ", point ",
+                       p, ") is supplied by both ",
+                       paths[static_cast<std::size_t>(filled[j][p])],
+                       " and ", path);
+            filled[j][p] = static_cast<int>(f);
+
+            auto &slot = skeleton[j].points[p];
+            bool ok = true;
+            slot.sample.m = m;
+            slot.sample.ratio = bitsFromHex(ratio_hex, ok);
+            slot.sample.comp_ops = bitsFromHex(comp_hex, ok);
+            slot.sample.io_words = bitsFromHex(io_hex, ok);
+            KB_REQUIRE(ok, "shard fragment ", path,
+                       " has a malformed point line: ", line);
+            slot.model_io.clear();
+            std::uint64_t io = 0;
+            while (ls >> io)
+                slot.model_io.push_back(io);
+            KB_REQUIRE(slot.model_io.size() ==
+                           skeleton[j].job.models.size(),
+                       "shard fragment ", path, " point (", j, ", ", p,
+                       ") carries ", slot.model_io.size(),
+                       " model columns, expected ",
+                       skeleton[j].job.models.size());
+        }
+        KB_REQUIRE(saw_end, "shard fragment ", path,
+                   " is truncated (no end line)");
+    }
+
+    for (std::size_t j = 0; j < skeleton.size(); ++j)
+        for (std::size_t p = 0; p < filled[j].size(); ++p)
+            KB_REQUIRE(filled[j][p] >= 0, "merge is missing cell (job ",
+                       j, ", point ", p, "); pass every shard's "
+                       "fragment (got ", paths.size(), " of ",
+                       shard_count, ")");
+}
+
+} // namespace kb

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Process-level sharding of sweep grids.
+ *
+ * A batch of SweepJobs expands to a deterministic (job, point) grid
+ * (the engine's phase-1 resolution is identical in every process),
+ * so the grid can be partitioned across N independent invocations —
+ * the first step toward the ROADMAP's cross-host job distribution.
+ * Shard i of N owns the cells with (job + point) % N == i; it runs
+ * the engine with the matching PointFilter and serializes its owned
+ * cells to a *fragment* file. A merge pass reassembles N disjoint
+ * fragments into the full result vector, bit-identical to an
+ * unsharded run (doubles travel as raw IEEE-754 bit patterns, never
+ * through decimal round-trips), which is what lets the bench
+ * driver's --merge mode print byte-identical reports.
+ *
+ * Fragments are line-oriented text (one `point` row per owned cell)
+ * and carry a signature over the resolved job list, so fragments
+ * from a different job grid, flag set, or binary revision are
+ * rejected instead of silently merged. With the on-disk CurveStore
+ * enabled, shards of one fixed-schedule sweep also share their
+ * single-pass curves through tier 2 — the two features compose.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace kb {
+
+/** One shard of an N-way partitioned sweep grid. */
+struct ShardSpec
+{
+    std::size_t index = 0; ///< in [0, count)
+    std::size_t count = 1; ///< total shards
+};
+
+/** Parse "i/N" (e.g. "0/2"); false on malformed input or i >= N. */
+bool parseShardSpec(const std::string &text, ShardSpec &out);
+
+/** Deterministic ownership: shard (job + point) % count == index.
+ *  Round-robin over both axes keeps shards balanced whether a batch
+ *  is many small jobs or one wide job. */
+bool shardOwnsPoint(const ShardSpec &spec, std::size_t job,
+                    std::size_t point);
+
+/** The engine PointFilter measuring exactly @p spec's cells. */
+ExperimentEngine::PointFilter shardFilter(const ShardSpec &spec);
+
+/**
+ * Content signature of a resolved job grid: every field of every
+ * resolved job plus its grid size, hashed. Depends only on the
+ * engine's deterministic phase-1 resolution — not on measurements —
+ * so every shard of one grid computes the same value.
+ */
+std::uint64_t sweepSignature(const std::vector<SweepResult> &results);
+
+/**
+ * Write @p spec's owned cells of @p results to a fragment file.
+ * @p results must come from an engine run filtered by @p spec (or a
+ * superset); fatal on an unwritable path.
+ */
+void writeShardFragment(const std::string &path, const ShardSpec &spec,
+                        const std::vector<SweepResult> &results);
+
+/**
+ * Merge fragment files into @p skeleton: the resolved-but-unmeasured
+ * result vector of the same job list (run the engine with a filter
+ * owning nothing to get one — it costs no measurements). Fatal on a
+ * signature mismatch, an unreadable or malformed fragment, a cell
+ * supplied twice, or incomplete coverage — a partial merge must
+ * never masquerade as a full run.
+ */
+void mergeShardFragments(std::vector<SweepResult> &skeleton,
+                         const std::vector<std::string> &paths);
+
+} // namespace kb

@@ -99,6 +99,44 @@ OptCurve::OptCurve(std::vector<std::uint64_t> capacities,
               capacities_.size() == writebacks_.size());
 }
 
+void
+OptCurve::encode(ByteWriter &out) const
+{
+    out.vecU64(capacities_);
+    out.vecU64(misses_);
+    out.vecU64(writebacks_);
+    out.u64(accesses_);
+}
+
+bool
+OptCurve::decode(ByteReader &in, OptCurve &out)
+{
+    OptCurve curve;
+    curve.capacities_ = in.vecU64();
+    curve.misses_ = in.vecU64();
+    curve.writebacks_ = in.vecU64();
+    curve.accesses_ = in.u64();
+    if (!in.ok())
+        return false;
+    // Structural sanity: parallel columns, strictly increasing
+    // capacities, and OPT's inclusion property (more memory never
+    // misses more).
+    if (curve.capacities_.size() != curve.misses_.size() ||
+        curve.capacities_.size() != curve.writebacks_.size())
+        return false;
+    for (std::size_t i = 1; i < curve.capacities_.size(); ++i) {
+        if (curve.capacities_[i] <= curve.capacities_[i - 1])
+            return false;
+        if (curve.misses_[i] > curve.misses_[i - 1])
+            return false;
+    }
+    for (const auto m : curve.misses_)
+        if (m > curve.accesses_)
+            return false;
+    out = std::move(curve);
+    return true;
+}
+
 std::size_t
 OptCurve::indexOf(std::uint64_t capacity) const
 {

@@ -18,6 +18,7 @@
 
 #include "mem/local_memory.hpp"
 #include "trace/access.hpp"
+#include "util/binio.hpp"
 
 namespace kb {
 
@@ -77,6 +78,16 @@ class OptCurve
     {
         return missesAt(capacity) + writebacksAt(capacity);
     }
+
+    /** Serialize every query-relevant field (on-disk curve store). */
+    void encode(ByteWriter &out) const;
+
+    /**
+     * Rebuild a curve from encode()'s bytes. Returns false (leaving
+     * @p out unspecified) when the input is truncated or internally
+     * inconsistent.
+     */
+    static bool decode(ByteReader &in, OptCurve &out);
 
   private:
     std::size_t indexOf(std::uint64_t capacity) const;

@@ -46,6 +46,52 @@ MissCurve::MissCurve(std::vector<std::uint64_t> histogram,
     }
 }
 
+void
+MissCurve::encode(ByteWriter &out) const
+{
+    out.vecU64(suffix_);
+    out.vecU64(wb_suffix_);
+    out.u64(cold_);
+    out.u64(accesses_);
+    out.u64(cold_writebacks_);
+    // footprint_ is derived from suffix_ and recomputed on decode.
+}
+
+bool
+MissCurve::decode(ByteReader &in, MissCurve &out)
+{
+    MissCurve curve;
+    curve.suffix_ = in.vecU64();
+    curve.wb_suffix_ = in.vecU64();
+    curve.cold_ = in.u64();
+    curve.accesses_ = in.u64();
+    curve.cold_writebacks_ = in.u64();
+    if (!in.ok())
+        return false;
+    // Structural sanity: suffix sums are non-increasing and end at 0,
+    // and no capacity can miss more often than there are accesses. A
+    // corrupt entry failing these would answer queries wrongly.
+    auto validSuffix = [](const std::vector<std::uint64_t> &s) {
+        for (std::size_t d = 1; d < s.size(); ++d)
+            if (s[d] > s[d - 1])
+                return false;
+        return s.empty() || s.back() == 0;
+    };
+    if (!validSuffix(curve.suffix_) || !validSuffix(curve.wb_suffix_))
+        return false;
+    if (!curve.suffix_.empty() &&
+        curve.cold_ + curve.suffix_.front() > curve.accesses_)
+        return false;
+    for (std::size_t d = curve.suffix_.size(); d-- > 0;) {
+        if (curve.suffix_[d] > 0) {
+            curve.footprint_ = d + 1;
+            break;
+        }
+    }
+    out = std::move(curve);
+    return true;
+}
+
 std::uint64_t
 MissCurve::missesAt(std::uint64_t capacity) const
 {

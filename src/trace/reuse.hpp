@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "trace/sink.hpp"
+#include "util/binio.hpp"
 #include "util/flat_map.hpp"
 
 namespace kb {
@@ -107,15 +108,27 @@ class MissCurve
      *  (precomputed; O(1)). */
     std::uint64_t footprint() const { return footprint_; }
 
+    /** Serialize every query-relevant field (on-disk curve store). */
+    void encode(ByteWriter &out) const;
+
+    /**
+     * Rebuild a curve from encode()'s bytes. Returns false (leaving
+     * @p out unspecified) when the input is truncated or internally
+     * inconsistent — a corrupt store entry must decode to "reject",
+     * never to a curve that answers queries wrongly.
+     */
+    static bool decode(ByteReader &in, MissCurve &out);
+
   private:
+    MissCurve() = default; ///< decode() target only
     /// suffix_[d] = number of finite-distance accesses with
     /// reuse distance >= d (d indexes from 0).
     std::vector<std::uint64_t> suffix_;
     /// wb_suffix_[d] = number of writes with finite dirty distance
     /// >= d.
     std::vector<std::uint64_t> wb_suffix_;
-    std::uint64_t cold_;
-    std::uint64_t accesses_;
+    std::uint64_t cold_ = 0;
+    std::uint64_t accesses_ = 0;
     std::uint64_t cold_writebacks_ = 0;
     std::uint64_t footprint_ = 0;
 };

@@ -8,7 +8,7 @@
  * (SetAssocReuseAnalyzer), and Belady OPT at whole capacity sets
  * (simulateOptCurve); the engine's fast-path jobs must return
  * exactly what the forced direct-replay jobs return; and a repeated
- * fast-path job must come out of the CurveCache without re-emitting
+ * fast-path job must come out of the CurveStore without re-emitting
  * its trace.
  */
 
@@ -20,7 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/sweep.hpp"
-#include "engine/curve_cache.hpp"
+#include "engine/curve_store.hpp"
 #include "engine/engine.hpp"
 #include "kernels/registry.hpp"
 #include "mem/lru_cache.hpp"
@@ -431,13 +431,13 @@ TEST(EngineFastPath, MeasureCioCurveIsMonotoneAndLruBacked)
 }
 
 /**
- * The cross-job CurveCache: a repeated fast-path job must return the
+ * The cross-job CurveStore: a repeated fast-path job must return the
  * cached curves without emitting its trace again, and the results
  * must be bit-identical to the cold run.
  */
-TEST(EngineCurveCache, RepeatedJobReusesCurvesWithoutReemission)
+TEST(EngineCurveStore, RepeatedJobReusesCurvesWithoutReemission)
 {
-    CurveCache::instance().clear();
+    CurveStore::instance().clear();
 
     SweepJob job;
     job.kernel = "matmul";
@@ -460,9 +460,9 @@ TEST(EngineCurveCache, RepeatedJobReusesCurvesWithoutReemission)
     const auto warm = engine.runOne(job);
     EXPECT_EQ(engineEmissionCount() - emissions_before,
               cold_emissions)
-        << "a repeated job must be served from the CurveCache "
+        << "a repeated job must be served from the CurveStore "
            "without re-emitting";
-    const auto stats = CurveCache::instance().stats();
+    const auto stats = CurveStore::instance().stats();
     EXPECT_GT(stats.hits, 0u);
 
     ASSERT_EQ(cold.points.size(), warm.points.size());
@@ -478,14 +478,14 @@ TEST(EngineCurveCache, RepeatedJobReusesCurvesWithoutReemission)
     for (std::size_t p = 0; p < warm.points.size(); ++p)
         EXPECT_EQ(warm.points[p].model_io, direct.points[p].model_io);
 
-    CurveCache::instance().clear();
+    CurveStore::instance().clear();
 }
 
 /** Alternating grids over the same trace must widen the cached OPT
  *  curve, not thrash it: the second round adds zero emissions. */
-TEST(EngineCurveCache, AlternatingGridsMergeInsteadOfThrashing)
+TEST(EngineCurveStore, AlternatingGridsMergeInsteadOfThrashing)
 {
-    CurveCache::instance().clear();
+    CurveStore::instance().clear();
 
     SweepJob narrow;
     narrow.kernel = "matmul";
@@ -516,7 +516,7 @@ TEST(EngineCurveCache, AlternatingGridsMergeInsteadOfThrashing)
         EXPECT_EQ(wide_cold.points[p].model_io,
                   wide_warm.points[p].model_io);
 
-    CurveCache::instance().clear();
+    CurveStore::instance().clear();
 }
 
 /** Queries beyond the analyzer's ways bound saturate at the lumped

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for process-level sharding: the deterministic (job, point)
+ * partition, fragment round-tripping (doubles as raw bit patterns),
+ * and the tentpole property — two shards merged are bit-identical to
+ * the unsharded engine run.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/curve_store.hpp"
+#include "engine/shard.hpp"
+
+namespace fs = std::filesystem;
+
+namespace kb {
+namespace {
+
+TEST(ShardSpecParse, AcceptsValidRejectsMalformed)
+{
+    ShardSpec spec;
+    ASSERT_TRUE(parseShardSpec("0/2", spec));
+    EXPECT_EQ(spec.index, 0u);
+    EXPECT_EQ(spec.count, 2u);
+    ASSERT_TRUE(parseShardSpec("11/12", spec));
+    EXPECT_EQ(spec.index, 11u);
+
+    for (const char *bad : {"", "/", "1/", "/2", "2/2", "3/2", "a/2",
+                            "1/b", "1-2", "1/2/3", "-1/2"})
+        EXPECT_FALSE(parseShardSpec(bad, spec)) << bad;
+}
+
+TEST(ShardPartition, EveryCellOwnedByExactlyOneShard)
+{
+    for (std::size_t count : {1u, 2u, 3u, 5u}) {
+        for (std::size_t j = 0; j < 7; ++j) {
+            for (std::size_t p = 0; p < 9; ++p) {
+                std::size_t owners = 0;
+                for (std::size_t i = 0; i < count; ++i)
+                    owners += shardOwnsPoint(ShardSpec{i, count}, j, p);
+                EXPECT_EQ(owners, 1u)
+                    << "cell (" << j << ", " << p << ") of a 1/"
+                    << count << " split";
+            }
+        }
+    }
+}
+
+/** The test batch: one fast-path fixed-schedule job, one per-point
+ *  job with a schedule sample — both paths must shard. */
+std::vector<SweepJob>
+testJobs()
+{
+    SweepJob fast;
+    fast.kernel = "matmul";
+    fast.m_lo = 48;
+    fast.m_hi = 512;
+    fast.points = 5;
+    fast.models = {MemoryModelKind::Lru, MemoryModelKind::Opt,
+                   MemoryModelKind::SetAssocFifo};
+    fast.schedule_m = 256;
+    fast.models_only = true;
+
+    SweepJob replay;
+    replay.kernel = "fft";
+    replay.m_lo = 16;
+    replay.m_hi = 128;
+    replay.points = 4;
+    replay.models = {MemoryModelKind::Lru};
+
+    return {fast, replay};
+}
+
+void
+expectBitIdentical(const std::vector<SweepResult> &a,
+                   const std::vector<SweepResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) {
+        ASSERT_EQ(a[j].points.size(), b[j].points.size());
+        for (std::size_t p = 0; p < a[j].points.size(); ++p) {
+            SCOPED_TRACE("job " + std::to_string(j) + " point " +
+                         std::to_string(p));
+            const auto &x = a[j].points[p];
+            const auto &y = b[j].points[p];
+            EXPECT_EQ(x.sample.m, y.sample.m);
+            // Bit-identical doubles, not approximately equal: the
+            // fragment codec ships raw IEEE-754 bit patterns.
+            EXPECT_EQ(x.sample.ratio, y.sample.ratio);
+            EXPECT_EQ(x.sample.comp_ops, y.sample.comp_ops);
+            EXPECT_EQ(x.sample.io_words, y.sample.io_words);
+            EXPECT_EQ(x.model_io, y.model_io);
+        }
+    }
+}
+
+TEST(ShardMerge, TwoShardsMergeBitIdenticalToUnshardedRun)
+{
+    CurveStore::instance().clear();
+    const auto jobs = testJobs();
+    const ExperimentEngine engine(1);
+    const auto reference = engine.run(jobs);
+
+    const fs::path dir = fs::path(::testing::TempDir()) / "kb_shards";
+    fs::create_directories(dir);
+    std::vector<std::string> fragments;
+    for (std::size_t i = 0; i < 2; ++i) {
+        const ShardSpec spec{i, 2};
+        CurveStore::instance().clear(); // each shard is its own process
+        const auto partial = engine.run(jobs, shardFilter(spec));
+        // Unowned cells carry only the grid stamp (their capacity),
+        // no measurements — the shard really did skip them rather
+        // than recompute everything.
+        bool saw_skipped = false;
+        for (std::size_t j = 0; j < partial.size(); ++j)
+            for (std::size_t p = 0; p < partial[j].points.size(); ++p)
+                if (!shardOwnsPoint(spec, j, p)) {
+                    const auto &cell = partial[j].points[p];
+                    EXPECT_NE(cell.sample.m, 0u);
+                    EXPECT_EQ(cell.sample.ratio, 0.0);
+                    EXPECT_EQ(cell.sample.io_words, 0.0);
+                    EXPECT_TRUE(cell.model_io.empty());
+                    saw_skipped = true;
+                }
+        EXPECT_TRUE(saw_skipped);
+        const std::string path =
+            (dir / ("frag" + std::to_string(i) + ".kbshard")).string();
+        writeShardFragment(path, spec, partial);
+        fragments.push_back(path);
+    }
+
+    // Merge into a skeleton resolved without measuring anything.
+    const std::uint64_t before = engineEmissionCount();
+    auto merged = engine.run(jobs, [](std::size_t, std::size_t) {
+        return false;
+    });
+    EXPECT_EQ(engineEmissionCount(), before)
+        << "resolving the merge skeleton must not measure anything";
+    mergeShardFragments(merged, fragments);
+    expectBitIdentical(merged, reference);
+
+    fs::remove_all(dir);
+    CurveStore::instance().clear();
+}
+
+TEST(ShardSignature, DependsOnGridNotOnShard)
+{
+    const ExperimentEngine engine(1);
+    const auto jobs = testJobs();
+    const auto none = [](std::size_t, std::size_t) { return false; };
+    const auto a = engine.run(jobs, shardFilter(ShardSpec{0, 2}));
+    const auto b = engine.run(jobs, shardFilter(ShardSpec{1, 2}));
+    const auto skeleton = engine.run(jobs, none);
+    EXPECT_EQ(sweepSignature(a), sweepSignature(b));
+    EXPECT_EQ(sweepSignature(a), sweepSignature(skeleton));
+
+    auto other = jobs;
+    other[0].points = 6;
+    EXPECT_NE(sweepSignature(engine.run(other, none)),
+              sweepSignature(skeleton))
+        << "a different grid must change the signature";
+    CurveStore::instance().clear();
+}
+
+} // namespace
+} // namespace kb
