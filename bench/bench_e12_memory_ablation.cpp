@@ -13,8 +13,10 @@
  * SweepJob::schedule_headroom[_num]) carrying the set-associative
  * and random columns. The headroom block maps where conflict
  * thrashing sets in: the closer the tile is to the full capacity,
- * the less associativity slack remains. This bench only formats the
- * results.
+ * the less associativity slack remains. A second, finer block —
+ * eleven 8-way-LRU-only jobs sweeping the tile fraction from 10/20
+ * to 20/20 of M — localizes the knee the coarse rows only bracket.
+ * This bench only formats the results.
  */
 
 #include <cmath>
@@ -35,9 +37,9 @@ main(int argc, char **argv)
         const double ops = 2.0 * static_cast<double>(n) * n * n;
 
         const auto results = ctx.experimentSweeps();
-        KB_REQUIRE(results.size() == 4,
-                   "E12 declares four sweep jobs (tight + M/2 + M/4 "
-                   "+ 3M/4 headroom)");
+        KB_REQUIRE(results.size() >= 5,
+                   "E12 declares four headline sweep jobs (tight + "
+                   "M/2 + M/4 + 3M/4 headroom) plus the knee block");
         const SweepResult &tight = results[0];
         const SweepResult &headroom = results[1];
         const SweepResult &quarter = results[2];
@@ -116,6 +118,46 @@ main(int argc, char **argv)
                "which is why real blocked kernels leave associativity "
                "headroom; the M/4 -> M/2 -> 3M/4 block maps how the "
                "slack erodes as the tile approaches the capacity)\n";
+
+        // --- knee localization: the finer tile-fraction sweep ---
+        // Jobs 4.. each carry one 8-way LRU row at tile = num/den of
+        // M; the fitted exponent collapsing below the sqrt band
+        // between adjacent rows IS the conflict-thrashing knee.
+        std::vector<std::string> knee_headers = {"tile fraction"};
+        for (const auto &p : tight.points)
+            knee_headers.push_back("M=" + std::to_string(p.sample.m));
+        knee_headers.push_back("fitted exponent");
+        knee_headers.push_back("verdict");
+        TextTable knee_table(knee_headers);
+        for (std::size_t r = 4; r < results.size(); ++r) {
+            const SweepResult &row = results[r];
+            const std::size_t col =
+                modelColumn(row, MemoryModelKind::SetAssocLru);
+            auto &cells = knee_table.row();
+            cells.cell(
+                std::to_string(row.job.schedule_headroom_num) + "/" +
+                std::to_string(row.job.schedule_headroom) + " M");
+            std::vector<double> ms, ratios;
+            for (const auto &p : row.points) {
+                const double ratio =
+                    ops / static_cast<double>(p.model_io[col]);
+                ms.push_back(static_cast<double>(p.sample.m));
+                ratios.push_back(ratio);
+                cells.cell(ratio, 4);
+            }
+            const auto fit = fitPowerLaw(ms, ratios);
+            cells.cell(fit.slope, 3);
+            const bool ok = fit.slope > 0.3 && fit.slope < 0.7;
+            cells.cell(ok ? "sqrt shape holds" : "shape broken");
+        }
+        printHeading(std::cout,
+                     "knee localization: 8-way LRU vs tile fraction "
+                     "(10/20 M .. 20/20 M)");
+        knee_table.print(std::cout);
+        std::cout
+            << "\nthe first fraction whose exponent leaves the "
+               "[0.3, 0.7] band pins the conflict-thrashing knee "
+               "that the coarse M/2 vs 3M/4 rows only bracketed\n";
         return 0;
     },
         bench::BenchCaps{.kernels = false, .points = false,

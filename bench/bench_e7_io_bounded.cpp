@@ -5,7 +5,10 @@
  * Matrix-vector multiplication and triangular solve read their data
  * once and reuse nothing, so R(M) is bounded by a constant (2): no
  * memory size rebalances a PE whose C/IO grew by alpha >= 2. The
- * three flat curves run as one engine batch.
+ * three flat curves run as one engine batch. A closing table sweeps
+ * the stencil9/stencil9t plug-in pair — the same Moore stencil
+ * single-swept (flat, I/O-bounded) and time-tiled (R ~ sqrt(M)) —
+ * to show Section 3.6 membership is decided by the schedule.
  */
 
 #include <cmath>
@@ -100,6 +103,47 @@ main(int argc, char **argv)
         attempts.print(std::cout);
         std::cout << "\npaper: \"there is no way to rebalance the PE "
                      "by merely enlarging its local memory\"\n";
+
+        // --- one operator, two schedules: the stencil9/stencil9t
+        // contrast. The SAME Moore stencil is I/O-bounded when every
+        // sweep pays a block transfer (stencil9, flat like the rows
+        // above) and rebalanceable when tau sweeps amortize each
+        // transfer (stencil9t, R ~ sqrt(M)) — Section 3.6 membership
+        // is a property of the schedule, not the operator.
+        std::vector<SweepJob> stencil_jobs;
+        for (const char *name : {"stencil9", "stencil9t"}) {
+            SweepJob job;
+            job.kernel = name;
+            job.m_lo = 64;
+            job.m_hi = 2048;
+            job.points = ctx.points(7);
+            stencil_jobs.push_back(job);
+        }
+        const auto stencils = ctx.engine().run(stencil_jobs);
+        const auto &s9 = stencils[0], &s9t = stencils[1];
+        TextTable stencil_table(
+            {"M", "stencil9 R(M) (single-sweep)",
+             "stencil9t R(M) (time-tiled)"});
+        const std::size_t srows =
+            std::min(s9.points.size(), s9t.points.size());
+        for (std::size_t i = 0; i < srows; ++i) {
+            stencil_table.row()
+                .cell(s9.points[i].sample.m)
+                .cell(s9.points[i].sample.ratio, 5)
+                .cell(s9t.points[i].sample.ratio, 5);
+        }
+        printHeading(std::cout,
+                     "Same 9-point stencil, two schedules: "
+                     "I/O-bounded vs rebalanceable");
+        stencil_table.print(std::cout);
+        const auto s9_fit = fitPowerLaw(s9.memories(), s9.ratios());
+        const auto s9t_fit = fitPowerLaw(s9t.memories(), s9t.ratios());
+        std::cout << "\nlog-log slopes: stencil9 " << s9_fit.slope
+                  << " (flat, Section 3.6), stencil9t "
+                  << s9t_fit.slope
+                  << " (paper's grid law: ~0.5, alpha^2)\n"
+                  << "(N: stencil9 " << s9.n_hint << ", stencil9t "
+                  << s9t.n_hint << ")\n";
         return 0;
     },
         bench::BenchCaps{.kernels = false, .points = true,

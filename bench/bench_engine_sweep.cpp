@@ -15,8 +15,10 @@
  *
  * --shard I/N splits the batch's (job, point) grid across N
  * invocations and writes a fragment; --merge reassembles fragments
- * into the full report, byte-identical to the unsharded run (CI
- * diffs exactly that). See engine/shard.hpp.
+ * into the full report, byte-identical to the unsharded run; --jobs N
+ * spawns, monitors and merges the N shard subprocesses itself (CI
+ * diffs exactly that, cold and warm store). See engine/shard.hpp and
+ * engine/orchestrator.hpp.
  *
  * --perf-json PATH switches to the perf-report mode: it A/B-measures
  * the stack-distance fast path against direct per-point replay on
@@ -27,7 +29,10 @@
  * cache-hot re-run time of each fast job, and the two-tier curve
  * store's cold-disk vs warm-disk sweep times (a scratch directory
  * stands in for a shared cache dir; tier 1 is cleared between the
- * runs so the warm number is what a *fresh process* would pay). The
+ * runs so the warm number is what a *fresh process* would pay) —
+ * measured both for a fast-path job and for a pure *replay* job
+ * (E12's tile-headroom shape), whose per-point results ride the
+ * store's ModelCurve entries. The
  * CurveStore is cleared before every cold measurement so the A/B
  * stays honest. CI stores the file as the BENCH_sweep.json artifact
  * so every PR leaves a perf trajectory.
@@ -100,12 +105,14 @@ measureSweepAb(const ExperimentEngine &engine, const SweepJob &job)
     return ab;
 }
 
-/** Cold-disk vs warm-disk (fresh-process) times of one fast job. */
+/** Cold-disk vs warm-disk (fresh-process) times of one job. */
 struct StoreAb
 {
     double disk_cold_s = 0.0; ///< empty disk dir, empty tier 1
     double disk_warm_s = 0.0; ///< warm disk dir, empty tier 1
     std::uint64_t warm_emissions = 0; ///< trace emissions of the warm run
+    std::uint64_t cold_replay_stores = 0; ///< replayed points persisted
+    std::uint64_t warm_replay_hits = 0;   ///< replayed points served warm
 };
 
 /**
@@ -132,10 +139,12 @@ measureStoreAb(const ExperimentEngine &engine, const SweepJob &job)
     store.clearDisk();
     store.clear();
     ab.disk_cold_s = timedRun(engine, job);
+    ab.cold_replay_stores = store.stats().replay_stores;
     store.clear(); // tier 1 only: model a fresh process, warm disk
     const std::uint64_t emissions_before = engineEmissionCount();
     ab.disk_warm_s = timedRun(engine, job);
     ab.warm_emissions = engineEmissionCount() - emissions_before;
+    ab.warm_replay_hits = store.stats().replay_hits;
 
     store.clearDisk();
     store.setDiskDirectory(previous_dir);
@@ -265,6 +274,17 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
     // shape (the heaviest fast-path job in this report).
     const StoreAb store_ab = measureStoreAb(serial, ablation_job);
 
+    // The replay path through the store: a tile-headroom job (E12's
+    // shape) whose per-point schedules rule out the fast path — every
+    // column is a real replay cold, and a pure store read warm.
+    SweepJob replay_job = job;
+    replay_job.models = {MemoryModelKind::SetAssocLru,
+                         MemoryModelKind::SetAssocFifo,
+                         MemoryModelKind::RandomRepl};
+    replay_job.schedule_m = 0;
+    replay_job.schedule_headroom = 2;
+    const StoreAb replay_ab = measureStoreAb(serial, replay_job);
+
     // The historical threads-N LRU numbers (pool scaling trajectory).
     const unsigned pool_threads = ctx.engine().threads();
     SweepJob direct_job = job;
@@ -331,6 +351,25 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
                 ? store_ab.disk_cold_s / store_ab.disk_warm_s
                 : 0.0)
         << "\n"
+        << "  },\n"
+        << "  \"replay_store\": {\n"
+        << "    \"job\": \"headroom_replay_sweep\",\n"
+        << "    \"models\": [\"8way-lru\", \"8way-fifo\", "
+           "\"random\"],\n"
+        << "    \"points\": " << replay_job.points << ",\n"
+        << "    \"disk_cold_s\": " << replay_ab.disk_cold_s << ",\n"
+        << "    \"disk_warm_s\": " << replay_ab.disk_warm_s << ",\n"
+        << "    \"warm_trace_emissions\": "
+        << replay_ab.warm_emissions << ",\n"
+        << "    \"cold_replay_stores\": "
+        << replay_ab.cold_replay_stores << ",\n"
+        << "    \"warm_replay_hits\": " << replay_ab.warm_replay_hits
+        << ",\n"
+        << "    \"warm_speedup\": "
+        << (replay_ab.disk_warm_s > 0.0
+                ? replay_ab.disk_cold_s / replay_ab.disk_warm_s
+                : 0.0)
+        << "\n"
         << "  }\n"
         << "}\n";
     std::cerr << "perf: " << words << " trace words; 1-thread sweeps of "
@@ -352,6 +391,11 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
               << store_ab.disk_cold_s << " s, disk-warm "
               << store_ab.disk_warm_s << " s, warm emissions "
               << store_ab.warm_emissions
+              << "\nreplay store (headroom job): disk-cold "
+              << replay_ab.disk_cold_s << " s, disk-warm "
+              << replay_ab.disk_warm_s << " s, warm emissions "
+              << replay_ab.warm_emissions << ", warm replay hits "
+              << replay_ab.warm_replay_hits
               << "\nreport written to " << path << "\n";
     return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "analysis/experiments.hpp"
 #include "engine/curve_store.hpp"
+#include "engine/orchestrator.hpp"
 #include "engine/shard.hpp"
 #include "kernels/registry.hpp"
 #include "util/logging.hpp"
@@ -76,7 +77,14 @@ printUsage(const char *prog, const char *experiment,
             "  --merge F0,F1,...        reassemble fragments and "
             "print the\n"
             "                           report (byte-identical to an\n"
-            "                           unsharded run; repeatable)\n");
+            "                           unsharded run; repeatable)\n"
+            "  --jobs N                 spawn N --shard subprocesses "
+            "of this\n"
+            "                           binary, merge their fragments "
+            "and\n"
+            "                           print the report "
+            "(byte-identical to\n"
+            "                           the unsharded run)\n");
     std::fprintf(
         stderr,
         "  --curve-store DIR        persist single-pass curves in DIR\n"
@@ -159,6 +167,29 @@ BenchContext::runJobs(const std::vector<SweepJob> &jobs) const
                 return false;
             });
         mergeShardFragments(skeleton, opts_.merge_paths);
+        return skeleton;
+    }
+    if (opts_.jobs >= 2) {
+        // One-command orchestration: re-exec this very invocation as
+        // the N shard subprocesses (minus --jobs), then merge their
+        // fragments exactly like --merge would. Progress and failures
+        // go to stderr; stdout stays byte-identical to an unsharded
+        // run.
+        OrchestratorSpec spec;
+        spec.program = opts_.self_program;
+        spec.args = opts_.self_args;
+        spec.jobs = opts_.jobs;
+        std::fprintf(stderr,
+                     "orchestrating %u shards of %s\n", opts_.jobs,
+                     spec.program.c_str());
+        const auto run = orchestrateShards(spec);
+        KB_REQUIRE(run.ok, "orchestrated sweep failed: ", run.error);
+        auto skeleton =
+            engine_.run(jobs, [](std::size_t, std::size_t) {
+                return false;
+            });
+        mergeShardFragments(skeleton, run.fragments);
+        removeOrchestratorScratch(run.scratch_dir);
         return skeleton;
     }
     if (!opts_.shard.empty()) {
@@ -338,6 +369,19 @@ runBench(int argc, char **argv, const char *experiment,
                 printUsage(prog, experiment, caps);
                 return 2;
             }
+        } else if (arg == "--jobs") {
+            if (!caps.shard)
+                return unsupported("--jobs");
+            const char *v = value("--jobs");
+            if (v == nullptr)
+                return 2;
+            const int n = std::atoi(v);
+            if (n < 1) {
+                std::fprintf(stderr, "%s: --jobs must be >= 1\n",
+                             prog);
+                return 2;
+            }
+            opts.jobs = static_cast<unsigned>(n);
         } else if (arg == "--curve-store") {
             const char *v = value("--curve-store");
             if (v == nullptr)
@@ -372,6 +416,24 @@ runBench(int argc, char **argv, const char *experiment,
                      "%s: --shard and --merge are mutually exclusive\n",
                      prog);
         return 2;
+    }
+    if (opts.jobs != 0 &&
+        (!opts.shard.empty() || !opts.merge_paths.empty())) {
+        std::fprintf(stderr,
+                     "%s: --jobs already shards and merges; it is "
+                     "mutually exclusive with --shard/--merge\n",
+                     prog);
+        return 2;
+    }
+    // Record the invocation for --jobs re-execs: everything except
+    // --jobs itself (children must not recurse into orchestration).
+    opts.self_program = prog;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--jobs") {
+            ++i; // skip its value too
+            continue;
+        }
+        opts.self_args.push_back(argv[i]);
     }
     if (!opts.curve_store_dir.empty())
         CurveStore::instance().setDiskDirectory(opts.curve_store_dir);

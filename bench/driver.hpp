@@ -21,10 +21,15 @@
  * `--merge f0,f1,...` reassembles N fragments and prints the report
  * byte-identical to an unsharded run. The split is deterministic
  * (engine/shard.hpp), so a sweep grid can be distributed across
- * processes or hosts and merged afterwards. `--curve-store DIR`
- * points the two-tier CurveStore's disk tier at DIR (equivalent to
- * KB_CURVE_CACHE_DIR), letting shards and repeated invocations share
- * their single-pass curves.
+ * processes or hosts and merged afterwards. `--jobs N` does the whole
+ * dance in one command: the driver re-execs ITSELF as the N shard
+ * subprocesses (engine/orchestrator.hpp spawns, monitors, retries,
+ * and fails loudly on a dead shard), merges their fragments, and
+ * prints the report — byte-identical to the unsharded run.
+ * `--curve-store DIR` points the two-tier CurveStore's disk tier at
+ * DIR (equivalent to KB_CURVE_CACHE_DIR), letting shards and
+ * repeated invocations share their single-pass curves and replayed
+ * points; orchestrated shards inherit the flag automatically.
  */
 
 #pragma once
@@ -82,8 +87,17 @@ struct DriverOptions
     /// --merge: fragment paths to reassemble into the full report
     /// (repeatable flag, commas allowed).
     std::vector<std::string> merge_paths;
+    /// --jobs N: orchestrate N --shard subprocesses of this very
+    /// binary and merge their fragments (benches with
+    /// BenchCaps::shard; mutually exclusive with --shard/--merge;
+    /// 0 or 1 = run inline).
+    unsigned jobs = 0;
     /// --curve-store DIR: enable the CurveStore's on-disk tier at DIR.
     std::string curve_store_dir;
+    /// The invocation itself, for --jobs re-execs: argv[0] and every
+    /// argument except --jobs (filled by runBench).
+    std::string self_program;
+    std::vector<std::string> self_args;
 };
 
 /** Per-run state handed to a bench body. */

@@ -35,8 +35,8 @@ allKernelSweeps(unsigned points)
 }
 
 /**
- * E12's ablation grid, declaratively. Four jobs over the same matmul
- * regime (N = 160, M in {64..2048}):
+ * E12's ablation grid, declaratively. Four headline jobs over the
+ * same matmul regime (N = 160, M in {64..2048}):
  *
  *  * the schedule-follows-capacity disciplines: the scratchpad
  *    sample plus fully associative LRU and Belady OPT columns, each
@@ -47,6 +47,13 @@ allKernelSweeps(unsigned points)
  *    tiled for a fixed fraction of its capacity. Together the rows
  *    map where conflict thrashing sets in versus associativity
  *    headroom — 3M/4 leaves the least slack, M/4 the most.
+ *
+ * Plus the knee-localization block: the coarse rows showed the 8-way
+ * LRU collapse somewhere between tile = M/2 (healthy) and tile =
+ * 3M/4 (collapsed), so eleven finer jobs sweep the tile fraction
+ * from 10/20 to 20/20 of M in 1/20 steps, 8-way LRU column only
+ * (the bench reads each row's fraction off the resolved job's
+ * schedule_headroom[_num] fields).
  */
 std::vector<SweepJob>
 e12AblationJobs()
@@ -73,7 +80,16 @@ e12AblationJobs()
     three_quarter.schedule_headroom = 4;
     three_quarter.schedule_headroom_num = 3;
 
-    return {tight, headroom, quarter, three_quarter};
+    std::vector<SweepJob> jobs = {tight, headroom, quarter,
+                                  three_quarter};
+    for (std::uint64_t num = 10; num <= 20; ++num) {
+        SweepJob knee = headroom; // tile = num/20 of M
+        knee.models = {MemoryModelKind::SetAssocLru};
+        knee.schedule_headroom = 20;
+        knee.schedule_headroom_num = num;
+        jobs.push_back(knee);
+    }
+    return jobs;
 }
 
 } // namespace

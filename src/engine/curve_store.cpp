@@ -1,14 +1,10 @@
 #include "engine/curve_store.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <iterator>
 #include <utility>
-
-#include <unistd.h>
 
 namespace fs = std::filesystem;
 
@@ -18,18 +14,7 @@ namespace {
 
 constexpr std::uint8_t kMagic[4] = {'K', 'B', 'C', 'V'};
 constexpr const char *kEntrySuffix = ".kbc";
-
-/** Whole-file read; false on any I/O error. */
-bool
-readFile(const fs::path &path, std::vector<std::uint8_t> &out)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return false;
-    out.assign(std::istreambuf_iterator<char>(in),
-               std::istreambuf_iterator<char>());
-    return in.good() || in.eof();
-}
+constexpr const char *kLockSuffix = ".lock";
 
 /**
  * Union of two OPT curves over the same trace: every capacity either
@@ -61,6 +46,15 @@ mergeOptCurves(const OptCurve &a, const OptCurve &b)
         a.accesses());
 }
 
+bool
+optCovers(const OptCurve &have, const OptCurve &want)
+{
+    return std::includes(have.capacities().begin(),
+                         have.capacities().end(),
+                         want.capacities().begin(),
+                         want.capacities().end());
+}
+
 } // namespace
 
 void
@@ -85,6 +79,7 @@ CurveStore::EntryKey::encode(ByteWriter &out) const
 {
     out.u8(static_cast<std::uint8_t>(kind));
     out.u64(sets);
+    out.u64(param);
     trace.encode(out);
 }
 
@@ -93,8 +88,9 @@ CurveStore::EntryKey::decode(ByteReader &in, EntryKey &out)
 {
     out.kind = in.u8();
     out.sets = in.u64();
+    out.param = in.u64();
     return TraceKey::decode(in, out.trace) && out.kind >= 0 &&
-           out.kind <= 2;
+           out.kind <= 3;
 }
 
 CurveStore::CurveStore()
@@ -109,6 +105,67 @@ CurveStore::instance()
 {
     static CurveStore store;
     return store;
+}
+
+/**
+ * RAII over one key's in-flight I/O slot: refcount it into the table
+ * under the global mutex, then lock its own mutex with the global one
+ * released. Lock order is therefore always slot -> global, never the
+ * reverse, so the brief global re-acquisitions inside I/O paths
+ * cannot deadlock.
+ */
+class CurveStore::SlotGuard
+{
+  public:
+    SlotGuard(CurveStore &store, const EntryKey &key)
+        : store_(store), key_(key)
+    {
+        {
+            std::lock_guard<std::mutex> lock(store_.mutex_);
+            auto &slot = store_.inflight_[key_];
+            if (!slot)
+                slot = std::make_shared<KeySlot>();
+            ++slot->users;
+            slot_ = slot;
+        }
+        slot_->io.lock();
+    }
+
+    ~SlotGuard()
+    {
+        slot_->io.unlock();
+        std::lock_guard<std::mutex> lock(store_.mutex_);
+        const auto it = store_.inflight_.find(key_);
+        if (it != store_.inflight_.end() && --it->second->users == 0)
+            store_.inflight_.erase(it);
+    }
+
+    SlotGuard(const SlotGuard &) = delete;
+    SlotGuard &operator=(const SlotGuard &) = delete;
+
+  private:
+    CurveStore &store_;
+    EntryKey key_;
+    std::shared_ptr<KeySlot> slot_;
+};
+
+void
+CurveStore::runIoHook()
+{
+    std::function<void()> hook;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        hook = io_hook_;
+    }
+    if (hook)
+        hook();
+}
+
+void
+CurveStore::setIoHookForTest(std::function<void()> hook)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    io_hook_ = std::move(hook);
 }
 
 void
@@ -176,103 +233,63 @@ CurveStore::insertLocked(const EntryKey &key, Entry entry)
     return it;
 }
 
+std::pair<CurveStore::EntryMap::iterator, bool>
+CurveStore::foldLocked(const EntryKey &key, Entry entry)
+{
+    const auto existing = entries_.find(key);
+    if (existing != entries_.end()) {
+        switch (key.kind) {
+          case 0:
+            // A full LRU MissCurve answers every query; the incoming
+            // one is the same deterministic content.
+            touchLocked(existing);
+            return {existing, false};
+          case 1:
+            // Never narrow an entry: a curve exact to fewer ways
+            // replacing a wider one would make the next wider lookup
+            // miss forever.
+            if (existing->second.ways >= entry.ways) {
+                touchLocked(existing);
+                return {existing, false};
+            }
+            break;
+          case 2:
+            // OPT entries union instead of replace, so jobs with
+            // different grids over the same trace widen one shared
+            // curve rather than thrash the slot.
+            if (optCovers(*existing->second.opt, *entry.opt)) {
+                touchLocked(existing);
+                return {existing, false};
+            }
+            entry.opt =
+                mergeOptCurves(*existing->second.opt, *entry.opt);
+            break;
+          case 3:
+            // Replay curves union capacity points exactly like OPT.
+            if (existing->second.model->covers(*entry.model)) {
+                touchLocked(existing);
+                return {existing, false};
+            }
+            entry.model = std::make_shared<const ModelCurve>(
+                ModelCurve::merged(*existing->second.model,
+                                   *entry.model));
+            break;
+        }
+    }
+    return {insertLocked(key, std::move(entry)), true};
+}
+
 std::string
-CurveStore::entryPath(const EntryKey &key) const
+CurveStore::entryPath(const std::string &dir, const EntryKey &key) const
 {
     ByteWriter w;
     key.encode(w);
-    return disk_dir_ + "/kb-" + toHex16(fnv1a64(w.bytes())) +
-           kEntrySuffix;
+    return dir + "/kb-" + toHex16(fnv1a64(w.bytes())) + kEntrySuffix;
 }
 
-CurveStore::EntryMap::iterator
-CurveStore::diskLoadLocked(const EntryKey &key)
+std::vector<std::uint8_t>
+CurveStore::encodeEntry(const EntryKey &key, const Entry &entry) const
 {
-    const auto end = entries_.end();
-    if (disk_dir_.empty())
-        return end;
-    std::vector<std::uint8_t> bytes;
-    if (!readFile(entryPath(key), bytes))
-        return end; // missing file: a plain miss, not corruption
-    // Everything below is validation of an existing file; any failure
-    // rejects the entry (it will be recomputed and overwritten).
-    const auto reject = [this, &end] {
-        ++stats_.disk_rejects;
-        return end;
-    };
-    if (bytes.size() < sizeof(kMagic) + sizeof(std::uint32_t) + 8)
-        return reject();
-    const std::size_t body_size = bytes.size() - 8;
-    const std::span<const std::uint8_t> body(bytes.data(), body_size);
-    ByteReader tail(
-        std::span<const std::uint8_t>(bytes.data() + body_size, 8));
-    if (tail.u64() != fnv1a64(body))
-        return reject();
-
-    ByteReader in(body);
-    for (const auto m : kMagic)
-        in.require(in.u8() == m);
-    in.require(in.u32() == kFormatVersion);
-    EntryKey stored;
-    if (!in.ok() || !EntryKey::decode(in, stored) || stored != key)
-        return reject(); // wrong version or a content-hash collision
-    Entry entry;
-    switch (key.kind) {
-      case 0: {
-        MissCurve curve({}, 0, 0);
-        if (!MissCurve::decode(in, curve))
-            return reject();
-        entry.miss = std::make_shared<const MissCurve>(std::move(curve));
-        break;
-      }
-      case 1: {
-        entry.ways = in.u64();
-        MissCurve curve({}, 0, 0);
-        if (!in.ok() || entry.ways == 0 ||
-            !MissCurve::decode(in, curve))
-            return reject();
-        entry.miss = std::make_shared<const MissCurve>(std::move(curve));
-        break;
-      }
-      case 2: {
-        OptCurve curve;
-        if (!OptCurve::decode(in, curve))
-            return reject();
-        entry.opt = std::make_shared<const OptCurve>(std::move(curve));
-        break;
-      }
-      default:
-        return reject();
-    }
-    if (!in.exhausted())
-        return reject(); // trailing garbage: treat as corrupt
-    const auto existing = entries_.find(key);
-    // Never let a narrower disk ways-curve displace a wider
-    // in-memory one — the cross-tier form of storeSetAssoc's
-    // never-narrow invariant.
-    if (key.kind == 1 && existing != entries_.end() &&
-        existing->second.ways >= entry.ways)
-        return existing;
-    // OPT entries union instead of replace, so neither tier's
-    // capacities are lost when both hold curves over the trace
-    // (another invocation may have widened the disk entry, this one
-    // the in-memory entry).
-    if (key.kind == 2 && existing != entries_.end()) {
-        const auto &have = existing->second.opt->capacities();
-        if (std::includes(have.begin(), have.end(),
-                          entry.opt->capacities().begin(),
-                          entry.opt->capacities().end()))
-            return existing; // disk adds nothing
-        entry.opt = mergeOptCurves(*existing->second.opt, *entry.opt);
-    }
-    return insertLocked(key, std::move(entry));
-}
-
-void
-CurveStore::diskStoreLocked(const EntryKey &key, const Entry &entry)
-{
-    if (disk_dir_.empty())
-        return;
     ByteWriter w;
     for (const auto m : kMagic)
         w.u8(m);
@@ -289,61 +306,265 @@ CurveStore::diskStoreLocked(const EntryKey &key, const Entry &entry)
       case 2:
         entry.opt->encode(w);
         break;
+      case 3:
+        entry.model->encode(w);
+        break;
     }
     w.u64(fnv1a64(w.bytes()));
-    const auto bytes = w.take();
+    return w.take();
+}
 
-    // Write-then-rename: concurrent readers (other shards, other
-    // invocations) either see the complete previous entry or the
-    // complete new one, never a torn file.
-    const std::string final_path = entryPath(key);
-    const std::string tmp_path =
-        final_path + ".tmp" +
-        std::to_string(static_cast<unsigned long>(::getpid()));
-    std::error_code ec;
+bool
+CurveStore::decodeEntry(const std::vector<std::uint8_t> &bytes,
+                        const EntryKey &key, Entry &out)
+{
+    if (bytes.size() < sizeof(kMagic) + sizeof(std::uint32_t) + 8)
+        return false;
+    const std::size_t body_size = bytes.size() - 8;
+    const std::span<const std::uint8_t> body(bytes.data(), body_size);
+    ByteReader tail(
+        std::span<const std::uint8_t>(bytes.data() + body_size, 8));
+    if (tail.u64() != fnv1a64(body))
+        return false;
+
+    ByteReader in(body);
+    for (const auto m : kMagic)
+        in.require(in.u8() == m);
+    in.require(in.u32() == kFormatVersion);
+    EntryKey stored;
+    if (!in.ok() || !EntryKey::decode(in, stored) || stored != key)
+        return false; // wrong version or a content-hash collision
+    switch (key.kind) {
+      case 0: {
+        MissCurve curve({}, 0, 0);
+        if (!MissCurve::decode(in, curve))
+            return false;
+        out.miss = std::make_shared<const MissCurve>(std::move(curve));
+        break;
+      }
+      case 1: {
+        out.ways = in.u64();
+        MissCurve curve({}, 0, 0);
+        if (!in.ok() || out.ways == 0 || !MissCurve::decode(in, curve))
+            return false;
+        out.miss = std::make_shared<const MissCurve>(std::move(curve));
+        break;
+      }
+      case 2: {
+        OptCurve curve;
+        if (!OptCurve::decode(in, curve))
+            return false;
+        out.opt = std::make_shared<const OptCurve>(std::move(curve));
+        break;
+      }
+      case 3: {
+        ModelCurve curve;
+        if (!ModelCurve::decode(in, curve))
+            return false;
+        out.model =
+            std::make_shared<const ModelCurve>(std::move(curve));
+        break;
+      }
+      default:
+        return false;
+    }
+    return in.exhausted(); // trailing garbage: treat as corrupt
+}
+
+std::optional<CurveStore::Entry>
+CurveStore::lookupEntry(const EntryKey &key, const Satisfies &satisfies,
+                        bool &from_disk)
+{
+    from_disk = false;
+    std::string dir;
     {
-        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-        if (!out)
-            return; // unwritable tier 2 degrades to absent
-        out.write(reinterpret_cast<const char *>(bytes.data()),
-                  static_cast<std::streamsize>(bytes.size()));
-        if (!out.good()) {
-            out.close();
-            fs::remove(tmp_path, ec);
-            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end() && satisfies(it->second)) {
+            touchLocked(it);
+            return it->second;
+        }
+        if (disk_dir_.empty())
+            return std::nullopt;
+        dir = disk_dir_;
+    }
+
+    SlotGuard slot(*this, key);
+    {
+        // Another thread may have loaded this entry while we queued
+        // on the slot; skip the file read if it now satisfies us.
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end() && satisfies(it->second)) {
+            touchLocked(it);
+            return it->second;
         }
     }
-    // Keep the running byte total current without a directory scan:
-    // subtract the entry being replaced (if any), add the new bytes.
-    std::uint64_t replaced = 0;
-    if (disk_usage_ >= 0) {
-        const auto old_size = fs::file_size(final_path, ec);
-        if (!ec)
-            replaced = old_size;
-        ec.clear();
+
+    // File I/O below holds only this key's slot; the global mutex is
+    // free (the stress test's hook asserts it).
+    runIoHook();
+    const std::string path = entryPath(dir, key);
+    std::vector<std::uint8_t> bytes;
+    if (!readFileBytes(path, bytes))
+        return std::nullopt; // missing file: a plain miss
+    Entry decoded;
+    if (!decodeEntry(bytes, key, decoded)) {
+        // Remove the malformed file now (we hold the key's slot), so
+        // the recompute's first-write-wins publish is not blocked by
+        // the corpse it is replacing.
+        std::error_code ec;
+        fs::remove(path, ec);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.disk_rejects;
+        return std::nullopt;
     }
-    fs::rename(tmp_path, final_path, ec);
-    if (ec) {
-        fs::remove(tmp_path, ec);
-        return;
-    }
-    ++stats_.disk_stores;
-    if (disk_usage_ >= 0)
-        disk_usage_ += static_cast<std::int64_t>(bytes.size()) -
-                       static_cast<std::int64_t>(replaced);
-    // Scan-and-evict only when the total is unknown or over the
-    // bound; the steady-state store path never touches the
-    // directory listing.
-    if (disk_capacity_bytes_ != 0 &&
-        (disk_usage_ < 0 ||
-         static_cast<std::uint64_t>(disk_usage_) >
-             disk_capacity_bytes_))
-        diskEvictLocked();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, changed] = foldLocked(key, std::move(decoded));
+    (void)changed;
+    if (!satisfies(it->second))
+        return std::nullopt; // decoded but too narrow: a miss
+    from_disk = true;
+    return it->second;
 }
 
 void
-CurveStore::diskEvictLocked()
+CurveStore::storeEntry(const EntryKey &key, Entry entry)
 {
+    std::string dir;
+    Entry snapshot;
+    bool changed = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto [it, ch] = foldLocked(key, std::move(entry));
+        changed = ch;
+        snapshot = it->second;
+        dir = disk_dir_;
+    }
+    // An entry tier 1 already covered was persisted when it was first
+    // folded in; skip the redundant file write.
+    if (dir.empty() || !changed)
+        return;
+    SlotGuard slot(*this, key);
+    runIoHook();
+    diskWriteSlotHeld(key, snapshot, dir);
+}
+
+void
+CurveStore::diskWriteSlotHeld(const EntryKey &key, const Entry &entry,
+                              const std::string &dir)
+{
+    const std::string path = entryPath(dir, key);
+
+    if (key.kind == 0) {
+        // Plain LRU entries are a deterministic function of the key:
+        // publish first-write-wins, so a double-computed race costs
+        // one dropped temp file, never a torn or regressed entry.
+        const auto bytes = encodeEntry(key, entry);
+        if (writeFileAtomic(path, bytes, /*first_write_wins=*/true))
+            accountDiskWrite(dir,
+                             static_cast<std::int64_t>(bytes.size()));
+        return;
+    }
+
+    // Merged kinds (set-assoc width, OPT / replay-curve unions):
+    // read-merge-write under the entry's flock sidecar so concurrent
+    // writers — other threads of this process queue on the slot,
+    // other PROCESSES queue on the flock — union their contributions
+    // instead of last-rename-wins dropping them.
+    FileLock file_lock(path + kLockSuffix);
+    Entry final_entry = entry;
+    bool need_write = true;
+    bool merged_disk = false;
+    std::vector<std::uint8_t> existing_bytes;
+    if (readFileBytes(path, existing_bytes)) {
+        Entry on_disk;
+        if (decodeEntry(existing_bytes, key, on_disk)) {
+            switch (key.kind) {
+              case 1:
+                if (on_disk.ways >= entry.ways) {
+                    final_entry = on_disk;
+                    need_write = false;
+                }
+                break;
+              case 2:
+                if (optCovers(*on_disk.opt, *entry.opt)) {
+                    final_entry = on_disk;
+                    need_write = false;
+                } else if (!optCovers(*entry.opt, *on_disk.opt)) {
+                    final_entry.opt =
+                        mergeOptCurves(*entry.opt, *on_disk.opt);
+                }
+                break;
+              case 3:
+                if (on_disk.model->covers(*entry.model)) {
+                    final_entry = on_disk;
+                    need_write = false;
+                } else if (!entry.model->covers(*on_disk.model)) {
+                    final_entry.model =
+                        std::make_shared<const ModelCurve>(
+                            ModelCurve::merged(*entry.model,
+                                               *on_disk.model));
+                }
+                break;
+            }
+            merged_disk = true;
+        } else {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.disk_rejects; // corrupt entry, overwrite it
+        }
+    }
+    if (need_write) {
+        const auto bytes = encodeEntry(key, final_entry);
+        std::error_code ec;
+        const auto old_size = fs::file_size(path, ec);
+        const std::int64_t replaced =
+            ec ? 0 : static_cast<std::int64_t>(old_size);
+        if (writeFileAtomic(path, bytes, /*first_write_wins=*/false))
+            accountDiskWrite(
+                dir,
+                static_cast<std::int64_t>(bytes.size()) - replaced);
+    }
+    if (merged_disk) {
+        // Whatever another invocation contributed is folded back into
+        // tier 1, so subsequent in-process lookups cover it without
+        // re-reading the file.
+        std::lock_guard<std::mutex> lock(mutex_);
+        foldLocked(key, std::move(final_entry));
+    }
+}
+
+void
+CurveStore::accountDiskWrite(const std::string &dir,
+                             std::int64_t delta_bytes)
+{
+    bool evict = false;
+    std::uint64_t capacity = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.disk_stores;
+        if (disk_usage_ >= 0)
+            disk_usage_ += delta_bytes;
+        capacity = disk_capacity_bytes_;
+        // Scan-and-evict only when the total is unknown or over the
+        // bound; the steady-state store path never touches the
+        // directory listing.
+        evict = capacity != 0 &&
+                (disk_usage_ < 0 ||
+                 static_cast<std::uint64_t>(disk_usage_) > capacity);
+    }
+    if (evict)
+        diskEvict(dir, capacity);
+}
+
+void
+CurveStore::diskEvict(const std::string &dir, std::uint64_t capacity)
+{
+    // One scan at a time; the scan itself holds no store lock, so
+    // concurrent lookups and stores proceed (a reader whose entry is
+    // evicted mid-flight just sees a plain miss and recomputes).
+    std::lock_guard<std::mutex> evict_lock(evict_mutex_);
     struct FileInfo
     {
         fs::path path;
@@ -353,7 +574,7 @@ CurveStore::diskEvictLocked()
     std::vector<FileInfo> files;
     std::uint64_t total = 0;
     std::error_code ec;
-    for (const auto &de : fs::directory_iterator(disk_dir_, ec)) {
+    for (const auto &de : fs::directory_iterator(dir, ec)) {
         if (!de.is_regular_file(ec) ||
             de.path().extension() != kEntrySuffix)
             continue;
@@ -364,37 +585,39 @@ CurveStore::diskEvictLocked()
         total += info.size;
         files.push_back(std::move(info));
     }
-    if (total > disk_capacity_bytes_ && disk_capacity_bytes_ != 0) {
+    if (total > capacity && capacity != 0) {
         std::sort(files.begin(), files.end(),
                   [](const FileInfo &a, const FileInfo &b) {
                       return a.mtime < b.mtime;
                   });
         for (const auto &info : files) {
-            if (total <= disk_capacity_bytes_)
+            if (total <= capacity)
                 break;
-            if (fs::remove(info.path, ec))
+            if (fs::remove(info.path, ec)) {
                 total -= info.size;
+                // The entry's flock sidecar dies with it.
+                fs::remove(info.path.string() + kLockSuffix, ec);
+            }
         }
     }
+    std::lock_guard<std::mutex> lock(mutex_);
     disk_usage_ = static_cast<std::int64_t>(total);
 }
 
 std::shared_ptr<const MissCurve>
 CurveStore::findLru(const TraceKey &key)
 {
+    const EntryKey entry_key{key, 0, 0, 0};
+    bool from_disk = false;
+    const auto entry = lookupEntry(
+        entry_key,
+        [](const Entry &e) { return e.miss != nullptr; }, from_disk);
     std::lock_guard<std::mutex> lock(mutex_);
-    const EntryKey entry_key{key, 0, 0};
-    auto it = entries_.find(entry_key);
-    if (it != entries_.end()) {
-        touchLocked(it);
+    if (entry) {
         ++stats_.hits;
-        return it->second.miss;
-    }
-    it = diskLoadLocked(entry_key);
-    if (it != entries_.end()) {
-        ++stats_.hits;
-        ++stats_.disk_hits;
-        return it->second.miss;
+        if (from_disk)
+            ++stats_.disk_hits;
+        return entry->miss;
     }
     ++stats_.misses;
     return nullptr;
@@ -404,33 +627,32 @@ void
 CurveStore::storeLru(const TraceKey &key,
                      std::shared_ptr<const MissCurve> curve)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const EntryKey entry_key{key, 0, 0};
-    const auto it =
-        insertLocked(entry_key, Entry{std::move(curve), nullptr, 0, {}});
-    diskStoreLocked(entry_key, it->second);
+    Entry entry;
+    entry.miss = std::move(curve);
+    storeEntry(EntryKey{key, 0, 0, 0}, std::move(entry));
 }
 
 std::shared_ptr<const MissCurve>
 CurveStore::findSetAssoc(const TraceKey &key, std::uint64_t sets,
                          std::uint64_t ways)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const EntryKey entry_key{key, 1, sets};
-    const auto it = entries_.find(entry_key);
-    if (it != entries_.end() && it->second.ways >= ways) {
-        touchLocked(it);
-        ++stats_.hits;
-        return it->second.miss;
-    }
+    const EntryKey entry_key{key, 1, sets, 0};
+    bool from_disk = false;
     // Tier 2 may hold a wider curve than tier 1 (another invocation's
-    // larger ways bound); diskLoadLocked refuses to narrow, so this
-    // is safe even when a too-narrow tier-1 entry exists.
-    const auto dit = diskLoadLocked(entry_key);
-    if (dit != entries_.end() && dit->second.ways >= ways) {
+    // larger ways bound); foldLocked refuses to narrow, so the disk
+    // probe is safe even when a too-narrow tier-1 entry exists.
+    const auto entry = lookupEntry(
+        entry_key,
+        [ways](const Entry &e) {
+            return e.miss != nullptr && e.ways >= ways;
+        },
+        from_disk);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entry) {
         ++stats_.hits;
-        ++stats_.disk_hits;
-        return dit->second.miss;
+        if (from_disk)
+            ++stats_.disk_hits;
+        return entry->miss;
     }
     ++stats_.misses;
     return nullptr;
@@ -441,55 +663,40 @@ CurveStore::storeSetAssoc(const TraceKey &key, std::uint64_t sets,
                           std::uint64_t ways,
                           std::shared_ptr<const MissCurve> curve)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const EntryKey entry_key{key, 1, sets};
-    // Never narrow an entry: a curve exact to fewer ways replacing a
-    // wider one would make the next wider lookup miss forever. The
-    // disk probe covers a wider entry stored by another invocation
-    // even when tier 1 holds a narrower one (diskLoadLocked refuses
-    // to narrow, so probing cannot lose width either).
-    auto it = entries_.find(entry_key);
-    if (it == entries_.end() || it->second.ways < ways) {
-        const auto dit = diskLoadLocked(entry_key);
-        if (dit != entries_.end())
-            it = dit;
-    }
-    if (it != entries_.end() && it->second.ways >= ways)
-        return;
-    it = insertLocked(entry_key,
-                      Entry{std::move(curve), nullptr, ways, {}});
-    diskStoreLocked(entry_key, it->second);
+    Entry entry;
+    entry.miss = std::move(curve);
+    entry.ways = ways;
+    storeEntry(EntryKey{key, 1, sets, 0}, std::move(entry));
 }
 
 std::shared_ptr<const OptCurve>
 CurveStore::findOpt(const TraceKey &key,
                     const std::vector<std::uint64_t> &capacities)
 {
-    const auto covers = [&capacities](const EntryMap::iterator &it) {
-        const auto &have = it->second.opt->capacities();
-        return std::includes(have.begin(), have.end(),
-                             capacities.begin(), capacities.end());
-    };
-    std::lock_guard<std::mutex> lock(mutex_);
-    const EntryKey entry_key{key, 2, 0};
-    const auto it = entries_.find(entry_key);
-    if (it != entries_.end() && covers(it)) {
-        touchLocked(it);
-        ++stats_.hits;
-        return it->second.opt;
-    }
+    const EntryKey entry_key{key, 2, 0, 0};
+    bool from_disk = false;
     // Tier 2 may resolve capacities tier 1 does not (another
-    // invocation's grid); diskLoadLocked unions OPT entries, so the
-    // probe widens the tier-1 curve and can never lose capacities.
-    const auto dit = diskLoadLocked(entry_key);
-    if (dit != entries_.end() && covers(dit)) {
+    // invocation's grid); foldLocked unions OPT entries, so the probe
+    // widens the tier-1 curve and can never lose capacities. On a
+    // miss the (possibly widened) tier-1 entry stays: the next
+    // storeOpt merges with it, widening one shared curve instead of
+    // thrashing the slot (within and across invocations).
+    const auto entry = lookupEntry(
+        entry_key,
+        [&capacities](const Entry &e) {
+            return e.opt != nullptr &&
+                   std::includes(e.opt->capacities().begin(),
+                                 e.opt->capacities().end(),
+                                 capacities.begin(), capacities.end());
+        },
+        from_disk);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entry) {
         ++stats_.hits;
-        ++stats_.disk_hits;
-        return dit->second.opt;
+        if (from_disk)
+            ++stats_.disk_hits;
+        return entry->opt;
     }
-    // Still not covering — the (possibly widened) tier-1 entry stays:
-    // the next storeOpt merges with it, widening one shared curve
-    // instead of thrashing the slot (within and across invocations).
     ++stats_.misses;
     return nullptr;
 }
@@ -498,34 +705,59 @@ void
 CurveStore::storeOpt(const TraceKey &key,
                      std::shared_ptr<const OptCurve> curve)
 {
+    Entry entry;
+    entry.opt = std::move(curve);
+    storeEntry(EntryKey{key, 2, 0, 0}, std::move(entry));
+}
+
+std::optional<std::uint64_t>
+CurveStore::findReplayIo(const TraceKey &key, const ReplayModelKey &model,
+                         std::uint64_t capacity)
+{
+    const EntryKey entry_key{key, 3, model.family, model.param};
+    bool from_disk = false;
+    const auto entry = lookupEntry(
+        entry_key,
+        [capacity](const Entry &e) {
+            return e.model != nullptr && e.model->has(capacity);
+        },
+        from_disk);
     std::lock_guard<std::mutex> lock(mutex_);
-    const EntryKey entry_key{key, 2, 0};
-    // Merge with an existing entry instead of replacing it, so jobs
-    // with different grids over the same trace widen one shared
-    // curve rather than thrash the slot. The disk probe folds in
-    // capacities another invocation contributed (diskLoadLocked
-    // unions OPT entries), so the rewrite below widens the disk file
-    // relative to everything this process has observed. Two
-    // *concurrent* writers still race read-merge-write (last rename
-    // wins); that is accepted — a lost union costs a later
-    // recompute, never correctness.
-    auto it = entries_.find(entry_key);
+    if (entry) {
+        ++stats_.hits;
+        ++stats_.replay_hits;
+        if (from_disk)
+            ++stats_.disk_hits;
+        return entry->model->ioAt(capacity);
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+void
+CurveStore::storeReplayIo(const TraceKey &key, const ReplayModelKey &model,
+                          std::uint64_t capacity, std::uint64_t io_words)
+{
+    storeReplayPoints(key, model, {capacity}, {io_words});
+}
+
+void
+CurveStore::storeReplayPoints(const TraceKey &key,
+                              const ReplayModelKey &model,
+                              std::vector<std::uint64_t> capacities,
+                              std::vector<std::uint64_t> io_words)
+{
+    if (capacities.empty())
+        return;
     {
-        const auto dit = diskLoadLocked(entry_key);
-        if (dit != entries_.end())
-            it = dit;
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.replay_stores += capacities.size();
     }
-    if (it != entries_.end()) {
-        const auto &have = it->second.opt->capacities();
-        if (std::includes(have.begin(), have.end(),
-                          curve->capacities().begin(),
-                          curve->capacities().end()))
-            return;
-        curve = mergeOptCurves(*it->second.opt, *curve);
-    }
-    it = insertLocked(entry_key,
-                      Entry{nullptr, std::move(curve), 0, {}});
-    diskStoreLocked(entry_key, it->second);
+    Entry entry;
+    entry.model = std::make_shared<const ModelCurve>(
+        ModelCurve(std::move(capacities), std::move(io_words)));
+    storeEntry(EntryKey{key, 3, model.family, model.param},
+               std::move(entry));
 }
 
 CurveStoreStats
@@ -547,15 +779,22 @@ CurveStore::clear()
 void
 CurveStore::clearDisk()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (disk_dir_.empty())
-        return;
+    std::string dir;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (disk_dir_.empty())
+            return;
+        dir = disk_dir_;
+    }
     std::error_code ec;
-    for (const auto &de : fs::directory_iterator(disk_dir_, ec)) {
+    for (const auto &de : fs::directory_iterator(dir, ec)) {
+        // Entries, their flock sidecars, and any crashed writer's
+        // temp files all carry the store's "kb-" prefix.
         if (de.is_regular_file(ec) &&
-            de.path().extension() == kEntrySuffix)
+            de.path().filename().string().starts_with("kb-"))
             fs::remove(de.path(), ec);
     }
+    std::lock_guard<std::mutex> lock(mutex_);
     disk_usage_ = 0;
 }
 

@@ -47,8 +47,14 @@
  * process-wide two-tier CurveStore (engine/curve_store.hpp): a
  * repeated job — a re-run grid, an A/B bench, and with the on-disk
  * tier enabled even a whole separate invocation — reads its columns
- * without re-emitting the trace at all. engineEmissionCount()
- * exposes the emission counter so tests can assert exactly that.
+ * without re-emitting the trace at all. The same holds for the
+ * *replay* path: every per-point replayed result (non-inclusion
+ * models on a fixed schedule, and every model of a per-point-schedule
+ * job, schedule_headroom jobs included) is a pure function of (trace
+ * identity, model family, model config, capacity) and is keyed into
+ * the store as a ModelCurve entry — so warm repeats of replay jobs
+ * also add zero emissions. engineEmissionCount() exposes the
+ * emission counter so tests can assert exactly that.
  *
  * Sharding: run() optionally takes a PointFilter that restricts the
  * measurement to a subset of the expanded (job, point) grid. The
@@ -152,10 +158,12 @@ struct SweepJob
      */
     std::uint64_t schedule_headroom_num = 1;
     /**
-     * Disable the stack-distance fast path and replay every point
-     * directly (only meaningful with schedule_m != 0). The results
-     * are identical either way; this exists for the equivalence tests
-     * and the A/B speedup bench.
+     * Disable the stack-distance fast path AND bypass the CurveStore
+     * entirely (no reads, no writes): every point replays directly
+     * from a fresh emission. The results are identical either way;
+     * this exists for the equivalence tests and the A/B speedup
+     * bench, whose "direct" numbers must measure real replays, not
+     * store hits.
      */
     bool force_replay = false;
     /**

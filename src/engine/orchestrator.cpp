@@ -1,0 +1,216 @@
+#include "engine/orchestrator.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+
+namespace kb {
+
+namespace {
+
+/** Last ~@p max_bytes of @p path, for quoting a dead shard's log. */
+std::string
+logTail(const std::string &path, std::size_t max_bytes = 512)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "(log unreadable)";
+    in.seekg(0, std::ios::end);
+    const auto size = static_cast<std::size_t>(in.tellg());
+    const auto start = size > max_bytes ? size - max_bytes : 0;
+    in.seekg(static_cast<std::streamoff>(start));
+    std::string tail(size - start, '\0');
+    in.read(tail.data(), static_cast<std::streamsize>(tail.size()));
+    return tail;
+}
+
+/** "exited with status 3" / "was killed by signal 9". */
+std::string
+describeWaitStatus(int status)
+{
+    if (WIFEXITED(status))
+        return "exited with status " +
+               std::to_string(WEXITSTATUS(status));
+    if (WIFSIGNALED(status))
+        return "was killed by signal " +
+               std::to_string(WTERMSIG(status));
+    return "ended with wait status " + std::to_string(status);
+}
+
+/**
+ * Fork/exec one shard with stdout+stderr redirected to @p log_path.
+ * Returns the child pid, or -1 when the fork itself failed.
+ */
+pid_t
+spawnShard(const OrchestratorSpec &spec, std::size_t index,
+           const std::string &fragment, const std::string &log_path)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+
+    // --- child ---
+    const int log_fd = ::open(log_path.c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (log_fd >= 0) {
+        ::dup2(log_fd, STDOUT_FILENO);
+        ::dup2(log_fd, STDERR_FILENO);
+        ::close(log_fd);
+    }
+    std::vector<std::string> argv_strings;
+    argv_strings.push_back(spec.program);
+    argv_strings.insert(argv_strings.end(), spec.args.begin(),
+                        spec.args.end());
+    argv_strings.push_back("--shard");
+    argv_strings.push_back(std::to_string(index) + "/" +
+                           std::to_string(spec.jobs));
+    argv_strings.push_back("--shard-out");
+    argv_strings.push_back(fragment);
+    std::vector<char *> argv;
+    argv.reserve(argv_strings.size() + 1);
+    for (auto &s : argv_strings)
+        argv.push_back(s.data());
+    argv.push_back(nullptr);
+    ::execvp(argv[0], argv.data());
+    // exec failed: the 127 convention shells use, visible in the
+    // parent's wait status.
+    std::fprintf(stderr, "exec %s failed: %s\n", argv[0],
+                 std::strerror(errno));
+    ::_exit(127);
+}
+
+} // namespace
+
+OrchestratorResult
+orchestrateShards(const OrchestratorSpec &spec)
+{
+    OrchestratorResult result;
+    if (spec.jobs < 1 || spec.program.empty() || spec.attempts < 1) {
+        result.error = "orchestrator needs a program, jobs >= 1 and "
+                       "attempts >= 1";
+        return result;
+    }
+
+    // Scratch directory for fragments and logs.
+    std::error_code ec;
+    if (!spec.scratch_dir.empty()) {
+        result.scratch_dir = spec.scratch_dir;
+        fs::create_directories(result.scratch_dir, ec);
+        if (ec) {
+            result.error = "cannot create orchestrator scratch dir " +
+                           result.scratch_dir;
+            return result;
+        }
+    } else {
+        std::string tmpl =
+            (fs::temp_directory_path() / "kb-orch-XXXXXX").string();
+        if (::mkdtemp(tmpl.data()) == nullptr) {
+            result.error =
+                "cannot create orchestrator scratch dir under " +
+                fs::temp_directory_path().string();
+            return result;
+        }
+        result.scratch_dir = tmpl;
+    }
+
+    result.shards.resize(spec.jobs);
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < spec.jobs; ++i) {
+        auto &shard = result.shards[i];
+        shard.index = i;
+        shard.fragment = result.scratch_dir + "/shard_" +
+                         std::to_string(i) + "_of_" +
+                         std::to_string(spec.jobs) + ".kbshard";
+        shard.log = result.scratch_dir + "/shard_" +
+                    std::to_string(i) + ".log";
+        pending.push_back(i);
+    }
+
+    // Per-shard reason of the LAST failed attempt. Only the shards
+    // still pending after the final attempt decide the outcome — a
+    // shard whose retry succeeded is a success, whatever its first
+    // attempt died of.
+    std::vector<std::string> whys(spec.jobs);
+    for (unsigned attempt = 1;
+         attempt <= spec.attempts && !pending.empty(); ++attempt) {
+        // Spawn every pending shard concurrently, then reap them.
+        std::vector<std::pair<std::size_t, pid_t>> running;
+        std::vector<std::size_t> failed;
+        for (const std::size_t i : pending) {
+            auto &shard = result.shards[i];
+            ++shard.attempts_used;
+            // A stale fragment from a crashed attempt must not
+            // masquerade as this attempt's output.
+            fs::remove(shard.fragment, ec);
+            const pid_t pid =
+                spawnShard(spec, i, shard.fragment, shard.log);
+            if (pid < 0) {
+                // A transient fork failure is retried like any other
+                // dead shard.
+                whys[i] = "could not be forked";
+                failed.push_back(i);
+                continue;
+            }
+            running.emplace_back(i, pid);
+        }
+
+        for (const auto &[i, pid] : running) {
+            auto &shard = result.shards[i];
+            int status = 0;
+            if (::waitpid(pid, &status, 0) != pid) {
+                whys[i] = "was lost by waitpid";
+                failed.push_back(i);
+                continue;
+            }
+            std::string why;
+            if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+                why = describeWaitStatus(status);
+            } else if (!fs::exists(shard.fragment, ec) ||
+                       fs::file_size(shard.fragment, ec) == 0) {
+                why = "exited cleanly but wrote no fragment";
+            }
+            if (why.empty()) {
+                shard.ok = true;
+                continue;
+            }
+            whys[i] = why;
+            failed.push_back(i);
+        }
+        pending = std::move(failed);
+    }
+
+    if (!pending.empty()) {
+        const std::size_t culprit = pending.front();
+        const auto &shard = result.shards[culprit];
+        result.error = "shard " + std::to_string(culprit) + "/" +
+                       std::to_string(spec.jobs) + " " +
+                       whys[culprit] + " after " +
+                       std::to_string(shard.attempts_used) +
+                       " attempt(s); log " + shard.log + ":\n" +
+                       logTail(shard.log);
+        return result;
+    }
+    for (const auto &shard : result.shards)
+        result.fragments.push_back(shard.fragment);
+    result.ok = true;
+    return result;
+}
+
+void
+removeOrchestratorScratch(const std::string &scratch_dir)
+{
+    if (scratch_dir.empty())
+        return;
+    std::error_code ec;
+    fs::remove_all(scratch_dir, ec);
+}
+
+} // namespace kb

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * One-command shard orchestration.
+ *
+ * PR 4's sharding made a sweep grid splittable across processes, but
+ * an operator had to hand-launch the N `--shard i/N` invocations and
+ * collect the fragments. The orchestrator closes that gap: given a
+ * program (normally the running bench binary itself) and its shared
+ * flags, it spawns the N shard subprocesses concurrently, redirects
+ * each one's stdout/stderr to a per-shard log, monitors their exits,
+ * retries a dead shard, and hands the fragment paths back for the
+ * caller to merge. A shard that keeps failing — nonzero exit, killed
+ * by a signal, or exiting "successfully" without producing its
+ * fragment — fails the whole run loudly, naming the culprit shard
+ * and quoting the tail of its log; a partial merge must never
+ * masquerade as a full run (engine/shard.hpp enforces the same at
+ * merge time).
+ *
+ * The orchestrator deliberately reports failures in its result
+ * instead of aborting, so failure handling is unit-testable; the
+ * bench driver turns a failed result into a fatal exit. Shards that
+ * share a `--curve-store` directory (flag or environment — children
+ * inherit both) reuse each other's single-pass curves and replayed
+ * points through the store's cross-process tier.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kb {
+
+/** What to launch and how hard to try. */
+struct OrchestratorSpec
+{
+    std::string program; ///< binary to exec (the bench itself)
+    /// Flags every shard shares; `--shard i/N --shard-out PATH` is
+    /// appended per shard. Must not already contain --shard/--merge
+    /// or --jobs.
+    std::vector<std::string> args;
+    std::size_t jobs = 2; ///< shard count N (>= 1)
+    /// Directory for fragments and logs; "" = a fresh mkdtemp under
+    /// the system temp directory.
+    std::string scratch_dir;
+    /// Spawn attempts per shard (>= 1); 2 = one retry on a dead shard.
+    unsigned attempts = 2;
+};
+
+/** Outcome of one shard's lifecycle. */
+struct ShardOutcome
+{
+    std::size_t index = 0;
+    std::string fragment; ///< path the shard was told to write
+    std::string log;      ///< combined stdout+stderr of the last attempt
+    unsigned attempts_used = 0;
+    bool ok = false;
+};
+
+/** Outcome of the whole orchestrated run. */
+struct OrchestratorResult
+{
+    bool ok = false;
+    /// Empty when ok; otherwise names the culprit shard, how it died
+    /// (exit status, signal, or missing fragment), and its log path.
+    std::string error;
+    /// Fragment paths in shard order, complete only when ok.
+    std::vector<std::string> fragments;
+    std::vector<ShardOutcome> shards;
+    std::string scratch_dir; ///< where fragments and logs live
+};
+
+/**
+ * Launch @p spec.jobs shard subprocesses and wait for all of them.
+ * Never throws and never exits: inspect result.ok. On failure the
+ * scratch directory is left in place so the logs can be examined.
+ */
+OrchestratorResult orchestrateShards(const OrchestratorSpec &spec);
+
+/** Remove an orchestrated run's scratch directory (fragments, logs). */
+void removeOrchestratorScratch(const std::string &scratch_dir);
+
+} // namespace kb

@@ -1,0 +1,92 @@
+#include "trace/model_curve.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+ModelCurve::ModelCurve(std::vector<std::uint64_t> capacities,
+                       std::vector<std::uint64_t> io_words)
+    : capacities_(std::move(capacities)), io_words_(std::move(io_words))
+{
+    KB_REQUIRE(capacities_.size() == io_words_.size(),
+               "ModelCurve needs one I/O count per capacity");
+    KB_REQUIRE(std::is_sorted(capacities_.begin(), capacities_.end()) &&
+                   std::adjacent_find(capacities_.begin(),
+                                      capacities_.end()) ==
+                       capacities_.end(),
+               "ModelCurve capacities must be ascending and unique");
+}
+
+std::size_t
+ModelCurve::indexOf(std::uint64_t capacity) const
+{
+    const auto it = std::lower_bound(capacities_.begin(),
+                                     capacities_.end(), capacity);
+    if (it == capacities_.end() || *it != capacity)
+        return capacities_.size();
+    return static_cast<std::size_t>(
+        std::distance(capacities_.begin(), it));
+}
+
+bool
+ModelCurve::has(std::uint64_t capacity) const
+{
+    return indexOf(capacity) < capacities_.size();
+}
+
+std::uint64_t
+ModelCurve::ioAt(std::uint64_t capacity) const
+{
+    const std::size_t i = indexOf(capacity);
+    KB_REQUIRE(i < capacities_.size(),
+               "ModelCurve was not built for capacity ", capacity);
+    return io_words_[i];
+}
+
+bool
+ModelCurve::covers(const ModelCurve &other) const
+{
+    return std::includes(capacities_.begin(), capacities_.end(),
+                         other.capacities_.begin(),
+                         other.capacities_.end());
+}
+
+ModelCurve
+ModelCurve::merged(const ModelCurve &a, const ModelCurve &b)
+{
+    std::vector<std::uint64_t> caps;
+    std::set_union(a.capacities_.begin(), a.capacities_.end(),
+                   b.capacities_.begin(), b.capacities_.end(),
+                   std::back_inserter(caps));
+    std::vector<std::uint64_t> io;
+    io.reserve(caps.size());
+    for (const auto cap : caps)
+        io.push_back(a.has(cap) ? a.ioAt(cap) : b.ioAt(cap));
+    return ModelCurve(std::move(caps), std::move(io));
+}
+
+void
+ModelCurve::encode(ByteWriter &out) const
+{
+    out.vecU64(capacities_);
+    out.vecU64(io_words_);
+}
+
+bool
+ModelCurve::decode(ByteReader &in, ModelCurve &out)
+{
+    out.capacities_ = in.vecU64();
+    out.io_words_ = in.vecU64();
+    in.require(out.capacities_.size() == out.io_words_.size());
+    in.require(std::is_sorted(out.capacities_.begin(),
+                              out.capacities_.end()) &&
+               std::adjacent_find(out.capacities_.begin(),
+                                  out.capacities_.end()) ==
+                   out.capacities_.end());
+    return in.ok();
+}
+
+} // namespace kb

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-point replay results as a store-able curve.
+ *
+ * The stack-distance fast paths summarize a whole model family over a
+ * trace in one MissCurve/OptCurve. Models without that structure
+ * (set-associative FIFO, random replacement) — and any job whose
+ * schedule is not fixed — are measured by *replaying* the trace per
+ * point, producing one I/O-word count per (model, capacity). A
+ * ModelCurve collects those scalars for one (model family, config,
+ * trace) identity: a sparse capacity -> I/O-words map that grows as
+ * more points are replayed, mergeable by union exactly like the OPT
+ * curve (two invocations replaying different grid points over the
+ * same trace widen one shared entry instead of thrashing it).
+ *
+ * Each replayed result is a pure function of (kernel, traced problem
+ * size, schedule memory, model kind, model config, capacity), so the
+ * CurveStore can key ModelCurves into both tiers and serve repeated
+ * replay jobs with zero trace emissions — the same contract the
+ * single-pass curves already have (engine/curve_store.hpp).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/binio.hpp"
+
+namespace kb {
+
+/** Sparse capacity -> replayed-I/O-words curve of one model config
+ *  over one trace. Capacities are ascending and unique. */
+class ModelCurve
+{
+  public:
+    ModelCurve() = default;
+
+    /** @p capacities ascending and unique, parallel to @p io_words. */
+    ModelCurve(std::vector<std::uint64_t> capacities,
+               std::vector<std::uint64_t> io_words);
+
+    const std::vector<std::uint64_t> &
+    capacities() const
+    {
+        return capacities_;
+    }
+
+    /** True iff the curve resolves @p capacity. */
+    bool has(std::uint64_t capacity) const;
+
+    /** Replayed I/O words at @p capacity; fatal unless has(). */
+    std::uint64_t ioAt(std::uint64_t capacity) const;
+
+    /** True iff every capacity of @p other is resolved here. */
+    bool covers(const ModelCurve &other) const;
+
+    /**
+     * Union of two curves over the same (trace, model) identity:
+     * every capacity either resolves, answered by whichever has it
+     * (@p a preferred where both do — replays are deterministic, so
+     * both sides agree anyway).
+     */
+    static ModelCurve merged(const ModelCurve &a, const ModelCurve &b);
+
+    /** Serialize every query-relevant field (on-disk curve store). */
+    void encode(ByteWriter &out) const;
+
+    /**
+     * Rebuild a curve from encode()'s bytes. Returns false (leaving
+     * @p out unspecified) when the input is truncated or internally
+     * inconsistent — a corrupt store entry must decode to "reject",
+     * never to a curve that answers queries wrongly.
+     */
+    static bool decode(ByteReader &in, ModelCurve &out);
+
+  private:
+    std::size_t indexOf(std::uint64_t capacity) const;
+
+    std::vector<std::uint64_t> capacities_;
+    std::vector<std::uint64_t> io_words_;
+};
+
+} // namespace kb

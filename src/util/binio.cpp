@@ -1,6 +1,14 @@
 #include "util/binio.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
 
 namespace kb {
 
@@ -138,6 +146,81 @@ ByteReader::vecU64()
     for (std::uint64_t i = 0; i < n; ++i)
         v.push_back(u64());
     return v;
+}
+
+bool
+readFileBytes(const std::string &path, std::vector<std::uint8_t> &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    out.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+    return in.good() || in.eof();
+}
+
+bool
+writeFileAtomic(const std::string &path,
+                std::span<const std::uint8_t> bytes,
+                bool first_write_wins)
+{
+    namespace fs = std::filesystem;
+    // The temp name carries the pid so concurrent writers (shards,
+    // parallel invocations) never collide on it.
+    const std::string tmp =
+        path + ".tmp" +
+        std::to_string(static_cast<unsigned long>(::getpid()));
+    std::error_code ec;
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out.good()) {
+            out.close();
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    if (first_write_wins) {
+        // link(2) refuses to replace an existing file, so of two
+        // racing writers of the same (deterministic) content exactly
+        // the first publish lands; the loser just drops its copy.
+        const bool published = ::link(tmp.c_str(), path.c_str()) == 0;
+        if (!published && errno != EEXIST) {
+            // Filesystem without hard links: degrade to rename.
+            fs::rename(tmp, path, ec);
+            return !ec;
+        }
+        fs::remove(tmp, ec);
+        return published;
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+FileLock::FileLock(const std::string &path)
+{
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ < 0)
+        return;
+    if (::flock(fd_, LOCK_EX) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+FileLock::~FileLock()
+{
+    if (fd_ >= 0) {
+        ::flock(fd_, LOCK_UN);
+        ::close(fd_);
+    }
 }
 
 } // namespace kb

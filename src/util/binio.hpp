@@ -13,6 +13,12 @@
  *
  * fnv1a64() provides the content hash used both for the store's
  * content-addressed file names and for the end-of-file checksum.
+ *
+ * The file-level primitives the store's tier 2 is built on live here
+ * too: whole-file reads, atomic replace-by-rename / publish-by-link
+ * writes, and an advisory whole-file lock (flock). They are plain
+ * syscall wrappers with no store knowledge, so the concurrency tests
+ * can exercise them directly.
  */
 
 #pragma once
@@ -34,6 +40,47 @@ std::string toHex16(std::uint64_t v);
 /** Inverse of toHex16: false unless @p hex is exactly 16 lowercase
  *  hex digits. */
 bool fromHex16(const std::string &hex, std::uint64_t &out);
+
+/** Whole-file read into @p out; false on a missing file or any I/O
+ *  error (the two are indistinguishable on purpose: both mean "no
+ *  usable entry"). */
+bool readFileBytes(const std::string &path,
+                   std::vector<std::uint8_t> &out);
+
+/**
+ * Atomically publish @p bytes at @p path via a temp file in the same
+ * directory. With @p first_write_wins false the temp file is renamed
+ * over @p path (last writer wins, readers never see a torn file).
+ * With it true the temp file is hard-linked to @p path instead, which
+ * fails if the file already exists — the first concurrent writer of
+ * deterministic content wins and later identical writes are dropped.
+ * Returns true iff this call published the file.
+ */
+bool writeFileAtomic(const std::string &path,
+                     std::span<const std::uint8_t> bytes,
+                     bool first_write_wins = false);
+
+/**
+ * RAII advisory exclusive lock on @p path (flock(2), auto-created,
+ * auto-released on destruction or process death — a crashed holder
+ * never wedges the lock). Used to make tier-2 read-merge-write
+ * sequences atomic across processes. held() is false when the lock
+ * file could not be opened; callers degrade to lock-free behavior.
+ */
+class FileLock
+{
+  public:
+    explicit FileLock(const std::string &path);
+    ~FileLock();
+
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+    bool held() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+};
 
 /** Appends little-endian primitives to a byte buffer. */
 class ByteWriter

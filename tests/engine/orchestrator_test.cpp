@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the shard orchestrator's lifecycle and failure handling:
+ * success and retry paths (driven by /bin/sh stand-in shards),
+ * killed / failing / fragment-less shards reported loudly with the
+ * culprit named, corrupt fragments rejected at merge, partial merges
+ * refused, and — when the real bench binary is present in the test's
+ * working directory (ctest runs in the build tree) — the end-to-end
+ * property: `--jobs 2` stdout is byte-identical to the unsharded
+ * run.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "engine/orchestrator.hpp"
+#include "engine/shard.hpp"
+
+namespace fs = std::filesystem;
+
+namespace kb {
+namespace {
+
+std::string
+scratchDir(const std::string &name)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / ("kb_orch_" + name);
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+/**
+ * A /bin/sh stand-in shard. The orchestrator appends
+ * `--shard i/N --shard-out PATH`, which sh binds as $0="--shard",
+ * $1="i/N", $2="--shard-out", $3=PATH — so @p script can reach its
+ * fragment path as "$3" and its shard spec as "$1".
+ */
+OrchestratorSpec
+shellSpec(const std::string &script, std::size_t jobs,
+          const std::string &scratch)
+{
+    OrchestratorSpec spec;
+    spec.program = "/bin/sh";
+    spec.args = {"-c", script};
+    spec.jobs = jobs;
+    spec.scratch_dir = scratch;
+    return spec;
+}
+
+TEST(Orchestrator, SpawnsAllShardsAndCollectsFragments)
+{
+    const auto spec = shellSpec("echo fragment > \"$3\"", 3,
+                                scratchDir("success"));
+    const auto run = orchestrateShards(spec);
+    ASSERT_TRUE(run.ok) << run.error;
+    ASSERT_EQ(run.fragments.size(), 3u);
+    for (const auto &frag : run.fragments)
+        EXPECT_TRUE(fs::exists(frag)) << frag;
+    for (const auto &shard : run.shards) {
+        EXPECT_TRUE(shard.ok);
+        EXPECT_EQ(shard.attempts_used, 1u);
+    }
+    removeOrchestratorScratch(run.scratch_dir);
+    EXPECT_FALSE(fs::exists(run.scratch_dir));
+}
+
+TEST(Orchestrator, RetriesADeadShardOnce)
+{
+    const std::string scratch = scratchDir("retry");
+    // First attempt of each shard leaves a marker and dies; the
+    // retry finds the marker and succeeds.
+    const auto spec = shellSpec(
+        "i=${1%/*}; if [ -e \"" + scratch +
+            "/m$i\" ]; then echo ok > \"$3\"; else : > \"" + scratch +
+            "/m$i\"; exit 7; fi",
+        2, scratch);
+    const auto run = orchestrateShards(spec);
+    ASSERT_TRUE(run.ok) << run.error;
+    for (const auto &shard : run.shards)
+        EXPECT_EQ(shard.attempts_used, 2u);
+    removeOrchestratorScratch(run.scratch_dir);
+}
+
+TEST(Orchestrator, FailingShardIsNamedWithItsExitStatus)
+{
+    auto spec = shellSpec("exit 3", 2, scratchDir("exitfail"));
+    spec.attempts = 2;
+    const auto run = orchestrateShards(spec);
+    ASSERT_FALSE(run.ok);
+    EXPECT_NE(run.error.find("shard 0/2"), std::string::npos)
+        << run.error;
+    EXPECT_NE(run.error.find("exited with status 3"),
+              std::string::npos)
+        << run.error;
+    EXPECT_NE(run.error.find("2 attempt"), std::string::npos)
+        << run.error;
+    // Failure leaves the scratch dir (and logs) for inspection.
+    EXPECT_TRUE(fs::exists(run.scratch_dir));
+    removeOrchestratorScratch(run.scratch_dir);
+}
+
+TEST(Orchestrator, KilledShardIsReportedAsSignaled)
+{
+    const auto spec =
+        shellSpec("kill -KILL $$", 2, scratchDir("killed"));
+    const auto run = orchestrateShards(spec);
+    ASSERT_FALSE(run.ok);
+    EXPECT_NE(run.error.find("killed by signal 9"), std::string::npos)
+        << run.error;
+    removeOrchestratorScratch(run.scratch_dir);
+}
+
+TEST(Orchestrator, CleanExitWithoutFragmentIsAFailure)
+{
+    const auto spec = shellSpec("exit 0", 2, scratchDir("nofrag"));
+    const auto run = orchestrateShards(spec);
+    ASSERT_FALSE(run.ok);
+    EXPECT_NE(run.error.find("wrote no fragment"), std::string::npos)
+        << run.error;
+    removeOrchestratorScratch(run.scratch_dir);
+}
+
+/** The merge layer backs the orchestrator up: a corrupt fragment is
+ *  rejected loudly instead of silently merged. */
+TEST(OrchestratorMergeGuards, CorruptFragmentIsRejected)
+{
+    SweepJob job;
+    job.kernel = "matmul";
+    job.m_lo = 48;
+    job.m_hi = 256;
+    job.points = 3;
+
+    const ExperimentEngine engine(1);
+    auto skeleton = engine.run(
+        {job}, [](std::size_t, std::size_t) { return false; });
+
+    const std::string dir = scratchDir("corrupt");
+    fs::create_directories(dir);
+    const std::string bad = dir + "/bad.kbshard";
+    {
+        std::ofstream out(bad);
+        out << "this is not a fragment\n";
+    }
+    EXPECT_EXIT({ mergeShardFragments(skeleton, {bad}); },
+                ::testing::ExitedWithCode(1), "not a version");
+}
+
+/** ...and a partial merge (one fragment of two) is refused. */
+TEST(OrchestratorMergeGuards, PartialMergeIsRefused)
+{
+    SweepJob job;
+    job.kernel = "matmul";
+    job.m_lo = 48;
+    job.m_hi = 256;
+    job.points = 4;
+
+    const ExperimentEngine engine(1);
+    const ShardSpec spec{0, 2};
+    const auto partial = engine.run({job}, shardFilter(spec));
+    const std::string dir = scratchDir("partial");
+    fs::create_directories(dir);
+    const std::string frag = dir + "/frag0.kbshard";
+    writeShardFragment(frag, spec, partial);
+
+    auto skeleton = engine.run(
+        {job}, [](std::size_t, std::size_t) { return false; });
+    EXPECT_EXIT({ mergeShardFragments(skeleton, {frag}); },
+                ::testing::ExitedWithCode(1), "missing cell");
+}
+
+/**
+ * End-to-end, against the real bench binary when it is reachable
+ * (ctest runs in the build tree): `--jobs 2` stdout must be
+ * byte-identical to the unsharded run — the acceptance property the
+ * CI diff also checks.
+ */
+TEST(OrchestratorEndToEnd, JobsFlagIsByteIdenticalToUnsharded)
+{
+    const char *bench = "./bench_engine_sweep";
+    if (!fs::exists(bench))
+        GTEST_SKIP() << "bench_engine_sweep not in the working "
+                        "directory; CI's diff covers this";
+
+    const auto capture = [&](const std::string &extra) {
+        const std::string cmd = std::string(bench) +
+                                " --points 3 --kernel matmul,fft " +
+                                extra + " 2>/dev/null";
+        std::string out;
+        FILE *pipe = ::popen(cmd.c_str(), "r");
+        if (pipe == nullptr)
+            return out;
+        char buf[4096];
+        std::size_t n = 0;
+        while ((n = ::fread(buf, 1, sizeof(buf), pipe)) > 0)
+            out.append(buf, n);
+        ::pclose(pipe);
+        return out;
+    };
+
+    const std::string unsharded = capture("");
+    const std::string orchestrated = capture("--jobs 2");
+    ASSERT_FALSE(unsharded.empty());
+    EXPECT_EQ(unsharded, orchestrated)
+        << "--jobs 2 stdout must be byte-identical to the unsharded "
+           "run";
+}
+
+} // namespace
+} // namespace kb

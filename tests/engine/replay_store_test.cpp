@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the store-backed replay path — the tentpole property:
+ * replayed per-point results (non-inclusion models, tile-headroom
+ * jobs, plain per-point-schedule jobs) are keyed into the CurveStore
+ * like curves, so a warm store serves a fresh process's *replay*
+ * sweep with ZERO trace emissions and bit-identical results; mixed
+ * fixed-schedule jobs (curves + replayed columns) go fully warm too;
+ * and force_replay bypasses the store entirely so A/B "direct"
+ * numbers stay honest.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/curve_store.hpp"
+#include "engine/engine.hpp"
+
+namespace fs = std::filesystem;
+
+namespace kb {
+namespace {
+
+/** RAII reset of the process-wide store around every test. */
+class ReplayStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto &store = CurveStore::instance();
+        store.setDiskDirectory("");
+        store.setTier1Capacity(64);
+        store.clear();
+    }
+
+    void
+    TearDown() override
+    {
+        auto &store = CurveStore::instance();
+        if (!store.diskDirectory().empty())
+            store.clearDisk();
+        store.setDiskDirectory("");
+        store.clear();
+    }
+
+    std::string
+    scratchDir(const std::string &name)
+    {
+        const fs::path dir =
+            fs::path(::testing::TempDir()) / ("kb_replay_" + name);
+        fs::remove_all(dir);
+        return dir.string();
+    }
+
+    static void
+    expectSamePoints(const SweepResult &a, const SweepResult &b)
+    {
+        ASSERT_EQ(a.points.size(), b.points.size());
+        for (std::size_t p = 0; p < a.points.size(); ++p) {
+            EXPECT_EQ(a.points[p].sample.m, b.points[p].sample.m);
+            EXPECT_EQ(a.points[p].model_io, b.points[p].model_io);
+        }
+    }
+};
+
+/** The acceptance property: a warm disk store serves a fresh
+ *  process's replay-MODEL sweep (tile-headroom job: per-point
+ *  schedules, no fast path possible) with zero trace emissions. */
+TEST_F(ReplayStoreTest, WarmStoreServesHeadroomReplaySweepWithZeroEmissions)
+{
+    auto &store = CurveStore::instance();
+    store.setDiskDirectory(scratchDir("headroom"));
+
+    SweepJob job;
+    job.kernel = "matmul";
+    job.m_lo = 64;
+    job.m_hi = 512;
+    job.points = 4;
+    job.n_hint = 96;
+    job.models = {MemoryModelKind::SetAssocLru,
+                  MemoryModelKind::SetAssocFifo,
+                  MemoryModelKind::RandomRepl};
+    job.schedule_headroom = 2;
+    job.models_only = true;
+
+    const ExperimentEngine engine(1);
+    const std::uint64_t before = engineEmissionCount();
+    const auto cold = engine.runOne(job);
+    const std::uint64_t cold_emissions =
+        engineEmissionCount() - before;
+    EXPECT_GT(cold_emissions, 0u)
+        << "the cold run must really replay";
+    EXPECT_GT(store.stats().replay_stores, 0u);
+
+    // Fresh process: tier 1 dies, tier 2 persists.
+    store.clear();
+    const auto warm = engine.runOne(job);
+    EXPECT_EQ(engineEmissionCount() - before, cold_emissions)
+        << "a warm store must serve a fresh process's replay-model "
+           "sweep with zero trace emissions";
+    EXPECT_GT(store.stats().replay_hits, 0u);
+    EXPECT_GT(store.stats().disk_hits, 0u);
+    expectSamePoints(cold, warm);
+}
+
+/** Plain per-point-schedule jobs (schedule follows capacity — the
+ *  historical default) ride the replay store too. */
+TEST_F(ReplayStoreTest, PerPointScheduleJobGoesWarmInMemory)
+{
+    SweepJob job;
+    job.kernel = "fft";
+    job.m_lo = 16;
+    job.m_hi = 128;
+    job.points = 4;
+    job.models = {MemoryModelKind::Lru, MemoryModelKind::Opt};
+
+    const ExperimentEngine engine(1);
+    const std::uint64_t before = engineEmissionCount();
+    const auto cold = engine.runOne(job);
+    const std::uint64_t cold_emissions =
+        engineEmissionCount() - before;
+    EXPECT_GT(cold_emissions, 0u);
+
+    const auto warm = engine.runOne(job);
+    EXPECT_EQ(engineEmissionCount() - before, cold_emissions)
+        << "repeating a per-point replay job must add zero emissions";
+    expectSamePoints(cold, warm);
+}
+
+/** A fixed-schedule job mixing fast-path curves with replayed
+ *  non-inclusion columns goes FULLY warm: previously the replayed
+ *  columns forced a re-emission even with every curve cached. */
+TEST_F(ReplayStoreTest, MixedFixedScheduleJobGoesFullyWarmFromDisk)
+{
+    auto &store = CurveStore::instance();
+    store.setDiskDirectory(scratchDir("mixed"));
+
+    SweepJob job;
+    job.kernel = "matmul";
+    job.m_lo = 48;
+    job.m_hi = 512;
+    job.points = 5;
+    job.models = {MemoryModelKind::Lru, MemoryModelKind::SetAssocLru,
+                  MemoryModelKind::SetAssocFifo,
+                  MemoryModelKind::RandomRepl, MemoryModelKind::Opt};
+    job.schedule_m = 256;
+    job.models_only = true;
+
+    const ExperimentEngine engine(1);
+    const std::uint64_t before = engineEmissionCount();
+    const auto cold = engine.runOne(job);
+    EXPECT_EQ(engineEmissionCount() - before, 1u)
+        << "the fast path emits the fixed-schedule trace once";
+
+    store.clear();
+    const auto warm = engine.runOne(job);
+    EXPECT_EQ(engineEmissionCount() - before, 1u)
+        << "warm disk must serve curves AND replayed columns with "
+           "zero further emissions";
+    expectSamePoints(cold, warm);
+}
+
+/** force_replay must bypass the store both ways: its results match,
+ *  but it really replays (the A/B bench's honesty contract). */
+TEST_F(ReplayStoreTest, ForceReplayBypassesTheStore)
+{
+    SweepJob job;
+    job.kernel = "matmul";
+    job.m_lo = 64;
+    job.m_hi = 256;
+    job.points = 3;
+    job.n_hint = 96;
+    job.models = {MemoryModelKind::SetAssocFifo};
+    job.schedule_headroom = 2;
+    job.models_only = true;
+
+    const ExperimentEngine engine(1);
+    const auto cached = engine.runOne(job); // populates the store
+    const auto replay_stores =
+        CurveStore::instance().stats().replay_stores;
+    EXPECT_GT(replay_stores, 0u);
+
+    SweepJob direct = job;
+    direct.force_replay = true;
+    const std::uint64_t before = engineEmissionCount();
+    const auto forced = engine.runOne(direct);
+    EXPECT_GT(engineEmissionCount() - before, 0u)
+        << "force_replay must re-emit even with a hot store";
+    EXPECT_EQ(CurveStore::instance().stats().replay_stores,
+              replay_stores)
+        << "force_replay must not write the store either";
+    expectSamePoints(cached, forced);
+}
+
+/** The store API itself: replayed points accumulate per (trace,
+ *  model) entry, round-trip through disk, and keep families with
+ *  different configs apart. */
+TEST_F(ReplayStoreTest, ReplayEntriesAccumulateAndRoundTrip)
+{
+    auto &store = CurveStore::instance();
+    store.setDiskDirectory(scratchDir("api"));
+    const TraceKey trace{"matmul", 96, 128};
+    const ReplayModelKey fifo{2, 8};
+    const ReplayModelKey random{3, 7};
+
+    store.storeReplayIo(trace, fifo, 64, 111);
+    store.storeReplayIo(trace, fifo, 128, 222);
+    store.storeReplayIo(trace, random, 64, 333);
+
+    // Fresh process: everything must come back off disk, per config.
+    store.clear();
+    auto io = store.findReplayIo(trace, fifo, 64);
+    ASSERT_TRUE(io.has_value());
+    EXPECT_EQ(*io, 111u);
+    io = store.findReplayIo(trace, fifo, 128);
+    ASSERT_TRUE(io.has_value());
+    EXPECT_EQ(*io, 222u);
+    io = store.findReplayIo(trace, random, 64);
+    ASSERT_TRUE(io.has_value());
+    EXPECT_EQ(*io, 333u);
+    EXPECT_FALSE(store.findReplayIo(trace, random, 128).has_value());
+    EXPECT_FALSE(store.findReplayIo(trace, fifo, 96).has_value());
+
+    const auto stats = store.stats();
+    EXPECT_EQ(stats.replay_hits, 3u);
+    EXPECT_GT(stats.disk_hits, 0u);
+}
+
+} // namespace
+} // namespace kb

@@ -12,6 +12,7 @@
 
 #include "kernels/registry.hpp"
 #include "kernels/stencil9.hpp"
+#include "kernels/stencil9t.hpp"
 #include "trace/sink.hpp"
 
 namespace kb {
@@ -72,6 +73,68 @@ TEST(Stencil9, RatioIsFlatAndBoundedBySix)
     EXPECT_LT(kernel.asymptoticRatio(1 << 16) /
                   kernel.asymptoticRatio(64),
               2.0);
+}
+
+TEST(Stencil9TimeTiled, RegistersAsPluginWithoutKernelId)
+{
+    auto &registry = KernelRegistry::instance();
+    ASSERT_TRUE(registry.contains("stencil9t"));
+    const auto kernel = registry.shared("stencil9t");
+    EXPECT_EQ(kernel->name(), "stencil9t");
+    KernelId id;
+    EXPECT_FALSE(kernelIdFromName("stencil9t", id));
+    // The whole point of the pair: same operator, opposite law.
+    EXPECT_TRUE(kernel->law().rebalancePossible());
+}
+
+TEST(Stencil9TimeTiled, BlockedScheduleMatchesStencil9Reference)
+{
+    // The time-tiled schedule computes the exact same function as
+    // stencil9 (T Moore sweeps); measure() verifies against the
+    // shared stencil9Reference, so `verified` here means the two
+    // kernels provably run one operator under two schedules.
+    const Stencil9TimeTiledKernel kernel(5);
+    for (const std::uint64_t m : {18u, 128u, 1024u}) {
+        SCOPED_TRACE("m " + std::to_string(m));
+        const auto cost = kernel.measure(33, m, /*verify=*/true);
+        EXPECT_TRUE(cost.verified);
+        EXPECT_GT(cost.cost.comp_ops, 0.0);
+        EXPECT_GT(cost.cost.io_words, 0.0);
+        EXPECT_LE(cost.peak_memory, m);
+    }
+}
+
+TEST(Stencil9TimeTiled, TraceMatchesScratchpadAccounting)
+{
+    const Stencil9TimeTiledKernel kernel(6);
+    const std::uint64_t n = 29, m = 256;
+    const auto cost = kernel.measure(n, m, /*verify=*/false);
+    CountingSink counter;
+    kernel.emitTrace(n, m, counter);
+    EXPECT_EQ(static_cast<double>(counter.total()),
+              cost.cost.io_words);
+}
+
+TEST(Stencil9TimeTiled, RatioGrowsLikeSqrtWhereStencil9IsFlat)
+{
+    const Stencil9TimeTiledKernel tiled;
+    const Stencil9Kernel single;
+    // Over the default sweep span the time-tiled schedule must buy a
+    // real power-law gain while the single-sweep schedule stays flat.
+    const double tiled_gain =
+        tiled.asymptoticRatio(4096) / tiled.asymptoticRatio(64);
+    const double flat_gain =
+        single.asymptoticRatio(4096) / single.asymptoticRatio(64);
+    EXPECT_GT(tiled_gain, 4.0);
+    EXPECT_LT(flat_gain, 2.0);
+    // Monotone growth, and tau is the driver.
+    double prev = 0.0;
+    for (std::uint64_t m = 64; m <= 1 << 14; m *= 2) {
+        const double r = tiled.asymptoticRatio(m);
+        EXPECT_GE(r, prev) << "m=" << m;
+        prev = r;
+    }
+    EXPECT_GT(tiled.temporalDepth(4096), tiled.temporalDepth(64));
 }
 
 } // namespace

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the ModelCurve codec: construction invariants, sparse
+ * queries, union merging (the cross-invocation widening the store
+ * relies on), and the reject-don't-crash decode contract shared with
+ * the other store payloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/model_curve.hpp"
+
+namespace kb {
+namespace {
+
+TEST(ModelCurve, SparseQueriesAnswerOnlyBuiltCapacities)
+{
+    const ModelCurve curve({8, 64, 512}, {30, 20, 10});
+    EXPECT_TRUE(curve.has(8));
+    EXPECT_TRUE(curve.has(512));
+    EXPECT_FALSE(curve.has(7));
+    EXPECT_FALSE(curve.has(65));
+    EXPECT_EQ(curve.ioAt(8), 30u);
+    EXPECT_EQ(curve.ioAt(64), 20u);
+    EXPECT_EQ(curve.ioAt(512), 10u);
+}
+
+TEST(ModelCurve, RejectsUnsortedAndMismatchedConstruction)
+{
+    EXPECT_EXIT({ ModelCurve curve({64, 8}, {1, 2}); },
+                ::testing::ExitedWithCode(1), "ascending");
+    EXPECT_EXIT({ ModelCurve curve({8, 8}, {1, 2}); },
+                ::testing::ExitedWithCode(1), "ascending");
+    EXPECT_EXIT({ ModelCurve curve({8, 64}, {1}); },
+                ::testing::ExitedWithCode(1), "one I/O count");
+}
+
+TEST(ModelCurve, MergedIsTheUnionPreferringTheFirst)
+{
+    const ModelCurve a({8, 64}, {30, 20});
+    const ModelCurve b({64, 512}, {20, 10});
+    const ModelCurve u = ModelCurve::merged(a, b);
+    ASSERT_EQ(u.capacities().size(), 3u);
+    EXPECT_EQ(u.ioAt(8), 30u);
+    EXPECT_EQ(u.ioAt(64), 20u);
+    EXPECT_EQ(u.ioAt(512), 10u);
+    EXPECT_TRUE(u.covers(a));
+    EXPECT_TRUE(u.covers(b));
+    EXPECT_FALSE(a.covers(b));
+}
+
+TEST(ModelCurve, EncodeDecodeRoundTrips)
+{
+    const ModelCurve curve({1, 97, 4096}, {7, 5, 3});
+    ByteWriter w;
+    curve.encode(w);
+    ByteReader r(w.bytes());
+    ModelCurve back;
+    ASSERT_TRUE(ModelCurve::decode(r, back));
+    EXPECT_TRUE(r.exhausted());
+    EXPECT_EQ(back.capacities(), curve.capacities());
+    for (const auto cap : curve.capacities())
+        EXPECT_EQ(back.ioAt(cap), curve.ioAt(cap));
+}
+
+TEST(ModelCurve, DecodeRejectsTruncatedAndInconsistentBytes)
+{
+    const ModelCurve curve({8, 64}, {2, 1});
+    ByteWriter w;
+    curve.encode(w);
+
+    // Truncated at every prefix length: reject, never crash.
+    for (std::size_t cut = 0; cut < w.bytes().size(); ++cut) {
+        ByteReader r(std::span<const std::uint8_t>(w.bytes().data(),
+                                                   cut));
+        ModelCurve out;
+        EXPECT_FALSE(ModelCurve::decode(r, out) && r.exhausted())
+            << "cut at " << cut;
+    }
+
+    // Capacities out of order on the wire: reject.
+    ByteWriter bad;
+    bad.vecU64({64, 8});
+    bad.vecU64({1, 2});
+    ByteReader r(bad.bytes());
+    ModelCurve out;
+    EXPECT_FALSE(ModelCurve::decode(r, out));
+}
+
+} // namespace
+} // namespace kb
