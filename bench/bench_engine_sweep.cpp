@@ -38,6 +38,7 @@
  * so every PR leaves a perf trajectory.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -49,6 +50,7 @@
 #include "engine/curve_store.hpp"
 #include "kernels/registry.hpp"
 #include "mem/lru_cache.hpp"
+#include "mem/opt_cache.hpp"
 #include "trace/replay.hpp"
 #include "trace/reuse.hpp"
 #include "trace/sink.hpp"
@@ -252,6 +254,75 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
     job.models_only = true;
 
     const ExperimentEngine serial(1);
+
+    // --- the three analyzer paths vs their pre-PR-6 baselines ---
+    // Probe the grid the engine would sweep: with no models the run
+    // just materializes each point's capacity sample.
+    SweepJob grid_probe = job;
+    grid_probe.models = {};
+    const auto grid_points = serial.runOne(grid_probe).points;
+    std::vector<std::uint64_t> grid_m;
+    std::vector<std::uint64_t> grid_sets;
+    for (const auto &pt : grid_points) {
+        grid_m.push_back(pt.sample.m);
+        // Mirrors the engine's set-assoc convention: 8-way caches,
+        // sets = max(ceil(m / 8), 1).
+        const std::uint64_t sets =
+            std::max<std::uint64_t>((pt.sample.m + 7) / 8, 1);
+        if (std::find(grid_sets.begin(), grid_sets.end(), sets) ==
+            grid_sets.end())
+            grid_sets.push_back(sets);
+    }
+
+    // Multi-set: ONE emission covering every set count, vs one
+    // emission per set count (what the engine paid before).
+    t0 = std::chrono::steady_clock::now();
+    MultiSetReuseAnalyzer multi(grid_sets, 8);
+    kernel->emitTrace(n_trace, schedule_m, multi);
+    std::uint64_t multi_io = 0;
+    for (std::size_t p = 0; p < multi.planeCount(); ++p)
+        multi_io += multi.waysCurve(p).ioWords(8);
+    const double multi_s = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    std::uint64_t per_set_io = 0;
+    for (const std::uint64_t sets : grid_sets) {
+        SetAssocReuseAnalyzer one(sets, 8);
+        kernel->emitTrace(n_trace, schedule_m, one);
+        per_set_io += one.waysCurve().ioWords(8);
+    }
+    const double per_set_s = secondsSince(t0);
+    if (multi_io != per_set_io) {
+        std::cerr << "perf-json: multi-set pass diverged from "
+                     "per-set passes; refusing to report\n";
+        return 1;
+    }
+
+    // OPT: the streaming two-pass walk (two emissions, no trace
+    // buffer) vs buffering the trace and walking it in place.
+    OptStreamStats opt_stats;
+    t0 = std::chrono::steady_clock::now();
+    const OptCurve opt_streamed = simulateOptCurveStreaming(
+        [&](TraceSink &sink) {
+            kernel->emitTrace(n_trace, schedule_m, sink);
+        },
+        grid_m, OptStreamOptions{}, &opt_stats);
+    const double opt_stream_s = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    VectorSink trace_buffer;
+    kernel->emitTrace(n_trace, schedule_m, trace_buffer);
+    const OptCurve opt_buffered =
+        simulateOptCurve(trace_buffer.trace(), grid_m);
+    const double opt_buffered_s = secondsSince(t0);
+    for (const std::uint64_t m : grid_m) {
+        if (opt_streamed.ioWords(m) != opt_buffered.ioWords(m)) {
+            std::cerr << "perf-json: streaming OPT diverged from the "
+                         "buffered walk; refusing to report\n";
+            return 1;
+        }
+    }
+
     const SweepAb lru_ab = measureSweepAb(serial, job);
 
     // Per-column A/B for the PR-3 fast paths, single-threaded, plus
@@ -313,6 +384,26 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
         << "    \"stack_distance_s\": " << stack_s << ",\n"
         << "    \"stack_distance_words_per_s\": " << rate(stack_s)
         << "\n"
+        << "  },\n"
+        << "  \"analyzer\": {\n"
+        << "    \"fully_assoc_words_per_s\": " << rate(stack_s)
+        << ",\n"
+        << "    \"multi_set_counts\": " << grid_sets.size() << ",\n"
+        << "    \"multi_set_one_pass_s\": " << multi_s << ",\n"
+        << "    \"multi_set_one_pass_words_per_s\": "
+        << rate(multi_s) << ",\n"
+        << "    \"multi_set_per_set_passes_s\": " << per_set_s
+        << ",\n"
+        << "    \"multi_set_speedup\": "
+        << (multi_s > 0.0 ? per_set_s / multi_s : 0.0) << ",\n"
+        << "    \"opt_streaming_s\": " << opt_stream_s << ",\n"
+        << "    \"opt_streaming_words_per_s\": "
+        << rate(opt_stream_s) << ",\n"
+        << "    \"opt_buffered_s\": " << opt_buffered_s << ",\n"
+        << "    \"opt_streaming_peak_resident_bytes\": "
+        << opt_stats.peak_resident_bytes << ",\n"
+        << "    \"opt_streaming_spilled_bytes\": "
+        << opt_stats.spilled_bytes << "\n"
         << "  },\n"
         << "  \"sweep\": {\n"
         << "    \"points\": " << job.points << ",\n"
@@ -387,6 +478,12 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
               << ablation_ab.fast_cold_s << " / "
               << ablation_ab.fast_cached_s << " s ("
               << speedup(ablation_ab) << "x)"
+              << "\nanalyzer: fully-assoc " << rate(stack_s)
+              << " w/s, multi-set one-pass " << rate(multi_s)
+              << " w/s ("
+              << (multi_s > 0.0 ? per_set_s / multi_s : 0.0)
+              << "x vs per-set), streaming OPT " << rate(opt_stream_s)
+              << " w/s"
               << "\ncurve store (ablation job): disk-cold "
               << store_ab.disk_cold_s << " s, disk-warm "
               << store_ab.disk_warm_s << " s, warm emissions "

@@ -64,8 +64,8 @@ BENCHMARK(BM_ReuseDistance);
 void
 BM_ReuseDistanceColdRuns(benchmark::State &state)
 {
-    // First-touch runs take the bulk path: no distance queries, marks
-    // written in blocks, Fenwick tree rebuilt lazily.
+    // First-touch runs take the bulk path: no distance queries, the
+    // rank bitmap marked in whole words by setRun().
     const std::uint64_t words =
         static_cast<std::uint64_t>(state.range(0));
     for (auto _ : state) {
@@ -108,6 +108,91 @@ BM_OptSimulation(benchmark::State &state)
                             static_cast<std::int64_t>(trace.size()));
 }
 BENCHMARK(BM_OptSimulation);
+
+void
+BM_ReuseHierarchical(benchmark::State &state)
+{
+    // The blocked-count rank core on a tiled re-reference pattern:
+    // every lap touches the same rows in a shuffled order, so each
+    // row arrives as a warm run with consecutive previous-use stamps
+    // (one rank query + bulk mark moves per row) while the shuffle
+    // keeps the queries spread across the whole stamp hierarchy, and
+    // laps drive the compaction cycle. Compare BM_ReuseDistance for
+    // the word-at-a-time random shape.
+    const std::uint64_t rows = 1 << 8;
+    const std::uint64_t row_words = 1 << 6;
+    Xoshiro256 rng(7);
+    for (auto _ : state) {
+        ReuseDistanceAnalyzer rd;
+        std::vector<std::uint64_t> order(rows);
+        for (std::uint64_t r = 0; r < rows; ++r)
+            order[r] = r;
+        for (int lap = 0; lap < 16; ++lap) {
+            for (std::uint64_t r = rows; r-- > 1;)
+                std::swap(order[r], order[rng.below(r + 1)]);
+            for (std::uint64_t r = 0; r < rows; ++r)
+                rd.onRun(order[r] * row_words, row_words,
+                         AccessType::Read);
+        }
+        benchmark::DoNotOptimize(rd.accesses());
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(16 * rows * row_words));
+}
+BENCHMARK(BM_ReuseHierarchical);
+
+void
+BM_MultiSetPass(benchmark::State &state)
+{
+    // One shared pass serving range(0) set counts at once — the
+    // engine's one-emission-per-job set-assoc path. Arg(1) is the
+    // old per-set-count cost for comparison.
+    const auto planes = static_cast<std::size_t>(state.range(0));
+    std::vector<std::uint64_t> sets;
+    for (std::size_t p = 0; p < planes; ++p)
+        sets.push_back(1 + 3 * p);
+    Xoshiro256 rng(5);
+    std::vector<std::uint64_t> addrs(1 << 14);
+    for (auto &a : addrs)
+        a = rng.below(1 << 12);
+    for (auto _ : state) {
+        MultiSetReuseAnalyzer analyzer(sets, 8);
+        for (std::size_t i = 0; i < addrs.size(); ++i)
+            analyzer.onAccess(i % 5 == 0 ? writeOf(addrs[i])
+                                         : readOf(addrs[i]));
+        benchmark::DoNotOptimize(analyzer.accesses());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(addrs.size()));
+}
+BENCHMARK(BM_MultiSetPass)->Arg(1)->Arg(8);
+
+void
+BM_OptStreaming(benchmark::State &state)
+{
+    // The two-pass streaming OPT walk on BM_OptSimulation's exact
+    // trace shape, for a direct buffered-vs-streaming comparison; a
+    // small chunk forces real chunk-boundary crossings.
+    Xoshiro256 rng(3);
+    std::vector<Access> trace(1 << 14);
+    for (auto &a : trace)
+        a = readOf(rng.below(1 << 10));
+    OptStreamOptions opts;
+    opts.chunk_positions = 1 << 12;
+    for (auto _ : state) {
+        const auto curve = simulateOptCurveStreaming(
+            [&](TraceSink &sink) {
+                for (const auto &a : trace)
+                    sink.onAccess(a);
+            },
+            {256}, opts);
+        benchmark::DoNotOptimize(curve.missesAt(256));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_OptStreaming);
 
 void
 BM_MatmulMeasure(benchmark::State &state)

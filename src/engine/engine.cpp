@@ -217,8 +217,8 @@ usesJobTrace(const SweepJob &job)
 /**
  * Emit one (n, m) trace through a sink fan-out shared by both replay
  * paths: the streaming models (if any) behind one ReplaySink —
- * flushed at end of trace — plus any extra branches (OPT's buffer,
- * the stack-distance analyzer).
+ * flushed at end of trace — plus any extra branches (the
+ * stack-distance analyzers, OPT's next-use recorder).
  */
 void
 emitThroughBranches(const Kernel &kernel, std::uint64_t n,
@@ -346,13 +346,16 @@ executeTask(PreparedJob &pj, std::size_t point_idx)
 
 /**
  * The stack-distance fast path: emit the job's fixed-schedule trace
- * at most ONCE and fill the model columns of every point from
- * single-pass curves. LRU columns come off the one-pass MissCurve;
- * set-associative LRU columns off one per-set Mattson pass per
- * distinct set count on the grid (inclusion holds per set); OPT
- * columns off one segmented Belady-stack walk over the single
- * buffered emission. Models without the inclusion property
- * (set-associative FIFO, random) are replayed from the same
+ * through the shared analyzer tee at most ONCE and fill the model
+ * columns of every point from single-pass curves. LRU columns come
+ * off the one-pass MissCurve; set-associative LRU columns off ONE
+ * multi-plane Mattson pass serving every distinct set count on the
+ * grid simultaneously (inclusion holds per set); OPT columns off the
+ * streaming two-pass walk — the next-use recorder rides the shared
+ * emission and a second emission (kernels are deterministic; emitting
+ * is ~50x cheaper than analyzing) feeds the segmented Belady stack,
+ * so no O(trace) buffer ever exists. Models without the inclusion
+ * property (set-associative FIFO, random) are replayed from the same
  * emission — one live instance per (point, model) whose result the
  * store does not already have.
  *
@@ -434,21 +437,28 @@ executeJobTrace(PreparedJob &pj)
     }
 
     // --- one emission feeds every analyzer whose curve is missing ---
+    // All missing set-assoc curves come from ONE multi-plane analyzer
+    // (one sink dispatch per access instead of one per set count),
+    // and a missing OPT curve attaches the streaming recorder's pass
+    // 1 instead of an O(trace) buffer.
     ReuseDistanceAnalyzer lru_analyzer;
-    std::vector<std::unique_ptr<SetAssocReuseAnalyzer>> sa_analyzers;
-    VectorSink buffer;
+    std::optional<MultiSetReuseAnalyzer> sa_analyzer;
+    std::optional<OptNextUseRecorder> opt_recorder;
     std::vector<TraceSink *> branches;
     if (wants_lru && !lru_curve)
         branches.push_back(&lru_analyzer);
-    for (auto &[sets, curve] : sa_curves) {
-        if (curve)
-            continue;
-        sa_analyzers.push_back(std::make_unique<SetAssocReuseAnalyzer>(
-            sets, kSetAssocWays));
-        branches.push_back(sa_analyzers.back().get());
+    std::vector<std::uint64_t> missing_sets;
+    for (auto &[sets, curve] : sa_curves)
+        if (!curve)
+            missing_sets.push_back(sets);
+    if (!missing_sets.empty()) {
+        sa_analyzer.emplace(missing_sets, kSetAssocWays);
+        branches.push_back(&*sa_analyzer);
     }
-    if (wants_opt && !opt_curve)
-        branches.push_back(&buffer);
+    if (wants_opt && !opt_curve) {
+        opt_recorder.emplace();
+        branches.push_back(&*opt_recorder);
+    }
 
     if (!branches.empty() || !streaming_ptrs.empty())
         emitThroughBranches(kernel, n_trace, job.schedule_m,
@@ -459,16 +469,25 @@ executeJobTrace(PreparedJob &pj)
             lru_analyzer.missCurve());
         store.storeLru(trace_key, lru_curve);
     }
-    for (auto &analyzer : sa_analyzers) {
-        auto curve = std::make_shared<const MissCurve>(
-            analyzer->waysCurve());
-        store.storeSetAssoc(trace_key, analyzer->sets(), kSetAssocWays,
-                            curve);
-        sa_curves[analyzer->sets()] = std::move(curve);
+    if (sa_analyzer) {
+        for (std::size_t p = 0; p < sa_analyzer->planeCount(); ++p) {
+            auto curve = std::make_shared<const MissCurve>(
+                sa_analyzer->waysCurve(p));
+            store.storeSetAssoc(trace_key, sa_analyzer->setsAt(p),
+                                kSetAssocWays, curve);
+            sa_curves[sa_analyzer->setsAt(p)] = std::move(curve);
+        }
     }
     if (wants_opt && !opt_curve) {
+        // Streaming pass 2: re-emit the deterministic trace (counted
+        // as an emission — it is one) instead of replaying a buffer.
         opt_curve = std::make_shared<const OptCurve>(
-            simulateOptCurve(buffer.trace(), pj.grid));
+            opt_recorder->finish(
+                [&](TraceSink &sink) {
+                    g_emissions.fetch_add(1, std::memory_order_relaxed);
+                    kernel.emitTrace(n_trace, job.schedule_m, sink);
+                },
+                pj.grid));
         store.storeOpt(trace_key, opt_curve);
     }
 

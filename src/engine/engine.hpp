@@ -18,8 +18,10 @@
  * Replay models are streamed: each point emits its trace once, piping
  * it through a ReplaySink (fanned out with TeeSink) into every
  * demand-fill model in a single pass with no intermediate vector.
- * Only Belady OPT, which needs the future, buffers the trace — and
- * then only when a job actually requests it.
+ * Only Belady OPT, which needs the future, ever holds the trace — the
+ * per-point replay path buffers it when a job requests an OPT column,
+ * while the fast path streams OPT in two passes with no buffer (see
+ * below).
  *
  * Stack-distance fast path: a job with a fixed schedule (schedule_m
  * != 0) measures Kung's Cio(M) — the *same* computation replayed at
@@ -29,13 +31,17 @@
  *  * fully associative LRU: the whole capacity->I/O curve from one
  *    ReuseDistanceAnalyzer pass (Mattson stack distances plus a
  *    dirty-distance histogram for write-backs; see trace/reuse.hpp);
- *  * set-associative LRU: inclusion holds per set, so one
- *    SetAssocReuseAnalyzer pass per distinct set count on the grid
- *    yields the exact miss/write-back curve over every associativity
- *    at that set count;
+ *  * set-associative LRU: inclusion holds per set, so ONE
+ *    MultiSetReuseAnalyzer pass — one stamp plane per distinct set
+ *    count on the grid, updated under a shared clock — yields the
+ *    exact miss/write-back curve over every associativity at every
+ *    requested set count;
  *  * Belady OPT: OPT is a stack algorithm, so one segmented Belady
- *    stack walk (simulateOptCurve) over the single buffered emission
- *    resolves every grid capacity at once.
+ *    stack walk resolves every grid capacity at once; it runs
+ *    streamed (OptNextUseRecorder riding the shared emission, then a
+ *    second emission feeding the stack) so the fast path never holds
+ *    an O(trace) buffer — an OPT-bearing job costs two emissions
+ *    cold instead of a trace-sized allocation.
  *
  * Models without the inclusion property (set-associative FIFO,
  * random replacement) are replayed from the same single emission.
@@ -86,7 +92,8 @@ enum class MemoryModelKind
     SetAssocLru,  ///< 8-way set-associative, LRU per set
     SetAssocFifo, ///< 8-way set-associative, FIFO per set
     RandomRepl,   ///< fully associative, seeded random replacement
-    Opt,          ///< Belady OPT (clairvoyant; needs a buffered trace)
+    Opt,          ///< Belady OPT (clairvoyant; fast path streams it
+                  ///< in two passes, per-point replay buffers)
 };
 
 /** Short name for reports ("lru", "opt", ...). */

@@ -162,16 +162,21 @@ MatmulKernel::emitTrace(std::uint64_t n, std::uint64_t m,
         for (std::uint64_t j0 = 0; j0 < n; j0 += b) {
             const std::uint64_t tj = std::min(b, n - j0);
             for (std::uint64_t k = 0; k < n; ++k) {
+                // The A column is strided (one element per row), the
+                // B row and each C tile row are contiguous — emit the
+                // contiguous pieces as runs so sinks with a bulk
+                // onRun path (the analyzers, counting/null sinks) see
+                // whole rows per call instead of a virtual call per
+                // word. The access sequence is identical either way.
                 for (std::uint64_t i = 0; i < ti; ++i)
                     sink.onAccess(readOf(la.at(i0 + i, k)));
-                for (std::uint64_t j = 0; j < tj; ++j)
-                    sink.onAccess(readOf(lb.at(k, j0 + j)));
+                sink.onRun(lb.at(k, j0), tj, AccessType::Read);
                 // Accumulation keeps the C tile hot in any
                 // recency-based memory, mirroring its residency in the
                 // scratchpad schedule.
                 for (std::uint64_t i = 0; i < ti; ++i)
-                    for (std::uint64_t j = 0; j < tj; ++j)
-                        sink.onAccess(writeOf(lc.at(i0 + i, j0 + j)));
+                    sink.onRun(lc.at(i0 + i, j0), tj,
+                               AccessType::Write);
             }
         }
     }

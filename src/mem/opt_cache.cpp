@@ -1,11 +1,16 @@
 #include "mem/opt_cache.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <optional>
 #include <set>
 #include <unordered_map>
+
+#include <unistd.h>
 
 #include "util/flat_map.hpp"
 #include "util/logging.hpp"
@@ -415,6 +420,245 @@ simulateOptCurve(std::span<const Access> trace,
     for (std::uint64_t i = 0; i < trace.size(); ++i)
         stack.access(trace[i], next_use[i]);
     return stack.curve(trace.size());
+}
+
+namespace {
+
+/// One streaming record: u32 chunk offset + u64 next-use position.
+constexpr std::uint64_t kRecordBytes = 12;
+
+/** Create a unique spill directory under @p base (or the system temp
+ *  directory). Uniqueness comes from pid + a process-wide counter so
+ *  concurrent recorders — including sharded sibling processes on a
+ *  shared temp dir — never collide. */
+std::string
+makeSpillDir(const std::string &base)
+{
+    namespace fs = std::filesystem;
+    static std::atomic<std::uint64_t> seq{0};
+    const fs::path root =
+        base.empty() ? fs::temp_directory_path() : fs::path(base);
+    const fs::path dir =
+        root / ("kb_opt_spill_" + std::to_string(::getpid()) + "_" +
+                std::to_string(seq.fetch_add(1)));
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    KB_REQUIRE(!ec, "cannot create OPT spill directory ", dir.string());
+    return dir.string();
+}
+
+} // namespace
+
+OptNextUseRecorder::OptNextUseRecorder(OptStreamOptions options)
+    : opts_(std::move(options))
+{
+    KB_REQUIRE(opts_.chunk_positions > 0 &&
+                   opts_.chunk_positions <= (1ull << 32),
+               "chunk_positions must fit the u32 record offset");
+}
+
+OptNextUseRecorder::~OptNextUseRecorder()
+{
+    if (!spill_dir_.empty()) {
+        std::error_code ec;
+        std::filesystem::remove_all(spill_dir_, ec);
+    }
+}
+
+std::string
+OptNextUseRecorder::bucketFile(std::size_t chunk) const
+{
+    return spill_dir_ + "/chunk_" + std::to_string(chunk) + ".bin";
+}
+
+void
+OptNextUseRecorder::note(std::uint64_t addr)
+{
+    const auto [slot, inserted] = last_seen_.tryEmplace(addr);
+    if (!inserted) {
+        // This access is the next use of position *slot.
+        const std::uint64_t prev = *slot;
+        const auto chunk =
+            static_cast<std::size_t>(prev / opts_.chunk_positions);
+        if (buckets_.size() <= chunk)
+            buckets_.resize(chunk + 1);
+        buckets_[chunk].off.push_back(
+            static_cast<std::uint32_t>(prev % opts_.chunk_positions));
+        buckets_[chunk].next.push_back(pos_);
+        pending_bytes_ += kRecordBytes;
+        peak_pending_bytes_ =
+            std::max(peak_pending_bytes_, pending_bytes_);
+        if (pending_bytes_ > opts_.spill_threshold_bytes)
+            spill();
+    }
+    *slot = pos_;
+    ++pos_;
+}
+
+void
+OptNextUseRecorder::spill()
+{
+    if (spill_dir_.empty())
+        spill_dir_ = makeSpillDir(opts_.spill_dir);
+    for (std::size_t c = 0; c < buckets_.size(); ++c) {
+        Bucket &bucket = buckets_[c];
+        if (bucket.off.empty())
+            continue;
+        // Raw fixed-width dumps are fine here: spill files are
+        // process-private scratch consumed by the same binary, not
+        // the portable on-disk store.
+        std::ofstream out(bucketFile(c),
+                          std::ios::binary | std::ios::app);
+        const std::uint64_t n = bucket.off.size();
+        out.write(reinterpret_cast<const char *>(&n), sizeof n);
+        out.write(reinterpret_cast<const char *>(bucket.off.data()),
+                  static_cast<std::streamsize>(n * sizeof(std::uint32_t)));
+        out.write(reinterpret_cast<const char *>(bucket.next.data()),
+                  static_cast<std::streamsize>(n * sizeof(std::uint64_t)));
+        KB_REQUIRE(out.good(), "short write to OPT spill file ",
+                   bucketFile(c));
+        spilled_bytes_ += sizeof n + n * kRecordBytes;
+        bucket = Bucket{}; // release capacity, not just size
+    }
+    pending_bytes_ = 0;
+}
+
+void
+OptNextUseRecorder::loadChunk(std::size_t chunk,
+                              std::vector<std::uint64_t> &next_use)
+{
+    next_use.assign(static_cast<std::size_t>(opts_.chunk_positions),
+                    kNever);
+    ++chunks_loaded_;
+    // Each position was recorded at most once across disk and memory
+    // (a position is "previous use" to at most one later access), so
+    // segments apply in any order without conflicts.
+    if (!spill_dir_.empty()) {
+        std::ifstream in(bucketFile(chunk), std::ios::binary);
+        std::vector<std::uint32_t> off;
+        std::vector<std::uint64_t> next;
+        std::uint64_t n = 0;
+        while (in.read(reinterpret_cast<char *>(&n), sizeof n)) {
+            off.resize(static_cast<std::size_t>(n));
+            next.resize(static_cast<std::size_t>(n));
+            in.read(reinterpret_cast<char *>(off.data()),
+                    static_cast<std::streamsize>(n * sizeof(std::uint32_t)));
+            in.read(reinterpret_cast<char *>(next.data()),
+                    static_cast<std::streamsize>(n * sizeof(std::uint64_t)));
+            KB_REQUIRE(in.good(), "truncated OPT spill file ",
+                       bucketFile(chunk));
+            for (std::size_t i = 0; i < off.size(); ++i)
+                next_use[off[i]] = next[i];
+        }
+    }
+    if (chunk < buckets_.size()) {
+        Bucket &bucket = buckets_[chunk];
+        for (std::size_t i = 0; i < bucket.off.size(); ++i)
+            next_use[bucket.off[i]] = bucket.next[i];
+        pending_bytes_ -= bucket.off.size() * kRecordBytes;
+        bucket = Bucket{};
+    }
+}
+
+/**
+ * Pass-2 sink: replays the re-emitted trace against the recorded
+ * next uses, materializing one next-use chunk at a time (chunks are
+ * crossed in order because trace positions ascend).
+ */
+class OptChunkCursor : public TraceSink
+{
+  public:
+    OptChunkCursor(OptNextUseRecorder &recorder,
+                   SegmentedOptStack &stack)
+        : recorder_(recorder), stack_(stack)
+    {
+    }
+
+    void onAccess(const Access &access) override { feed(access); }
+
+    void
+    onRun(std::uint64_t base, std::uint64_t words,
+          AccessType type) override
+    {
+        for (std::uint64_t i = 0; i < words; ++i)
+            feed(Access{base + i, type});
+    }
+
+    std::uint64_t position() const { return pos_; }
+
+  private:
+    void
+    feed(const Access &access)
+    {
+        if (pos_ == chunk_end_) {
+            const std::uint64_t chunk =
+                pos_ / recorder_.opts_.chunk_positions;
+            recorder_.loadChunk(static_cast<std::size_t>(chunk),
+                                next_use_);
+            chunk_base_ = chunk * recorder_.opts_.chunk_positions;
+            chunk_end_ = chunk_base_ + recorder_.opts_.chunk_positions;
+        }
+        stack_.access(access,
+                      next_use_[static_cast<std::size_t>(
+                          pos_ - chunk_base_)]);
+        ++pos_;
+    }
+
+    OptNextUseRecorder &recorder_;
+    SegmentedOptStack &stack_;
+    std::vector<std::uint64_t> next_use_;
+    std::uint64_t pos_ = 0;
+    std::uint64_t chunk_base_ = 0;
+    std::uint64_t chunk_end_ = 0;
+};
+
+OptCurve
+OptNextUseRecorder::finish(
+    const std::function<void(TraceSink &)> &emit_again,
+    std::vector<std::uint64_t> capacities, OptStreamStats *stats)
+{
+    KB_REQUIRE(!finished_,
+               "OPT recorder records were already consumed");
+    finished_ = true;
+    std::sort(capacities.begin(), capacities.end());
+    capacities.erase(
+        std::unique(capacities.begin(), capacities.end()),
+        capacities.end());
+    KB_REQUIRE(!capacities.empty() && capacities.front() > 0,
+               "OPT curve needs at least one positive capacity");
+
+    // The last-seen table served pass 1 only; release it before the
+    // walk builds its own word table.
+    last_seen_ = FlatWordMap<std::uint64_t>{};
+
+    SegmentedOptStack stack(capacities);
+    OptChunkCursor cursor(*this, stack);
+    emit_again(cursor);
+    KB_REQUIRE(cursor.position() == pos_,
+               "second emission did not replay the recorded trace: ",
+               cursor.position(), " positions vs ", pos_);
+
+    if (stats != nullptr) {
+        stats->positions = pos_;
+        stats->chunks_loaded = chunks_loaded_;
+        stats->spilled_bytes = spilled_bytes_;
+        stats->peak_pending_bytes = peak_pending_bytes_;
+        stats->peak_resident_bytes =
+            peak_pending_bytes_ +
+            opts_.chunk_positions * sizeof(std::uint64_t);
+    }
+    return stack.curve(pos_);
+}
+
+OptCurve
+simulateOptCurveStreaming(
+    const std::function<void(TraceSink &)> &emit,
+    std::vector<std::uint64_t> capacities, OptStreamOptions options,
+    OptStreamStats *stats)
+{
+    OptNextUseRecorder recorder(std::move(options));
+    emit(recorder);
+    return recorder.finish(emit, std::move(capacities), stats);
 }
 
 } // namespace kb

@@ -113,52 +113,72 @@ MissCurve::writebacksAt(std::uint64_t capacity) const
     return cold_writebacks_ + wb_suffix_[capacity];
 }
 
-SetAssocReuseAnalyzer::SetAssocReuseAnalyzer(std::uint64_t sets,
-                                             std::uint64_t max_ways)
-    : sets_(sets), max_ways_(max_ways)
+MultiSetReuseAnalyzer::MultiSetReuseAnalyzer(
+    const std::vector<std::uint64_t> &set_counts,
+    std::uint64_t max_ways)
+    : max_ways_(max_ways), sets_(set_counts)
 {
-    KB_REQUIRE(sets_ > 0 && max_ways_ > 0,
-               "per-set analyzer needs sets > 0 and max_ways > 0");
-    rows_.assign(static_cast<std::size_t>(sets_ * max_ways_), Slot{});
-    hist_.assign(static_cast<std::size_t>(max_ways_) + 1, 0);
-    wb_hist_.assign(static_cast<std::size_t>(max_ways_) + 1, 0);
+    KB_REQUIRE(!sets_.empty() && max_ways_ > 0,
+               "multi-set analyzer needs set counts and max_ways > 0");
+    std::size_t slots = 0;
+    for (const auto sets : sets_) {
+        KB_REQUIRE(sets > 0, "set counts must be positive");
+        plane_base_.push_back(slots);
+        slots += static_cast<std::size_t>(sets * max_ways_);
+    }
+    slot_addr_.assign(slots, 0);
+    slot_stamp_.assign(slots, 0);
+    slot_window_.assign(slots, 0);
+    const std::size_t row = static_cast<std::size_t>(max_ways_) + 1;
+    hist_.assign(sets_.size() * row, 0);
+    wb_hist_.assign(sets_.size() * row, 0);
+    cold_writebacks_.assign(sets_.size(), 0);
 }
 
 void
-SetAssocReuseAnalyzer::step(std::uint64_t addr, bool write)
+MultiSetReuseAnalyzer::planeStep(std::size_t plane, std::uint64_t addr,
+                                 std::uint64_t now, bool write)
 {
-    ++accesses_;
-    const std::uint64_t now = ++clock_;
-    Slot *row = rows_.data() + (addr % sets_) * max_ways_;
+    const std::size_t row =
+        plane_base_[plane] +
+        static_cast<std::size_t>((addr % sets_[plane]) * max_ways_);
+    std::uint64_t *addrs = slot_addr_.data() + row;
+    std::uint64_t *stamps = slot_stamp_.data() + row;
+    std::uint64_t *windows = slot_window_.data() + row;
+    std::uint64_t *hist =
+        hist_.data() + plane * (static_cast<std::size_t>(max_ways_) + 1);
 
     // Resident fast path: words used after this one's last use are
     // exactly the row slots with a larger stamp (a more recent
     // distinct word cannot have left the row while an older one
     // stays), so the per-set stack distance is one count — no list
     // maintenance and no word-table lookup.
-    Slot *hit = nullptr;
+    std::uint64_t hit = max_ways_;
     for (std::uint64_t i = 0; i < max_ways_; ++i) {
-        if (row[i].stamp != 0 && row[i].addr == addr) {
-            hit = &row[i];
+        if (stamps[i] != 0 && addrs[i] == addr) {
+            hit = i;
             break;
         }
     }
-    if (hit != nullptr) {
+    if (hit != max_ways_) {
+        const std::uint64_t hit_stamp = stamps[hit];
         std::uint64_t distance = 0;
         for (std::uint64_t i = 0; i < max_ways_; ++i)
-            distance += row[i].stamp > hit->stamp;
-        ++hist_[distance];
-        hit->stamp = now;
+            distance += stamps[i] > hit_stamp;
+        ++hist[distance];
+        stamps[hit] = now;
         // kColdWindow is the max of uint64, so std::max keeps the
         // "no write yet" state sticky (same trick as the fully
         // associative analyzer).
-        hit->dirty_window = std::max(hit->dirty_window, distance);
+        windows[hit] = std::max(windows[hit], distance);
         if (write) {
-            if (hit->dirty_window == kColdWindow)
-                ++cold_writebacks_;
+            if (windows[hit] == kColdWindow)
+                ++cold_writebacks_[plane];
             else
-                ++wb_hist_[hit->dirty_window];
-            hit->dirty_window = 0;
+                ++wb_hist_[plane *
+                               (static_cast<std::size_t>(max_ways_) + 1) +
+                           windows[hit]];
+            windows[hit] = 0;
         }
         return;
     }
@@ -168,35 +188,46 @@ SetAssocReuseAnalyzer::step(std::uint64_t addr, bool write)
     // W <= max_ways_, so no word table is needed at all (that
     // telling them apart is unobservable in the curve's exact range
     // is what keeps this pass as cheap as the replay it replaces).
-    ++hist_[max_ways_];
+    ++hist[max_ways_];
     std::uint64_t window = kColdWindow;
     if (write) {
-        ++cold_writebacks_;
+        ++cold_writebacks_[plane];
         window = 0;
     }
 
     // Fill an empty slot, else displace the set's LRU word; its
     // epoch state needs no saving, for the same reason.
-    Slot *victim = &row[0];
+    std::uint64_t victim = 0;
     for (std::uint64_t i = 0; i < max_ways_; ++i) {
-        if (row[i].stamp == 0) {
-            victim = &row[i];
+        if (stamps[i] == 0) {
+            victim = i;
             break;
         }
-        if (row[i].stamp < victim->stamp)
-            victim = &row[i];
+        if (stamps[i] < stamps[victim])
+            victim = i;
     }
-    *victim = Slot{addr, now, window};
+    addrs[victim] = addr;
+    stamps[victim] = now;
+    windows[victim] = window;
 }
 
 void
-SetAssocReuseAnalyzer::onAccess(const Access &access)
+MultiSetReuseAnalyzer::step(std::uint64_t addr, bool write)
+{
+    ++accesses_;
+    const std::uint64_t now = ++clock_;
+    for (std::size_t plane = 0; plane < sets_.size(); ++plane)
+        planeStep(plane, addr, now, write);
+}
+
+void
+MultiSetReuseAnalyzer::onAccess(const Access &access)
 {
     step(access.addr, access.isWrite());
 }
 
 void
-SetAssocReuseAnalyzer::onRun(std::uint64_t base, std::uint64_t words,
+MultiSetReuseAnalyzer::onRun(std::uint64_t base, std::uint64_t words,
                              AccessType type)
 {
     const bool write = type == AccessType::Write;
@@ -205,188 +236,211 @@ SetAssocReuseAnalyzer::onRun(std::uint64_t base, std::uint64_t words,
 }
 
 MissCurve
-SetAssocReuseAnalyzer::waysCurve() const
+MultiSetReuseAnalyzer::waysCurve(std::size_t plane) const
 {
+    KB_REQUIRE(plane < sets_.size(),
+               "no such analyzer plane: ", plane);
+    const std::size_t row = static_cast<std::size_t>(max_ways_) + 1;
+    const auto *hist = hist_.data() + plane * row;
     // The lumped bucket rides in the cold term so queries beyond
     // max_ways_ saturate at it (the documented behavior) instead of
     // silently reporting zero misses; for W <= max_ways_ the split
     // is equivalent (both terms miss at every such W).
     std::vector<std::uint64_t> finite(
-        hist_.begin(),
-        hist_.begin() + static_cast<std::ptrdiff_t>(max_ways_));
-    return MissCurve(std::move(finite), hist_[max_ways_], accesses_,
-                     wb_hist_, cold_writebacks_);
+        hist, hist + static_cast<std::ptrdiff_t>(max_ways_));
+    std::vector<std::uint64_t> wb(
+        wb_hist_.begin() + static_cast<std::ptrdiff_t>(plane * row),
+        wb_hist_.begin() +
+            static_cast<std::ptrdiff_t>(plane * row + row));
+    return MissCurve(std::move(finite), hist[max_ways_], accesses_, wb,
+                     cold_writebacks_[plane]);
 }
 
 ReuseDistanceAnalyzer::ReuseDistanceAnalyzer() = default;
 
 void
-ReuseDistanceAnalyzer::growMarks(std::size_t n)
+ReuseDistanceAnalyzer::compactStamps()
 {
-    if (marks_.size() >= n)
-        return;
-    const std::size_t size = std::max(n, marks_.size() * 2 + 16);
-    marks_.resize(size, 0);
-    // Zero-extending a Fenwick tree would corrupt the new high nodes'
-    // partial sums; rebuild from the marks lazily (amortized O(1) per
-    // access thanks to the doubling).
-    tree_stale_ = true;
-}
-
-void
-ReuseDistanceAnalyzer::ensureTree()
-{
-    if (!tree_stale_)
-        return;
-    const std::size_t size = marks_.size();
-    tree_.assign(size, 0);
-    for (std::size_t i = 1; i <= size; ++i) {
-        tree_[i - 1] += marks_[i - 1];
-        const std::size_t parent = i + (i & (~i + 1));
-        if (parent <= size)
-            tree_[parent - 1] += tree_[i - 1];
+    // Renumber every tracked word's stamp by its rank order: relative
+    // order is all a rank query ever reads, so distances are
+    // unchanged while the domain shrinks from pos_ back to one stamp
+    // per word. A stamp -> id scatter plus an in-order scan does the
+    // renumbering in O(pos_), and pos_ <= 4 * footprint + one run
+    // here, so the amortized cost is O(1) per access.
+    const std::size_t n = last_use_.size();
+    std::vector<std::uint32_t> owner(
+        static_cast<std::size_t>(pos_), kColdId);
+    for (std::size_t id = 0; id < n; ++id)
+        owner[static_cast<std::size_t>(last_use_[id])] =
+            static_cast<std::uint32_t>(id);
+    std::uint64_t next = 0;
+    for (std::size_t p = 0; p < owner.size(); ++p) {
+        if (owner[p] != kColdId)
+            last_use_[owner[p]] = next++;
     }
-    tree_stale_ = false;
+    KB_ASSERT(next == n);
+    rank_ = MarkRank();
+    rank_.grow(n);
+    rank_.setRun(0, n);
+    pos_ = n;
 }
 
-void
-ReuseDistanceAnalyzer::fenwickAdd(std::size_t pos, std::int64_t delta)
+std::uint32_t
+ReuseDistanceAnalyzer::coldAppend(std::uint64_t pos, bool write)
 {
-    // Caller guarantees pos < marks_.size() and a fresh tree.
-    marks_[pos] = static_cast<std::uint8_t>(
-        static_cast<std::int64_t>(marks_[pos]) + delta);
-    for (std::size_t i = pos + 1; i <= tree_.size(); i += i & (~i + 1))
-        tree_[i - 1] += delta;
-}
-
-std::uint64_t
-ReuseDistanceAnalyzer::fenwickSum(std::size_t pos) const
-{
-    std::int64_t sum = 0;
-    std::size_t i = std::min(pos + 1, tree_.size());
-    for (; i > 0; i -= i & (~i + 1))
-        sum += tree_[i - 1];
-    KB_ASSERT(sum >= 0);
-    return static_cast<std::uint64_t>(sum);
-}
-
-void
-ReuseDistanceAnalyzer::flushColdMarks(std::uint64_t first_pos,
-                                      std::uint64_t count)
-{
-    if (count == 0)
-        return;
-    growMarks(static_cast<std::size_t>(first_pos + count));
-    // Cold accesses ask no distance query, so their marks can land in
-    // bulk. Rebuilding the tree costs O(size); point updates cost
-    // O(count log size). Take the rebuild when it is the cheaper side
-    // (or already owed): its cost is then <= 16 * count, i.e. O(1)
-    // amortized per cold access.
-    if (tree_stale_ || count >= marks_.size() / 16) {
-        std::fill(marks_.begin() + static_cast<std::ptrdiff_t>(first_pos),
-                  marks_.begin() +
-                      static_cast<std::ptrdiff_t>(first_pos + count),
-                  1);
-        tree_stale_ = true;
-        return;
-    }
-    for (std::uint64_t i = 0; i < count; ++i)
-        fenwickAdd(static_cast<std::size_t>(first_pos + i), +1);
-}
-
-void
-ReuseDistanceAnalyzer::coldAccess(WordState &state, bool write)
-{
-    state.last_use = time_++;
+    const auto id = static_cast<std::uint32_t>(last_use_.size());
+    KB_ASSERT(id != kColdId);
+    last_use_.push_back(pos);
     ++cold_;
     if (write) {
         // A word's first write is dirty at every capacity: whether
         // the epoch ends by eviction or by the final flush, this
         // write's data crosses the boundary exactly once.
         ++cold_writebacks_;
-        state.dirty_window = 0;
+        dirty_window_.push_back(0);
     } else {
-        state.dirty_window = kColdWindow;
+        dirty_window_.push_back(kColdWindow);
     }
+    return id;
 }
 
 void
-ReuseDistanceAnalyzer::warmAccess(WordState &state, bool write)
+ReuseDistanceAnalyzer::warmAccess(std::uint32_t id, std::uint64_t now,
+                                  bool write)
 {
-    const std::uint64_t now = time_++;
-    const std::uint64_t prev = state.last_use;
+    const std::uint64_t prev = last_use_[id];
 
-    growMarks(static_cast<std::size_t>(now) + 1);
-    ensureTree();
-
-    // Distinct words touched strictly after prev: total marked in
-    // (prev, now) = sum[0..now-1] - sum[0..prev].
-    const std::uint64_t marked_until_now =
-        now == 0 ? 0 : fenwickSum(static_cast<std::size_t>(now - 1));
-    const std::uint64_t marked_until_prev =
-        fenwickSum(static_cast<std::size_t>(prev));
-    KB_ASSERT(marked_until_now >= marked_until_prev);
-    const std::uint64_t distance = marked_until_now - marked_until_prev;
+    // Distinct words touched strictly after prev: every tracked word
+    // holds exactly one mark and all marks sit at positions < now, so
+    // the count is total() - (marks at <= prev). One rank query per
+    // warm access — the Fenwick formulation needed two prefix sums.
+    const std::uint64_t distance = rank_.total() - rank_.rankInc(prev);
 
     if (hist_.size() <= distance)
         hist_.resize(distance + 1, 0);
     ++hist_[distance];
 
-    // Move the word's marker from its previous slot to "now".
-    fenwickAdd(static_cast<std::size_t>(prev), -1);
-    fenwickAdd(static_cast<std::size_t>(now), +1);
-    state.last_use = now;
+    // Move the word's mark from its previous slot to "now".
+    rank_.clear(prev);
+    rank_.set(now);
+    last_use_[id] = now;
 
     // kColdWindow is the max of uint64, so std::max keeps it sticky.
-    state.dirty_window = std::max(state.dirty_window, distance);
+    std::uint64_t &window = dirty_window_[id];
+    window = std::max(window, distance);
     if (write) {
-        if (state.dirty_window == kColdWindow) {
+        if (window == kColdWindow) {
             ++cold_writebacks_;
         } else {
-            if (wb_hist_.size() <= state.dirty_window)
-                wb_hist_.resize(state.dirty_window + 1, 0);
-            ++wb_hist_[state.dirty_window];
+            if (wb_hist_.size() <= window)
+                wb_hist_.resize(window + 1, 0);
+            ++wb_hist_[window];
         }
-        state.dirty_window = 0;
+        window = 0;
     }
 }
 
 void
 ReuseDistanceAnalyzer::onAccess(const Access &access)
 {
-    const auto [state, inserted] = words_.tryEmplace(access.addr);
+    maybeCompact();
+    ++time_;
+    const std::uint64_t now = pos_++;
+    rank_.grow(now + 1);
+    const auto [slot, inserted] = words_.tryEmplace(access.addr);
     if (inserted) {
-        const std::uint64_t pos = time_;
-        coldAccess(*state, access.isWrite());
-        flushColdMarks(pos, 1);
+        *slot = coldAppend(now, access.isWrite());
+        rank_.set(now);
         return;
     }
-    warmAccess(*state, access.isWrite());
+    warmAccess(*slot, now, access.isWrite());
 }
 
 void
 ReuseDistanceAnalyzer::onRun(std::uint64_t base, std::uint64_t words,
                              AccessType type)
 {
+    if (words == 0)
+        return;
+    maybeCompact();
     const bool write = type == AccessType::Write;
-    std::uint64_t streak_pos = 0; ///< trace position of the streak head
-    std::uint64_t streak_len = 0;
+    const std::uint64_t time0 = pos_;
+
+    // Phase 1: one map-only pass. Addresses within a run are
+    // distinct, so each access's position and last-use answer are
+    // independent of the others — the table probes batch cleanly
+    // ahead of all counting work, and cold bookkeeping (which needs
+    // no rank query) completes here.
+    constexpr std::uint64_t kLookahead = 8;
+    run_ids_.resize(static_cast<std::size_t>(words));
     for (std::uint64_t i = 0; i < words; ++i) {
-        const auto [state, inserted] = words_.tryEmplace(base + i);
+        if (i + kLookahead < words)
+            words_.prefetch(base + i + kLookahead);
+        const auto [slot, inserted] = words_.tryEmplace(base + i);
         if (inserted) {
-            if (streak_len == 0)
-                streak_pos = time_;
-            ++streak_len;
-            coldAccess(*state, write);
+            *slot = coldAppend(time0 + i, write);
+            run_ids_[i] = kColdId;
+        } else {
+            run_ids_[i] = *slot;
+        }
+    }
+    time_ += words;
+    pos_ = time0 + words;
+    rank_.grow(pos_);
+
+    // Phase 2: counting pass, no table probes. Cold streaks mark the
+    // bitmap in bulk (a streak must land before the next warm rank
+    // query sees its positions). Warm accesses whose previous-use
+    // stamps are *consecutive* — a block re-touched in the same
+    // order as last time, the dominant pattern of tiled kernels —
+    // all share one reuse distance: each member's clear-below/
+    // set-above mark move cancels out of the next member's rank. One
+    // rank query plus bulk mark moves then serve the whole streak.
+    std::uint64_t i = 0;
+    while (i < words) {
+        if (run_ids_[i] == kColdId) {
+            std::uint64_t len = 1;
+            while (i + len < words && run_ids_[i + len] == kColdId)
+                ++len;
+            rank_.setRun(time0 + i, len);
+            i += len;
             continue;
         }
-        // A warm access queries the tree, so the pending cold marks
-        // must land first.
-        flushColdMarks(streak_pos, streak_len);
-        streak_len = 0;
-        warmAccess(*state, write);
+        const std::uint64_t prev = last_use_[run_ids_[i]];
+        std::uint64_t len = 1;
+        while (i + len < words && run_ids_[i + len] != kColdId &&
+               last_use_[run_ids_[i + len]] == prev + len)
+            ++len;
+        if (len == 1) {
+            warmAccess(run_ids_[i], time0 + i, write);
+            ++i;
+            continue;
+        }
+        const std::uint64_t distance =
+            rank_.total() - rank_.rankInc(prev);
+        if (hist_.size() <= distance)
+            hist_.resize(distance + 1, 0);
+        hist_[distance] += len;
+        rank_.clearRun(prev, len);
+        rank_.setRun(time0 + i, len);
+        for (std::uint64_t j = 0; j < len; ++j) {
+            const std::uint32_t id = run_ids_[i + j];
+            last_use_[id] = time0 + i + j;
+            std::uint64_t &window = dirty_window_[id];
+            window = std::max(window, distance);
+            if (write) {
+                if (window == kColdWindow) {
+                    ++cold_writebacks_;
+                } else {
+                    if (wb_hist_.size() <= window)
+                        wb_hist_.resize(window + 1, 0);
+                    ++wb_hist_[window];
+                }
+                window = 0;
+            }
+        }
+        i += len;
     }
-    flushColdMarks(streak_pos, streak_len);
 }
 
 MissCurve

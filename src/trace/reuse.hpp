@@ -21,18 +21,29 @@
  * writebacksAt(M) for all M, and ioWords(M) = misses + writebacks
  * matches a direct LruCache replay bit for bit.
  *
- * Implementation: the classic Fenwick-tree algorithm (Olken'81 style),
- * O(log T) per access over a trace of length T, with two fast-path
- * refinements: the last-use table is an open-addressing FlatWordMap
- * (no node allocation, one or two cache lines per probe), and onRun()
- * batches contiguous first-touch runs — cold accesses need no
- * distance query, so their marks are written in bulk and the Fenwick
- * tree is rebuilt lazily only when the next finite distance is asked
- * for.
+ * Implementation: counting "distinct words since prev" is a rank query
+ * over a bitmap with one mark per tracked word, kept at the word's
+ * most recent use position. MarkRank stores that bitmap with blocked
+ * count summaries (64 positions per u64 word, then 64-word and
+ * 64*64-word group counts) so a rank is a handful of popcounts plus
+ * short sequential sums — branch-light arithmetic the compiler
+ * vectorizes — instead of the pointer-chasing O(log T) walk of the
+ * Fenwick formulation it replaced. Marks live in a *compact* stamp
+ * domain that is renumbered whenever the clock outruns the footprint
+ * by 4x (rank queries only read the marks' relative order), so the
+ * rank arrays stay O(footprint) and cache resident no matter how
+ * long the trace runs. Two fast-path refinements ride on
+ * top: the word table is an open-addressing FlatWordMap mapping
+ * addresses to dense ids over SoA state arrays (no growth-invalidated
+ * pointers), and onRun() splits each contiguous run into a map-only
+ * phase followed by a counting phase, so cold streaks mark the bitmap
+ * in bulk and warm accesses batch their rank work.
  */
 
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -134,7 +145,193 @@ class MissCurve
 };
 
 /**
- * Per-set Mattson pass for set-associative LRU.
+ * Dynamic bit-rank over trace positions: a bitmap plus blocked count
+ * summaries supporting O(1) set/clear and cache-friendly rank.
+ *
+ * Layout (grown on demand, all levels zero-extended — no level stores
+ * prefix sums, so growth never invalidates existing counts):
+ *   bits_  one bit per position, packed 64 to a u64
+ *   cnt1_  set-bit count of each bits_ word group of 64  (<= 4096)
+ *   cnt2_  set-bit count of each cnt1_ group of 64       (<= 262144)
+ *   cnt3_  set-bit count of each cnt2_ group of 64, scanned linearly
+ *          at the top (one u64 per ~16.8M positions)
+ *
+ * rankInc(p) — set bits at positions <= p — masks one bitmap word,
+ * popcounts at most 63 more, then sums at most 63 entries at each
+ * count level: pure sequential loads and adds over arrays that total
+ * ~0.13 bytes per position, so the whole structure stays cache
+ * resident where the Fenwick tree it replaced thrashed ~9 bytes per
+ * position with strided pointer hops.
+ */
+class MarkRank
+{
+  public:
+    /** Total set bits (maintained incrementally). */
+    std::uint64_t total() const { return total_; }
+
+    /** Ensure positions [0, n) are addressable. */
+    void
+    grow(std::uint64_t n)
+    {
+        const std::size_t words =
+            static_cast<std::size_t>((n + 63) >> 6);
+        if (words <= bits_.size())
+            return;
+        const std::size_t size =
+            std::max<std::size_t>(words, bits_.size() * 2);
+        bits_.resize(size, 0);
+        cnt1_.resize((bits_.size() + 63) >> 6, 0);
+        cnt2_.resize((cnt1_.size() + 63) >> 6, 0);
+        cnt3_.resize((cnt2_.size() + 63) >> 6, 0);
+    }
+
+    /** Set the (clear) bit at @p p; grow() must have covered p. */
+    void
+    set(std::uint64_t p)
+    {
+        bits_[p >> 6] |= 1ull << (p & 63);
+        ++cnt1_[p >> 12];
+        ++cnt2_[p >> 18];
+        ++cnt3_[p >> 24];
+        ++total_;
+    }
+
+    /** Clear the (set) bit at @p p. */
+    void
+    clear(std::uint64_t p)
+    {
+        bits_[p >> 6] &= ~(1ull << (p & 63));
+        --cnt1_[p >> 12];
+        --cnt2_[p >> 18];
+        --cnt3_[p >> 24];
+        --total_;
+    }
+
+    /**
+     * Set @p count previously-clear bits starting at @p p — the bulk
+     * path for cold streaks, one OR and three count bumps per bitmap
+     * word instead of per position.
+     */
+    void
+    setRun(std::uint64_t p, std::uint64_t count)
+    {
+        while (count > 0) {
+            const std::uint64_t off = p & 63;
+            const std::uint64_t take = std::min(count, 64 - off);
+            const std::uint64_t mask =
+                (take == 64 ? ~0ull : (1ull << take) - 1) << off;
+            bits_[p >> 6] |= mask;
+            cnt1_[p >> 12] += static_cast<std::uint16_t>(take);
+            cnt2_[p >> 18] += static_cast<std::uint32_t>(take);
+            cnt3_[p >> 24] += take;
+            total_ += take;
+            p += take;
+            count -= take;
+        }
+    }
+
+    /**
+     * Clear @p count previously-set bits starting at @p p — the bulk
+     * companion of setRun() for retiring a streak of consecutive
+     * stamps in whole bitmap words.
+     */
+    void
+    clearRun(std::uint64_t p, std::uint64_t count)
+    {
+        while (count > 0) {
+            const std::uint64_t off = p & 63;
+            const std::uint64_t take = std::min(count, 64 - off);
+            const std::uint64_t mask =
+                (take == 64 ? ~0ull : (1ull << take) - 1) << off;
+            bits_[p >> 6] &= ~mask;
+            cnt1_[p >> 12] -= static_cast<std::uint16_t>(take);
+            cnt2_[p >> 18] -= static_cast<std::uint32_t>(take);
+            cnt3_[p >> 24] -= take;
+            total_ -= take;
+            p += take;
+            count -= take;
+        }
+    }
+
+    /**
+     * Number of set bits at positions <= @p p (rank inclusive).
+     *
+     * Each level contributes "units strictly below p's unit" within
+     * the enclosing group, summed from whichever side of the group is
+     * shorter — the group's own total (next count level, or total_ at
+     * the top) converts an upper-side sum into the lower-side answer
+     * — so the expected scan length per level halves.
+     */
+    std::uint64_t
+    rankInc(std::uint64_t p) const
+    {
+        const std::size_t w = static_cast<std::size_t>(p >> 6);
+        const std::size_t g1 = w >> 6;
+        const std::size_t g2 = g1 >> 6;
+        const std::size_t g3 = g2 >> 6;
+        std::uint64_t rank = std::popcount(
+            bits_[w] & (~0ull >> (63 - (p & 63))));
+        {
+            const std::size_t lo = g1 << 6;
+            const std::size_t hi = std::min(lo + 64, bits_.size());
+            if (w - lo <= hi - w) {
+                for (std::size_t i = lo; i < w; ++i)
+                    rank += std::popcount(bits_[i]);
+            } else {
+                std::uint64_t upper = 0;
+                for (std::size_t i = w; i < hi; ++i)
+                    upper += std::popcount(bits_[i]);
+                rank += cnt1_[g1] - upper;
+            }
+        }
+        {
+            const std::size_t lo = g2 << 6;
+            const std::size_t hi = std::min(lo + 64, cnt1_.size());
+            if (g1 - lo <= hi - g1) {
+                for (std::size_t i = lo; i < g1; ++i)
+                    rank += cnt1_[i];
+            } else {
+                std::uint64_t upper = 0;
+                for (std::size_t i = g1; i < hi; ++i)
+                    upper += cnt1_[i];
+                rank += cnt2_[g2] - upper;
+            }
+        }
+        {
+            const std::size_t lo = g3 << 6;
+            const std::size_t hi = std::min(lo + 64, cnt2_.size());
+            if (g2 - lo <= hi - g2) {
+                for (std::size_t i = lo; i < g2; ++i)
+                    rank += cnt2_[i];
+            } else {
+                std::uint64_t upper = 0;
+                for (std::size_t i = g2; i < hi; ++i)
+                    upper += cnt2_[i];
+                rank += cnt3_[g3] - upper;
+            }
+        }
+        if (g3 <= cnt3_.size() - g3) {
+            for (std::size_t i = 0; i < g3; ++i)
+                rank += cnt3_[i];
+        } else {
+            std::uint64_t upper = 0;
+            for (std::size_t i = g3; i < cnt3_.size(); ++i)
+                upper += cnt3_[i];
+            rank += total_ - upper;
+        }
+        return rank;
+    }
+
+  private:
+    std::vector<std::uint64_t> bits_;
+    std::vector<std::uint16_t> cnt1_;
+    std::vector<std::uint32_t> cnt2_;
+    std::vector<std::uint64_t> cnt3_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * One shared Mattson pass serving several set counts at once.
  *
  * A set-associative memory with LRU replacement partitions the
  * address space by `addr % sets`, and each set behaves as an
@@ -146,19 +343,93 @@ class MissCurve
  * M = sets * W at that set count — bit-identical to replaying a
  * SetAssocCache(sets, W, LRU) per W (the equivalence tests assert
  * it), write-backs included via the same dirty-epoch argument as the
- * fully associative analyzer above.
+ * fully associative analyzer.
  *
- * Distances are tracked exactly up to max_ways and lumped beyond
- * it, so the curve is exact for every W <= max_ways (at such W a
- * lumped access and a cold access are indistinguishable — both miss
- * and both open a dirty epoch — so the analyzer does not tell them
- * apart and needs no word table at all; coldMisses()/footprint() of
- * the returned curve are therefore not meaningful, and queries
+ * A sweep grid maps to several set counts, and the per-set pass for
+ * each is a pure function of the access stream — so this analyzer
+ * keeps one stamp/address/window *plane* per requested set count
+ * (SoA slot arrays indexed plane-major) and updates all of them under
+ * one shared clock per access. The engine's fast path then feeds ONE
+ * emission through ONE analyzer to obtain every set-assoc column of a
+ * job, where it previously paid a virtual sink dispatch per analyzer
+ * per access across a tee fan-out.
+ *
+ * Distances are tracked exactly up to max_ways and lumped beyond it,
+ * so each plane's curve is exact for every W <= max_ways (at such W
+ * a lumped access and a cold access are indistinguishable — both
+ * miss and both open a dirty epoch — so the analyzer does not tell
+ * them apart and needs no word table at all; coldMisses()/footprint()
+ * of a returned curve are therefore not meaningful, and queries
  * beyond max_ways saturate at the lumped bucket). Each set keeps its
  * top max_ways words in a stamp row: the per-set stack distance of a
  * resident word is the number of larger stamps in its row — no list
- * maintenance, just the scan a SetAssocCache pays anyway — so the
- * pass costs what the direct replay it replaces costs.
+ * maintenance, just the scan a SetAssocCache pays anyway.
+ */
+class MultiSetReuseAnalyzer : public TraceSink
+{
+  public:
+    /**
+     * @param set_counts set counts to serve, one plane each (each
+     *                   maps addresses by modulo, matching
+     *                   SetAssocCache); must be non-empty, positive
+     * @param max_ways   largest associativity resolved exactly;
+     *                   distances >= max_ways are lumped
+     */
+    MultiSetReuseAnalyzer(const std::vector<std::uint64_t> &set_counts,
+                          std::uint64_t max_ways);
+
+    void onAccess(const Access &access) override;
+    void onRun(std::uint64_t base, std::uint64_t words,
+               AccessType type) override;
+
+    std::size_t planeCount() const { return sets_.size(); }
+    std::uint64_t setsAt(std::size_t plane) const { return sets_[plane]; }
+    std::uint64_t maxWays() const { return max_ways_; }
+    std::uint64_t accesses() const { return accesses_; }
+
+    /**
+     * The associativity -> misses/writebacks curve of @p plane:
+     * querying the result at W gives the counts of a
+     * (setsAt(plane) x W)-word LRU set-associative memory with
+     * end-of-trace flush. Exact for W <= maxWays(); larger W saturate
+     * at the lumped bucket (it is carried in the curve's cold term,
+     * so missesAt never drops below it).
+     */
+    MissCurve waysCurve(std::size_t plane) const;
+
+  private:
+    static constexpr std::uint64_t kColdWindow =
+        std::numeric_limits<std::uint64_t>::max();
+
+    void step(std::uint64_t addr, bool write);
+    void planeStep(std::size_t plane, std::uint64_t addr,
+                   std::uint64_t now, bool write);
+
+    std::uint64_t max_ways_;
+    std::vector<std::uint64_t> sets_;
+    /// Slot-array offset of each plane: plane p's set s occupies
+    /// slots [base[p] + s*max_ways, +max_ways) of the SoA arrays.
+    std::vector<std::size_t> plane_base_;
+    /// SoA slot state across all planes (stamp 0 = empty slot;
+    /// window = max per-set stack distance among the word's accesses
+    /// since its last write, kColdWindow until the first write).
+    std::vector<std::uint64_t> slot_addr_;
+    std::vector<std::uint64_t> slot_stamp_;
+    std::vector<std::uint64_t> slot_window_;
+    /// Plane-major histogram rows of max_ways_+1 entries each (last
+    /// entry = the lumped bucket).
+    std::vector<std::uint64_t> hist_;
+    std::vector<std::uint64_t> wb_hist_;
+    std::vector<std::uint64_t> cold_writebacks_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t accesses_ = 0;
+};
+
+/**
+ * Per-set Mattson pass for ONE set count: a single-plane
+ * MultiSetReuseAnalyzer with the historical one-set-count interface
+ * (kept for the direct/reference paths and the per-plane semantics
+ * documented there).
  */
 class SetAssocReuseAnalyzer : public TraceSink
 {
@@ -169,52 +440,28 @@ class SetAssocReuseAnalyzer : public TraceSink
      * @param max_ways largest associativity the curve resolves
      *                 exactly; distances >= max_ways are lumped
      */
-    SetAssocReuseAnalyzer(std::uint64_t sets, std::uint64_t max_ways);
+    SetAssocReuseAnalyzer(std::uint64_t sets, std::uint64_t max_ways)
+        : core_({sets}, max_ways)
+    {
+    }
 
-    void onAccess(const Access &access) override;
-    void onRun(std::uint64_t base, std::uint64_t words,
-               AccessType type) override;
+    void onAccess(const Access &access) override { core_.onAccess(access); }
+    void
+    onRun(std::uint64_t base, std::uint64_t words,
+          AccessType type) override
+    {
+        core_.onRun(base, words, type);
+    }
 
-    std::uint64_t sets() const { return sets_; }
-    std::uint64_t maxWays() const { return max_ways_; }
-    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t sets() const { return core_.setsAt(0); }
+    std::uint64_t maxWays() const { return core_.maxWays(); }
+    std::uint64_t accesses() const { return core_.accesses(); }
 
-    /**
-     * The associativity -> misses/writebacks curve: querying the
-     * result at W gives the counts of a (sets x W)-word LRU
-     * set-associative memory with end-of-trace flush. Exact for
-     * W <= maxWays(); larger W saturate at the lumped bucket (it is
-     * carried in the curve's cold term, so missesAt never drops
-     * below it).
-     */
-    MissCurve waysCurve() const;
+    /** See MultiSetReuseAnalyzer::waysCurve(). */
+    MissCurve waysCurve() const { return core_.waysCurve(0); }
 
   private:
-    static constexpr std::uint64_t kColdWindow =
-        std::numeric_limits<std::uint64_t>::max();
-
-    /** One resident word of a set's exact region. */
-    struct Slot
-    {
-        std::uint64_t addr = 0;
-        std::uint64_t stamp = 0; ///< last use; 0 = empty slot
-        /// Max per-set stack distance among this word's accesses
-        /// since its last write (kColdWindow until the first write).
-        std::uint64_t dirty_window = 0;
-    };
-
-    void step(std::uint64_t addr, bool write);
-
-    std::uint64_t sets_;
-    std::uint64_t max_ways_;
-    /// sets_ x max_ways_ slot rows holding each set's max_ways most
-    /// recently used distinct words.
-    std::vector<Slot> rows_;
-    std::vector<std::uint64_t> hist_;
-    std::vector<std::uint64_t> wb_hist_;
-    std::uint64_t clock_ = 0;
-    std::uint64_t cold_writebacks_ = 0;
-    std::uint64_t accesses_ = 0;
+    MultiSetReuseAnalyzer core_;
 };
 
 /**
@@ -229,10 +476,12 @@ class ReuseDistanceAnalyzer : public TraceSink
     void onAccess(const Access &access) override;
 
     /**
-     * Run fast path: contiguous first-touch runs (a fresh array
-     * streamed in) skip the per-access distance query entirely and
-     * mark the Fenwick tree in bulk; warm accesses fall back to the
-     * exact per-access update.
+     * Run fast path: the whole run is resolved against the word table
+     * first (addresses within a run are distinct, so every answer is
+     * independent of the others), then a second phase does the
+     * counting — contiguous first-touch streaks mark the rank bitmap
+     * in bulk with no distance query at all, and warm accesses run
+     * the rank arithmetic back to back with the map out of the loop.
      */
     void onRun(std::uint64_t base, std::uint64_t words,
                AccessType type) override;
@@ -252,7 +501,7 @@ class ReuseDistanceAnalyzer : public TraceSink
     std::uint64_t coldWritebacks() const { return cold_writebacks_; }
     std::uint64_t accesses() const { return time_; }
     /** Number of distinct words touched. */
-    std::uint64_t distinctWords() const { return words_.size(); }
+    std::uint64_t distinctWords() const { return last_use_.size(); }
 
     /** Build the capacity -> misses/writebacks curve. */
     MissCurve missCurve() const;
@@ -262,36 +511,54 @@ class ReuseDistanceAnalyzer : public TraceSink
     /// touch / no write yet" — such a write is dirty at any capacity.
     static constexpr std::uint64_t kColdWindow =
         std::numeric_limits<std::uint64_t>::max();
+    /// onRun scratch sentinel standing for "cold, no counting work".
+    static constexpr std::uint32_t kColdId =
+        std::numeric_limits<std::uint32_t>::max();
+    /// Below this many stamp positions compaction cannot pay for
+    /// itself — the uncompacted structure already fits in L1.
+    static constexpr std::uint64_t kCompactMinDomain = 1ull << 16;
 
-    struct WordState
+    std::uint32_t coldAppend(std::uint64_t pos, bool write);
+    void warmAccess(std::uint32_t id, std::uint64_t now, bool write);
+
+    /**
+     * Keep the rank domain proportional to the footprint, not the
+     * trace length. Only distinctWords() positions ever hold a mark,
+     * and a rank query reads nothing but the marks' relative order —
+     * so once the stamp clock outruns the footprint by 4x, stamps are
+     * renumbered 0..n-1 in rank order and the clock restarts at n.
+     * The whole structure then lives in ~footprint/2 bytes of hot
+     * arrays for any trace length (and compaction is amortized O(1)
+     * per access).
+     */
+    void
+    maybeCompact()
     {
-        std::uint64_t last_use = 0;
-        /// Max reuse distance among this word's accesses since its
-        /// last write (kColdWindow until the first write).
-        std::uint64_t dirty_window = 0;
-    };
+        if (pos_ >= kCompactMinDomain &&
+            pos_ >= 4 * last_use_.size())
+            compactStamps();
+    }
+    void compactStamps();
 
-    void coldAccess(WordState &state, bool write);
-    void warmAccess(WordState &state, bool write);
-    void flushColdMarks(std::uint64_t first_pos, std::uint64_t count);
-    void growMarks(std::size_t n);
-    void ensureTree();
-    void fenwickAdd(std::size_t pos, std::int64_t delta);
-    std::uint64_t fenwickSum(std::size_t pos) const; // sum of [0, pos]
-
-    /// Raw 0/1 marks (one per trace position holding a word's most
-    /// recent use). Source of truth for the Fenwick tree: bulk cold
-    /// runs and table growth write marks only and set tree_stale_;
-    /// the tree is rebuilt from the marks before the next query.
-    std::vector<std::uint8_t> marks_;
-    std::vector<std::int64_t> tree_; ///< Fenwick tree over marks_
-    bool tree_stale_ = true;
-    FlatWordMap<WordState> words_;
+    /// One mark per tracked word at its most recent use stamp (in
+    /// the compact clock domain [0, pos_)); rank queries over it
+    /// answer "distinct words since prev".
+    MarkRank rank_;
+    FlatWordMap<std::uint32_t> words_; ///< addr -> dense word id
+    /// Dense per-word state, parallel arrays indexed by word id (ids
+    /// are stable across FlatWordMap growth where value pointers are
+    /// not, which is what lets onRun batch its map phase).
+    std::vector<std::uint64_t> last_use_;
+    /// Max reuse distance among the word's accesses since its last
+    /// write (kColdWindow until the first write).
+    std::vector<std::uint64_t> dirty_window_;
+    std::vector<std::uint32_t> run_ids_; ///< onRun phase-1 scratch
     std::vector<std::uint64_t> hist_;
     std::vector<std::uint64_t> wb_hist_;
     std::uint64_t cold_ = 0;
     std::uint64_t cold_writebacks_ = 0;
-    std::uint64_t time_ = 0;
+    std::uint64_t time_ = 0; ///< total accesses analyzed
+    std::uint64_t pos_ = 0;  ///< next stamp in the compact domain
 };
 
 } // namespace kb

@@ -454,8 +454,12 @@ TEST(EngineCurveStore, RepeatedJobReusesCurvesWithoutReemission)
     const auto cold = engine.runOne(job);
     const std::uint64_t cold_emissions =
         engineEmissionCount() - emissions_before;
-    EXPECT_EQ(cold_emissions, 1u) << "fast path should emit the "
-                                     "job's trace exactly once";
+    // Two emissions, not one: the analyzers share the first, and the
+    // streaming OPT walk re-emits for its second pass instead of
+    // holding an O(trace) buffer.
+    EXPECT_EQ(cold_emissions, 2u)
+        << "fast path should emit the job's trace exactly twice "
+           "(shared analyzer pass + streaming OPT pass 2)";
 
     const auto warm = engine.runOne(job);
     EXPECT_EQ(engineEmissionCount() - emissions_before,

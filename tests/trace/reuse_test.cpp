@@ -211,7 +211,7 @@ TEST(ReuseDistance, LargeColdRunsUseTheBulkPathCorrectly)
 {
     // A fresh array streamed in (one big first-touch run), then
     // re-read: every distance in the second lap is footprint-1 ...
-    // exercised through the lazy tree rebuild.
+    // exercised through the bulk bitmap mark path.
     const std::uint64_t n = 100000;
     ReuseDistanceAnalyzer rd;
     rd.onRange(0, n, AccessType::Read);
@@ -221,6 +221,48 @@ TEST(ReuseDistance, LargeColdRunsUseTheBulkPathCorrectly)
     EXPECT_EQ(curve.footprint(), n);
     EXPECT_EQ(curve.missesAt(n), n);      // second lap all hits
     EXPECT_EQ(curve.missesAt(n - 1), 2 * n); // one short: thrash
+}
+
+TEST(SetAssocReuse, LumpedCurveStoreRoundTripAgrees)
+{
+    // Regression: the set-assoc analyzer carries its lumped bucket
+    // (distances >= max_ways) in the curve's *cold* term so queries
+    // at and beyond max_ways saturate there. A store round-trip must
+    // preserve exactly that semantics — encode/decode must not
+    // reconstruct a curve that answers the lumped range differently.
+    const std::uint64_t max_ways = 4;
+    SetAssocReuseAnalyzer analyzer(2, max_ways);
+    Xoshiro256 rng(99);
+    // Hammer a few sets with more distinct same-set words than
+    // max_ways so the lumped bucket and every finite distance fill,
+    // writes included (dirty epochs cross the lumped boundary too).
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t addr = rng.below(24);
+        analyzer.onAccess(i % 3 == 0 ? writeOf(addr) : readOf(addr));
+    }
+    const auto curve = analyzer.waysCurve();
+
+    ByteWriter writer;
+    curve.encode(writer);
+    ByteReader reader(writer.bytes());
+    MissCurve decoded(std::vector<std::uint64_t>{}, 0, 0);
+    ASSERT_TRUE(MissCurve::decode(reader, decoded));
+
+    // Identical answers across the exact range, at max_ways, and
+    // beyond it (the lumped saturation region).
+    for (std::uint64_t w = 1; w <= max_ways + 8; ++w) {
+        EXPECT_EQ(decoded.missesAt(w), curve.missesAt(w))
+            << "ways " << w;
+        EXPECT_EQ(decoded.writebacksAt(w), curve.writebacksAt(w))
+            << "ways " << w;
+        EXPECT_EQ(decoded.ioWords(w), curve.ioWords(w)) << "ways " << w;
+    }
+    EXPECT_EQ(decoded.accesses(), curve.accesses());
+    // The lumped bucket must really be populated for this to test
+    // anything, and saturation must hold past max_ways.
+    EXPECT_GT(decoded.missesAt(max_ways + 8), 0u);
+    EXPECT_EQ(decoded.missesAt(max_ways + 8),
+              decoded.missesAt(max_ways + 1));
 }
 
 } // namespace
