@@ -32,7 +32,10 @@
  * runs so the warm number is what a *fresh process* would pay) —
  * measured both for a fast-path job and for a pure *replay* job
  * (E12's tile-headroom shape), whose per-point results ride the
- * store's ModelCurve entries. The
+ * store's ModelCurve entries. An `orchestrator` section times the
+ * work-queue coordinator over a small two-kernel grid, fault-free
+ * and with one worker SIGKILLed mid-slice, so coordination overhead
+ * and recovery cost are part of the trajectory too. The
  * CurveStore is cleared before every cold measurement so the A/B
  * stays honest. CI stores the file as the BENCH_sweep.json artifact
  * so every PR leaves a perf trajectory.
@@ -40,6 +43,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -48,7 +52,11 @@
 
 #include "bench/driver.hpp"
 #include "engine/curve_store.hpp"
+#include "engine/orchestrator.hpp"
+#include "engine/shard.hpp"
 #include "kernels/registry.hpp"
+#include "util/binio.hpp"
+#include "util/faultpoint.hpp"
 #include "mem/lru_cache.hpp"
 #include "mem/opt_cache.hpp"
 #include "trace/replay.hpp"
@@ -154,6 +162,79 @@ measureStoreAb(const ExperimentEngine &engine, const SweepJob &job)
     std::error_code ec;
     std::filesystem::remove(scratch, ec);
     return ab;
+}
+
+/**
+ * Time the fault-tolerant work queue itself: orchestrate a small
+ * two-kernel grid across 2 worker subprocesses of this very binary,
+ * fault-free and then with the first worker SIGKILLed mid-slice
+ * (KB_FAULT=kill-after-cells=1@worker=0), so the report pins both the
+ * coordination overhead (wall vs summed worker busy time) and the
+ * recovery cost of one lost worker. Returns false (refusing the
+ * report) if either run fails to complete.
+ */
+bool
+measureOrchestrator(const bench::BenchContext &ctx,
+                    OrchestratorStats &clean, OrchestratorStats &faulted,
+                    std::size_t &grid_cells, std::string &error)
+{
+    // The exact grid the re-execed workers will build from these
+    // flags; its signature gates fragment acceptance.
+    std::vector<SweepJob> jobs;
+    for (const char *name : {"matmul", "fft"}) {
+        SweepJob job;
+        job.kernel = name;
+        job.points = 3;
+        jobs.push_back(job);
+    }
+    const ExperimentEngine serial(1);
+    const auto skeleton = serial.run(
+        jobs, [](std::size_t, std::size_t) { return false; });
+
+    OrchestratorSpec spec;
+    spec.program = ctx.options().self_program;
+    spec.args = {"--points", "3", "--kernel", "matmul,fft",
+                 "--threads", "1"};
+    spec.jobs = 2;
+    spec.total_cells = gridCellCount(skeleton);
+    spec.expect_signature = toHex16(sweepSignature(skeleton));
+    grid_cells = spec.total_cells;
+
+    auto run = orchestrateSweep(spec);
+    if (!run.ok) {
+        error = run.error;
+        return false;
+    }
+    clean = run.stats;
+    removeOrchestratorScratch(run.scratch_dir);
+
+    ::setenv("KB_FAULT", "kill-after-cells=1@worker=0", 1);
+    faultReset();
+    run = orchestrateSweep(spec);
+    ::unsetenv("KB_FAULT");
+    faultReset();
+    if (!run.ok) {
+        error = run.error;
+        return false;
+    }
+    faulted = run.stats;
+    removeOrchestratorScratch(run.scratch_dir);
+    return true;
+}
+
+void
+writeOrchestratorStatsJson(std::ostream &out, const char *indent,
+                           const OrchestratorStats &s)
+{
+    out << indent << "\"slices\": " << s.slices << ",\n"
+        << indent << "\"dispatched\": " << s.dispatched << ",\n"
+        << indent << "\"retried\": " << s.retried << ",\n"
+        << indent << "\"speculative\": " << s.speculative << ",\n"
+        << indent << "\"workers_killed\": " << s.workers_killed << ",\n"
+        << indent << "\"fragments_rejected\": " << s.fragments_rejected
+        << ",\n"
+        << indent << "\"wall_s\": " << s.wall_s << ",\n"
+        << indent << "\"busy_s\": " << s.busy_s << "\n";
 }
 
 double
@@ -356,6 +437,18 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
     replay_job.schedule_headroom = 2;
     const StoreAb replay_ab = measureStoreAb(serial, replay_job);
 
+    // The work-queue coordinator, fault-free vs one killed worker.
+    OrchestratorStats orch_clean;
+    OrchestratorStats orch_faulted;
+    std::size_t orch_cells = 0;
+    std::string orch_error;
+    if (!measureOrchestrator(ctx, orch_clean, orch_faulted, orch_cells,
+                             orch_error)) {
+        std::cerr << "perf-json: orchestrated sweep failed ("
+                  << orch_error << "); refusing to report\n";
+        return 1;
+    }
+
     // The historical threads-N LRU numbers (pool scaling trajectory).
     const unsigned pool_threads = ctx.engine().threads();
     SweepJob direct_job = job;
@@ -461,6 +554,23 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
                 ? replay_ab.disk_cold_s / replay_ab.disk_warm_s
                 : 0.0)
         << "\n"
+        << "  },\n"
+        << "  \"orchestrator\": {\n"
+        << "    \"workers\": 2,\n"
+        << "    \"grid_cells\": " << orch_cells << ",\n"
+        << "    \"clean\": {\n";
+    writeOrchestratorStatsJson(out, "      ", orch_clean);
+    out << "    },\n"
+        << "    \"injected_fault\": "
+           "\"kill-after-cells=1@worker=0\",\n"
+        << "    \"faulted\": {\n";
+    writeOrchestratorStatsJson(out, "      ", orch_faulted);
+    out << "    },\n"
+        << "    \"recovery_overhead\": "
+        << (orch_clean.wall_s > 0.0
+                ? orch_faulted.wall_s / orch_clean.wall_s
+                : 0.0)
+        << "\n"
         << "  }\n"
         << "}\n";
     std::cerr << "perf: " << words << " trace words; 1-thread sweeps of "
@@ -493,6 +603,15 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
               << replay_ab.disk_warm_s << " s, warm emissions "
               << replay_ab.warm_emissions << ", warm replay hits "
               << replay_ab.warm_replay_hits
+              << "\norchestrator (2 workers, " << orch_cells
+              << " cells): clean " << orch_clean.wall_s
+              << " s wall / " << orch_clean.busy_s
+              << " s busy; 1 worker killed -> " << orch_faulted.wall_s
+              << " s wall, " << orch_faulted.retried << " retried ("
+              << (orch_clean.wall_s > 0.0
+                      ? orch_faulted.wall_s / orch_clean.wall_s
+                      : 0.0)
+              << "x overhead)"
               << "\nreport written to " << path << "\n";
     return 0;
 }

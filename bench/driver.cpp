@@ -73,23 +73,33 @@ printUsage(const char *prog, const char *experiment,
             "and\n"
             "                           write a fragment (see "
             "--shard-out)\n"
-            "  --shard-out PATH         fragment path for --shard\n"
+            "  --cells LO-HI            run linearized grid cells "
+            "[LO, HI)\n"
+            "                           and stream a fragment (the\n"
+            "                           orchestrator's worker flag)\n"
+            "  --shard-out PATH         fragment path for "
+            "--shard/--cells\n"
             "  --merge F0,F1,...        reassemble fragments and "
             "print the\n"
             "                           report (byte-identical to an\n"
             "                           unsharded run; repeatable)\n"
-            "  --jobs N                 spawn N --shard subprocesses "
-            "of this\n"
-            "                           binary, merge their fragments "
-            "and\n"
-            "                           print the report "
-            "(byte-identical to\n"
-            "                           the unsharded run)\n");
+            "  --jobs N                 run the grid through the "
+            "work-queue\n"
+            "                           coordinator with N worker\n"
+            "                           subprocesses of this binary "
+            "(retries,\n"
+            "                           progress deadlines; report\n"
+            "                           byte-identical to the "
+            "unsharded run)\n");
     std::fprintf(
         stderr,
         "  --curve-store DIR        persist single-pass curves in DIR\n"
         "                           (two-tier store; same as\n"
         "                           KB_CURVE_CACHE_DIR)\n"
+        "  --store-fsck             integrity-scan the store "
+        "directory,\n"
+        "                           remove corrupt entries and stale\n"
+        "                           temps, and exit\n"
         "  --csv PATH               write the bench's CSV series here\n"
         "  --no-csv                 suppress CSV side outputs\n"
         "  --list-kernels           print registered kernels and exit\n"
@@ -171,26 +181,96 @@ BenchContext::runJobs(const std::vector<SweepJob> &jobs) const
     }
     if (opts_.jobs >= 2) {
         // One-command orchestration: re-exec this very invocation as
-        // the N shard subprocesses (minus --jobs), then merge their
-        // fragments exactly like --merge would. Progress and failures
-        // go to stderr; stdout stays byte-identical to an unsharded
-        // run.
-        OrchestratorSpec spec;
-        spec.program = opts_.self_program;
-        spec.args = opts_.self_args;
-        spec.jobs = opts_.jobs;
-        std::fprintf(stderr,
-                     "orchestrating %u shards of %s\n", opts_.jobs,
-                     spec.program.c_str());
-        const auto run = orchestrateShards(spec);
-        KB_REQUIRE(run.ok, "orchestrated sweep failed: ", run.error);
+        // --cells workers under the work-queue coordinator (minus
+        // --jobs), then merge their fragments exactly like --merge
+        // would. Progress and failures go to stderr; stdout stays
+        // byte-identical to an unsharded run.
         auto skeleton =
             engine_.run(jobs, [](std::size_t, std::size_t) {
                 return false;
             });
+        const std::size_t total = gridCellCount(skeleton);
+        if (total == 0)
+            return skeleton;
+        // A corrupt entry in a shared store costs every worker a
+        // reject-and-recompute; scrub the directory once up front.
+        const std::string store_dir =
+            CurveStore::instance().diskDirectory();
+        if (!store_dir.empty()) {
+            const CurveStoreFsck scrub = CurveStore::fsck(store_dir,
+                                                          true);
+            if (scrub.corrupt_removed != 0 || scrub.tmp_removed != 0)
+                std::fprintf(stderr,
+                             "curve store fsck: removed %zu corrupt "
+                             "entries and %zu temp files from %s\n",
+                             scrub.corrupt_removed, scrub.tmp_removed,
+                             store_dir.c_str());
+        }
+        OrchestratorSpec spec;
+        spec.program = opts_.self_program;
+        spec.args = opts_.self_args;
+        spec.jobs = opts_.jobs;
+        spec.total_cells = total;
+        spec.expect_signature = toHex16(sweepSignature(skeleton));
+        std::fprintf(stderr,
+                     "orchestrating %zu cells across %u workers of "
+                     "%s\n",
+                     total, opts_.jobs, spec.program.c_str());
+        const auto run = orchestrateSweep(spec);
+        KB_REQUIRE(run.ok, "orchestrated sweep failed: ", run.error);
         mergeShardFragments(skeleton, run.fragments);
+        const auto &st = run.stats;
+        std::fprintf(stderr,
+                     "orchestrator: %zu slices, %zu dispatched "
+                     "(%zu retried, %zu speculative), %zu deadline "
+                     "kills, %zu fragments rejected, wall %.2fs, "
+                     "busy %.2fs\n",
+                     st.slices, st.dispatched, st.retried,
+                     st.speculative, st.workers_killed,
+                     st.fragments_rejected, st.wall_s, st.busy_s);
         removeOrchestratorScratch(run.scratch_dir);
         return skeleton;
+    }
+    if (!opts_.cells.empty()) {
+        CellRange range;
+        KB_REQUIRE(parseCellRange(opts_.cells, range),
+                   "bad --cells value '", opts_.cells,
+                   "' (expected LO-HI with LO < HI)");
+        auto skeleton =
+            engine_.run(jobs, [](std::size_t, std::size_t) {
+                return false;
+            });
+        KB_REQUIRE(range.hi <= gridCellCount(skeleton), "--cells ",
+                   opts_.cells, " is outside the ",
+                   gridCellCount(skeleton), "-cell grid");
+        const std::string path =
+            !opts_.shard_out.empty()
+                ? opts_.shard_out
+                : "cells_" + std::to_string(range.lo) + "_" +
+                      std::to_string(range.hi) + ".kbshard";
+        CellFragmentWriter writer(path, sweepSignature(skeleton),
+                                  skeleton.size());
+        // Measure one job's owned cells per engine pass: a job's
+        // points share their trace emission and single-pass curves,
+        // and each finished group lands in the fragment right away —
+        // the growing file is this worker's heartbeat.
+        std::size_t lo_job = 0, lo_pt = 0, hi_job = 0, hi_pt = 0;
+        cellCoordinates(skeleton, range.lo, lo_job, lo_pt);
+        cellCoordinates(skeleton, range.hi - 1, hi_job, hi_pt);
+        const auto in_range = cellRangeFilter(skeleton, range);
+        for (std::size_t j = lo_job; j <= hi_job; ++j) {
+            const auto group = engine_.run(
+                jobs, [j, &in_range](std::size_t jj, std::size_t pp) {
+                    return jj == j && in_range(jj, pp);
+                });
+            const std::size_t p_lo = j == lo_job ? lo_pt : 0;
+            const std::size_t p_hi =
+                j == hi_job ? hi_pt + 1 : skeleton[j].points.size();
+            for (std::size_t p = p_lo; p < p_hi; ++p)
+                writer.appendCell(j, p, group[j].points[p]);
+        }
+        writer.finish();
+        throw ShardFragmentWritten{path};
     }
     if (!opts_.shard.empty()) {
         ShardSpec spec;
@@ -354,6 +434,21 @@ runBench(int argc, char **argv, const char *experiment,
                              prog, v);
                 return 2;
             }
+        } else if (arg == "--cells") {
+            if (!caps.shard)
+                return unsupported("--cells");
+            const char *v = value("--cells");
+            if (v == nullptr)
+                return 2;
+            opts.cells = v;
+            CellRange range;
+            if (!parseCellRange(opts.cells, range)) {
+                std::fprintf(stderr,
+                             "%s: --cells wants LO-HI with LO < HI, "
+                             "got '%s'\n",
+                             prog, v);
+                return 2;
+            }
         } else if (arg == "--shard-out") {
             if (!caps.shard)
                 return unsupported("--shard-out");
@@ -387,6 +482,8 @@ runBench(int argc, char **argv, const char *experiment,
             if (v == nullptr)
                 return 2;
             opts.curve_store_dir = v;
+        } else if (arg == "--store-fsck") {
+            opts.store_fsck = true;
         } else if (arg == "--csv") {
             const char *v = value("--csv");
             if (v == nullptr)
@@ -411,19 +508,25 @@ runBench(int argc, char **argv, const char *experiment,
             return 2;
         }
     }
-    if (!opts.shard.empty() && !opts.merge_paths.empty()) {
-        std::fprintf(stderr,
-                     "%s: --shard and --merge are mutually exclusive\n",
-                     prog);
-        return 2;
-    }
-    if (opts.jobs != 0 &&
-        (!opts.shard.empty() || !opts.merge_paths.empty())) {
-        std::fprintf(stderr,
-                     "%s: --jobs already shards and merges; it is "
-                     "mutually exclusive with --shard/--merge\n",
-                     prog);
-        return 2;
+    {
+        const int partitions = (!opts.shard.empty() ? 1 : 0) +
+                               (!opts.cells.empty() ? 1 : 0) +
+                               (!opts.merge_paths.empty() ? 1 : 0);
+        if (partitions > 1) {
+            std::fprintf(stderr,
+                         "%s: --shard, --cells and --merge are "
+                         "mutually exclusive\n",
+                         prog);
+            return 2;
+        }
+        if (opts.jobs != 0 && partitions != 0) {
+            std::fprintf(stderr,
+                         "%s: --jobs already shards and merges; it is "
+                         "mutually exclusive with "
+                         "--shard/--cells/--merge\n",
+                         prog);
+            return 2;
+        }
     }
     // Record the invocation for --jobs re-execs: everything except
     // --jobs itself (children must not recurse into orchestration).
@@ -437,6 +540,28 @@ runBench(int argc, char **argv, const char *experiment,
     }
     if (!opts.curve_store_dir.empty())
         CurveStore::instance().setDiskDirectory(opts.curve_store_dir);
+
+    if (opts.store_fsck) {
+        std::string dir = opts.curve_store_dir;
+        if (dir.empty())
+            if (const char *env = std::getenv("KB_CURVE_CACHE_DIR");
+                env != nullptr)
+                dir = env;
+        if (dir.empty()) {
+            std::fprintf(stderr,
+                         "%s: --store-fsck needs --curve-store DIR "
+                         "(or KB_CURVE_CACHE_DIR)\n",
+                         prog);
+            return 2;
+        }
+        const CurveStoreFsck report = CurveStore::fsck(dir, true);
+        std::printf("curve store fsck of %s: %zu entries scanned, "
+                    "%zu valid, %zu corrupt removed, %zu temp files "
+                    "removed\n",
+                    dir.c_str(), report.scanned, report.valid,
+                    report.corrupt_removed, report.tmp_removed);
+        return report.corrupt_found == report.corrupt_removed ? 0 : 1;
+    }
 
     if (experiment != nullptr)
         printExperimentBanner(experiment);

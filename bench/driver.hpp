@@ -18,18 +18,27 @@
  * Sharding (benches with BenchCaps::shard): `--shard i/N` runs only
  * the i-th slice of the expanded (job, point) grid and writes a
  * fragment file (--shard-out) instead of the normal report;
- * `--merge f0,f1,...` reassembles N fragments and prints the report
- * byte-identical to an unsharded run. The split is deterministic
- * (engine/shard.hpp), so a sweep grid can be distributed across
- * processes or hosts and merged afterwards. `--jobs N` does the whole
- * dance in one command: the driver re-execs ITSELF as the N shard
- * subprocesses (engine/orchestrator.hpp spawns, monitors, retries,
- * and fails loudly on a dead shard), merges their fragments, and
- * prints the report — byte-identical to the unsharded run.
+ * `--cells lo-hi` does the same for an arbitrary range of linearized
+ * grid cells (the unit the orchestrator deals out), streaming rows
+ * into the fragment as job groups complete so the growing file
+ * doubles as a progress heartbeat; `--merge f0,f1,...` reassembles
+ * fragments and prints the report byte-identical to an unsharded
+ * run. The split is deterministic (engine/shard.hpp), so a sweep
+ * grid can be distributed across processes or hosts and merged
+ * afterwards. `--jobs N` does the whole dance in one command: the
+ * driver re-execs ITSELF as `--cells` workers under the
+ * fault-tolerant work-queue coordinator (engine/orchestrator.hpp:
+ * progress deadlines, capped-backoff retries, speculative
+ * re-dispatch), merges their fragments, and prints the report —
+ * byte-identical to the unsharded run.
  * `--curve-store DIR` points the two-tier CurveStore's disk tier at
  * DIR (equivalent to KB_CURVE_CACHE_DIR), letting shards and
  * repeated invocations share their single-pass curves and replayed
- * points; orchestrated shards inherit the flag automatically.
+ * points; orchestrated workers inherit the flag automatically, and
+ * the coordinator fscks the shared directory before the fleet
+ * launches. `--store-fsck` runs that integrity scan standalone:
+ * corrupt or misaddressed entries and crashed writers' temp files
+ * are removed, valid entries untouched.
  */
 
 #pragma once
@@ -82,18 +91,26 @@ struct DriverOptions
     /// --shard i/N: run one slice of the sweep grid and write a
     /// fragment instead of the report (benches with BenchCaps::shard).
     std::string shard;
+    /// --cells lo-hi: run one linearized cell range of the grid and
+    /// stream a fragment (benches with BenchCaps::shard; the
+    /// orchestrator's worker-side flag).
+    std::string cells;
     /// --shard-out: fragment path (default shard_<i>_of_<N>.kbshard).
     std::string shard_out;
     /// --merge: fragment paths to reassemble into the full report
     /// (repeatable flag, commas allowed).
     std::vector<std::string> merge_paths;
-    /// --jobs N: orchestrate N --shard subprocesses of this very
-    /// binary and merge their fragments (benches with
-    /// BenchCaps::shard; mutually exclusive with --shard/--merge;
-    /// 0 or 1 = run inline).
+    /// --jobs N: run the grid through the work-queue coordinator
+    /// with N concurrent worker subprocesses of this very binary
+    /// (benches with BenchCaps::shard; mutually exclusive with
+    /// --shard/--cells/--merge; 0 or 1 = run inline).
     unsigned jobs = 0;
     /// --curve-store DIR: enable the CurveStore's on-disk tier at DIR.
     std::string curve_store_dir;
+    /// --store-fsck: integrity-scan the store directory (removing
+    /// corrupt entries and stale temps) and exit instead of running
+    /// the bench.
+    bool store_fsck = false;
     /// The invocation itself, for --jobs re-execs: argv[0] and every
     /// argument except --jobs (filled by runBench).
     std::string self_program;

@@ -1,10 +1,15 @@
 #include "engine/curve_store.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <iterator>
 #include <utility>
+
+#include "util/faultpoint.hpp"
+#include "util/logging.hpp"
 
 namespace fs = std::filesystem;
 
@@ -315,8 +320,8 @@ CurveStore::encodeEntry(const EntryKey &key, const Entry &entry) const
 }
 
 bool
-CurveStore::decodeEntry(const std::vector<std::uint8_t> &bytes,
-                        const EntryKey &key, Entry &out)
+CurveStore::decodeEntryBody(const std::vector<std::uint8_t> &bytes,
+                            EntryKey &stored_key, Entry &out)
 {
     if (bytes.size() < sizeof(kMagic) + sizeof(std::uint32_t) + 8)
         return false;
@@ -331,10 +336,9 @@ CurveStore::decodeEntry(const std::vector<std::uint8_t> &bytes,
     for (const auto m : kMagic)
         in.require(in.u8() == m);
     in.require(in.u32() == kFormatVersion);
-    EntryKey stored;
-    if (!in.ok() || !EntryKey::decode(in, stored) || stored != key)
-        return false; // wrong version or a content-hash collision
-    switch (key.kind) {
+    if (!in.ok() || !EntryKey::decode(in, stored_key))
+        return false; // wrong version or torn key
+    switch (stored_key.kind) {
       case 0: {
         MissCurve curve({}, 0, 0);
         if (!MissCurve::decode(in, curve))
@@ -371,6 +375,16 @@ CurveStore::decodeEntry(const std::vector<std::uint8_t> &bytes,
     return in.exhausted(); // trailing garbage: treat as corrupt
 }
 
+bool
+CurveStore::decodeEntry(const std::vector<std::uint8_t> &bytes,
+                        const EntryKey &key, Entry &out)
+{
+    EntryKey stored;
+    // A stored key other than the asked-for one is a content-hash
+    // collision (or a misfiled entry): reject, recompute.
+    return decodeEntryBody(bytes, stored, out) && stored == key;
+}
+
 std::optional<CurveStore::Entry>
 CurveStore::lookupEntry(const EntryKey &key, const Satisfies &satisfies,
                         bool &from_disk)
@@ -384,7 +398,7 @@ CurveStore::lookupEntry(const EntryKey &key, const Satisfies &satisfies,
             touchLocked(it);
             return it->second;
         }
-        if (disk_dir_.empty())
+        if (disk_dir_.empty() || disk_disabled_)
             return std::nullopt;
         dir = disk_dir_;
     }
@@ -440,7 +454,9 @@ CurveStore::storeEntry(const EntryKey &key, Entry entry)
         const auto [it, ch] = foldLocked(key, std::move(entry));
         changed = ch;
         snapshot = it->second;
-        dir = disk_dir_;
+        // A key whose write already failed (or a disabled tier) keeps
+        // its tier-1 entry and skips the doomed file I/O.
+        dir = diskSkippedLocked(key) ? std::string() : disk_dir_;
     }
     // An entry tier 1 already covered was persisted when it was first
     // folded in; skip the redundant file write.
@@ -461,10 +477,21 @@ CurveStore::diskWriteSlotHeld(const EntryKey &key, const Entry &entry,
         // Plain LRU entries are a deterministic function of the key:
         // publish first-write-wins, so a double-computed race costs
         // one dropped temp file, never a torn or regressed entry.
-        const auto bytes = encodeEntry(key, entry);
-        if (writeFileAtomic(path, bytes, /*first_write_wins=*/true))
+        auto bytes = encodeEntry(key, entry);
+        if (faultFireAt("corrupt-store-entry") && !bytes.empty())
+            bytes[bytes.size() / 2] ^= 0x40;
+        switch (writeFileAtomicEx(path, bytes,
+                                  /*first_write_wins=*/true)) {
+          case AtomicWriteResult::Published:
             accountDiskWrite(dir,
                              static_cast<std::int64_t>(bytes.size()));
+            break;
+          case AtomicWriteResult::AlreadyExists:
+            break; // a twin writer published the same content
+          case AtomicWriteResult::Error:
+            noteDiskError(key, path);
+            break;
+        }
         return;
     }
 
@@ -516,15 +543,26 @@ CurveStore::diskWriteSlotHeld(const EntryKey &key, const Entry &entry,
         }
     }
     if (need_write) {
-        const auto bytes = encodeEntry(key, final_entry);
+        auto bytes = encodeEntry(key, final_entry);
+        if (faultFireAt("corrupt-store-entry") && !bytes.empty())
+            bytes[bytes.size() / 2] ^= 0x40;
         std::error_code ec;
         const auto old_size = fs::file_size(path, ec);
         const std::int64_t replaced =
             ec ? 0 : static_cast<std::int64_t>(old_size);
-        if (writeFileAtomic(path, bytes, /*first_write_wins=*/false))
+        switch (writeFileAtomicEx(path, bytes,
+                                  /*first_write_wins=*/false)) {
+          case AtomicWriteResult::Published:
             accountDiskWrite(
                 dir,
                 static_cast<std::int64_t>(bytes.size()) - replaced);
+            break;
+          case AtomicWriteResult::AlreadyExists:
+            break; // not reachable for rename publishes
+          case AtomicWriteResult::Error:
+            noteDiskError(key, path);
+            break;
+        }
     }
     if (merged_disk) {
         // Whatever another invocation contributed is folded back into
@@ -533,6 +571,94 @@ CurveStore::diskWriteSlotHeld(const EntryKey &key, const Entry &entry,
         std::lock_guard<std::mutex> lock(mutex_);
         foldLocked(key, std::move(final_entry));
     }
+}
+
+bool
+CurveStore::diskSkippedLocked(const EntryKey &key) const
+{
+    if (disk_dir_.empty() || disk_disabled_)
+        return true;
+    return std::find(disk_failed_keys_.begin(), disk_failed_keys_.end(),
+                     key) != disk_failed_keys_.end();
+}
+
+void
+CurveStore::noteDiskError(const EntryKey &key, const std::string &path)
+{
+    const int saved_errno = errno;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.disk_errors;
+    if (std::find(disk_failed_keys_.begin(), disk_failed_keys_.end(),
+                  key) == disk_failed_keys_.end())
+        disk_failed_keys_.push_back(key);
+    if (!warned_disk_error_) {
+        warned_disk_error_ = true;
+        warn("curve store: cannot write " + path + " (" +
+             std::strerror(saved_errno) +
+             "); falling back to compute for this entry");
+    }
+    if (disk_failed_keys_.size() >= kDiskErrorThreshold &&
+        !disk_disabled_) {
+        disk_disabled_ = true;
+        if (!warned_disk_disabled_) {
+            warned_disk_disabled_ = true;
+            warn("curve store: " +
+                 std::to_string(disk_failed_keys_.size()) +
+                 " entries failed to write; disabling the disk tier "
+                 "for the rest of this run (results are unaffected)");
+        }
+    }
+}
+
+CurveStoreFsck
+CurveStore::fsck(const std::string &dir, bool remove)
+{
+    CurveStoreFsck report;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file(ec))
+            continue;
+        const std::string name = de.path().filename().string();
+        if (!name.starts_with("kb-"))
+            continue;
+        // A crashed writer's temp file never got renamed into place;
+        // it is dead weight whatever it contains.
+        if (name.find(std::string(kEntrySuffix) + ".tmp") !=
+            std::string::npos) {
+            if (remove && fs::remove(de.path(), ec))
+                ++report.tmp_removed;
+            continue;
+        }
+        if (de.path().extension() != kEntrySuffix)
+            continue;
+
+        ++report.scanned;
+        bool good = false;
+        std::vector<std::uint8_t> bytes;
+        if (readFileBytes(de.path().string(), bytes)) {
+            EntryKey stored;
+            Entry decoded;
+            if (decodeEntryBody(bytes, stored, decoded)) {
+                // The file must also sit at its content address — a
+                // valid entry under the wrong name would shadow some
+                // other key's slot forever.
+                ByteWriter w;
+                stored.encode(w);
+                good = name == "kb-" + toHex16(fnv1a64(w.bytes())) +
+                                   kEntrySuffix;
+            }
+        }
+        if (good) {
+            ++report.valid;
+            continue;
+        }
+        ++report.corrupt_found;
+        if (remove && fs::remove(de.path(), ec)) {
+            ++report.corrupt_removed;
+            fs::remove(de.path().string() + kLockSuffix, ec);
+        }
+    }
+    return report;
 }
 
 void
@@ -774,6 +900,10 @@ CurveStore::clear()
     entries_.clear();
     order_.clear();
     stats_ = CurveStoreStats{};
+    disk_failed_keys_.clear();
+    disk_disabled_ = false;
+    warned_disk_error_ = false;
+    warned_disk_disabled_ = false;
 }
 
 void

@@ -122,6 +122,7 @@ struct CurveStoreStats
     std::uint64_t disk_hits = 0;    ///< hits that came from tier 2
     std::uint64_t disk_stores = 0;  ///< entry files written
     std::uint64_t disk_rejects = 0; ///< malformed entries ignored
+    std::uint64_t disk_errors = 0;  ///< tier-2 write failures absorbed
     std::uint64_t tier1_evictions = 0; ///< LRU evictions from tier 1
     /// Replay-path slice of hits/misses: findReplayIo lookups served
     /// (either tier) and replayed point results stored.
@@ -131,6 +132,16 @@ struct CurveStoreStats
 
 /// Historical name (the store grew out of the in-process CurveCache).
 using CurveCacheStats = CurveStoreStats;
+
+/** What a CurveStore::fsck() pass found (and, when asked, removed). */
+struct CurveStoreFsck
+{
+    std::size_t scanned = 0; ///< entry files examined
+    std::size_t valid = 0;
+    std::size_t corrupt_found = 0;   ///< failed checksum/version/address
+    std::size_t corrupt_removed = 0; ///< of those, deleted
+    std::size_t tmp_removed = 0;     ///< crashed writers' temp files
+};
 
 /** Process-wide two-tier store of single-pass curves and replayed
  *  per-point results, keyed by trace identity. */
@@ -223,6 +234,18 @@ class CurveStore
     /** Remove every store entry (and lock) file from the disk
      *  directory. */
     void clearDisk();
+
+    /**
+     * Offline integrity scan of a store directory: every `kb-*.kbc`
+     * entry must checksum, carry the current format version, decode,
+     * and sit at its content-addressed file name. With @p remove true,
+     * failing entries (plus their lock sidecars) and stale `.tmp*`
+     * files from crashed writers are deleted — valid entries are never
+     * touched. The orchestrating driver runs this before a fleet
+     * shares a store directory, so one corrupt entry cannot cost every
+     * worker a reject-and-recompute.
+     */
+    static CurveStoreFsck fsck(const std::string &dir, bool remove);
 
     /** Point tier 2 at @p dir (created if missing; "" disables). */
     void setDiskDirectory(const std::string &dir);
@@ -328,9 +351,28 @@ class CurveStore
     std::vector<std::uint8_t> encodeEntry(const EntryKey &key,
                                           const Entry &entry) const;
 
-    /** Decode and validate one entry file; false = reject. */
+    /** Decode and validate one entry file body (checksum, magic,
+     *  version, key, payload); yields the stored key so fsck() can
+     *  validate files it has no expected key for. False = reject. */
+    static bool decodeEntryBody(const std::vector<std::uint8_t> &bytes,
+                                EntryKey &stored_key, Entry &out);
+
+    /** decodeEntryBody() plus "the stored key is the one we asked
+     *  for" (content-hash collision guard); false = reject. */
     bool decodeEntry(const std::vector<std::uint8_t> &bytes,
                      const EntryKey &key, Entry &out);
+
+    /**
+     * Absorb a tier-2 write failure: count it, warn once, blacklist
+     * the key, and past kDiskErrorThreshold distinct failures disable
+     * the disk tier for the rest of the run (warn once more). The
+     * sweep continues on compute — a full or read-only store
+     * directory costs warmth, never correctness.
+     */
+    void noteDiskError(const EntryKey &key, const std::string &path);
+
+    /** True when tier 2 should be skipped for @p key (locked). */
+    bool diskSkippedLocked(const EntryKey &key) const;
 
     /** Write @p entry's file under @p dir. Called with the key's I/O
      *  slot held and the global mutex free. */
@@ -352,6 +394,11 @@ class CurveStore
 
     void runIoHook();
 
+    /// Distinct failing keys tolerated before the whole disk tier is
+    /// disabled for the run (a directory-wide condition like ENOSPC
+    /// fails every key; re-trying each one buys nothing).
+    static constexpr std::size_t kDiskErrorThreshold = 3;
+
     mutable std::mutex mutex_;
     EntryMap entries_;
     std::list<EntryKey> order_; ///< LRU order, most recent at back
@@ -367,6 +414,12 @@ class CurveStore
     std::map<EntryKey, std::shared_ptr<KeySlot>> inflight_;
     std::mutex evict_mutex_; ///< one eviction scan at a time
     std::function<void()> io_hook_; ///< test-only, see setIoHookForTest
+    /// Degradation state (guarded by mutex_): keys whose tier-2
+    /// writes failed, and the tier-wide kill switch.
+    std::vector<EntryKey> disk_failed_keys_;
+    bool disk_disabled_ = false;
+    bool warned_disk_error_ = false;
+    bool warned_disk_disabled_ = false;
 };
 
 /// Historical name (see CurveStoreStats).

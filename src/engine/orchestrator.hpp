@@ -1,82 +1,144 @@
 /**
  * @file
- * One-command shard orchestration.
+ * Fault-tolerant work-queue orchestration of sweep grids.
  *
- * PR 4's sharding made a sweep grid splittable across processes, but
- * an operator had to hand-launch the N `--shard i/N` invocations and
- * collect the fragments. The orchestrator closes that gap: given a
- * program (normally the running bench binary itself) and its shared
- * flags, it spawns the N shard subprocesses concurrently, redirects
- * each one's stdout/stderr to a per-shard log, monitors their exits,
- * retries a dead shard, and hands the fragment paths back for the
- * caller to merge. A shard that keeps failing — nonzero exit, killed
- * by a signal, or exiting "successfully" without producing its
- * fragment — fails the whole run loudly, naming the culprit shard
- * and quoting the tail of its log; a partial merge must never
- * masquerade as a full run (engine/shard.hpp enforces the same at
- * merge time).
+ * PR 5's orchestrator spawned one `--shard i/N` subprocess per shard
+ * and retried whole shards; a single slow or dead worker stalled (or
+ * sank) the entire run, and the static split could not rebalance.
+ * This coordinator replaces it with a work queue over fine-grained
+ * *cell slices* (engine/shard.hpp): the grid's linearized cells are
+ * carved into several slices per worker slot, workers are re-execed
+ * bench invocations (`--cells lo-hi --shard-out FRAG`), and the
+ * coordinator deals the next slice to whichever slot frees up first —
+ * a fast worker simply takes more slices.
  *
- * The orchestrator deliberately reports failures in its result
- * instead of aborting, so failure handling is unit-testable; the
- * bench driver turns a failed result into a fatal exit. Shards that
- * share a `--curve-store` directory (flag or environment — children
- * inherit both) reuse each other's single-pass curves and replayed
- * points through the store's cross-process tier.
+ * Failure policy, all unit-testable because nothing here aborts:
+ *
+ *  * A worker's growing fragment *is* its heartbeat: appendCell()
+ *    flushes one row per finished cell, the coordinator stats the
+ *    file each poll, and a worker whose fragment stops growing past
+ *    the progress deadline is killed and its slice re-queued. The
+ *    deadline is initial_deadline_ms, EXTENDED to
+ *    deadline_multiplier x the observed mean slice time when that is
+ *    larger — observed completions can only relax the deadline, never
+ *    tighten it, because grids are heterogeneous: the first row of a
+ *    slice holding one heavy job can trail the fleet's mean by orders
+ *    of magnitude, and an adaptive kill there would burn the retry
+ *    budget on work that was merely slow. Operators with homogeneous
+ *    grids (and tests) tighten via KB_ORCH_DEADLINE_MS, which pins
+ *    the deadline exactly.
+ *  * A failed slice (nonzero exit, signal, deadline kill, or a
+ *    fragment that fails checkFragmentFile()) re-queues under capped
+ *    exponential backoff with deterministic jitter; after
+ *    spec.attempts failures the run fails loudly, naming the culprit
+ *    slice, its fragment, and the tail of its log.
+ *  * When the queue drains and a slot is free, the longest-running
+ *    straggler is speculatively re-dispatched (once per slice, and
+ *    only if the slice has never failed — a failing slice needs its
+ *    retry budget, not a twin); the first fragment to validate wins
+ *    and the loser is killed. Every failed attempt counts against the
+ *    slice's budget whether or not a duplicate is still in flight, so
+ *    the run can never spin on a slice indefinitely.
+ *  * SIGINT/SIGTERM are forwarded to every live worker, the scratch
+ *    directory is removed, and the signal is re-raised with its
+ *    default disposition — an interrupted run leaves no temps behind.
+ *
+ * Results are tagged by grid cell, never by worker or slice index, so
+ * however slices were split, retried, or stolen, the merge
+ * (mergeShardFragments) is byte-identical to an unsharded run.
+ * Worker processes are stamped with KB_FAULT_WORKER=<spawn ordinal>
+ * so util/faultpoint.hpp clauses like `kill-after-cells=1@worker=0`
+ * hit exactly one spawn and the retry runs clean.
+ *
+ * KB_ORCH_DEADLINE_MS, KB_ORCH_BACKOFF_MS and KB_ORCH_POLL_MS
+ * override the corresponding spec fields from the environment (tests
+ * and CI chaos jobs want millisecond-scale policies).
  */
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace kb {
 
-/** What to launch and how hard to try. */
+/** What to launch and the failure policy to run it under. */
 struct OrchestratorSpec
 {
     std::string program; ///< binary to exec (the bench itself)
-    /// Flags every shard shares; `--shard i/N --shard-out PATH` is
-    /// appended per shard. Must not already contain --shard/--merge
-    /// or --jobs.
+    /// Flags every worker shares; `--cells lo-hi --shard-out PATH` is
+    /// appended per dispatch. Must not already contain --cells,
+    /// --shard, --merge or --jobs.
     std::vector<std::string> args;
-    std::size_t jobs = 2; ///< shard count N (>= 1)
+    std::size_t jobs = 2;        ///< concurrent worker slots (>= 1)
+    std::size_t total_cells = 0; ///< linearized grid size (>= 1)
+    /// Target slices per worker slot; more = finer rebalancing and
+    /// cheaper retries, fewer = less spawn overhead.
+    std::size_t slices_per_worker = 4;
+    /// toHex16(sweepSignature(...)) of the grid; workers' fragments
+    /// must carry it. Empty relaxes validation to "non-empty, ends
+    /// with `end`" (shell-script stand-ins in unit tests).
+    std::string expect_signature;
     /// Directory for fragments and logs; "" = a fresh mkdtemp under
     /// the system temp directory.
     std::string scratch_dir;
-    /// Spawn attempts per shard (>= 1); 2 = one retry on a dead shard.
-    unsigned attempts = 2;
+    /// Failure budget per slice (>= 1); 3 = two retries.
+    unsigned attempts = 3;
+
+    // Progress-deadline policy (see file comment): the deadline is
+    // initial_deadline_ms, extended (never tightened) to
+    // deadline_multiplier x the observed mean slice time.
+    std::uint64_t initial_deadline_ms = 300000;
+    double deadline_multiplier = 8.0;
+
+    // Capped exponential backoff between a slice's attempts.
+    std::uint64_t backoff_base_ms = 50;
+    std::uint64_t backoff_cap_ms = 2000;
+
+    /// Speculate on a straggler once its runtime exceeds this many
+    /// observed mean slice times (and the queue is drained).
+    double speculative_factor = 4.0;
+
+    std::uint64_t poll_ms = 15; ///< coordinator poll period
+    std::uint64_t seed = 0;     ///< backoff jitter seed
 };
 
-/** Outcome of one shard's lifecycle. */
-struct ShardOutcome
+/** Counters for the `orchestrator` perf-json section and stderr
+ *  summary; recovery cost is visible, not guessed at. */
+struct OrchestratorStats
 {
-    std::size_t index = 0;
-    std::string fragment; ///< path the shard was told to write
-    std::string log;      ///< combined stdout+stderr of the last attempt
-    unsigned attempts_used = 0;
-    bool ok = false;
+    std::size_t slices = 0;     ///< slices the grid was carved into
+    std::size_t dispatched = 0; ///< worker spawns (incl. retries/spec)
+    std::size_t retried = 0;    ///< slices re-queued after a failure
+    std::size_t speculative = 0;
+    std::size_t workers_killed = 0; ///< progress-deadline kills
+    std::size_t fragments_rejected = 0;
+    double wall_s = 0.0; ///< coordinator wall time
+    double busy_s = 0.0; ///< summed worker lifetimes
 };
 
 /** Outcome of the whole orchestrated run. */
 struct OrchestratorResult
 {
     bool ok = false;
-    /// Empty when ok; otherwise names the culprit shard, how it died
-    /// (exit status, signal, or missing fragment), and its log path.
+    /// Empty when ok; otherwise names the culprit slice, how it kept
+    /// dying, its fragment and log paths, and quotes the log tail.
     std::string error;
-    /// Fragment paths in shard order, complete only when ok.
+    /// Accepted fragment paths in slice order, complete only when ok.
     std::vector<std::string> fragments;
-    std::vector<ShardOutcome> shards;
+    OrchestratorStats stats;
     std::string scratch_dir; ///< where fragments and logs live
 };
 
 /**
- * Launch @p spec.jobs shard subprocesses and wait for all of them.
- * Never throws and never exits: inspect result.ok. On failure the
- * scratch directory is left in place so the logs can be examined.
+ * Run @p spec's grid through the work queue and wait for completion.
+ * Never throws and never exits (short of a forwarded SIGINT/SIGTERM):
+ * inspect result.ok. On failure the scratch directory is left in
+ * place so fragments and logs can be examined.
  */
-OrchestratorResult orchestrateShards(const OrchestratorSpec &spec);
+OrchestratorResult orchestrateSweep(const OrchestratorSpec &spec);
 
 /** Remove an orchestrated run's scratch directory (fragments, logs). */
 void removeOrchestratorScratch(const std::string &scratch_dir);

@@ -1,10 +1,16 @@
 #include "engine/shard.hpp"
 
 #include <bit>
+#include <chrono>
 #include <fstream>
 #include <sstream>
+#include <thread>
+
+#include <csignal>
+#include <unistd.h>
 
 #include "util/binio.hpp"
+#include "util/faultpoint.hpp"
 #include "util/logging.hpp"
 
 namespace kb {
@@ -12,7 +18,10 @@ namespace kb {
 namespace {
 
 constexpr const char *kFragmentMagic = "kbshard";
-constexpr unsigned kFragmentVersion = 1;
+// Version 2: the per-shard `shard i N` line became a free-form
+// `owner` line, so work-queue cell fragments and static shard
+// fragments share one format (ownership lives in the point rows).
+constexpr unsigned kFragmentVersion = 2;
 
 std::string
 hexBits(double v)
@@ -29,6 +38,19 @@ bitsFromHex(const std::string &hex, bool &ok)
         return 0.0;
     }
     return std::bit_cast<double>(bits);
+}
+
+/** One `point` row, shared by both fragment writers. */
+void
+writePointRow(std::ostream &out, std::size_t j, std::size_t p,
+              const SweepPointResult &pt)
+{
+    out << "point " << j << " " << p << " " << pt.sample.m << " "
+        << hexBits(pt.sample.ratio) << " " << hexBits(pt.sample.comp_ops)
+        << " " << hexBits(pt.sample.io_words);
+    for (const auto io : pt.model_io)
+        out << " " << io;
+    out << "\n";
 }
 
 } // namespace
@@ -113,21 +135,14 @@ writeShardFragment(const std::string &path, const ShardSpec &spec,
                path, " for writing");
     out << kFragmentMagic << " " << kFragmentVersion << "\n"
         << "signature " << toHex16(sweepSignature(results)) << "\n"
-        << "shard " << spec.index << " " << spec.count << "\n"
+        << "owner shard " << spec.index << "/" << spec.count << "\n"
         << "jobs " << results.size() << "\n";
     for (std::size_t j = 0; j < results.size(); ++j) {
         const auto &points = results[j].points;
         for (std::size_t p = 0; p < points.size(); ++p) {
             if (!shardOwnsPoint(spec, j, p))
                 continue;
-            const auto &pt = points[p];
-            out << "point " << j << " " << p << " " << pt.sample.m
-                << " " << hexBits(pt.sample.ratio) << " "
-                << hexBits(pt.sample.comp_ops) << " "
-                << hexBits(pt.sample.io_words);
-            for (const auto io : pt.model_io)
-                out << " " << io;
-            out << "\n";
+            writePointRow(out, j, p, points[p]);
         }
     }
     out << "end\n";
@@ -146,8 +161,6 @@ mergeShardFragments(std::vector<SweepResult> &skeleton,
     for (std::size_t j = 0; j < skeleton.size(); ++j)
         filled[j].assign(skeleton[j].points.size(), -1);
 
-    std::size_t shard_count = 0;
-    std::vector<char> shard_seen;
     for (std::size_t f = 0; f < paths.size(); ++f) {
         const std::string &path = paths[f];
         std::ifstream in(path);
@@ -183,21 +196,14 @@ mergeShardFragments(std::vector<SweepResult> &skeleton,
                        ")");
         }
         {
-            auto ls = nextLine("shard");
-            std::size_t index = 0, count = 0;
-            ls >> word >> index >> count;
-            KB_REQUIRE(word == "shard" && count >= 1 && index < count,
-                       "shard fragment ", path, " has a bad shard line");
-            if (f == 0) {
-                shard_count = count;
-                shard_seen.assign(count, 0);
-            }
-            KB_REQUIRE(count == shard_count, "shard fragment ", path,
-                       " is a 1/", count, " split but the first "
-                       "fragment was 1/", shard_count);
-            KB_REQUIRE(!shard_seen[index], "shard ", index, "/", count,
-                       " appears twice in the merge list");
-            shard_seen[index] = 1;
+            // Free-form provenance ("shard 0/2", "cells 4-9"): cells
+            // are keyed by (job, point) in the rows themselves, so
+            // ownership needs no cross-fragment consistency check —
+            // the per-cell duplicate check below subsumes it.
+            auto ls = nextLine("owner");
+            ls >> word;
+            KB_REQUIRE(word == "owner", "shard fragment ", path,
+                       " has a bad owner line");
         }
         {
             auto ls = nextLine("jobs");
@@ -258,9 +264,227 @@ mergeShardFragments(std::vector<SweepResult> &skeleton,
     for (std::size_t j = 0; j < skeleton.size(); ++j)
         for (std::size_t p = 0; p < filled[j].size(); ++p)
             KB_REQUIRE(filled[j][p] >= 0, "merge is missing cell (job ",
-                       j, ", point ", p, "); pass every shard's "
-                       "fragment (got ", paths.size(), " of ",
-                       shard_count, ")");
+                       j, ", point ", p, "); the ", paths.size(),
+                       " fragment(s) passed do not cover the grid");
+}
+
+bool
+parseCellRange(const std::string &text, CellRange &out)
+{
+    const auto dash = text.find('-');
+    if (dash == std::string::npos || dash == 0 ||
+        dash + 1 >= text.size())
+        return false;
+    const std::string lo = text.substr(0, dash);
+    const std::string hi = text.substr(dash + 1);
+    const auto numeric = [](const std::string &s) {
+        return !s.empty() && s.size() <= 9 &&
+               s.find_first_not_of("0123456789") == std::string::npos;
+    };
+    if (!numeric(lo) || !numeric(hi))
+        return false;
+    out.lo = static_cast<std::size_t>(std::stoull(lo));
+    out.hi = static_cast<std::size_t>(std::stoull(hi));
+    return out.lo < out.hi;
+}
+
+std::size_t
+gridCellCount(const std::vector<SweepResult> &skeleton)
+{
+    std::size_t total = 0;
+    for (const auto &result : skeleton)
+        total += result.points.size();
+    return total;
+}
+
+void
+cellCoordinates(const std::vector<SweepResult> &skeleton,
+                std::size_t cell, std::size_t &job, std::size_t &point)
+{
+    std::size_t base = 0;
+    for (std::size_t j = 0; j < skeleton.size(); ++j) {
+        const std::size_t n = skeleton[j].points.size();
+        if (cell < base + n) {
+            job = j;
+            point = cell - base;
+            return;
+        }
+        base += n;
+    }
+    KB_REQUIRE(false, "cell ", cell, " is outside the grid (", base,
+               " cells)");
+}
+
+ExperimentEngine::PointFilter
+cellRangeFilter(const std::vector<SweepResult> &skeleton,
+                const CellRange &range)
+{
+    // Precompute each job's linear base so the filter is O(1).
+    std::vector<std::size_t> base(skeleton.size() + 1, 0);
+    for (std::size_t j = 0; j < skeleton.size(); ++j)
+        base[j + 1] = base[j] + skeleton[j].points.size();
+    return [base, range](std::size_t job, std::size_t point) {
+        const std::size_t cell = base[job] + point;
+        return cell >= range.lo && cell < range.hi;
+    };
+}
+
+CellFragmentWriter::CellFragmentWriter(const std::string &path,
+                                       std::uint64_t signature,
+                                       std::size_t job_count)
+    : path_(path), out_(path, std::ios::trunc)
+{
+    KB_REQUIRE(static_cast<bool>(out_), "cannot open cell fragment ",
+               path, " for writing");
+    out_ << kFragmentMagic << " " << kFragmentVersion << "\n"
+         << "signature " << toHex16(signature) << "\n"
+         << "owner cells\n"
+         << "jobs " << job_count << "\n";
+    out_.flush();
+}
+
+void
+CellFragmentWriter::appendCell(std::size_t job, std::size_t point,
+                               const SweepPointResult &pt)
+{
+    KB_ASSERT(!finished_, "appendCell after finish on ", path_);
+    writePointRow(out_, job, point, pt);
+    // The flush is the heartbeat: the orchestrator watches this file
+    // grow, and a worker that stalls past its deadline is killed.
+    out_.flush();
+    KB_REQUIRE(out_.good(), "write error on cell fragment ", path_);
+    ++cells_;
+    if (faultFireAt("kill-after-cells"))
+        ::kill(::getpid(), SIGKILL);
+    if (faultFireAt("hang-after-cells")) {
+        // Wedge, don't exit: this is the "worker stops making
+        // progress" failure the deadline reaper exists for.
+        std::this_thread::sleep_for(std::chrono::hours(1));
+    }
+}
+
+void
+CellFragmentWriter::finish()
+{
+    KB_ASSERT(!finished_, "double finish on ", path_);
+    finished_ = true;
+    out_ << "end\n";
+    out_.flush();
+    out_.close();
+    KB_REQUIRE(!out_.fail(), "write error on cell fragment ", path_);
+    if (faultArmed("truncate-fragment")) {
+        // Chop the tail off the *finished* fragment: the worker exits
+        // 0 but its fragment fails validation — exactly the torn-file
+        // shape a crash between write and close would leave.
+        const std::uint64_t cut = faultValue("truncate-fragment", 6);
+        std::ifstream in(path_, std::ios::binary | std::ios::ate);
+        const auto size = static_cast<std::uint64_t>(in.tellg());
+        in.close();
+        if (size > cut)
+            [[maybe_unused]] const int rc = ::truncate(
+                path_.c_str(), static_cast<off_t>(size - cut));
+    }
+}
+
+FragmentCheck
+checkFragmentFile(const std::string &path,
+                  const std::string &expect_signature,
+                  std::size_t expect_cells)
+{
+    FragmentCheck check;
+    std::ifstream in(path);
+    if (!in) {
+        check.reason = "fragment missing or unreadable";
+        return check;
+    }
+    std::string line, word;
+    if (expect_signature.empty()) {
+        // Relaxed mode (no grid to check against): non-empty and
+        // closed with its end line.
+        bool any = false, ended = false;
+        while (std::getline(in, line)) {
+            any = true;
+            ended = line == "end";
+        }
+        if (!any)
+            check.reason = "fragment is empty";
+        else if (!ended)
+            check.reason = "fragment is truncated (no end line)";
+        else
+            check.ok = true;
+        return check;
+    }
+
+    auto header = [&](const char *what) -> bool {
+        if (!std::getline(in, line)) {
+            check.reason =
+                std::string("fragment is truncated (no ") + what +
+                " line)";
+            return false;
+        }
+        return true;
+    };
+    unsigned version = 0;
+    if (!header("header"))
+        return check;
+    {
+        std::istringstream ls(line);
+        ls >> word >> version;
+        if (word != kFragmentMagic || version != kFragmentVersion) {
+            check.reason = "not a version-" +
+                           std::to_string(kFragmentVersion) +
+                           " fragment";
+            return check;
+        }
+    }
+    if (!header("signature"))
+        return check;
+    {
+        std::istringstream ls(line);
+        std::string sig;
+        ls >> word >> sig;
+        if (word != "signature" || sig != expect_signature) {
+            check.reason = "fragment signature " + sig +
+                           " does not match the grid (" +
+                           expect_signature + ")";
+            return check;
+        }
+    }
+    if (!header("owner") || !header("jobs"))
+        return check;
+
+    std::size_t rows = 0;
+    bool ended = false;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        ls >> word;
+        if (word == "end") {
+            ended = true;
+            break;
+        }
+        std::size_t j = 0, p = 0;
+        std::uint64_t m = 0;
+        std::string ratio_hex;
+        ls >> j >> p >> m >> ratio_hex;
+        if (word != "point" || !ls) {
+            check.reason = "fragment has a malformed row: " + line;
+            return check;
+        }
+        ++rows;
+    }
+    if (!ended) {
+        check.reason = "fragment is truncated (no end line, " +
+                       std::to_string(rows) + " rows)";
+        return check;
+    }
+    if (expect_cells != 0 && rows != expect_cells) {
+        check.reason = "fragment carries " + std::to_string(rows) +
+                       " cells, expected " +
+                       std::to_string(expect_cells);
+        return check;
+    }
+    check.ok = true;
+    return check;
 }
 
 } // namespace kb

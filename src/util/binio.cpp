@@ -1,10 +1,14 @@
 #include "util/binio.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <thread>
+
+#include "util/faultpoint.hpp"
 
 #include <fcntl.h>
 #include <sys/file.h>
@@ -159,12 +163,20 @@ readFileBytes(const std::string &path, std::vector<std::uint8_t> &out)
     return in.good() || in.eof();
 }
 
-bool
-writeFileAtomic(const std::string &path,
-                std::span<const std::uint8_t> bytes,
-                bool first_write_wins)
+AtomicWriteResult
+writeFileAtomicEx(const std::string &path,
+                  std::span<const std::uint8_t> bytes,
+                  bool first_write_wins)
 {
     namespace fs = std::filesystem;
+    if (faultArmed("delay-write-ms")) {
+        const std::uint64_t ms = faultValue("delay-write-ms", 0);
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+    if (faultFireFrom("enospc-at-write")) {
+        errno = ENOSPC;
+        return AtomicWriteResult::Error;
+    }
     // The temp name carries the pid so concurrent writers (shards,
     // parallel invocations) never collide on it.
     const std::string tmp =
@@ -174,13 +186,13 @@ writeFileAtomic(const std::string &path,
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
-            return false;
+            return AtomicWriteResult::Error;
         out.write(reinterpret_cast<const char *>(bytes.data()),
                   static_cast<std::streamsize>(bytes.size()));
         if (!out.good()) {
             out.close();
             fs::remove(tmp, ec);
-            return false;
+            return AtomicWriteResult::Error;
         }
     }
     if (first_write_wins) {
@@ -191,17 +203,30 @@ writeFileAtomic(const std::string &path,
         if (!published && errno != EEXIST) {
             // Filesystem without hard links: degrade to rename.
             fs::rename(tmp, path, ec);
-            return !ec;
+            if (!ec)
+                return AtomicWriteResult::Published;
+            fs::remove(tmp, ec);
+            return AtomicWriteResult::Error;
         }
         fs::remove(tmp, ec);
-        return published;
+        return published ? AtomicWriteResult::Published
+                         : AtomicWriteResult::AlreadyExists;
     }
     fs::rename(tmp, path, ec);
     if (ec) {
         fs::remove(tmp, ec);
-        return false;
+        return AtomicWriteResult::Error;
     }
-    return true;
+    return AtomicWriteResult::Published;
+}
+
+bool
+writeFileAtomic(const std::string &path,
+                std::span<const std::uint8_t> bytes,
+                bool first_write_wins)
+{
+    return writeFileAtomicEx(path, bytes, first_write_wins) ==
+           AtomicWriteResult::Published;
 }
 
 FileLock::FileLock(const std::string &path)

@@ -47,15 +47,32 @@ bool fromHex16(const std::string &hex, std::uint64_t &out);
 bool readFileBytes(const std::string &path,
                    std::vector<std::uint8_t> &out);
 
+/** How an atomic publish attempt ended. */
+enum class AtomicWriteResult
+{
+    Published,     ///< this call made @p path visible
+    AlreadyExists, ///< first-write-wins and another writer beat us
+    Error,         ///< I/O failure (ENOSPC, EACCES, torn temp, ...)
+};
+
 /**
  * Atomically publish @p bytes at @p path via a temp file in the same
  * directory. With @p first_write_wins false the temp file is renamed
  * over @p path (last writer wins, readers never see a torn file).
  * With it true the temp file is hard-linked to @p path instead, which
  * fails if the file already exists — the first concurrent writer of
- * deterministic content wins and later identical writes are dropped.
- * Returns true iff this call published the file.
+ * deterministic content wins and later identical writes are dropped
+ * (AlreadyExists, not an error).
+ *
+ * Honors the `delay-write-ms` and `enospc-at-write` fault points
+ * (util/faultpoint.hpp), so full-disk recovery paths are testable.
  */
+AtomicWriteResult writeFileAtomicEx(const std::string &path,
+                                    std::span<const std::uint8_t> bytes,
+                                    bool first_write_wins = false);
+
+/** writeFileAtomicEx() == Published (an AlreadyExists race and a real
+ *  error both read as "this call published nothing"). */
 bool writeFileAtomic(const std::string &path,
                      std::span<const std::uint8_t> bytes,
                      bool first_write_wins = false);

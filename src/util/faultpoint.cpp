@@ -1,0 +1,171 @@
+#include "util/faultpoint.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace kb {
+
+namespace {
+
+struct FaultClause
+{
+    std::string name;
+    std::uint64_t value = 1;
+    bool has_value = false;
+    long worker = -1; ///< -1 = unscoped
+};
+
+struct FaultState
+{
+    std::mutex mutex;
+    bool parsed = false;
+    long worker_id = -1; ///< this process's KB_FAULT_WORKER, -1 unset
+    std::vector<FaultClause> clauses;
+    std::map<std::string, std::uint64_t> counters;
+};
+
+FaultState &
+state()
+{
+    static FaultState s;
+    return s;
+}
+
+/** Digits-only parse; false on anything else (a malformed clause must
+ *  stay inert, never abort the host process). */
+bool
+parseU64(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty() || text.size() > 18 ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    out = std::stoull(text);
+    return true;
+}
+
+void
+parseLocked(FaultState &s)
+{
+    if (s.parsed)
+        return;
+    s.parsed = true;
+    s.worker_id = -1;
+    s.clauses.clear();
+    s.counters.clear();
+    if (const char *w = std::getenv("KB_FAULT_WORKER");
+        w != nullptr && *w != '\0') {
+        std::uint64_t id = 0;
+        if (parseU64(w, id))
+            s.worker_id = static_cast<long>(id);
+    }
+    const char *env = std::getenv("KB_FAULT");
+    if (env == nullptr || *env == '\0')
+        return;
+    std::string spec(env);
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        std::string clause = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+        if (clause.empty())
+            continue;
+
+        FaultClause parsed;
+        // Peel the @worker=K scope off the tail first.
+        if (const std::size_t at = clause.find('@');
+            at != std::string::npos) {
+            const std::string scope = clause.substr(at + 1);
+            clause.resize(at);
+            constexpr const char *kWorkerEq = "worker=";
+            std::uint64_t id = 0;
+            if (scope.rfind(kWorkerEq, 0) == 0 &&
+                parseU64(scope.substr(7), id))
+                parsed.worker = static_cast<long>(id);
+            else
+                continue; // malformed scope: drop the clause
+        }
+        if (const std::size_t eq = clause.find('=');
+            eq != std::string::npos) {
+            std::uint64_t v = 0;
+            if (!parseU64(clause.substr(eq + 1), v))
+                continue; // malformed value: drop the clause
+            parsed.value = v;
+            parsed.has_value = true;
+            clause.resize(eq);
+        }
+        if (clause.empty())
+            continue;
+        parsed.name = std::move(clause);
+        s.clauses.push_back(std::move(parsed));
+    }
+}
+
+/** Armed clause for @p name in this process, or nullptr. */
+const FaultClause *
+findLocked(FaultState &s, const std::string &name)
+{
+    parseLocked(s);
+    for (const auto &clause : s.clauses) {
+        if (clause.name != name)
+            continue;
+        if (clause.worker >= 0 && clause.worker != s.worker_id)
+            continue;
+        return &clause;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+bool
+faultArmed(const std::string &name)
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return findLocked(s, name) != nullptr;
+}
+
+std::uint64_t
+faultValue(const std::string &name, std::uint64_t def)
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const FaultClause *clause = findLocked(s, name);
+    return clause != nullptr && clause->has_value ? clause->value : def;
+}
+
+bool
+faultFireAt(const std::string &name)
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const FaultClause *clause = findLocked(s, name);
+    if (clause == nullptr)
+        return false;
+    return ++s.counters[name] == clause->value;
+}
+
+bool
+faultFireFrom(const std::string &name)
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const FaultClause *clause = findLocked(s, name);
+    if (clause == nullptr)
+        return false;
+    return ++s.counters[name] >= clause->value;
+}
+
+void
+faultReset()
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.parsed = false;
+}
+
+} // namespace kb

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic, named fault points for robustness testing.
+ *
+ * Every recovery path in the sweep fleet — a worker killed mid-slice,
+ * a hung worker, a truncated fragment, a full disk under the curve
+ * store — must be *exercised* by tests, not trusted. Fault points are
+ * therefore compiled in always (they cost one branch and, unarmed,
+ * one atomic load per site) and armed purely through the environment,
+ * so a test or an operator reproducing a field failure can inject the
+ * exact same fault into an unmodified binary:
+ *
+ *   KB_FAULT=clause[,clause...]
+ *   clause = name[=value][@worker=K]
+ *
+ * Known clause names (value defaults to 1 where counted):
+ *
+ *   kill-after-cells=K    worker SIGKILLs itself after appending its
+ *                         K-th fragment cell (shard.cpp)
+ *   hang-after-cells=K    worker hangs (sleeps ~1h) after its K-th
+ *                         cell — exercises the progress deadline
+ *   truncate-fragment[=B] worker truncates B (default 6) bytes off
+ *                         its finished fragment, then exits 0
+ *   delay-write-ms=T      every atomic file write sleeps T ms first
+ *                         (binio.cpp) — manufactures stragglers
+ *   enospc-at-write=J     the J-th and every later atomic file write
+ *                         fails as if the disk were full (binio.cpp)
+ *   corrupt-store-entry=J the J-th curve-store entry written gets one
+ *                         bit flipped before hitting disk
+ *                         (curve_store.cpp)
+ *
+ * The `@worker=K` scope restricts a clause to the process whose
+ * KB_FAULT_WORKER environment variable equals K. The orchestrator
+ * stamps every spawned worker with its global spawn ordinal, so
+ * `kill-after-cells=1@worker=0` kills exactly the first worker ever
+ * spawned — its retry (a later ordinal) runs clean and the sweep
+ * completes. An unscoped clause fires in every process that reaches
+ * the site (including every retry), which is how tests exhaust a
+ * retry budget on purpose.
+ *
+ * Determinism: triggers are counters over named process-local events
+ * (the K-th cell, the J-th write), never clocks or randomness, so a
+ * given spec reproduces the same failure every run.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace kb {
+
+/** True iff a clause named @p name is armed for this process (spec
+ *  parsed, scope matched). Does not consume an event. */
+bool faultArmed(const std::string &name);
+
+/** Armed clause's value (or @p def when absent/valueless). */
+std::uint64_t faultValue(const std::string &name, std::uint64_t def);
+
+/**
+ * Count one event against @p name; true iff the clause is armed and
+ * this is exactly the value-th event (value defaults to 1). One-shot
+ * triggers (kill, hang, corrupt) use this.
+ */
+bool faultFireAt(const std::string &name);
+
+/**
+ * Count one event against @p name; true iff the clause is armed and
+ * this is the value-th or a later event. Persistent degradations
+ * (a disk that stays full) use this.
+ */
+bool faultFireFrom(const std::string &name);
+
+/** Re-read KB_FAULT / KB_FAULT_WORKER and zero all counters. Tests
+ *  call this after setenv(); production code never needs it. */
+void faultReset();
+
+} // namespace kb

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Chaos matrix for the fault-tolerant sweep fleet. Every fault the
+ * KB_FAULT grammar can inject — a worker SIGKILLed mid-slice, a
+ * worker hung past the progress deadline, a truncated fragment, a
+ * full disk under the curve store, a bit-flipped store entry — is
+ * driven against the real bench binary (when ctest runs in the build
+ * tree) and must leave stdout byte-identical to a fault-free
+ * unsharded run: recovery may cost time, never correctness. The
+ * store-side degradations (ENOSPC blacklisting + tier disable,
+ * fsck of corrupt entries) and SIGTERM scratch cleanup are asserted
+ * directly as well.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "engine/curve_store.hpp"
+#include "util/faultpoint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace kb {
+namespace {
+
+std::string
+scratchDir(const std::string &name)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / ("kb_chaos_" + name);
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+constexpr const char *kBench = "./bench_engine_sweep";
+
+/** Run @p cmd under sh, return its stdout (stderr discarded). */
+std::string
+captureOut(const std::string &cmd)
+{
+    std::string out;
+    FILE *pipe = ::popen((cmd + " 2>/dev/null").c_str(), "r");
+    if (pipe == nullptr)
+        return out;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = ::fread(buf, 1, sizeof(buf), pipe)) > 0)
+        out.append(buf, n);
+    ::pclose(pipe);
+    return out;
+}
+
+/** Fault-free unsharded stdout for @p flags, captured once per
+ *  flag set and shared across the matrix. */
+const std::string &
+cleanBaseline(const std::string &flags)
+{
+    static std::map<std::string, std::string> cache;
+    auto [it, fresh] = cache.try_emplace(flags);
+    if (fresh)
+        it->second = captureOut(std::string(kBench) + " " + flags);
+    return it->second;
+}
+
+/**
+ * The acceptance property of the whole matrix: the bench run under
+ * @p env (a KB_FAULT spec and friends, as a sh env prefix) with
+ * `--jobs 2` plus @p extra must be byte-identical to the fault-free
+ * unsharded run of the same @p flags.
+ */
+void
+expectByteIdenticalUnderFault(const std::string &flags,
+                              const std::string &env,
+                              const std::string &extra = "")
+{
+    if (!fs::exists(kBench))
+        GTEST_SKIP() << kBench
+                     << " not in the working directory; CI's chaos "
+                        "job covers this";
+    const std::string &clean = cleanBaseline(flags);
+    ASSERT_FALSE(clean.empty());
+    const std::string chaotic = captureOut(
+        env + " " + kBench + " " + flags + " --jobs 2" +
+        (extra.empty() ? "" : " " + extra));
+    EXPECT_EQ(clean, chaotic)
+        << "under `" << env
+        << "` the orchestrated run must recover to byte-identical "
+           "output";
+}
+
+TEST(ChaosMatrix, WorkerKilledMidSliceRecovers)
+{
+    expectByteIdenticalUnderFault(
+        "--points 3 --kernel matmul,fft",
+        "KB_FAULT=kill-after-cells=1@worker=0");
+}
+
+TEST(ChaosMatrix, TruncatedFragmentIsRejectedAndRecovers)
+{
+    expectByteIdenticalUnderFault(
+        "--points 3 --kernel matmul,fft",
+        "KB_FAULT=truncate-fragment@worker=1");
+}
+
+TEST(ChaosMatrix, HungWorkerIsDeadlineKilledAndRecovers)
+{
+    // matmul-only so every honest cell lands well inside the pinned
+    // 2 s progress deadline; worker 0 wedges after its first cell and
+    // must be killed and re-queued.
+    expectByteIdenticalUnderFault(
+        "--points 3 --kernel matmul",
+        "KB_FAULT=hang-after-cells=1@worker=0 "
+        "KB_ORCH_DEADLINE_MS=2000");
+}
+
+TEST(ChaosMatrix, EnospcOnStoreWriteDegradesGracefully)
+{
+    const std::string dir = scratchDir("enospc_e2e");
+    expectByteIdenticalUnderFault("--points 3 --kernel matmul,fft",
+                                  "KB_FAULT=enospc-at-write=1",
+                                  "--curve-store " + dir);
+    fs::remove_all(dir);
+}
+
+TEST(ChaosMatrix, CombinedFaultsRecover)
+{
+    expectByteIdenticalUnderFault(
+        "--points 3 --kernel matmul,fft",
+        "KB_FAULT=kill-after-cells=1@worker=0,"
+        "truncate-fragment@worker=1");
+}
+
+/** Store-side degradation and repair, asserted directly on a private
+ *  CurveStore instance (faults armed via setenv, the same path an
+ *  orchestrated worker takes). */
+class ChaosStore : public ::testing::Test
+{
+  protected:
+    void SetUp() override { disarm(); }
+    void TearDown() override { disarm(); }
+
+    static void
+    disarm()
+    {
+        ::unsetenv("KB_FAULT");
+        ::unsetenv("KB_FAULT_WORKER");
+        ::unsetenv("KB_CURVE_CACHE_DIR");
+        faultReset();
+    }
+
+    static void
+    arm(const char *spec)
+    {
+        ::setenv("KB_FAULT", spec, 1);
+        faultReset();
+    }
+
+    static TraceKey
+    key(std::uint64_t n)
+    {
+        return TraceKey{"matmul", n, 512};
+    }
+
+    static std::shared_ptr<const MissCurve>
+    curveTagged(std::uint64_t tag)
+    {
+        return std::make_shared<const MissCurve>(
+            std::vector<std::uint64_t>{tag}, 1, tag + 1);
+    }
+
+    static std::size_t
+    entryFiles(const std::string &dir)
+    {
+        std::size_t n = 0;
+        std::error_code ec;
+        for (const auto &de : fs::directory_iterator(dir, ec))
+            if (de.path().extension() == ".kbc")
+                ++n;
+        return n;
+    }
+};
+
+TEST_F(ChaosStore, EnospcBlacklistsThenDisablesTheDiskTier)
+{
+    const std::string dir = scratchDir("enospc_store");
+    arm("enospc-at-write=1"); // the 1st and every later write fails
+    CurveStore store;
+    store.setDiskDirectory(dir);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        store.storeLru(key(i), curveTagged(i));
+
+    // Three distinct keys fail and are blacklisted; that crosses the
+    // threshold and the tier is disabled, so the 4th store never even
+    // attempts the disk. Nothing aborted, nothing reached the disk.
+    EXPECT_EQ(store.stats().disk_errors, 3u);
+    EXPECT_EQ(store.stats().disk_stores, 0u);
+    EXPECT_EQ(entryFiles(dir), 0u);
+
+    // Correctness is untouched: every entry still serves from tier 1.
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        const auto got = store.findLru(key(i));
+        ASSERT_NE(got, nullptr);
+        EXPECT_EQ(got->missesAt(0), curveTagged(i)->missesAt(0));
+    }
+    fs::remove_all(dir);
+}
+
+TEST_F(ChaosStore, FsckRemovesBitFlippedEntriesAndStaleTemps)
+{
+    const std::string dir = scratchDir("fsck");
+    {
+        CurveStore healthy;
+        healthy.setDiskDirectory(dir);
+        for (std::uint64_t i = 0; i < 3; ++i)
+            healthy.storeLru(key(i), curveTagged(i));
+    }
+    ASSERT_EQ(entryFiles(dir), 3u);
+
+    // A "concurrent process" writes one more entry through a
+    // bit-flipping disk path, and a crashed writer leaves a temp.
+    arm("corrupt-store-entry=1");
+    {
+        CurveStore flipper;
+        flipper.setDiskDirectory(dir);
+        flipper.storeLru(key(99), curveTagged(99));
+    }
+    disarm();
+    {
+        std::ofstream tmp(dir + "/kb-deadbeef.kbc.tmp42");
+        tmp << "crashed writer leftovers";
+    }
+
+    const auto scan = CurveStore::fsck(dir, false);
+    EXPECT_EQ(scan.scanned, 4u);
+    EXPECT_EQ(scan.valid, 3u);
+    EXPECT_EQ(scan.corrupt_found, 1u);
+    EXPECT_EQ(scan.corrupt_removed, 0u); // scan-only never deletes
+
+    const auto repair = CurveStore::fsck(dir, true);
+    EXPECT_EQ(repair.corrupt_found, 1u);
+    EXPECT_EQ(repair.corrupt_removed, 1u);
+    EXPECT_EQ(repair.tmp_removed, 1u);
+    EXPECT_EQ(repair.valid, 3u);
+
+    // The repaired directory is fully healthy and intact.
+    const auto after = CurveStore::fsck(dir, false);
+    EXPECT_EQ(after.scanned, 3u);
+    EXPECT_EQ(after.valid, 3u);
+    EXPECT_EQ(after.corrupt_found, 0u);
+    fs::remove_all(dir);
+}
+
+TEST_F(ChaosStore, StoreFsckFlagRepairsADirectory)
+{
+    if (!fs::exists(kBench))
+        GTEST_SKIP() << kBench
+                     << " not in the working directory; CI's chaos "
+                        "job covers this";
+    const std::string dir = scratchDir("fsck_flag");
+    fs::create_directories(dir);
+    {
+        std::ofstream bad(dir + "/kb-0123456789abcdef.kbc");
+        bad << "garbage entry";
+    }
+    const std::string out = captureOut(std::string(kBench) +
+                                       " --store-fsck --curve-store " +
+                                       dir);
+    EXPECT_NE(out.find("1 corrupt removed"), std::string::npos) << out;
+    EXPECT_EQ(entryFiles(dir), 0u);
+    fs::remove_all(dir);
+}
+
+/**
+ * SIGTERM mid-run: the coordinator must forward the signal to its
+ * workers, remove the scratch directory, and die of SIGTERM itself.
+ * A private TMPDIR makes the scratch observable: it must appear while
+ * the (fault-hung) fleet runs and be gone after the interrupt.
+ */
+TEST(ChaosSignals, SigtermKillsWorkersAndRemovesScratch)
+{
+    if (!fs::exists(kBench))
+        GTEST_SKIP() << kBench
+                     << " not in the working directory; CI's chaos "
+                        "job covers this";
+    const std::string tmp = scratchDir("sigterm_tmp");
+    fs::create_directories(tmp);
+
+    const pid_t pid = ::fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+        ::setenv("TMPDIR", tmp.c_str(), 1);
+        // Every worker wedges after its first cell, so the run is
+        // guaranteed to still be in flight when the signal lands.
+        ::setenv("KB_FAULT", "hang-after-cells=1", 1);
+        if (std::freopen("/dev/null", "w", stdout) == nullptr ||
+            std::freopen("/dev/null", "w", stderr) == nullptr)
+            ::_exit(126);
+        ::execl(kBench, kBench, "--points", "3", "--kernel", "matmul",
+                "--jobs", "2", static_cast<char *>(nullptr));
+        ::_exit(127);
+    }
+
+    const auto scratchCount = [&tmp] {
+        std::size_t n = 0;
+        std::error_code ec;
+        for (const auto &de : fs::directory_iterator(tmp, ec))
+            if (de.path().filename().string().rfind("kb-orch-", 0) ==
+                0)
+                ++n;
+        return n;
+    };
+
+    // Wait for the coordinator's scratch dir to appear (the fleet is
+    // up), give the workers a beat, then interrupt the whole run.
+    bool appeared = false;
+    for (int i = 0; i < 600 && !appeared; ++i) {
+        appeared = scratchCount() > 0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ASSERT_TRUE(appeared) << "orchestrator scratch never appeared";
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    ASSERT_EQ(::kill(pid, SIGTERM), 0);
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFSIGNALED(status))
+        << "coordinator should die of the forwarded signal";
+    if (WIFSIGNALED(status))
+        EXPECT_EQ(WTERMSIG(status), SIGTERM);
+    EXPECT_EQ(scratchCount(), 0u)
+        << "interrupted run left its scratch directory behind";
+    fs::remove_all(tmp);
+}
+
+} // namespace
+} // namespace kb

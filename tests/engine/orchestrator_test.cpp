@@ -1,9 +1,11 @@
 /**
  * @file
- * Tests for the shard orchestrator's lifecycle and failure handling:
- * success and retry paths (driven by /bin/sh stand-in shards),
- * killed / failing / fragment-less shards reported loudly with the
- * culprit named, corrupt fragments rejected at merge, partial merges
+ * Tests for the work-queue orchestrator's lifecycle and failure
+ * handling: success and retry paths (driven by /bin/sh stand-in
+ * workers), killed / failing / fragment-less slices reported loudly
+ * with the culprit named, truncated fragments rejected and re-queued,
+ * hung workers progress-deadline-killed, stragglers speculatively
+ * re-dispatched, corrupt fragments rejected at merge, partial merges
  * refused, and — when the real bench binary is present in the test's
  * working directory (ctest runs in the build tree) — the end-to-end
  * property: `--jobs 2` stdout is byte-identical to the unsharded
@@ -37,10 +39,14 @@ scratchDir(const std::string &name)
 }
 
 /**
- * A /bin/sh stand-in shard. The orchestrator appends
- * `--shard i/N --shard-out PATH`, which sh binds as $0="--shard",
- * $1="i/N", $2="--shard-out", $3=PATH — so @p script can reach its
- * fragment path as "$3" and its shard spec as "$1".
+ * A /bin/sh stand-in worker. The orchestrator appends
+ * `--cells lo-hi --shard-out PATH`, which sh binds as $0="--cells",
+ * $1="lo-hi", $2="--shard-out", $3=PATH — so @p script can reach its
+ * fragment path as "$3" and its cell range as "$1". With no
+ * expect_signature, fragment validation relaxes to "non-empty and
+ * ends with an `end` line", so a convincing stand-in fragment is
+ * `printf 'x\nend\n' > "$3"`. Policy knobs are tightened to
+ * millisecond scale so the retry tests run fast.
  */
 OrchestratorSpec
 shellSpec(const std::string &script, std::size_t jobs,
@@ -50,80 +56,155 @@ shellSpec(const std::string &script, std::size_t jobs,
     spec.program = "/bin/sh";
     spec.args = {"-c", script};
     spec.jobs = jobs;
+    spec.total_cells = jobs; // one single-cell slice per slot
+    spec.slices_per_worker = 1;
     spec.scratch_dir = scratch;
+    spec.backoff_base_ms = 5;
+    spec.backoff_cap_ms = 20;
+    spec.poll_ms = 5;
+    // Shell startup jitter between stand-in workers easily exceeds
+    // any multiple of their ~ms "slice times"; effectively disable
+    // speculation so only the test that wants it (and re-enables a
+    // sane factor) sees twins.
+    spec.speculative_factor = 1e9;
     return spec;
 }
 
-TEST(Orchestrator, SpawnsAllShardsAndCollectsFragments)
+TEST(Orchestrator, SpawnsAllSlicesAndCollectsFragments)
 {
-    const auto spec = shellSpec("echo fragment > \"$3\"", 3,
+    const auto spec = shellSpec("printf 'x\\nend\\n' > \"$3\"", 3,
                                 scratchDir("success"));
-    const auto run = orchestrateShards(spec);
+    const auto run = orchestrateSweep(spec);
     ASSERT_TRUE(run.ok) << run.error;
     ASSERT_EQ(run.fragments.size(), 3u);
     for (const auto &frag : run.fragments)
         EXPECT_TRUE(fs::exists(frag)) << frag;
-    for (const auto &shard : run.shards) {
-        EXPECT_TRUE(shard.ok);
-        EXPECT_EQ(shard.attempts_used, 1u);
-    }
+    EXPECT_EQ(run.stats.slices, 3u);
+    EXPECT_EQ(run.stats.dispatched, 3u);
+    EXPECT_EQ(run.stats.retried, 0u);
     removeOrchestratorScratch(run.scratch_dir);
     EXPECT_FALSE(fs::exists(run.scratch_dir));
 }
 
-TEST(Orchestrator, RetriesADeadShardOnce)
+TEST(Orchestrator, RetriesADeadSliceOnce)
 {
     const std::string scratch = scratchDir("retry");
-    // First attempt of each shard leaves a marker and dies; the
+    // First attempt of each slice leaves a marker and dies; the
     // retry finds the marker and succeeds.
     const auto spec = shellSpec(
-        "i=${1%/*}; if [ -e \"" + scratch +
-            "/m$i\" ]; then echo ok > \"$3\"; else : > \"" + scratch +
-            "/m$i\"; exit 7; fi",
+        "if [ -e \"" + scratch +
+            "/m$1\" ]; then printf 'x\\nend\\n' > \"$3\"; else : > \"" +
+            scratch + "/m$1\"; exit 7; fi",
         2, scratch);
-    const auto run = orchestrateShards(spec);
+    const auto run = orchestrateSweep(spec);
     ASSERT_TRUE(run.ok) << run.error;
-    for (const auto &shard : run.shards)
-        EXPECT_EQ(shard.attempts_used, 2u);
+    EXPECT_EQ(run.stats.retried, 2u);
+    EXPECT_EQ(run.stats.dispatched, 4u);
     removeOrchestratorScratch(run.scratch_dir);
 }
 
-TEST(Orchestrator, FailingShardIsNamedWithItsExitStatus)
+TEST(Orchestrator, FailingSliceIsNamedWithItsExitStatus)
 {
-    auto spec = shellSpec("exit 3", 2, scratchDir("exitfail"));
+    auto spec = shellSpec("echo boom >&2; exit 3", 1,
+                          scratchDir("exitfail"));
     spec.attempts = 2;
-    const auto run = orchestrateShards(spec);
+    const auto run = orchestrateSweep(spec);
     ASSERT_FALSE(run.ok);
-    EXPECT_NE(run.error.find("shard 0/2"), std::string::npos)
+    EXPECT_NE(run.error.find("slice 0 (cells 0-1)"),
+              std::string::npos)
         << run.error;
     EXPECT_NE(run.error.find("exited with status 3"),
               std::string::npos)
         << run.error;
     EXPECT_NE(run.error.find("2 attempt"), std::string::npos)
         << run.error;
+    // The worker's log tail is quoted so the operator sees the
+    // stderr of the dying attempt without hunting for the file.
+    EXPECT_NE(run.error.find("boom"), std::string::npos) << run.error;
     // Failure leaves the scratch dir (and logs) for inspection.
     EXPECT_TRUE(fs::exists(run.scratch_dir));
     removeOrchestratorScratch(run.scratch_dir);
 }
 
-TEST(Orchestrator, KilledShardIsReportedAsSignaled)
+TEST(Orchestrator, KilledSliceIsReportedAsSignaled)
 {
-    const auto spec =
-        shellSpec("kill -KILL $$", 2, scratchDir("killed"));
-    const auto run = orchestrateShards(spec);
+    auto spec = shellSpec("kill -KILL $$", 1, scratchDir("killed"));
+    spec.attempts = 1;
+    const auto run = orchestrateSweep(spec);
     ASSERT_FALSE(run.ok);
     EXPECT_NE(run.error.find("killed by signal 9"), std::string::npos)
         << run.error;
     removeOrchestratorScratch(run.scratch_dir);
 }
 
-TEST(Orchestrator, CleanExitWithoutFragmentIsAFailure)
+TEST(Orchestrator, CleanExitWithoutFragmentIsRejected)
 {
-    const auto spec = shellSpec("exit 0", 2, scratchDir("nofrag"));
-    const auto run = orchestrateShards(spec);
+    auto spec = shellSpec("exit 0", 1, scratchDir("nofrag"));
+    spec.attempts = 1;
+    const auto run = orchestrateSweep(spec);
     ASSERT_FALSE(run.ok);
-    EXPECT_NE(run.error.find("wrote no fragment"), std::string::npos)
+    EXPECT_NE(run.error.find(
+                  "was rejected (fragment missing or unreadable)"),
+              std::string::npos)
         << run.error;
+    EXPECT_GE(run.stats.fragments_rejected, 1u);
+    removeOrchestratorScratch(run.scratch_dir);
+}
+
+TEST(Orchestrator, TruncatedFragmentIsRejectedAndRetried)
+{
+    const std::string scratch = scratchDir("truncated");
+    // First attempt writes a fragment with no `end` sentinel — the
+    // shape a worker dying mid-write leaves behind; the retry writes
+    // a complete one.
+    const auto spec = shellSpec(
+        "if [ -e \"" + scratch +
+            "/m$1\" ]; then printf 'x\\nend\\n' > \"$3\"; "
+            "else : > \"" + scratch +
+            "/m$1\"; printf 'x\\n' > \"$3\"; fi",
+        1, scratch);
+    const auto run = orchestrateSweep(spec);
+    ASSERT_TRUE(run.ok) << run.error;
+    EXPECT_EQ(run.stats.fragments_rejected, 1u);
+    EXPECT_EQ(run.stats.retried, 1u);
+    removeOrchestratorScratch(run.scratch_dir);
+}
+
+TEST(Orchestrator, HungWorkerIsDeadlineKilledAndRetried)
+{
+    const std::string scratch = scratchDir("hung");
+    // First attempt wedges without ever growing its fragment; the
+    // progress deadline kills it and the retry succeeds.
+    auto spec = shellSpec(
+        "if [ -e \"" + scratch +
+            "/m$1\" ]; then printf 'x\\nend\\n' > \"$3\"; "
+            "else : > \"" + scratch + "/m$1\"; sleep 30; fi",
+        1, scratch);
+    spec.initial_deadline_ms = 200;
+    const auto run = orchestrateSweep(spec);
+    ASSERT_TRUE(run.ok) << run.error;
+    EXPECT_EQ(run.stats.workers_killed, 1u);
+    EXPECT_EQ(run.stats.retried, 1u);
+    removeOrchestratorScratch(run.scratch_dir);
+}
+
+TEST(Orchestrator, StragglerIsSpeculativelyRedispatched)
+{
+    const std::string scratch = scratchDir("straggler");
+    // Slice 0 dawdles; slice 1 finishes instantly. Once the queue is
+    // drained and a slot frees up, the coordinator should launch a
+    // twin of the straggler; whichever finishes first wins and the
+    // loser is killed without burning retry budget.
+    auto spec = shellSpec(
+        "if [ \"$1\" = 0-1 ]; then sleep 1; fi; "
+        "printf 'x\\nend\\n' > \"$3\"",
+        2, scratch);
+    spec.speculative_factor = 2.0;
+    const auto run = orchestrateSweep(spec);
+    ASSERT_TRUE(run.ok) << run.error;
+    EXPECT_EQ(run.stats.speculative, 1u);
+    EXPECT_EQ(run.stats.dispatched, 3u);
+    EXPECT_EQ(run.stats.retried, 0u);
     removeOrchestratorScratch(run.scratch_dir);
 }
 

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the KB_FAULT fault-point grammar and trigger semantics:
+ * clause parsing (values, multiple clauses, @worker scoping),
+ * fire-at-exactly-N vs fire-from-N counters, worker-scope matching
+ * against KB_FAULT_WORKER, and malformed clauses staying inert.
+ * Every test arms the spec via setenv + faultReset, the same path the
+ * orchestrator's spawned workers take.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "util/faultpoint.hpp"
+
+namespace kb {
+namespace {
+
+/** Arm a spec (and optional worker ordinal) for the current test. */
+void
+arm(const char *spec, const char *worker = nullptr)
+{
+    ::setenv("KB_FAULT", spec, 1);
+    if (worker != nullptr)
+        ::setenv("KB_FAULT_WORKER", worker, 1);
+    else
+        ::unsetenv("KB_FAULT_WORKER");
+    faultReset();
+}
+
+/** Disarm everything so tests cannot leak into each other. */
+void
+disarm()
+{
+    ::unsetenv("KB_FAULT");
+    ::unsetenv("KB_FAULT_WORKER");
+    faultReset();
+}
+
+class FaultPoint : public ::testing::Test
+{
+  protected:
+    void TearDown() override { disarm(); }
+};
+
+TEST_F(FaultPoint, UnarmedByDefault)
+{
+    disarm();
+    EXPECT_FALSE(faultArmed("kill-after-cells"));
+    EXPECT_FALSE(faultFireAt("kill-after-cells"));
+    EXPECT_FALSE(faultFireFrom("enospc-at-write"));
+    EXPECT_EQ(faultValue("truncate-fragment", 6u), 6u);
+}
+
+TEST_F(FaultPoint, ParsesValueAndDefaults)
+{
+    arm("truncate-fragment");
+    EXPECT_TRUE(faultArmed("truncate-fragment"));
+    EXPECT_EQ(faultValue("truncate-fragment", 6u), 6u);
+
+    arm("truncate-fragment=17");
+    EXPECT_EQ(faultValue("truncate-fragment", 6u), 17u);
+}
+
+TEST_F(FaultPoint, FireAtTriggersExactlyOnTheNthEvent)
+{
+    arm("kill-after-cells=3");
+    EXPECT_FALSE(faultFireAt("kill-after-cells")); // 1st
+    EXPECT_FALSE(faultFireAt("kill-after-cells")); // 2nd
+    EXPECT_TRUE(faultFireAt("kill-after-cells"));  // 3rd
+    EXPECT_FALSE(faultFireAt("kill-after-cells")); // 4th
+}
+
+TEST_F(FaultPoint, FireFromTriggersOnTheNthAndEveryLaterEvent)
+{
+    arm("enospc-at-write=2");
+    EXPECT_FALSE(faultFireFrom("enospc-at-write")); // 1st
+    EXPECT_TRUE(faultFireFrom("enospc-at-write"));  // 2nd
+    EXPECT_TRUE(faultFireFrom("enospc-at-write"));  // 3rd
+}
+
+TEST_F(FaultPoint, MultipleClausesAreIndependent)
+{
+    arm("kill-after-cells=1,enospc-at-write=2,truncate-fragment=9");
+    EXPECT_TRUE(faultFireAt("kill-after-cells"));
+    EXPECT_FALSE(faultFireFrom("enospc-at-write"));
+    EXPECT_TRUE(faultFireFrom("enospc-at-write"));
+    EXPECT_EQ(faultValue("truncate-fragment", 6u), 9u);
+}
+
+TEST_F(FaultPoint, WorkerScopeMatchesOnlyThatOrdinal)
+{
+    // Scoped to worker 0, but this process is worker 2: inert.
+    arm("kill-after-cells=1@worker=0", "2");
+    EXPECT_FALSE(faultArmed("kill-after-cells"));
+    EXPECT_FALSE(faultFireAt("kill-after-cells"));
+
+    // Same spec, matching ordinal: armed.
+    arm("kill-after-cells=1@worker=2", "2");
+    EXPECT_TRUE(faultArmed("kill-after-cells"));
+    EXPECT_TRUE(faultFireAt("kill-after-cells"));
+}
+
+TEST_F(FaultPoint, WorkerScopeIsInertOutsideAnyWorker)
+{
+    // No KB_FAULT_WORKER at all (the coordinator process): a scoped
+    // clause must not fire there.
+    arm("kill-after-cells=1@worker=0");
+    EXPECT_FALSE(faultArmed("kill-after-cells"));
+}
+
+TEST_F(FaultPoint, UnscopedClauseFiresInEveryProcess)
+{
+    arm("truncate-fragment=4", "7");
+    EXPECT_TRUE(faultArmed("truncate-fragment"));
+    EXPECT_EQ(faultValue("truncate-fragment", 6u), 4u);
+}
+
+TEST_F(FaultPoint, MalformedClausesAreInert)
+{
+    arm(",,=5,@worker=1,kill-after-cells=1");
+    // The garbage clauses parse to nothing; the good one survives.
+    EXPECT_TRUE(faultArmed("kill-after-cells"));
+    EXPECT_FALSE(faultArmed(""));
+    EXPECT_FALSE(faultArmed("=5"));
+}
+
+TEST_F(FaultPoint, ResetRearmsAndZeroesCounters)
+{
+    arm("kill-after-cells=1");
+    EXPECT_TRUE(faultFireAt("kill-after-cells"));
+    EXPECT_FALSE(faultFireAt("kill-after-cells"));
+    faultReset(); // counters zeroed: fires again on the next event
+    EXPECT_TRUE(faultFireAt("kill-after-cells"));
+}
+
+} // namespace
+} // namespace kb
