@@ -32,7 +32,11 @@
  * runs so the warm number is what a *fresh process* would pay) —
  * measured both for a fast-path job and for a pure *replay* job
  * (E12's tile-headroom shape), whose per-point results ride the
- * store's ModelCurve entries. An `orchestrator` section times the
+ * store's ModelCurve entries. An `emission` section times every
+ * registered trace backend (trace/backend.hpp) rendering the job's
+ * trace — each backend is parity-checked against the scalar totals
+ * with a CountingSink before its words/s number is reported. An
+ * `orchestrator` section times the
  * work-queue coordinator over a small two-kernel grid, fault-free
  * and with one worker SIGKILLed mid-slice, so coordination overhead
  * and recovery cost are part of the trajectory too. The
@@ -59,6 +63,7 @@
 #include "util/faultpoint.hpp"
 #include "mem/lru_cache.hpp"
 #include "mem/opt_cache.hpp"
+#include "trace/backend.hpp"
 #include "trace/replay.hpp"
 #include "trace/reuse.hpp"
 #include "trace/sink.hpp"
@@ -326,6 +331,44 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
         return 1;
     }
 
+    // --- emission backends A/B: every registered backend renders the
+    // same fixed-schedule trace into a NullSink. Delivery is
+    // byte-identical across backends (the diff tests), so this
+    // isolates pure rendering cost; the CountingSink pass keeps the
+    // report honest about it. On a 1-CPU host the threaded number
+    // documents the ordered pipeline's overhead, not a speedup.
+    struct EmissionTiming
+    {
+        std::string name;
+        unsigned threads = 1;
+        double s = 0.0;
+    };
+    std::vector<EmissionTiming> emission_timings;
+    for (const auto &bname : TraceBackendRegistry::instance().names()) {
+        const auto backend =
+            TraceBackendRegistry::instance().make(bname, 0);
+        CountingSink check;
+        backend->emit(*kernel, n_trace, schedule_m, check);
+        if (check.total() != words) {
+            std::cerr << "perf-json: backend '" << bname
+                      << "' delivered " << check.total()
+                      << " words, scalar delivered " << words
+                      << "; refusing to report\n";
+            return 1;
+        }
+        EmissionTiming timing;
+        timing.name = bname;
+        if (const auto *threaded =
+                dynamic_cast<const ThreadedTraceBackend *>(
+                    backend.get()))
+            timing.threads = threaded->threads();
+        t0 = std::chrono::steady_clock::now();
+        NullSink devnull;
+        backend->emit(*kernel, n_trace, schedule_m, devnull);
+        timing.s = secondsSince(t0);
+        emission_timings.push_back(std::move(timing));
+    }
+
     // --- end-to-end fixed-schedule sweeps, fast path vs replay ---
     SweepJob job;
     job.kernel = kernel_name;
@@ -554,6 +597,20 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
                 ? replay_ab.disk_cold_s / replay_ab.disk_warm_s
                 : 0.0)
         << "\n"
+        << "  },\n"
+        << "  \"emission\": {\n"
+        << "    \"trace_words\": " << words << ",\n"
+        << "    \"backends\": {\n";
+    for (std::size_t b = 0; b < emission_timings.size(); ++b) {
+        const auto &timing = emission_timings[b];
+        out << "      \"" << timing.name << "\": {\n"
+            << "        \"threads\": " << timing.threads << ",\n"
+            << "        \"emit_s\": " << timing.s << ",\n"
+            << "        \"words_per_s\": " << rate(timing.s) << "\n"
+            << "      }" << (b + 1 < emission_timings.size() ? "," : "")
+            << "\n";
+    }
+    out << "    }\n"
         << "  },\n"
         << "  \"orchestrator\": {\n"
         << "    \"workers\": 2,\n"

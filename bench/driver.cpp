@@ -10,6 +10,7 @@
 #include "engine/orchestrator.hpp"
 #include "engine/shard.hpp"
 #include "kernels/registry.hpp"
+#include "trace/backend.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
 
@@ -59,6 +60,15 @@ printUsage(const char *prog, const char *experiment,
             "all\n"
             "                           hardware threads; output is\n"
             "                           identical for every N)\n");
+    std::fprintf(
+        stderr,
+        "  --backend NAME[:T]       trace-emission backend (see\n"
+        "                           --list-backends); T = worker "
+        "threads\n"
+        "                           for parallel backends (default: "
+        "the\n"
+        "                           --threads value). Output is\n"
+        "                           byte-identical for every backend\n");
     if (caps.perf_json)
         std::fprintf(
             stderr,
@@ -103,6 +113,8 @@ printUsage(const char *prog, const char *experiment,
         "  --csv PATH               write the bench's CSV series here\n"
         "  --no-csv                 suppress CSV side outputs\n"
         "  --list-kernels           print registered kernels and exit\n"
+        "  --list-backends          print registered trace-emission\n"
+        "                           backends and exit\n"
         "  --help                   this text\n");
 }
 
@@ -115,6 +127,15 @@ listKernels()
         std::printf("%-18s %s\n", name.c_str(),
                     kernel->description().c_str());
     }
+}
+
+void
+listBackends()
+{
+    const auto &registry = TraceBackendRegistry::instance();
+    for (const auto &name : registry.names())
+        std::printf("%-18s %s\n", name.c_str(),
+                    registry.describe(name).c_str());
 }
 
 bool
@@ -379,6 +400,14 @@ runBench(int argc, char **argv, const char *experiment,
         } else if (arg == "--list-kernels") {
             listKernels();
             return 0;
+        } else if (arg == "--list-backends") {
+            listBackends();
+            return 0;
+        } else if (arg == "--backend") {
+            const char *v = value("--backend");
+            if (v == nullptr)
+                return 2;
+            opts.backend = v;
         } else if (arg == "--kernel") {
             if (!caps.kernels)
                 return unsupported("--kernel");
@@ -507,6 +536,28 @@ runBench(int argc, char **argv, const char *experiment,
                          prog, name.c_str());
             return 2;
         }
+    }
+    // Validate and apply --backend: every engine emission in this
+    // process (and in --jobs workers, which inherit the flag via
+    // self_args) renders through it. A backend spec without an
+    // explicit :T inherits the --threads value, so
+    // `--backend threaded --threads 8` sizes both the engine and the
+    // emitter.
+    if (!opts.backend.empty()) {
+        const std::string name =
+            opts.backend.substr(0, opts.backend.find(':'));
+        if (!TraceBackendRegistry::instance().contains(name)) {
+            std::string valid;
+            for (const auto &b :
+                 TraceBackendRegistry::instance().names())
+                valid += (valid.empty() ? "" : ", ") + b;
+            std::fprintf(stderr,
+                         "%s: unknown backend '%s' (valid: %s; try "
+                         "--list-backends)\n",
+                         prog, name.c_str(), valid.c_str());
+            return 2;
+        }
+        setActiveTraceBackend(opts.backend, opts.threads);
     }
     {
         const int partitions = (!opts.shard.empty() ? 1 : 0) +

@@ -7,8 +7,9 @@
  * dumps, with no command line at all. The driver collapses that into
  * one place. Every bench now:
  *
- *   * parses the common flags (--kernel, --points, --threads, --csv,
- *     --no-csv, --list-kernels, --help);
+ *   * parses the common flags (--kernel, --points, --threads,
+ *     --backend, --csv, --no-csv, --list-kernels, --list-backends,
+ *     --help);
  *   * gets a BenchContext holding a ready ExperimentEngine sized by
  *     --threads;
  *   * runs its sweeps through the engine (deterministic: --threads N
@@ -82,6 +83,11 @@ struct DriverOptions
     std::vector<std::string> kernels;
     unsigned points = 0;  ///< --points: sweep samples; 0 = bench default
     unsigned threads = 0; ///< --threads: engine workers; 0 = hardware
+    /// --backend NAME[:THREADS]: trace-emission backend for every
+    /// engine emission (see trace/backend.hpp). Empty = the
+    /// KB_TRACE_BACKEND environment variable, or scalar. Output is
+    /// byte-identical across backends; only the rendering changes.
+    std::string backend;
     std::string csv_path; ///< --csv: override the bench's CSV path
     bool no_csv = false;  ///< --no-csv: suppress CSV side outputs
     /// --perf-json: write the bench's machine-readable perf report

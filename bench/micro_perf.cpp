@@ -13,8 +13,10 @@
 #include "kernels/matmul.hpp"
 #include "mem/lru_cache.hpp"
 #include "mem/opt_cache.hpp"
+#include "kernels/registry.hpp"
 #include "pebble/builders.hpp"
 #include "pebble/heuristic.hpp"
+#include "trace/backend.hpp"
 #include "trace/replay.hpp"
 #include "trace/reuse.hpp"
 #include "trace/sink.hpp"
@@ -240,6 +242,60 @@ BM_CountingSinkRuns(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_CountingSinkRuns)->Arg(1 << 10)->Arg(1 << 20);
+
+/**
+ * Trace emission through a backend into a CountingSink, per opted-in
+ * kernel: the scalar oracle vs the threaded tiled emitter. On a
+ * 1-CPU container the pair documents parity (the ordered pipeline's
+ * overhead); the speedup claim is the multi-core CI/host number.
+ * items = words emitted, so the reported rate is words/s.
+ */
+void
+emitBenchmark(benchmark::State &state, const char *kernel_name,
+              const TraceBackend &backend)
+{
+    const auto kernel =
+        KernelRegistry::instance().shared(kernel_name);
+    std::uint64_t m_lo = 0, m_hi = 0;
+    kernel->defaultSweepRange(m_lo, m_hi);
+    const std::uint64_t m = std::min(m_hi, 4 * m_lo);
+    const std::uint64_t n =
+        kernel->regimeProblemSize(kernel->suggestProblemSize(m), m);
+    std::uint64_t words = 0;
+    for (auto _ : state) {
+        CountingSink sink;
+        backend.emit(*kernel, n, m, sink);
+        words = sink.total();
+        benchmark::DoNotOptimize(words);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(words));
+}
+
+void
+BM_EmitScalar(benchmark::State &state, const char *kernel_name)
+{
+    const ScalarTraceBackend backend;
+    emitBenchmark(state, kernel_name, backend);
+}
+
+void
+BM_EmitThreaded(benchmark::State &state, const char *kernel_name)
+{
+    const ThreadedTraceBackend backend(0); // hardware threads
+    emitBenchmark(state, kernel_name, backend);
+}
+
+BENCHMARK_CAPTURE(BM_EmitScalar, matmul, "matmul");
+BENCHMARK_CAPTURE(BM_EmitThreaded, matmul, "matmul");
+BENCHMARK_CAPTURE(BM_EmitScalar, stencil9, "stencil9");
+BENCHMARK_CAPTURE(BM_EmitThreaded, stencil9, "stencil9");
+BENCHMARK_CAPTURE(BM_EmitScalar, stencil9t, "stencil9t");
+BENCHMARK_CAPTURE(BM_EmitThreaded, stencil9t, "stencil9t");
+BENCHMARK_CAPTURE(BM_EmitScalar, matvec, "matvec");
+BENCHMARK_CAPTURE(BM_EmitThreaded, matvec, "matvec");
+BENCHMARK_CAPTURE(BM_EmitScalar, fft, "fft");
+BENCHMARK_CAPTURE(BM_EmitThreaded, fft, "fft");
 
 void
 BM_StreamingReplayMatmul(benchmark::State &state)

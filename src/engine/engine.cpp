@@ -12,6 +12,7 @@
 #include "mem/lru_cache.hpp"
 #include "mem/opt_cache.hpp"
 #include "mem/set_assoc.hpp"
+#include "trace/backend.hpp"
 #include "trace/replay.hpp"
 #include "trace/reuse.hpp"
 #include "trace/sink.hpp"
@@ -232,12 +233,16 @@ emitThroughBranches(const Kernel &kernel, std::uint64_t n,
         branches.push_back(&*replay);
     }
     KB_ASSERT(!branches.empty());
+    // One logical emission per job regardless of how the active
+    // backend chunks its rendering — the counter and every sink
+    // downstream see the backend's single delivered stream.
     g_emissions.fetch_add(1, std::memory_order_relaxed);
+    const TraceBackend &backend = activeTraceBackend();
     if (branches.size() == 1) {
-        kernel.emitTrace(n, m, *branches.front());
+        backend.emit(kernel, n, m, *branches.front());
     } else {
         TeeSink tee(branches);
-        kernel.emitTrace(n, m, tee);
+        backend.emit(kernel, n, m, tee);
     }
     if (replay)
         replay->flush();
@@ -485,7 +490,8 @@ executeJobTrace(PreparedJob &pj)
             opt_recorder->finish(
                 [&](TraceSink &sink) {
                     g_emissions.fetch_add(1, std::memory_order_relaxed);
-                    kernel.emitTrace(n_trace, job.schedule_m, sink);
+                    activeTraceBackend().emit(kernel, n_trace,
+                                              job.schedule_m, sink);
                 },
                 pj.grid));
         store.storeOpt(trace_key, opt_curve);

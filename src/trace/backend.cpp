@@ -1,0 +1,380 @@
+#include "trace/backend.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace kb {
+
+namespace {
+
+/**
+ * One recorded sink call. is_run preserves the onAccess/onRun split
+ * exactly: replaying a buffer performs the identical virtual-call
+ * sequence the kernel made, so any sink — counting, analyzing,
+ * storing — observes a stream indistinguishable from the scalar
+ * backend's.
+ */
+struct TraceOp
+{
+    std::uint64_t base = 0;
+    std::uint64_t words = 0;
+    AccessType type = AccessType::Read;
+    bool is_run = false;
+};
+
+/** Records a tile chunk's sink calls for ordered replay. */
+class OpBufferSink : public TraceSink
+{
+  public:
+    void
+    onAccess(const Access &access) override
+    {
+        ops_.push_back(TraceOp{access.addr, 1, access.type, false});
+    }
+
+    void
+    onRun(std::uint64_t base, std::uint64_t words,
+          AccessType type) override
+    {
+        ops_.push_back(TraceOp{base, words, type, true});
+    }
+
+    std::vector<TraceOp> take() { return std::move(ops_); }
+
+  private:
+    std::vector<TraceOp> ops_;
+};
+
+/** Replay a rendered chunk into the real sink, call for call. */
+void
+drainOps(const std::vector<TraceOp> &ops, TraceSink &sink)
+{
+    for (const TraceOp &op : ops) {
+        if (op.is_run)
+            sink.onRun(op.base, op.words, op.type);
+        else
+            sink.onAccess(Access{op.base, op.type});
+    }
+}
+
+} // namespace
+
+// ------------------------------------------------------------ scalar
+
+std::string
+ScalarTraceBackend::description() const
+{
+    return "synchronous reference emitter (the bit-exactness oracle)";
+}
+
+void
+ScalarTraceBackend::emit(const Kernel &kernel, std::uint64_t n,
+                         std::uint64_t m, TraceSink &sink) const
+{
+    kernel.emitTrace(n, m, sink);
+}
+
+// ---------------------------------------------------------- threaded
+
+ThreadedTraceBackend::ThreadedTraceBackend(unsigned threads)
+    : threads_(threads)
+{
+    if (threads_ == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads_ = hw == 0 ? 1 : hw;
+    }
+}
+
+std::string
+ThreadedTraceBackend::description() const
+{
+    return "parallel tiled emitter, " + std::to_string(threads_) +
+           " worker(s), schedule-ordered delivery";
+}
+
+void
+ThreadedTraceBackend::emit(const Kernel &kernel, std::uint64_t n,
+                           std::uint64_t m, TraceSink &sink) const
+{
+    const TilePlan plan = kernel.tilePlan(n, m);
+    // No tile plan, a single tile, or no parallelism to exploit: the
+    // scalar path delivers the identical stream without the buffering
+    // round-trip.
+    if (plan.tiles <= 1 || threads_ <= 1) {
+        kernel.emitTrace(n, m, sink);
+        return;
+    }
+
+    // Carve the tile sequence into contiguous chunks — several per
+    // worker so an expensive tile cannot serialize the tail — and
+    // deal them to workers in order. Chunk c covers tiles
+    // [c*tiles/chunks, (c+1)*tiles/chunks), so the chunk sequence
+    // concatenates to exactly the full tile sequence.
+    const std::uint64_t tiles = plan.tiles;
+    const std::uint64_t chunks = std::min<std::uint64_t>(
+        tiles, std::max<std::uint64_t>(4ull * threads_, 8));
+    const auto chunk_lo = [tiles, chunks](std::uint64_t c) {
+        return c * tiles / chunks;
+    };
+
+    // Ordered pipeline state. Producers render ahead of the consumer
+    // by at most `window` chunks (bounds resident buffers); the
+    // consumer drains chunk c only once slot c is published, so the
+    // sink sees chunks 0, 1, 2, ... regardless of which worker
+    // rendered them or when.
+    std::mutex mu;
+    std::condition_variable published; // slot became ready
+    std::condition_variable space;     // consumer advanced
+    std::vector<std::vector<TraceOp>> slots(chunks);
+    std::vector<char> ready(chunks, 0);
+    std::uint64_t consumed = 0;
+    std::atomic<std::uint64_t> next{0};
+    const std::uint64_t window = threads_ + 2;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::uint64_t c =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (c >= chunks)
+                return;
+            {
+                std::unique_lock<std::mutex> lock(mu);
+                space.wait(lock, [&] { return c < consumed + window; });
+            }
+            OpBufferSink buffer;
+            kernel.emitTiles(n, m, chunk_lo(c), chunk_lo(c + 1),
+                             buffer);
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                slots[c] = buffer.take();
+                ready[c] = 1;
+            }
+            published.notify_all();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads_);
+    for (unsigned w = 0; w < threads_; ++w)
+        pool.emplace_back(worker);
+
+    // The calling thread is the ordered consumer: the job's single
+    // sink is only ever touched here, in schedule order.
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+        std::vector<TraceOp> ops;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            published.wait(lock, [&] { return ready[c] != 0; });
+            ops = std::move(slots[c]);
+            ++consumed;
+        }
+        space.notify_all();
+        drainOps(ops, sink);
+    }
+
+    for (auto &t : pool)
+        t.join();
+}
+
+// ---------------------------------------------------------- registry
+
+struct TraceBackendRegistry::Entry
+{
+    std::string name;
+    Factory factory;
+    int order = 0;
+    std::string description;
+};
+
+TraceBackendRegistry &
+TraceBackendRegistry::instance()
+{
+    static TraceBackendRegistry registry;
+    return registry;
+}
+
+std::vector<TraceBackendRegistry::Entry> &
+TraceBackendRegistry::entries() const
+{
+    static std::vector<Entry> list;
+    return list;
+}
+
+void
+TraceBackendRegistry::add(const std::string &name, Factory factory,
+                          int order, const std::string &description)
+{
+    KB_REQUIRE(!name.empty(), "trace backend name must be non-empty");
+    for (const auto &e : entries())
+        KB_REQUIRE(e.name != name, "duplicate trace backend '", name,
+                   "'");
+    entries().push_back(
+        Entry{name, std::move(factory), order, description});
+}
+
+bool
+TraceBackendRegistry::contains(const std::string &name) const
+{
+    for (const auto &e : entries())
+        if (e.name == name)
+            return true;
+    return false;
+}
+
+std::unique_ptr<TraceBackend>
+TraceBackendRegistry::make(const std::string &name,
+                           unsigned threads) const
+{
+    for (const auto &e : entries())
+        if (e.name == name) {
+            auto backend = e.factory(threads);
+            KB_ASSERT(backend != nullptr);
+            return backend;
+        }
+    std::string valid;
+    for (const auto &n : names())
+        valid += (valid.empty() ? "" : ", ") + n;
+    fatal(detail::concat("unknown trace backend '", name,
+                         "' (valid: ", valid, ")"));
+}
+
+std::vector<std::string>
+TraceBackendRegistry::names() const
+{
+    std::vector<const Entry *> sorted;
+    for (const auto &e : entries())
+        sorted.push_back(&e);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Entry *a, const Entry *b) {
+                  return std::tie(a->order, a->name) <
+                         std::tie(b->order, b->name);
+              });
+    std::vector<std::string> out;
+    out.reserve(sorted.size());
+    for (const auto *e : sorted)
+        out.push_back(e->name);
+    return out;
+}
+
+std::string
+TraceBackendRegistry::describe(const std::string &name) const
+{
+    for (const auto &e : entries())
+        if (e.name == name)
+            return e.description;
+    return "";
+}
+
+std::size_t
+TraceBackendRegistry::size() const
+{
+    return entries().size();
+}
+
+TraceBackendRegistrar::TraceBackendRegistrar(
+    const std::string &name, TraceBackendRegistry::Factory factory,
+    int order, const std::string &description)
+{
+    TraceBackendRegistry::instance().add(name, std::move(factory),
+                                         order, description);
+}
+
+namespace {
+
+const TraceBackendRegistrar kScalarRegistrar{
+    "scalar",
+    [](unsigned) { return std::make_unique<ScalarTraceBackend>(); }, 0,
+    "synchronous reference emitter (the bit-exactness oracle)"};
+
+const TraceBackendRegistrar kThreadedRegistrar{
+    "threaded",
+    [](unsigned threads) {
+        return std::make_unique<ThreadedTraceBackend>(threads);
+    },
+    1, "parallel tiled emitter with schedule-ordered delivery"};
+
+// ---------------------------------------------------- active backend
+
+/** The selected backend plus a lock for the lazy env-var default. */
+struct ActiveBackend
+{
+    std::mutex mu;
+    std::unique_ptr<const TraceBackend> backend;
+};
+
+ActiveBackend &
+activeSlot()
+{
+    static ActiveBackend slot;
+    return slot;
+}
+
+/** Split "name[:threads]" into its parts; fatal on a bad count. */
+void
+parseBackendSpec(const std::string &spec, std::string &name,
+                 unsigned &threads)
+{
+    const auto colon = spec.find(':');
+    if (colon == std::string::npos) {
+        name = spec;
+        return;
+    }
+    name = spec.substr(0, colon);
+    const std::string count = spec.substr(colon + 1);
+    char *end = nullptr;
+    const long parsed =
+        std::strtol(count.c_str(), &end, 10);
+    KB_REQUIRE(end != nullptr && *end == '\0' && !count.empty() &&
+                   parsed >= 1,
+               "bad trace backend spec '", spec,
+               "' (expected name[:threads] with threads >= 1)");
+    threads = static_cast<unsigned>(parsed);
+}
+
+} // namespace
+
+const TraceBackend &
+activeTraceBackend()
+{
+    auto &slot = activeSlot();
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (!slot.backend) {
+        std::string spec = "scalar";
+        if (const char *env = std::getenv("KB_TRACE_BACKEND");
+            env != nullptr && *env != '\0')
+            spec = env;
+        std::string name;
+        unsigned threads = 0;
+        parseBackendSpec(spec, name, threads);
+        slot.backend =
+            TraceBackendRegistry::instance().make(name, threads);
+    }
+    return *slot.backend;
+}
+
+void
+setActiveTraceBackend(const std::string &spec, unsigned default_threads)
+{
+    std::string name;
+    unsigned threads = default_threads;
+    parseBackendSpec(spec, name, threads);
+    auto backend = TraceBackendRegistry::instance().make(name, threads);
+    auto &slot = activeSlot();
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.backend = std::move(backend);
+}
+
+std::string
+activeTraceBackendName()
+{
+    return activeTraceBackend().name();
+}
+
+} // namespace kb

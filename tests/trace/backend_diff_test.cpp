@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Differential oracle tests for the trace-emission backends
+ * (trace/backend.hpp): for every registered kernel — plug-ins
+ * included — and randomized (n, m), the threaded tiled backend must
+ * deliver the exact sink-call sequence the scalar reference backend
+ * delivers, at 1, 2, and 8 worker threads; the curves computed from
+ * the delivered stream must be bit-identical; tile plans must satisfy
+ * their concatenation contract; and the engine must produce identical
+ * sweep results and emission counts under either active backend.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/curve_store.hpp"
+#include "engine/engine.hpp"
+#include "kernels/registry.hpp"
+#include "trace/backend.hpp"
+#include "trace/reuse.hpp"
+#include "trace/sink.hpp"
+#include "util/rng.hpp"
+
+namespace kb {
+namespace {
+
+/**
+ * Records the raw sink-call sequence — not just the expanded access
+ * stream. Byte-identity of the delivered trace means the identical
+ * onAccess/onRun split in the identical order, which a VectorSink
+ * (which expands runs) cannot distinguish.
+ */
+class CallRecordingSink : public TraceSink
+{
+  public:
+    struct Call
+    {
+        bool is_run = false;
+        std::uint64_t base = 0;
+        std::uint64_t words = 0;
+        AccessType type = AccessType::Read;
+
+        bool
+        operator==(const Call &o) const
+        {
+            return is_run == o.is_run && base == o.base &&
+                   words == o.words && type == o.type;
+        }
+    };
+
+    void
+    onAccess(const Access &access) override
+    {
+        calls_.push_back(Call{false, access.addr, 1, access.type});
+    }
+
+    void
+    onRun(std::uint64_t base, std::uint64_t words,
+          AccessType type) override
+    {
+        calls_.push_back(Call{true, base, words, type});
+    }
+
+    const std::vector<Call> &calls() const { return calls_; }
+
+  private:
+    std::vector<Call> calls_;
+};
+
+/** A randomized but reproducible (n, m) inside the kernel's sweep
+ *  range — small schedules keep the full matrix of kernels x thread
+ *  counts fast. */
+void
+randomPoint(const Kernel &kernel, Xoshiro256 &rng, std::uint64_t &n,
+            std::uint64_t &m)
+{
+    std::uint64_t m_lo = 0, m_hi = 0;
+    kernel.defaultSweepRange(m_lo, m_hi);
+    // Geometric pick in [m_lo, min(4 * m_lo, m_hi)]: varied schedules
+    // without the giant traces of the range's top end.
+    const std::uint64_t cap = std::min(m_hi, 4 * m_lo);
+    m = m_lo + rng.next() % (cap - m_lo + 1);
+    // FFT-style kernels snap m through their regime; n always comes
+    // from the kernel's own regime hook so the pair is valid.
+    n = kernel.regimeProblemSize(kernel.suggestProblemSize(m), m);
+}
+
+TEST(TraceBackendRegistry, BuiltinsRegisteredAndOrdered)
+{
+    auto &registry = TraceBackendRegistry::instance();
+    EXPECT_TRUE(registry.contains("scalar"));
+    EXPECT_TRUE(registry.contains("threaded"));
+    EXPECT_FALSE(registry.contains("gpu"));
+    ASSERT_GE(registry.size(), 2u);
+
+    const auto names = registry.names();
+    ASSERT_GE(names.size(), 2u);
+    EXPECT_EQ(names[0], "scalar"); // the default leads the listing
+    EXPECT_EQ(names[1], "threaded");
+    EXPECT_FALSE(registry.describe("scalar").empty());
+    EXPECT_FALSE(registry.describe("threaded").empty());
+
+    const auto backend = registry.make("threaded", 3);
+    ASSERT_NE(backend, nullptr);
+    EXPECT_EQ(backend->name(), "threaded");
+}
+
+TEST(TraceBackendRegistry, FactoryHonorsThreadCount)
+{
+    ThreadedTraceBackend two(2);
+    EXPECT_EQ(two.threads(), 2u);
+    ThreadedTraceBackend def(0);
+    EXPECT_GE(def.threads(), 1u); // 0 resolves to hardware threads
+}
+
+/**
+ * The tentpole property: for every registered kernel and a randomized
+ * (n, m), the threaded backend's delivered call sequence is identical
+ * to the scalar oracle's at 1, 2, and 8 threads.
+ */
+TEST(TraceBackendDiff, ThreadedMatchesScalarForAllKernels)
+{
+    Xoshiro256 rng(0xBAC8E2D);
+    const ScalarTraceBackend scalar;
+
+    for (const auto &name : KernelRegistry::instance().names()) {
+        SCOPED_TRACE("kernel " + name);
+        const auto kernel = KernelRegistry::instance().shared(name);
+
+        std::uint64_t n = 0, m = 0;
+        randomPoint(*kernel, rng, n, m);
+        SCOPED_TRACE("n=" + std::to_string(n) +
+                     " m=" + std::to_string(m));
+
+        CallRecordingSink want;
+        scalar.emit(*kernel, n, m, want);
+        ASSERT_FALSE(want.calls().empty());
+
+        for (const unsigned threads : {1u, 2u, 8u}) {
+            SCOPED_TRACE("threads " + std::to_string(threads));
+            const ThreadedTraceBackend threaded(threads);
+            CallRecordingSink got;
+            threaded.emit(*kernel, n, m, got);
+            EXPECT_TRUE(got.calls() == want.calls());
+        }
+    }
+}
+
+/**
+ * Curves computed from the delivered stream are bit-identical:
+ * feeding the threaded backend straight into the single-pass
+ * stack-distance analyzer gives the same MissCurve as the scalar
+ * oracle, at every capacity.
+ */
+TEST(TraceBackendDiff, AnalyzerCurvesMatchScalar)
+{
+    Xoshiro256 rng(0xC1E5);
+    for (const auto &name : KernelRegistry::instance().names()) {
+        SCOPED_TRACE("kernel " + name);
+        const auto kernel = KernelRegistry::instance().shared(name);
+
+        std::uint64_t n = 0, m = 0;
+        randomPoint(*kernel, rng, n, m);
+
+        ReuseDistanceAnalyzer scalar_analyzer;
+        ScalarTraceBackend().emit(*kernel, n, m, scalar_analyzer);
+        const auto want = scalar_analyzer.missCurve();
+
+        ReuseDistanceAnalyzer threaded_analyzer;
+        ThreadedTraceBackend(8).emit(*kernel, n, m, threaded_analyzer);
+        const auto got = threaded_analyzer.missCurve();
+
+        ASSERT_EQ(got.accesses(), want.accesses());
+        ASSERT_EQ(got.footprint(), want.footprint());
+        for (std::uint64_t cap = 1; cap <= want.footprint() + 2;
+             cap = cap * 2 + 1) {
+            EXPECT_EQ(got.missesAt(cap), want.missesAt(cap));
+            EXPECT_EQ(got.ioWords(cap), want.ioWords(cap));
+        }
+    }
+}
+
+/**
+ * The emitTiles contract, checked directly for every kernel that
+ * opts in: tile-by-tile concatenation and an arbitrary two-chunk
+ * split both reproduce emitTrace's call sequence.
+ */
+TEST(TraceBackendDiff, TilePlanConcatenationContract)
+{
+    Xoshiro256 rng(0x71AE);
+    for (const auto &name : KernelRegistry::instance().names()) {
+        const auto kernel = KernelRegistry::instance().shared(name);
+        std::uint64_t n = 0, m = 0;
+        randomPoint(*kernel, rng, n, m);
+
+        const TilePlan plan = kernel->tilePlan(n, m);
+        if (plan.tiles == 0)
+            continue; // scalar-only kernel: nothing to check
+        SCOPED_TRACE("kernel " + name + " tiles=" +
+                     std::to_string(plan.tiles));
+
+        CallRecordingSink want;
+        kernel->emitTrace(n, m, want);
+
+        CallRecordingSink per_tile;
+        for (std::uint64_t t = 0; t < plan.tiles; ++t)
+            kernel->emitTiles(n, m, t, t + 1, per_tile);
+        EXPECT_TRUE(per_tile.calls() == want.calls());
+
+        const std::uint64_t split = plan.tiles / 2;
+        CallRecordingSink halves;
+        kernel->emitTiles(n, m, 0, split, halves);
+        kernel->emitTiles(n, m, split, plan.tiles, halves);
+        EXPECT_TRUE(halves.calls() == want.calls());
+    }
+}
+
+/** The opted-in kernels of this PR really declare tile plans. */
+TEST(TraceBackendDiff, CoreKernelsOptIn)
+{
+    Xoshiro256 rng(0x5EED);
+    for (const std::string name :
+         {"matmul", "stencil9", "stencil9t", "matvec", "fft"}) {
+        SCOPED_TRACE("kernel " + name);
+        const auto kernel = KernelRegistry::instance().shared(name);
+        std::uint64_t n = 0, m = 0;
+        randomPoint(*kernel, rng, n, m);
+        EXPECT_GT(kernel->tilePlan(n, m).tiles, 1u);
+    }
+}
+
+/**
+ * One logical emission per job regardless of chunking: a CountingSink
+ * downstream of the threaded backend reports exactly the scalar
+ * totals (the ordered pipeline neither duplicates nor drops words).
+ */
+TEST(TraceBackendDiff, CountingSinkTotalsUnchanged)
+{
+    const auto kernel = KernelRegistry::instance().shared("matmul");
+    std::uint64_t m_lo = 0, m_hi = 0;
+    kernel->defaultSweepRange(m_lo, m_hi);
+    const std::uint64_t n =
+        kernel->regimeProblemSize(kernel->suggestProblemSize(m_lo), m_lo);
+
+    CountingSink scalar_count;
+    ScalarTraceBackend().emit(*kernel, n, m_lo, scalar_count);
+    CountingSink threaded_count;
+    ThreadedTraceBackend(4).emit(*kernel, n, m_lo, threaded_count);
+
+    EXPECT_EQ(threaded_count.reads(), scalar_count.reads());
+    EXPECT_EQ(threaded_count.writes(), scalar_count.writes());
+    EXPECT_GT(threaded_count.total(), 0u);
+}
+
+/**
+ * Engine-level A/B: a sweep under the threaded active backend gives
+ * the identical results AND the identical emission count as under
+ * scalar (one logical emission per job, regardless of chunking).
+ */
+TEST(TraceBackendDiff, EngineResultsAndEmissionCountMatch)
+{
+    SweepJob job;
+    job.kernel = "matmul";
+    job.points = 4;
+    job.schedule_m = 64; // fixed schedule: the fast-path single pass
+    job.models = {MemoryModelKind::Lru, MemoryModelKind::Opt};
+
+    ExperimentEngine engine(2);
+
+    setActiveTraceBackend("scalar");
+    CurveStore::instance().clear();
+    const std::uint64_t scalar_before = engineEmissionCount();
+    const auto want = engine.runOne(job);
+    const std::uint64_t scalar_emissions =
+        engineEmissionCount() - scalar_before;
+
+    setActiveTraceBackend("threaded", 8);
+    EXPECT_EQ(activeTraceBackendName(), "threaded");
+    CurveStore::instance().clear();
+    const std::uint64_t threaded_before = engineEmissionCount();
+    const auto got = engine.runOne(job);
+    const std::uint64_t threaded_emissions =
+        engineEmissionCount() - threaded_before;
+
+    // Leave the process-wide default as the other tests expect it.
+    setActiveTraceBackend("scalar");
+
+    EXPECT_GT(scalar_emissions, 0u);
+    EXPECT_EQ(threaded_emissions, scalar_emissions);
+
+    ASSERT_EQ(got.points.size(), want.points.size());
+    for (std::size_t p = 0; p < want.points.size(); ++p) {
+        SCOPED_TRACE("point " + std::to_string(p));
+        EXPECT_EQ(got.points[p].sample.m, want.points[p].sample.m);
+        EXPECT_EQ(got.points[p].sample.ratio,
+                  want.points[p].sample.ratio);
+        EXPECT_EQ(got.points[p].sample.comp_ops,
+                  want.points[p].sample.comp_ops);
+        EXPECT_EQ(got.points[p].sample.io_words,
+                  want.points[p].sample.io_words);
+        EXPECT_EQ(got.points[p].model_io, want.points[p].model_io);
+    }
+}
+
+/** KB_TRACE_BACKEND-style specs parse through the same seam the env
+ *  variable uses; the selected backend is visible by name. */
+TEST(TraceBackendDiff, SpecSelectsBackendByName)
+{
+    setActiveTraceBackend("threaded:2");
+    EXPECT_EQ(activeTraceBackendName(), "threaded");
+    setActiveTraceBackend("scalar");
+    EXPECT_EQ(activeTraceBackendName(), "scalar");
+}
+
+} // namespace
+} // namespace kb
