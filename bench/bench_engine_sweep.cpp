@@ -422,6 +422,32 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
         return 1;
     }
 
+    // Per-path A/B of the same one-pass scan: the vectorized row
+    // scan vs the scalar oracle, pinned explicitly so the report
+    // carries both regardless of KB_ANALYZER / --analyzer.
+    const auto timeMultiPath = [&](AnalyzerPath path,
+                                   std::uint64_t &io) {
+        const auto path_t0 = std::chrono::steady_clock::now();
+        MultiSetReuseAnalyzer pinned(grid_sets, 8, path);
+        kernel->emitTrace(n_trace, schedule_m, pinned);
+        io = 0;
+        for (std::size_t p = 0; p < pinned.planeCount(); ++p)
+            io += pinned.waysCurve(p).ioWords(8);
+        return secondsSince(path_t0);
+    };
+    std::uint64_t scalar_io = 0;
+    std::uint64_t simd_io = 0;
+    const double multi_scalar_s =
+        timeMultiPath(AnalyzerPath::Scalar, scalar_io);
+    const double multi_simd_s =
+        timeMultiPath(AnalyzerPath::Simd, simd_io);
+    if (scalar_io != multi_io || simd_io != multi_io) {
+        std::cerr << "perf-json: analyzer paths diverged "
+                     "(scalar/simd/active io mismatch); refusing to "
+                     "report\n";
+        return 1;
+    }
+
     // OPT: the streaming two-pass walk (two emissions, no trace
     // buffer) vs buffering the trace and walking it in place.
     OptStreamStats opt_stats;
@@ -528,6 +554,17 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
         << "    \"multi_set_one_pass_s\": " << multi_s << ",\n"
         << "    \"multi_set_one_pass_words_per_s\": "
         << rate(multi_s) << ",\n"
+        << "    \"multi_set_one_pass_path\": \""
+        << analyzerPathName(multi.path()) << "\",\n"
+        << "    \"multi_set_scalar_s\": " << multi_scalar_s << ",\n"
+        << "    \"multi_set_scalar_words_per_s\": "
+        << rate(multi_scalar_s) << ",\n"
+        << "    \"multi_set_simd_s\": " << multi_simd_s << ",\n"
+        << "    \"multi_set_simd_words_per_s\": "
+        << rate(multi_simd_s) << ",\n"
+        << "    \"multi_set_simd_speedup\": "
+        << (multi_simd_s > 0.0 ? multi_scalar_s / multi_simd_s : 0.0)
+        << ",\n"
         << "    \"multi_set_per_set_passes_s\": " << per_set_s
         << ",\n"
         << "    \"multi_set_speedup\": "

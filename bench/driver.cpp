@@ -11,6 +11,7 @@
 #include "engine/shard.hpp"
 #include "kernels/registry.hpp"
 #include "trace/backend.hpp"
+#include "trace/reuse.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
 
@@ -68,7 +69,12 @@ printUsage(const char *prog, const char *experiment,
         "                           for parallel backends (default: "
         "the\n"
         "                           --threads value). Output is\n"
-        "                           byte-identical for every backend\n");
+        "                           byte-identical for every backend\n"
+        "  --analyzer PATH          set-associative row-scan path:\n"
+        "                           scalar or simd (default: the\n"
+        "                           KB_ANALYZER env var, else simd).\n"
+        "                           Curves are bit-identical for\n"
+        "                           every path\n");
     if (caps.perf_json)
         std::fprintf(
             stderr,
@@ -408,6 +414,11 @@ runBench(int argc, char **argv, const char *experiment,
             if (v == nullptr)
                 return 2;
             opts.backend = v;
+        } else if (arg == "--analyzer") {
+            const char *v = value("--analyzer");
+            if (v == nullptr)
+                return 2;
+            opts.analyzer = v;
         } else if (arg == "--kernel") {
             if (!caps.kernels)
                 return unsupported("--kernel");
@@ -558,6 +569,20 @@ runBench(int argc, char **argv, const char *experiment,
             return 2;
         }
         setActiveTraceBackend(opts.backend, opts.threads);
+    }
+    // Validate and apply --analyzer: like --backend, the process-wide
+    // default covers every analyzer this run constructs, and --jobs
+    // workers inherit the flag via self_args.
+    if (!opts.analyzer.empty()) {
+        AnalyzerPath path;
+        if (!parseAnalyzerPath(opts.analyzer, path)) {
+            std::fprintf(stderr,
+                         "%s: unknown analyzer path '%s' (valid: "
+                         "scalar, simd)\n",
+                         prog, opts.analyzer.c_str());
+            return 2;
+        }
+        setActiveAnalyzerPath(path);
     }
     {
         const int partitions = (!opts.shard.empty() ? 1 : 0) +

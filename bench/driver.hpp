@@ -8,8 +8,8 @@
  * one place. Every bench now:
  *
  *   * parses the common flags (--kernel, --points, --threads,
- *     --backend, --csv, --no-csv, --list-kernels, --list-backends,
- *     --help);
+ *     --backend, --analyzer, --csv, --no-csv, --list-kernels,
+ *     --list-backends, --help);
  *   * gets a BenchContext holding a ready ExperimentEngine sized by
  *     --threads;
  *   * runs its sweeps through the engine (deterministic: --threads N
@@ -88,6 +88,12 @@ struct DriverOptions
     /// KB_TRACE_BACKEND environment variable, or scalar. Output is
     /// byte-identical across backends; only the rendering changes.
     std::string backend;
+    /// --analyzer scalar|simd: row-scan path of the set-associative
+    /// analyzers (see trace/reuse.hpp). Empty = the KB_ANALYZER
+    /// environment variable, or simd. Curves are bit-identical across
+    /// paths; only the scan speed changes. Inherited by --jobs
+    /// workers via self_args.
+    std::string analyzer;
     std::string csv_path; ///< --csv: override the bench's CSV path
     bool no_csv = false;  ///< --no-csv: suppress CSV side outputs
     /// --perf-json: write the bench's machine-readable perf report

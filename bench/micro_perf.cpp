@@ -171,6 +171,45 @@ BM_MultiSetPass(benchmark::State &state)
 BENCHMARK(BM_MultiSetPass)->Arg(1)->Arg(8);
 
 void
+BM_MultiSetRowScan(benchmark::State &state)
+{
+    // The row-scan core head to head: Arg(0) = the scalar oracle,
+    // Arg(1) = the KB_SIMD path with its compressed recency-ordered
+    // rows. Runs feed the bulk onRun path exactly as the production
+    // sweep does; both paths produce bit-identical curves
+    // (analyzer_diff_test), only the words/s differs.
+    const auto path = state.range(0) == 0 ? AnalyzerPath::Scalar
+                                          : AnalyzerPath::Simd;
+    const std::vector<std::uint64_t> sets{6, 12, 21, 39, 72, 133,
+                                          247, 512};
+    Xoshiro256 rng(7);
+    struct Run
+    {
+        std::uint64_t base;
+        std::uint64_t words;
+        bool write;
+    };
+    std::vector<Run> runs(1 << 10);
+    for (auto &r : runs)
+        r = {rng.below(1 << 14), 1 + rng.below(64),
+             rng.below(4) == 0};
+    std::uint64_t words = 0;
+    for (const auto &r : runs)
+        words += r.words;
+    for (auto _ : state) {
+        MultiSetReuseAnalyzer analyzer(sets, 8, path);
+        for (const auto &r : runs)
+            analyzer.onRun(r.base, r.words,
+                           r.write ? AccessType::Write
+                                   : AccessType::Read);
+        benchmark::DoNotOptimize(analyzer.accesses());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(words));
+}
+BENCHMARK(BM_MultiSetRowScan)->Arg(0)->Arg(1);
+
+void
 BM_OptStreaming(benchmark::State &state)
 {
     // The two-pass streaming OPT walk on BM_OptSimulation's exact
@@ -195,6 +234,36 @@ BM_OptStreaming(benchmark::State &state)
                             static_cast<std::int64_t>(trace.size()));
 }
 BENCHMARK(BM_OptStreaming);
+
+void
+BM_OptChunkPrefetch(benchmark::State &state)
+{
+    // Chunk readahead in the pass-2 walk: Arg(0) = synchronous chunk
+    // loads, Arg(1) = double-buffered prefetch. A tiny spill budget
+    // forces the disk path so the prefetch has real file reads to
+    // overlap with the walk.
+    Xoshiro256 rng(9);
+    std::vector<Access> trace(1 << 15);
+    for (auto &a : trace)
+        a = rng.below(8) == 0 ? writeOf(rng.below(1 << 10))
+                              : readOf(rng.below(1 << 10));
+    OptStreamOptions opts;
+    opts.chunk_positions = 1 << 11;
+    opts.spill_threshold_bytes = 1 << 14;
+    opts.prefetch = state.range(0) != 0;
+    for (auto _ : state) {
+        const auto curve = simulateOptCurveStreaming(
+            [&](TraceSink &sink) {
+                for (const auto &a : trace)
+                    sink.onAccess(a);
+            },
+            {256}, opts);
+        benchmark::DoNotOptimize(curve.missesAt(256));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_OptChunkPrefetch)->Arg(0)->Arg(1);
 
 void
 BM_MatmulMeasure(benchmark::State &state)

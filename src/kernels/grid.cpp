@@ -85,6 +85,36 @@ forEachIn(const Box &b, F &&fn)
     }
 }
 
+/**
+ * Call @p fn(rowStart, len) for every last-axis row of box @p b, in
+ * the same odometer order as forEachIn: the last axis has stride 1 in
+ * any enclosing row-major box, so each row is one contiguous run.
+ */
+template <typename F>
+void
+forEachRow(const Box &b, F &&fn)
+{
+    if (b.volume() == 0)
+        return;
+    const unsigned last = b.dim - 1;
+    const std::uint64_t len =
+        static_cast<std::uint64_t>(b.hi[last] - b.lo[last]);
+    Index x = b.lo;
+    while (true) {
+        fn(x, len);
+        if (b.dim == 1)
+            return;
+        unsigned k = last;
+        while (k-- > 0) {
+            if (++x[k] < b.hi[k])
+                break;
+            x[k] = b.lo[k];
+            if (k == 0)
+                return;
+        }
+    }
+}
+
 /** Stencil update of one cell given a value reader. */
 template <typename Reader>
 double
@@ -482,6 +512,28 @@ void
 GridKernel::emitTrace(std::uint64_t n, std::uint64_t m,
                       TraceSink &sink) const
 {
+    walkTiles(n, m, 0, ~std::uint64_t{0}, &sink);
+}
+
+TilePlan
+GridKernel::tilePlan(std::uint64_t n, std::uint64_t m) const
+{
+    return TilePlan{walkTiles(n, m, 0, 0, nullptr)};
+}
+
+void
+GridKernel::emitTiles(std::uint64_t n, std::uint64_t m,
+                      std::uint64_t lo, std::uint64_t hi,
+                      TraceSink &sink) const
+{
+    walkTiles(n, m, lo, hi, &sink);
+}
+
+std::uint64_t
+GridKernel::walkTiles(std::uint64_t n, std::uint64_t m,
+                      std::uint64_t lo, std::uint64_t hi,
+                      TraceSink *sink) const
+{
     KB_REQUIRE(m >= minMemory(n), "grid memory too small for dim");
     const std::uint64_t g = n;
     const std::int64_t gi = static_cast<std::int64_t>(g);
@@ -496,6 +548,10 @@ GridKernel::emitTrace(std::uint64_t n, std::uint64_t m,
     const Index gst = strides(all);
     const ArrayLayout grid_words(0, ipow(g, dim_));
 
+    std::uint64_t t = 0;
+    // One tile per trapezoid block per temporal stage; last-axis rows
+    // of the halo read and core write are contiguous, so each is one
+    // run. The word sequence matches the historical per-word walk.
     std::uint64_t done = 0;
     while (done < iterations_) {
         const std::uint64_t tau =
@@ -508,6 +564,10 @@ GridKernel::emitTrace(std::uint64_t n, std::uint64_t m,
                             static_cast<std::int64_t>(s);
 
         forEachIn(origins, [&](const Index &blk) {
+            const bool emit = sink != nullptr && t >= lo && t < hi;
+            ++t;
+            if (!emit)
+                return;
             Box core{dim_, {}, {}};
             Box in_grid{dim_, {}, {}};
             for (unsigned k = 0; k < dim_; ++k) {
@@ -519,17 +579,21 @@ GridKernel::emitTrace(std::uint64_t n, std::uint64_t m,
                 in_grid.hi[k] =
                     std::min<std::int64_t>(core.hi[k] + h, gi);
             }
-            forEachIn(in_grid, [&](const Index &x) {
-                sink.onAccess(readOf(grid_words.at(
-                    static_cast<std::uint64_t>(offsetIn(all, gst, x)))));
+            forEachRow(in_grid, [&](const Index &x,
+                                    std::uint64_t len) {
+                sink->onRun(grid_words.at(static_cast<std::uint64_t>(
+                                offsetIn(all, gst, x))),
+                            len, AccessType::Read);
             });
-            forEachIn(core, [&](const Index &x) {
-                sink.onAccess(writeOf(grid_words.at(
-                    static_cast<std::uint64_t>(offsetIn(all, gst, x)))));
+            forEachRow(core, [&](const Index &x, std::uint64_t len) {
+                sink->onRun(grid_words.at(static_cast<std::uint64_t>(
+                                offsetIn(all, gst, x))),
+                            len, AccessType::Write);
             });
         });
         done += tau;
     }
+    return t;
 }
 
 

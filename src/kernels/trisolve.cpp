@@ -162,12 +162,30 @@ void
 TrisolveKernel::emitTrace(std::uint64_t n, std::uint64_t m,
                           TraceSink &sink) const
 {
+    emitTiles(n, m, 0, tilePlan(n, m).tiles, sink);
+}
+
+TilePlan
+TrisolveKernel::tilePlan(std::uint64_t n, std::uint64_t m) const
+{
+    const std::uint64_t bs = std::min(blockSize(m), n);
+    return TilePlan{bs == 0 ? 0 : (n + bs - 1) / bs};
+}
+
+void
+TrisolveKernel::emitTiles(std::uint64_t n, std::uint64_t m,
+                          std::uint64_t lo, std::uint64_t hi,
+                          TraceSink &sink) const
+{
     const std::uint64_t bs = std::min(blockSize(m), n);
     const MatrixLayout ll(0, n, n);
     const ArrayLayout lb(ll.end(), n);
     const ArrayLayout lx(lb.end(), n);
 
-    for (std::uint64_t i0 = 0; i0 < n; i0 += bs) {
+    // Tile t is the t-th x block: i0 = t * bs, exactly the outer loop
+    // of the historical emitTrace().
+    for (std::uint64_t t = lo; t < hi; ++t) {
+        const std::uint64_t i0 = t * bs;
         const std::uint64_t bi = std::min(bs, n - i0);
         sink.onRange(lb.at(i0), bi, AccessType::Read);
         for (std::uint64_t j0 = 0; j0 < i0; j0 += bs) {

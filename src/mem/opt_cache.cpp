@@ -5,11 +5,13 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <limits>
 #include <optional>
 #include <set>
 #include <unordered_map>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "util/flat_map.hpp"
@@ -560,19 +562,53 @@ OptNextUseRecorder::loadChunk(std::size_t chunk,
     }
 }
 
+void
+OptNextUseRecorder::prefetchChunk(std::size_t chunk,
+                                  std::vector<std::uint64_t> &next_use)
+{
+#if defined(POSIX_FADV_WILLNEED)
+    // Readahead hint before the blocking read: with cold page cache
+    // the kernel overlaps the file I/O with this worker's own
+    // scatter work instead of faulting page by page.
+    if (!spill_dir_.empty()) {
+        const int fd = ::open(bucketFile(chunk).c_str(), O_RDONLY);
+        if (fd >= 0) {
+            ::posix_fadvise(fd, 0, 0, POSIX_FADV_WILLNEED);
+            ::close(fd);
+        }
+    }
+#endif
+    loadChunk(chunk, next_use);
+    ++chunks_prefetched_;
+}
+
 /**
  * Pass-2 sink: replays the re-emitted trace against the recorded
  * next uses, materializing one next-use chunk at a time (chunks are
  * crossed in order because trace positions ascend).
+ *
+ * With OptStreamOptions::prefetch the cursor double-buffers: while
+ * the walk consumes chunk k, a worker thread materializes chunk k+1
+ * into the standby buffer, and the boundary crossing becomes a
+ * buffer swap instead of a blocking load. The worker is always
+ * joined before any recorder state is touched again (loads mutate
+ * the record buckets), and a standby buffer that does not match the
+ * chunk being entered — impossible in the ascending walk, but kept
+ * defensive — falls back to a synchronous load.
  */
 class OptChunkCursor : public TraceSink
 {
   public:
     OptChunkCursor(OptNextUseRecorder &recorder,
                    SegmentedOptStack &stack)
-        : recorder_(recorder), stack_(stack)
+        : recorder_(recorder), stack_(stack),
+          total_chunks_((recorder.pos_ +
+                         recorder.opts_.chunk_positions - 1) /
+                        recorder.opts_.chunk_positions)
     {
     }
+
+    ~OptChunkCursor() override { drain(); }
 
     void onAccess(const Access &access) override { feed(access); }
 
@@ -586,17 +622,43 @@ class OptChunkCursor : public TraceSink
 
     std::uint64_t position() const { return pos_; }
 
+    /** Join any in-flight prefetch (the walk over a full trace ends
+     *  with none pending; this covers truncated re-emissions). */
+    void
+    drain()
+    {
+        if (standby_load_.valid())
+            standby_load_.wait();
+    }
+
   private:
     void
     feed(const Access &access)
     {
         if (pos_ == chunk_end_) {
-            const std::uint64_t chunk =
-                pos_ / recorder_.opts_.chunk_positions;
-            recorder_.loadChunk(static_cast<std::size_t>(chunk),
-                                next_use_);
-            chunk_base_ = chunk * recorder_.opts_.chunk_positions;
-            chunk_end_ = chunk_base_ + recorder_.opts_.chunk_positions;
+            const std::uint64_t cp = recorder_.opts_.chunk_positions;
+            const std::uint64_t chunk = pos_ / cp;
+            drain();
+            if (standby_valid_ && standby_chunk_ == chunk) {
+                next_use_.swap(standby_);
+                standby_valid_ = false;
+            } else {
+                recorder_.loadChunk(static_cast<std::size_t>(chunk),
+                                    next_use_);
+            }
+            chunk_base_ = chunk * cp;
+            chunk_end_ = chunk_base_ + cp;
+            if (recorder_.opts_.prefetch &&
+                chunk + 1 < total_chunks_) {
+                standby_chunk_ = chunk + 1;
+                standby_load_ = std::async(
+                    std::launch::async, [this] {
+                        recorder_.prefetchChunk(
+                            static_cast<std::size_t>(standby_chunk_),
+                            standby_);
+                        standby_valid_ = true;
+                    });
+            }
         }
         stack_.access(access,
                       next_use_[static_cast<std::size_t>(
@@ -606,7 +668,12 @@ class OptChunkCursor : public TraceSink
 
     OptNextUseRecorder &recorder_;
     SegmentedOptStack &stack_;
+    std::uint64_t total_chunks_;
     std::vector<std::uint64_t> next_use_;
+    std::vector<std::uint64_t> standby_;
+    std::future<void> standby_load_;
+    std::uint64_t standby_chunk_ = 0;
+    bool standby_valid_ = false;
     std::uint64_t pos_ = 0;
     std::uint64_t chunk_base_ = 0;
     std::uint64_t chunk_end_ = 0;
@@ -634,6 +701,7 @@ OptNextUseRecorder::finish(
     SegmentedOptStack stack(capacities);
     OptChunkCursor cursor(*this, stack);
     emit_again(cursor);
+    cursor.drain();
     KB_REQUIRE(cursor.position() == pos_,
                "second emission did not replay the recorded trace: ",
                cursor.position(), " positions vs ", pos_);
@@ -641,11 +709,18 @@ OptNextUseRecorder::finish(
     if (stats != nullptr) {
         stats->positions = pos_;
         stats->chunks_loaded = chunks_loaded_;
+        stats->chunks_prefetched = chunks_prefetched_;
         stats->spilled_bytes = spilled_bytes_;
         stats->peak_pending_bytes = peak_pending_bytes_;
+        // Double buffering holds two chunk arrays only while a
+        // prefetch is in flight; a single-chunk trace (or prefetch
+        // off) never allocates the standby buffer.
+        const std::uint64_t chunk_buffers =
+            chunks_prefetched_ > 0 ? 2 : 1;
         stats->peak_resident_bytes =
             peak_pending_bytes_ +
-            opts_.chunk_positions * sizeof(std::uint64_t);
+            chunk_buffers * opts_.chunk_positions *
+                sizeof(std::uint64_t);
     }
     return stack.curve(pos_);
 }

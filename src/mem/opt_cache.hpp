@@ -157,6 +157,11 @@ struct OptStreamOptions
     /// A uniquely named subdirectory is created on first spill and
     /// removed when the recorder is destroyed.
     std::string spill_dir;
+    /// Load chunk k+1 on a worker thread (after advising the kernel
+    /// to read its spill file ahead) while the walk consumes chunk k,
+    /// so pass 2 never stalls on a chunk load. Costs one extra
+    /// resident chunk buffer; see OptStreamStats::peak_resident_bytes.
+    bool prefetch = true;
 };
 
 /** Observed footprint of one streaming OPT computation. */
@@ -164,14 +169,18 @@ struct OptStreamStats
 {
     std::uint64_t positions = 0;     ///< trace length seen
     std::uint64_t chunks_loaded = 0; ///< next-use chunks materialized
+    /// Chunks whose load overlapped the walk of their predecessor
+    /// (0 when prefetch is off or the trace fits one chunk).
+    std::uint64_t chunks_prefetched = 0;
     std::uint64_t spilled_bytes = 0; ///< record bytes written to disk
     /// High-water mark of in-memory pending record bytes (bounded by
     /// spill_threshold_bytes + one record).
     std::uint64_t peak_pending_bytes = 0;
     /// Upper bound on the analyzer's peak resident bytes beyond the
-    /// O(footprint) word tables: peak pending records plus the one
-    /// materialized chunk. Independent of trace length by
-    /// construction; the stress tests assert it.
+    /// O(footprint) word tables: peak pending records plus the
+    /// materialized chunk buffers (two while a prefetch is in flight,
+    /// one otherwise). Independent of trace length by construction;
+    /// the stress tests assert it.
     std::uint64_t peak_resident_bytes = 0;
 };
 
@@ -250,6 +259,13 @@ class OptNextUseRecorder : public TraceSink
     /// later access exists) and release its records.
     void loadChunk(std::size_t chunk,
                    std::vector<std::uint64_t> &next_use);
+    /// loadChunk() plus a readahead hint on the chunk's spill file;
+    /// the cursor's prefetch worker runs this off-thread. Touches the
+    /// same recorder state as loadChunk(), so the caller must not
+    /// overlap it with another load (the cursor joins the worker
+    /// before every chunk swap).
+    void prefetchChunk(std::size_t chunk,
+                       std::vector<std::uint64_t> &next_use);
 
     OptStreamOptions opts_;
     FlatWordMap<std::uint64_t> last_seen_; ///< addr -> last position
@@ -259,6 +275,7 @@ class OptNextUseRecorder : public TraceSink
     std::uint64_t peak_pending_bytes_ = 0;
     std::uint64_t spilled_bytes_ = 0;
     std::uint64_t chunks_loaded_ = 0;
+    std::uint64_t chunks_prefetched_ = 0;
     std::string spill_dir_; ///< created on first spill; dtor removes
     bool finished_ = false;
 };

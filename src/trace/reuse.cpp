@@ -1,10 +1,163 @@
 #include "trace/reuse.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 
 #include "util/logging.hpp"
+#include "util/simd.hpp"
 
 namespace kb {
+
+namespace {
+
+/** Process-wide default row-scan path; first read consults
+ *  KB_ANALYZER, the --analyzer driver flag overrides via the
+ *  setter. */
+AnalyzerPath &
+activeAnalyzerPathSlot()
+{
+    static AnalyzerPath path = [] {
+        AnalyzerPath p = AnalyzerPath::Simd;
+        const char *env = std::getenv("KB_ANALYZER");
+        if (env != nullptr && *env != '\0')
+            KB_REQUIRE(parseAnalyzerPath(env, p),
+                       "KB_ANALYZER must be 'scalar' or 'simd', got ",
+                       env);
+        return p;
+    }();
+    return path;
+}
+
+/** ISA the Simd path runs on: host detection, overridable by the
+ *  KB_SIMD env var (avx2|sse2|neon|generic, or auto; a forced ISA
+ *  must be available on this build+host). */
+simd::Isa
+activeSimdIsa()
+{
+    static const simd::Isa isa = [] {
+        const char *env = std::getenv("KB_SIMD");
+        if (env == nullptr || *env == '\0' ||
+            std::string_view(env) == "auto")
+            return simd::detectIsa();
+        simd::Isa forced = simd::Isa::Generic;
+        KB_REQUIRE(simd::parseIsa(env, forced),
+                   "KB_SIMD must be auto, avx2, sse2, neon or "
+                   "generic, got ",
+                   env);
+        KB_REQUIRE(simd::isaAvailable(forced),
+                   "KB_SIMD ISA not available on this build/host: ",
+                   env);
+        return forced;
+    }();
+    return isa;
+}
+
+/// Mirror of MultiSetReuseAnalyzer::kColdWindow (that member is
+/// private) for the plane-run bodies below.
+constexpr std::uint64_t kPlaneColdWindow =
+    std::numeric_limits<std::uint64_t>::max();
+
+// Dispatch at run granularity: the whole plane x word loop is
+// compiled once per dispatchable ISA (trace/plane_run.inc), so the
+// util/simd.hpp lane kernels inline into the loop and the indirect
+// call is paid once per run — not per row primitive, which on 8-slot
+// rows costs more than the scan it guards.
+#if defined(KB_SIMD_X86)
+
+#define KB_PLANE_RUN_FN planeRunSse2
+#define KB_PLANE_ISA kb::simd::sse2
+#define KB_PLANE_TARGET
+#include "trace/plane_run.inc"
+#undef KB_PLANE_RUN_FN
+#undef KB_PLANE_ISA
+#undef KB_PLANE_TARGET
+
+#define KB_PLANE_RUN_FN planeRunAvx2
+#define KB_PLANE_ISA kb::simd::avx2
+#define KB_PLANE_TARGET __attribute__((target("avx2")))
+#include "trace/plane_run.inc"
+#undef KB_PLANE_RUN_FN
+#undef KB_PLANE_ISA
+#undef KB_PLANE_TARGET
+
+#elif defined(KB_SIMD_NEON)
+
+#define KB_PLANE_RUN_FN planeRunNeon
+#define KB_PLANE_ISA kb::simd::neon
+#define KB_PLANE_TARGET
+#include "trace/plane_run.inc"
+#undef KB_PLANE_RUN_FN
+#undef KB_PLANE_ISA
+#undef KB_PLANE_TARGET
+
+#endif
+
+#define KB_PLANE_RUN_FN planeRunGeneric
+#define KB_PLANE_ISA kb::simd::generic
+#define KB_PLANE_TARGET
+#include "trace/plane_run.inc"
+#undef KB_PLANE_RUN_FN
+#undef KB_PLANE_ISA
+#undef KB_PLANE_TARGET
+
+detail::MultiSetRunFn
+planeRunFor(simd::Isa isa)
+{
+    switch (isa) {
+#if defined(KB_SIMD_X86)
+    case simd::Isa::Avx2:
+        return &planeRunAvx2;
+    case simd::Isa::Sse2:
+        return &planeRunSse2;
+#elif defined(KB_SIMD_NEON)
+    case simd::Isa::Neon:
+        return &planeRunNeon;
+#endif
+    default:
+        return &planeRunGeneric;
+    }
+}
+
+} // namespace
+
+const char *
+analyzerPathName(AnalyzerPath path)
+{
+    return path == AnalyzerPath::Scalar ? "scalar" : "simd";
+}
+
+bool
+parseAnalyzerPath(const std::string &name, AnalyzerPath &out)
+{
+    if (name == "scalar") {
+        out = AnalyzerPath::Scalar;
+        return true;
+    }
+    if (name == "simd") {
+        out = AnalyzerPath::Simd;
+        return true;
+    }
+    return false;
+}
+
+AnalyzerPath
+activeAnalyzerPath()
+{
+    return activeAnalyzerPathSlot();
+}
+
+void
+setActiveAnalyzerPath(AnalyzerPath path)
+{
+    activeAnalyzerPathSlot() = path;
+}
+
+const char *
+analyzerSimdIsa()
+{
+    return simd::isaName(activeSimdIsa());
+}
 
 namespace {
 
@@ -116,15 +269,30 @@ MissCurve::writebacksAt(std::uint64_t capacity) const
 MultiSetReuseAnalyzer::MultiSetReuseAnalyzer(
     const std::vector<std::uint64_t> &set_counts,
     std::uint64_t max_ways)
-    : max_ways_(max_ways), sets_(set_counts)
+    : MultiSetReuseAnalyzer(set_counts, max_ways, activeAnalyzerPath())
+{
+}
+
+MultiSetReuseAnalyzer::MultiSetReuseAnalyzer(
+    const std::vector<std::uint64_t> &set_counts,
+    std::uint64_t max_ways, AnalyzerPath path)
+    : max_ways_(max_ways), path_(path), sets_(set_counts)
 {
     KB_REQUIRE(!sets_.empty() && max_ways_ > 0,
                "multi-set analyzer needs set counts and max_ways > 0");
+    // Pad every set row to the lane width so the SIMD kernels run
+    // whole vectors only; the scalar oracle shares the layout (its
+    // loops never read the padding).
+    const std::uint64_t lanes = simd::kLaneWidth;
+    stride_ = (max_ways_ + lanes - 1) / lanes * lanes;
+    pad_mask_.assign(static_cast<std::size_t>(stride_), 0);
+    for (std::uint64_t i = max_ways_; i < stride_; ++i)
+        pad_mask_[static_cast<std::size_t>(i)] = ~0ull;
     std::size_t slots = 0;
     for (const auto sets : sets_) {
         KB_REQUIRE(sets > 0, "set counts must be positive");
         plane_base_.push_back(slots);
-        slots += static_cast<std::size_t>(sets * max_ways_);
+        slots += static_cast<std::size_t>(sets * stride_);
     }
     slot_addr_.assign(slots, 0);
     slot_stamp_.assign(slots, 0);
@@ -133,15 +301,49 @@ MultiSetReuseAnalyzer::MultiSetReuseAnalyzer(
     hist_.assign(sets_.size() * row, 0);
     wb_hist_.assign(sets_.size() * row, 0);
     cold_writebacks_.assign(sets_.size(), 0);
+    // The Simd path's per-plane contexts, built once: every backing
+    // vector has reached its final size, so the pointers stay valid
+    // for the analyzer's lifetime.
+    plane_run_ = planeRunFor(activeSimdIsa());
+    for (std::size_t plane = 0; plane < sets_.size(); ++plane)
+        plane_ctx_.push_back(
+            {slot_addr_.data() + plane_base_[plane],
+             slot_stamp_.data() + plane_base_[plane],
+             slot_window_.data() + plane_base_[plane],
+             hist_.data() + plane * row, wb_hist_.data() + plane * row,
+             cold_writebacks_.data() + plane, pad_mask_.data(), nullptr,
+             sets_[plane], stride_, max_ways_});
+    // Stride-8 planes on the Simd path start on the compressed
+    // recency-ordered representation (16 u32 per set, one 64-byte
+    // line; see util/simd.hpp's ordered-row contract). 15 u32 of
+    // over-allocation lets the base pointer round up to a 64-byte
+    // boundary; the buffer address survives moves, so the pointers in
+    // plane_ctx_ stay valid.
+    if (path_ == AnalyzerPath::Simd && stride_ == 8) {
+        rows_buf_.assign(slots * 2 + 15, 0);
+        auto misalign = reinterpret_cast<std::uintptr_t>(
+                            rows_buf_.data()) %
+                        64;
+        rows_base_ = rows_buf_.data() +
+                     (misalign ? (64 - misalign) / 4 : 0);
+        for (std::size_t i = 0; i < slots * 2; ++i)
+            rows_base_[i] =
+                (i % 16) < 8 ? simd::kOrderedEmpty : 0u;
+        for (std::size_t plane = 0; plane < sets_.size(); ++plane)
+            plane_ctx_[plane].rows =
+                rows_base_ + plane_base_[plane] * 2;
+        compressed_ = true;
+    }
 }
 
+// The pre-SIMD row scan, kept verbatim as the bit-exactness oracle
+// (KB_ANALYZER=scalar); only the row base math moved to the caller.
 void
-MultiSetReuseAnalyzer::planeStep(std::size_t plane, std::uint64_t addr,
-                                 std::uint64_t now, bool write)
+MultiSetReuseAnalyzer::planeStepScalar(std::size_t plane,
+                                       std::size_t row,
+                                       std::uint64_t addr,
+                                       std::uint64_t now, bool write)
 {
-    const std::size_t row =
-        plane_base_[plane] +
-        static_cast<std::size_t>((addr % sets_[plane]) * max_ways_);
     std::uint64_t *addrs = slot_addr_.data() + row;
     std::uint64_t *stamps = slot_stamp_.data() + row;
     std::uint64_t *windows = slot_window_.data() + row;
@@ -211,18 +413,79 @@ MultiSetReuseAnalyzer::planeStep(std::size_t plane, std::uint64_t addr,
     windows[victim] = window;
 }
 
+// The Simd path: hand the run to the ISA-specialized plane loop
+// (trace/plane_run.inc) over the prebuilt contexts — ONE indirect
+// call per run, everything else inlined there.
+void
+MultiSetReuseAnalyzer::simdRun(std::uint64_t base, std::uint64_t words,
+                               bool write)
+{
+    if (compressed_ && (base > simd::kOrderedMaxAddr ||
+                        words - 1 > simd::kOrderedMaxAddr - base))
+        demoteCompressedRows();
+    const std::uint64_t now0 = clock_;
+    clock_ += words;
+    accesses_ += words;
+    plane_run_(plane_ctx_.data(), plane_ctx_.size(), base, words, now0,
+               write);
+}
+
+void
+MultiSetReuseAnalyzer::demoteCompressedRows()
+{
+    for (std::size_t plane = 0; plane < sets_.size(); ++plane) {
+        for (std::uint64_t set = 0; set < sets_[plane]; ++set) {
+            const std::size_t slot =
+                plane_base_[plane] +
+                static_cast<std::size_t>(set * stride_);
+            const std::uint32_t *row = rows_base_ + slot * 2;
+            for (std::uint64_t j = 0; j < stride_; ++j) {
+                const std::uint32_t a = row[j];
+                const std::uint32_t w = row[8 + j];
+                if (a == simd::kOrderedEmpty) {
+                    slot_addr_[slot + j] = 0;
+                    slot_stamp_[slot + j] = 0;
+                    slot_window_[slot + j] = 0;
+                    continue;
+                }
+                slot_addr_[slot + j] = a;
+                // Recency order becomes descending stamps; position
+                // j implies at least j+1 prior accesses, so the
+                // stamp stays >= 1 (0 is the empty sentinel) and
+                // below every future clock value.
+                slot_stamp_[slot + j] = clock_ - j;
+                slot_window_[slot + j] =
+                    w == simd::kOrderedColdWindow ? kColdWindow : w;
+            }
+        }
+        plane_ctx_[plane].rows = nullptr;
+    }
+    compressed_ = false;
+    rows_base_ = nullptr;
+    rows_buf_.clear();
+    rows_buf_.shrink_to_fit();
+}
+
 void
 MultiSetReuseAnalyzer::step(std::uint64_t addr, bool write)
 {
     ++accesses_;
     const std::uint64_t now = ++clock_;
-    for (std::size_t plane = 0; plane < sets_.size(); ++plane)
-        planeStep(plane, addr, now, write);
+    for (std::size_t plane = 0; plane < sets_.size(); ++plane) {
+        const std::size_t row =
+            plane_base_[plane] +
+            static_cast<std::size_t>((addr % sets_[plane]) * stride_);
+        planeStepScalar(plane, row, addr, now, write);
+    }
 }
 
 void
 MultiSetReuseAnalyzer::onAccess(const Access &access)
 {
+    if (path_ == AnalyzerPath::Simd) {
+        simdRun(access.addr, 1, access.isWrite());
+        return;
+    }
     step(access.addr, access.isWrite());
 }
 
@@ -230,9 +493,34 @@ void
 MultiSetReuseAnalyzer::onRun(std::uint64_t base, std::uint64_t words,
                              AccessType type)
 {
+    if (words == 0)
+        return;
     const bool write = type == AccessType::Write;
-    for (std::uint64_t i = 0; i < words; ++i)
-        step(base + i, write);
+    if (path_ == AnalyzerPath::Simd) {
+        simdRun(base, words, write);
+        return;
+    }
+    const std::uint64_t now0 = clock_;
+    clock_ += words;
+    accesses_ += words;
+    // Scalar bulk path: within a contiguous run the set index
+    // advances by one (mod sets) per word, so the per-word modulo
+    // becomes one wrap test — and iterating plane-major keeps each
+    // plane's slot arrays hot across the whole run. Planes are
+    // independent and word i keeps clock now0+i+1, so the result is
+    // bit-identical to the per-access path.
+    for (std::size_t plane = 0; plane < sets_.size(); ++plane) {
+        const std::uint64_t sets = sets_[plane];
+        std::uint64_t set = base % sets;
+        for (std::uint64_t i = 0; i < words; ++i) {
+            const std::size_t row =
+                plane_base_[plane] +
+                static_cast<std::size_t>(set * stride_);
+            planeStepScalar(plane, row, base + i, now0 + i + 1, write);
+            if (++set == sets)
+                set = 0;
+        }
+    }
 }
 
 MissCurve

@@ -1,0 +1,812 @@
+/**
+ * @file
+ * KB_SIMD: width-N u64 lane kernels for the set-associative analyzer
+ * row scans, behind feature dispatch.
+ *
+ * The per-set Mattson pass (trace/reuse.hpp) spends its time in three
+ * scans over one stamp row of `max_ways` slots: the address-match
+ * probe, the rank count (`stamps[i] > hit_stamp`), and the min-stamp
+ * victim select. Each is a pure reduction over a short contiguous row,
+ * so this header exposes them as row primitives over rows padded to
+ * the vector width and implements them with hand-written intrinsics
+ * per ISA:
+ *
+ *   AVX2    4 x u64 lanes (cmpeq/cmpgt_epi64 + sign-flip bias)
+ *   SSE2    2 x u64 lanes (64-bit eq/unsigned-gt synthesized from
+ *           32-bit ops — the x86-64 baseline)
+ *   NEON    2 x u64 lanes (aarch64)
+ *   generic portable scalar loops (always compiled; the only choice
+ *           on targets with neither ISA)
+ *
+ * On x86-64 the dispatch is at RUN time: both the SSE2 baseline and
+ * the AVX2 variants (compiled via the function target attribute, so a
+ * plain -march=x86-64 build still carries them) are always built, and
+ * detectIsa() picks once per process with __builtin_cpu_supports. The
+ * -march=x86-64 CI job runs the suite under KB_SIMD=sse2 to prove the
+ * same binary's baseline path stays bit-exact on pre-AVX2 hardware.
+ * Other targets dispatch at compile time.
+ *
+ * Because the rows are tiny (max_ways is 8 in the engine), dispatch
+ * granularity decides everything: an indirect call per primitive costs
+ * more than the scan it guards. The analyzer therefore stamps out its
+ * whole per-plane run loop once per ISA (trace/plane_run.inc) with
+ * these primitives fully inlined, and pays one indirect call per plane
+ * per *run*.
+ *
+ * Contract shared by every implementation (the analyzer's scalar
+ * oracle pins it bit-exactly):
+ *
+ *  - `stride` is a positive multiple of kLaneWidth; padding lanes
+ *    (beyond the logical row) hold stamp 0 and are never probed
+ *    (stamp 0 = empty sentinel) nor rank-counted (thresholds are >= 1).
+ *  - findResident returns the LOWEST matching index (resident
+ *    addresses are unique within a row, so any-match would do — the
+ *    lowest-set-bit scan gives first-match for free).
+ *  - minIndex returns the lowest index minimizing
+ *    `stamps[i] | pad_mask[i]`: pad_mask holds ~0 on padding lanes
+ *    (and 0 elsewhere) so padding never wins, and because an empty
+ *    slot's stamp 0 is the global minimum this is exactly the scalar
+ *    "first empty slot, else lowest-index LRU" victim rule.
+ */
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define KB_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define KB_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace kb::simd {
+
+/** Dispatchable row-scan implementations (availability depends on the
+ *  build target and, for Avx2, the host CPU). */
+enum class Isa
+{
+    Avx2,
+    Sse2,
+    Neon,
+    Generic,
+};
+
+inline const char *
+isaName(Isa isa)
+{
+    switch (isa) {
+    case Isa::Avx2:
+        return "avx2";
+    case Isa::Sse2:
+        return "sse2";
+    case Isa::Neon:
+        return "neon";
+    default:
+        return "generic";
+    }
+}
+
+/** Parse an ISA name ("avx2", "sse2", "neon", "generic"); false (out
+ *  untouched) on anything else. Availability is a separate question —
+ *  see isaAvailable(). */
+inline bool
+parseIsa(std::string_view name, Isa &out)
+{
+    if (name == "avx2")
+        out = Isa::Avx2;
+    else if (name == "sse2")
+        out = Isa::Sse2;
+    else if (name == "neon")
+        out = Isa::Neon;
+    else if (name == "generic")
+        out = Isa::Generic;
+    else
+        return false;
+    return true;
+}
+
+#if defined(KB_SIMD_X86)
+/// Rows are padded to the widest dispatchable width (AVX2); the SSE2
+/// loops consume the same layout two lanes at a time.
+inline constexpr std::uint64_t kLaneWidth = 4;
+#elif defined(KB_SIMD_NEON)
+inline constexpr std::uint64_t kLaneWidth = 2;
+#else
+inline constexpr std::uint64_t kLaneWidth = 1;
+#endif
+
+/** Best ISA this build+host pair supports. */
+inline Isa
+detectIsa()
+{
+#if defined(KB_SIMD_X86)
+    __builtin_cpu_init();
+    return __builtin_cpu_supports("avx2") ? Isa::Avx2 : Isa::Sse2;
+#elif defined(KB_SIMD_NEON)
+    return Isa::Neon;
+#else
+    return Isa::Generic;
+#endif
+}
+
+/** Whether @p isa can run on this build+host (Generic always can —
+ *  its loops handle any stride the padded layout produces). */
+inline bool
+isaAvailable(Isa isa)
+{
+    switch (isa) {
+#if defined(KB_SIMD_X86)
+    case Isa::Sse2:
+        return true;
+    case Isa::Avx2:
+        __builtin_cpu_init();
+        return __builtin_cpu_supports("avx2");
+#elif defined(KB_SIMD_NEON)
+    case Isa::Neon:
+        return true;
+#endif
+    case Isa::Generic:
+        return true;
+    default:
+        return false;
+    }
+}
+
+/**
+ * Result of a fused stride-8 row access (the engine's only row shape:
+ * max_ways = 8 pads to stride 8 at every lane width). On a hit,
+ * `hit` is the slot index and `value` the rank count; on a miss,
+ * `hit` is 8 and `value` the victim index. Fusing lets the whole row
+ * live in registers across probe + rank/victim — the separate
+ * primitives reload it per scan.
+ */
+struct Row8
+{
+    std::uint64_t hit;
+    std::uint64_t value;
+};
+
+/*
+ * Recency-ordered compressed rows — the stride-8 fast path.
+ *
+ * When a plane's rows are 8 lanes wide (max_ways <= 8 after lane
+ * padding) and every trace address fits 32 bits, the analyzer drops
+ * stamps entirely and keeps each set's row as 8 u32 addresses in LRU
+ * order followed by 8 u32 dirty windows — one 64-byte line per set.
+ * The probe's match position then IS the stack distance (rank = the
+ * number of more-recent residents = position in recency order), the
+ * eviction victim IS the tail lane (empty lanes cluster at the tail,
+ * so tail-drop evicts an empty slot first, else the LRU line — the
+ * same resident set the stamp rule keeps), and the update is a single
+ * table-driven rotate-to-front. Outputs are bit-identical to the
+ * stamp formulation; only the state representation differs. If a run
+ * ever exceeds the 32-bit address range the analyzer converts the
+ * ordered rows back into stamp rows once (order -> descending stamps)
+ * and continues on the general path.
+ */
+
+/** Empty-lane sentinel; never equals a probed address because the
+ *  compressed path only accepts addresses <= kOrderedMaxAddr. */
+inline constexpr std::uint32_t kOrderedEmpty = 0xFFFFFFFFu;
+/** Largest address the compressed path accepts. */
+inline constexpr std::uint64_t kOrderedMaxAddr = 0xFFFFFFFEull;
+/** Compressed-row encoding of the sticky cold dirty window. */
+inline constexpr std::uint32_t kOrderedColdWindow = 0xFFFFFFFFu;
+
+/** Result of one compressed-row access: `distance` is the stack
+ *  distance (8 on a miss), `window` the front line's dirty window as
+ *  of this access (the writeback window when the access is a write,
+ *  which also resets the stored window to 0). */
+struct Ordered8
+{
+    std::uint32_t distance;
+    std::uint32_t window;
+};
+
+/** Rotate lane @p d to the front on a hit: lanes after d stay put. */
+alignas(32) inline constexpr std::uint32_t kOrderedHitCtrl[8][8] = {
+    {0, 1, 2, 3, 4, 5, 6, 7}, {1, 0, 2, 3, 4, 5, 6, 7},
+    {2, 0, 1, 3, 4, 5, 6, 7}, {3, 0, 1, 2, 4, 5, 6, 7},
+    {4, 0, 1, 2, 3, 5, 6, 7}, {5, 0, 1, 2, 3, 4, 6, 7},
+    {6, 0, 1, 2, 3, 4, 5, 7}, {7, 0, 1, 2, 3, 4, 5, 6},
+};
+
+/** Miss rotate, indexed by the logical way count: drop lane ways-1
+ *  (the LRU-or-empty tail), shift lanes 0..ways-2 back, keep padding
+ *  lanes >= ways in place (they stay the empty sentinel). Lane 0 is
+ *  blended with the new address afterwards, so its control value is
+ *  arbitrary. Index 0 is unused (a row always has >= 1 way). */
+alignas(32) inline constexpr std::uint32_t kOrderedMissCtrl[9][8] = {
+    {0, 1, 2, 3, 4, 5, 6, 7}, {0, 1, 2, 3, 4, 5, 6, 7},
+    {0, 0, 2, 3, 4, 5, 6, 7}, {0, 0, 1, 3, 4, 5, 6, 7},
+    {0, 0, 1, 2, 4, 5, 6, 7}, {0, 0, 1, 2, 3, 5, 6, 7},
+    {0, 0, 1, 2, 3, 4, 6, 7}, {0, 0, 1, 2, 3, 4, 5, 7},
+    {7, 0, 1, 2, 3, 4, 5, 6},
+};
+
+/** Front-window seed, indexed by distance: on a hit at d the new
+ *  window is max(old, d); on a miss (d = 8) it is the cold sentinel.
+ *  Taking an unsigned lane max against [seed, 0, 0, ...] applies both
+ *  rules and leaves every other lane untouched. */
+inline constexpr std::uint32_t kOrderedWinSeed[9] = {
+    0, 1, 2, 3, 4, 5, 6, 7, kOrderedColdWindow,
+};
+
+namespace generic {
+
+inline std::uint64_t
+findResident(const std::uint64_t *addrs, const std::uint64_t *stamps,
+             std::uint64_t stride, std::uint64_t addr)
+{
+    for (std::uint64_t i = 0; i < stride; ++i)
+        if (stamps[i] != 0 && addrs[i] == addr)
+            return i;
+    return stride;
+}
+
+inline std::uint64_t
+countGreater(const std::uint64_t *stamps, std::uint64_t stride,
+             std::uint64_t threshold)
+{
+    std::uint64_t count = 0;
+    for (std::uint64_t i = 0; i < stride; ++i)
+        count += stamps[i] > threshold;
+    return count;
+}
+
+inline std::uint64_t
+minIndex(const std::uint64_t *stamps, const std::uint64_t *pad_mask,
+         std::uint64_t stride)
+{
+    std::uint64_t victim = 0;
+    std::uint64_t best = stamps[0] | pad_mask[0];
+    for (std::uint64_t i = 1; i < stride; ++i) {
+        const std::uint64_t key = stamps[i] | pad_mask[i];
+        if (key < best) {
+            best = key;
+            victim = i;
+        }
+    }
+    return victim;
+}
+
+inline Row8
+rowAccess8(const std::uint64_t *addrs, const std::uint64_t *stamps,
+           const std::uint64_t *pad_mask, std::uint64_t addr)
+{
+    const std::uint64_t hit = findResident(addrs, stamps, 8, addr);
+    if (hit != 8)
+        return {hit, countGreater(stamps, 8, stamps[hit])};
+    return {8, minIndex(stamps, pad_mask, 8)};
+}
+
+/** Scalar rotate shared by every non-AVX2 compressed path: @p d is
+ *  the probe result (8 = miss); see Ordered8 for the contract. */
+inline Ordered8
+orderedRotate8(std::uint32_t *row, std::uint32_t addr, std::uint32_t d,
+               std::uint32_t ways, bool write)
+{
+    std::uint32_t *windows = row + 8;
+    std::uint32_t window;
+    if (d < 8) {
+        const std::uint32_t w = windows[d];
+        window = w > d ? w : d;
+        for (std::uint32_t j = d; j > 0; --j) {
+            row[j] = row[j - 1];
+            windows[j] = windows[j - 1];
+        }
+    } else {
+        window = kOrderedColdWindow;
+        for (std::uint32_t j = ways - 1; j > 0; --j) {
+            row[j] = row[j - 1];
+            windows[j] = windows[j - 1];
+        }
+    }
+    row[0] = addr;
+    windows[0] = write ? 0 : window;
+    return {d, window};
+}
+
+inline Ordered8
+orderedAccess8(std::uint32_t *row, std::uint32_t addr,
+               std::uint32_t ways, bool write)
+{
+    std::uint32_t d = 8;
+    for (std::uint32_t j = 0; j < 8; ++j)
+        if (row[j] == addr) {
+            d = j;
+            break;
+        }
+    return orderedRotate8(row, addr, d, ways, write);
+}
+
+} // namespace generic
+
+#if defined(KB_SIMD_X86)
+
+namespace avx2 {
+
+__attribute__((target("avx2"))) inline std::uint64_t
+findResident(const std::uint64_t *addrs, const std::uint64_t *stamps,
+             std::uint64_t stride, std::uint64_t addr)
+{
+    const __m256i target =
+        _mm256_set1_epi64x(static_cast<long long>(addr));
+    const __m256i zero = _mm256_setzero_si256();
+    for (std::uint64_t i = 0; i < stride; i += 4) {
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(addrs + i));
+        const __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(stamps + i));
+        const __m256i hit = _mm256_andnot_si256(
+            _mm256_cmpeq_epi64(s, zero), _mm256_cmpeq_epi64(a, target));
+        const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(hit));
+        if (mask != 0)
+            return i + static_cast<std::uint64_t>(std::countr_zero(
+                           static_cast<unsigned>(mask)));
+    }
+    return stride;
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t
+countGreater(const std::uint64_t *stamps, std::uint64_t stride,
+             std::uint64_t threshold)
+{
+    // AVX2 only compares signed; XOR-ing both sides with 2^63 maps
+    // unsigned order onto signed order.
+    const __m256i bias = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ull));
+    const __m256i t = _mm256_set1_epi64x(
+        static_cast<long long>(threshold ^ 0x8000000000000000ull));
+    __m256i acc = _mm256_setzero_si256();
+    for (std::uint64_t i = 0; i < stride; i += 4) {
+        const __m256i s = _mm256_xor_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(stamps + i)),
+            bias);
+        acc = _mm256_sub_epi64(acc, _mm256_cmpgt_epi64(s, t));
+    }
+    std::uint64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t
+minIndex(const std::uint64_t *stamps, const std::uint64_t *pad_mask,
+         std::uint64_t stride)
+{
+    const __m256i bias = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ull));
+    // Biased domain: u64 order == signed order. Start at biased ~0.
+    __m256i best = _mm256_set1_epi64x(0x7fffffffffffffffll);
+    for (std::uint64_t i = 0; i < stride; i += 4) {
+        const __m256i key = _mm256_or_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(stamps + i)),
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(pad_mask + i)));
+        const __m256i kb = _mm256_xor_si256(key, bias);
+        best = _mm256_blendv_epi8(best, kb,
+                                  _mm256_cmpgt_epi64(best, kb));
+    }
+    std::uint64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), best);
+    long long min_s = static_cast<long long>(lanes[0]);
+    for (int l = 1; l < 4; ++l)
+        if (static_cast<long long>(lanes[l]) < min_s)
+            min_s = static_cast<long long>(lanes[l]);
+    const __m256i target = _mm256_set1_epi64x(min_s);
+    for (std::uint64_t i = 0; i < stride; i += 4) {
+        const __m256i key = _mm256_or_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(stamps + i)),
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(pad_mask + i)));
+        const __m256i kb = _mm256_xor_si256(key, bias);
+        const int mask = _mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(kb, target)));
+        if (mask != 0)
+            return i + static_cast<std::uint64_t>(std::countr_zero(
+                           static_cast<unsigned>(mask)));
+    }
+    return 0; // unreachable: some lane equals the minimum
+}
+
+/** Signed 64-bit lane minimum. */
+__attribute__((target("avx2"))) inline __m256i
+smin64(__m256i a, __m256i b)
+{
+    return _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(a, b));
+}
+
+__attribute__((target("avx2"))) inline Row8
+rowAccess8(const std::uint64_t *addrs, const std::uint64_t *stamps,
+           const std::uint64_t *pad_mask, std::uint64_t addr)
+{
+    const __m256i target =
+        _mm256_set1_epi64x(static_cast<long long>(addr));
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i a0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(addrs));
+    const __m256i a1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(addrs + 4));
+    const __m256i s0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(stamps));
+    const __m256i s1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(stamps + 4));
+    // Probe both vectors, one movemask bit per lane.
+    const unsigned m =
+        static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(
+            _mm256_andnot_si256(_mm256_cmpeq_epi64(s0, zero),
+                                _mm256_cmpeq_epi64(a0, target))))) |
+        (static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(
+             _mm256_andnot_si256(_mm256_cmpeq_epi64(s1, zero),
+                                 _mm256_cmpeq_epi64(a1, target)))))
+         << 4);
+    const __m256i bias = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ull));
+    if (m != 0) {
+        const auto hit =
+            static_cast<std::uint64_t>(std::countr_zero(m));
+        // Rank count as a popcount of compare-mask bits — no lane
+        // store + horizontal add.
+        const __m256i t = _mm256_set1_epi64x(static_cast<long long>(
+            stamps[hit] ^ 0x8000000000000000ull));
+        const unsigned g =
+            static_cast<unsigned>(
+                _mm256_movemask_pd(_mm256_castsi256_pd(
+                    _mm256_cmpgt_epi64(_mm256_xor_si256(s0, bias),
+                                       t)))) |
+            (static_cast<unsigned>(
+                 _mm256_movemask_pd(_mm256_castsi256_pd(
+                     _mm256_cmpgt_epi64(_mm256_xor_si256(s1, bias),
+                                        t))))
+             << 4);
+        return {hit, static_cast<std::uint64_t>(std::popcount(g))};
+    }
+    // Victim: in-register signed-min reduction over the biased keys,
+    // then the lowest lane equal to the minimum.
+    const __m256i k0 = _mm256_xor_si256(
+        _mm256_or_si256(s0, _mm256_loadu_si256(
+                                reinterpret_cast<const __m256i *>(
+                                    pad_mask))),
+        bias);
+    const __m256i k1 = _mm256_xor_si256(
+        _mm256_or_si256(s1, _mm256_loadu_si256(
+                                reinterpret_cast<const __m256i *>(
+                                    pad_mask + 4))),
+        bias);
+    __m256i mn = smin64(k0, k1);
+    mn = smin64(mn, _mm256_permute4x64_epi64(mn,
+                                             _MM_SHUFFLE(1, 0, 3, 2)));
+    mn = smin64(mn, _mm256_permute4x64_epi64(mn,
+                                             _MM_SHUFFLE(2, 3, 0, 1)));
+    const unsigned e =
+        static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(
+            _mm256_cmpeq_epi64(k0, mn)))) |
+        (static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(
+             _mm256_cmpeq_epi64(k1, mn))))
+         << 4);
+    return {8, static_cast<std::uint64_t>(std::countr_zero(e))};
+}
+
+__attribute__((target("avx2"))) inline Ordered8
+orderedAccess8(std::uint32_t *row, std::uint32_t addr,
+               std::uint32_t ways, bool write)
+{
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(row));
+    const __m256i w =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(row + 8));
+    const __m256i target = _mm256_set1_epi32(static_cast<int>(addr));
+    const unsigned m = static_cast<unsigned>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(a, target))));
+    // Bit 8 turns an empty mask into distance 8 without a branch.
+    const std::uint32_t d = static_cast<std::uint32_t>(
+        std::countr_zero(m | 0x100u));
+    const __m256i ctrl = _mm256_load_si256(
+        reinterpret_cast<const __m256i *>(
+            d < 8 ? kOrderedHitCtrl[d] : kOrderedMissCtrl[ways]));
+    // On a hit the permuted front lane already equals addr, so the
+    // blend is only load-bearing on a miss (and harmless otherwise).
+    const __m256i na = _mm256_blend_epi32(
+        _mm256_permutevar8x32_epi32(a, ctrl), target, 0x1);
+    __m256i nw = _mm256_max_epu32(
+        _mm256_permutevar8x32_epi32(w, ctrl),
+        _mm256_castsi128_si256(
+            _mm_cvtsi32_si128(static_cast<int>(kOrderedWinSeed[d]))));
+    const std::uint32_t window = static_cast<std::uint32_t>(
+        _mm_cvtsi128_si32(_mm256_castsi256_si128(nw)));
+    if (write)
+        nw = _mm256_blend_epi32(nw, _mm256_setzero_si256(), 0x1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(row), na);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(row + 8), nw);
+    return {d, window};
+}
+
+} // namespace avx2
+
+namespace sse2 {
+
+/** 64-bit lane equality from 32-bit compares (no SSE4.1). */
+inline __m128i
+eq64(__m128i a, __m128i b)
+{
+    const __m128i e = _mm_cmpeq_epi32(a, b);
+    return _mm_and_si128(e,
+                         _mm_shuffle_epi32(e, _MM_SHUFFLE(2, 3, 0, 1)));
+}
+
+/**
+ * Unsigned 64-bit a > b as a full-lane mask. Hacker's Delight
+ * borrow predicate: sign of (~b & a) | ((~b | a) & (b - a)) is
+ * [b < a]; the sign bit is then smeared across the lane.
+ */
+inline __m128i
+gtu64(__m128i a, __m128i b)
+{
+    const __m128i ones = _mm_set1_epi32(-1);
+    __m128i s = _mm_or_si128(
+        _mm_andnot_si128(b, a),
+        _mm_and_si128(_mm_or_si128(_mm_xor_si128(b, ones), a),
+                      _mm_sub_epi64(b, a)));
+    s = _mm_shuffle_epi32(s, _MM_SHUFFLE(3, 3, 1, 1));
+    return _mm_srai_epi32(s, 31);
+}
+
+inline std::uint64_t
+findResident(const std::uint64_t *addrs, const std::uint64_t *stamps,
+             std::uint64_t stride, std::uint64_t addr)
+{
+    const __m128i target =
+        _mm_set1_epi64x(static_cast<long long>(addr));
+    const __m128i zero = _mm_setzero_si128();
+    for (std::uint64_t i = 0; i < stride; i += 2) {
+        const __m128i a = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(addrs + i));
+        const __m128i s = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(stamps + i));
+        const __m128i hit =
+            _mm_andnot_si128(eq64(s, zero), eq64(a, target));
+        const int mask = _mm_movemask_pd(_mm_castsi128_pd(hit));
+        if (mask != 0)
+            return i + static_cast<std::uint64_t>(std::countr_zero(
+                           static_cast<unsigned>(mask)));
+    }
+    return stride;
+}
+
+inline std::uint64_t
+countGreater(const std::uint64_t *stamps, std::uint64_t stride,
+             std::uint64_t threshold)
+{
+    const __m128i t =
+        _mm_set1_epi64x(static_cast<long long>(threshold));
+    __m128i acc = _mm_setzero_si128();
+    for (std::uint64_t i = 0; i < stride; i += 2) {
+        const __m128i s = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(stamps + i));
+        acc = _mm_sub_epi64(acc, gtu64(s, t));
+    }
+    std::uint64_t lanes[2];
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(lanes), acc);
+    return lanes[0] + lanes[1];
+}
+
+inline std::uint64_t
+minIndex(const std::uint64_t *stamps, const std::uint64_t *pad_mask,
+         std::uint64_t stride)
+{
+    __m128i best = _mm_set1_epi32(-1); // ~0 per u64 lane
+    for (std::uint64_t i = 0; i < stride; i += 2) {
+        const __m128i key = _mm_or_si128(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(stamps + i)),
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(pad_mask + i)));
+        const __m128i gt = gtu64(best, key);
+        best = _mm_or_si128(_mm_and_si128(gt, key),
+                            _mm_andnot_si128(gt, best));
+    }
+    std::uint64_t lanes[2];
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(lanes), best);
+    const std::uint64_t min_v =
+        lanes[0] < lanes[1] ? lanes[0] : lanes[1];
+    const __m128i target =
+        _mm_set1_epi64x(static_cast<long long>(min_v));
+    for (std::uint64_t i = 0; i < stride; i += 2) {
+        const __m128i key = _mm_or_si128(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(stamps + i)),
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(pad_mask + i)));
+        const int mask =
+            _mm_movemask_pd(_mm_castsi128_pd(eq64(key, target)));
+        if (mask != 0)
+            return i + static_cast<std::uint64_t>(std::countr_zero(
+                           static_cast<unsigned>(mask)));
+    }
+    return 0; // unreachable: some lane equals the minimum
+}
+
+/** Unsigned 64-bit lane minimum. */
+inline __m128i
+umin64(__m128i a, __m128i b)
+{
+    const __m128i gt = gtu64(a, b);
+    return _mm_or_si128(_mm_and_si128(gt, b),
+                        _mm_andnot_si128(gt, a));
+}
+
+inline Row8
+rowAccess8(const std::uint64_t *addrs, const std::uint64_t *stamps,
+           const std::uint64_t *pad_mask, std::uint64_t addr)
+{
+    const __m128i target =
+        _mm_set1_epi64x(static_cast<long long>(addr));
+    const __m128i zero = _mm_setzero_si128();
+    __m128i s[4];
+    unsigned m = 0;
+    for (int v = 0; v < 4; ++v) {
+        const __m128i a = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(addrs + 2 * v));
+        s[v] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(stamps + 2 * v));
+        m |= static_cast<unsigned>(_mm_movemask_pd(_mm_castsi128_pd(
+                 _mm_andnot_si128(eq64(s[v], zero), eq64(a, target)))))
+             << (2 * v);
+    }
+    if (m != 0) {
+        const auto hit =
+            static_cast<std::uint64_t>(std::countr_zero(m));
+        const __m128i t =
+            _mm_set1_epi64x(static_cast<long long>(stamps[hit]));
+        unsigned g = 0;
+        for (int v = 0; v < 4; ++v)
+            g |= static_cast<unsigned>(_mm_movemask_pd(
+                     _mm_castsi128_pd(gtu64(s[v], t))))
+                 << (2 * v);
+        return {hit, static_cast<std::uint64_t>(std::popcount(g))};
+    }
+    __m128i k[4];
+    for (int v = 0; v < 4; ++v)
+        k[v] = _mm_or_si128(
+            s[v], _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                      pad_mask + 2 * v)));
+    __m128i mn = umin64(umin64(k[0], k[1]), umin64(k[2], k[3]));
+    mn = umin64(mn,
+                _mm_shuffle_epi32(mn, _MM_SHUFFLE(1, 0, 3, 2)));
+    unsigned e = 0;
+    for (int v = 0; v < 4; ++v)
+        e |= static_cast<unsigned>(
+                 _mm_movemask_pd(_mm_castsi128_pd(eq64(k[v], mn))))
+             << (2 * v);
+    return {8, static_cast<std::uint64_t>(std::countr_zero(e))};
+}
+
+inline Ordered8
+orderedAccess8(std::uint32_t *row, std::uint32_t addr,
+               std::uint32_t ways, bool write)
+{
+    // Vector probe (cmpeq_epi32 is baseline SSE2), scalar rotate: the
+    // rotate is at most eight u32 moves and this path only carries
+    // the pre-AVX2 fallback.
+    const __m128i target = _mm_set1_epi32(static_cast<int>(addr));
+    const unsigned m =
+        static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(
+            _mm_cmpeq_epi32(
+                _mm_loadu_si128(reinterpret_cast<const __m128i *>(row)),
+                target)))) |
+        (static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(
+             _mm_cmpeq_epi32(_mm_loadu_si128(
+                                 reinterpret_cast<const __m128i *>(
+                                     row + 4)),
+                             target))))
+         << 4);
+    const std::uint32_t d = static_cast<std::uint32_t>(
+        std::countr_zero(m | 0x100u));
+    return generic::orderedRotate8(row, addr, d, ways, write);
+}
+
+} // namespace sse2
+
+#elif defined(KB_SIMD_NEON)
+
+namespace neon {
+
+inline std::uint64_t
+findResident(const std::uint64_t *addrs, const std::uint64_t *stamps,
+             std::uint64_t stride, std::uint64_t addr)
+{
+    const uint64x2_t target = vdupq_n_u64(addr);
+    const uint64x2_t zero = vdupq_n_u64(0);
+    for (std::uint64_t i = 0; i < stride; i += 2) {
+        const uint64x2_t a = vld1q_u64(addrs + i);
+        const uint64x2_t s = vld1q_u64(stamps + i);
+        const uint64x2_t hit =
+            vbicq_u64(vceqq_u64(a, target), vceqq_u64(s, zero));
+        if (vgetq_lane_u64(hit, 0) != 0)
+            return i;
+        if (vgetq_lane_u64(hit, 1) != 0)
+            return i + 1;
+    }
+    return stride;
+}
+
+inline std::uint64_t
+countGreater(const std::uint64_t *stamps, std::uint64_t stride,
+             std::uint64_t threshold)
+{
+    const uint64x2_t t = vdupq_n_u64(threshold);
+    uint64x2_t acc = vdupq_n_u64(0);
+    for (std::uint64_t i = 0; i < stride; i += 2) {
+        const uint64x2_t s = vld1q_u64(stamps + i);
+        acc = vsubq_u64(acc, vcgtq_u64(s, t));
+    }
+    return vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+}
+
+inline std::uint64_t
+minIndex(const std::uint64_t *stamps, const std::uint64_t *pad_mask,
+         std::uint64_t stride)
+{
+    uint64x2_t best = vdupq_n_u64(~0ull);
+    for (std::uint64_t i = 0; i < stride; i += 2) {
+        const uint64x2_t key =
+            vorrq_u64(vld1q_u64(stamps + i), vld1q_u64(pad_mask + i));
+        best = vbslq_u64(vcgtq_u64(best, key), key, best);
+    }
+    const std::uint64_t l0 = vgetq_lane_u64(best, 0);
+    const std::uint64_t l1 = vgetq_lane_u64(best, 1);
+    const uint64x2_t target = vdupq_n_u64(l0 < l1 ? l0 : l1);
+    for (std::uint64_t i = 0; i < stride; i += 2) {
+        const uint64x2_t key =
+            vorrq_u64(vld1q_u64(stamps + i), vld1q_u64(pad_mask + i));
+        const uint64x2_t eq = vceqq_u64(key, target);
+        if (vgetq_lane_u64(eq, 0) != 0)
+            return i;
+        if (vgetq_lane_u64(eq, 1) != 0)
+            return i + 1;
+    }
+    return 0; // unreachable: some lane equals the minimum
+}
+
+inline Row8
+rowAccess8(const std::uint64_t *addrs, const std::uint64_t *stamps,
+           const std::uint64_t *pad_mask, std::uint64_t addr)
+{
+    const std::uint64_t hit = findResident(addrs, stamps, 8, addr);
+    if (hit != 8)
+        return {hit, countGreater(stamps, 8, stamps[hit])};
+    return {8, minIndex(stamps, pad_mask, 8)};
+}
+
+inline Ordered8
+orderedAccess8(std::uint32_t *row, std::uint32_t addr,
+               std::uint32_t ways, bool write)
+{
+    // Vector probe, scalar rotate (see the sse2 variant's note).
+    const uint32x4_t target = vdupq_n_u32(addr);
+    const uint32x4_t e0 = vceqq_u32(vld1q_u32(row), target);
+    const uint32x4_t e1 = vceqq_u32(vld1q_u32(row + 4), target);
+    std::uint32_t d = 8;
+    alignas(16) std::uint32_t lanes[8];
+    vst1q_u32(lanes, e0);
+    vst1q_u32(lanes + 4, e1);
+    for (std::uint32_t j = 0; j < 8; ++j)
+        if (lanes[j] != 0) {
+            d = j;
+            break;
+        }
+    return generic::orderedRotate8(row, addr, d, ways, write);
+}
+
+} // namespace neon
+
+#endif
+
+} // namespace kb::simd

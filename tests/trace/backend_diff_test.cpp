@@ -218,18 +218,42 @@ TEST(TraceBackendDiff, TilePlanConcatenationContract)
     }
 }
 
-/** The opted-in kernels of this PR really declare tile plans. */
+/** The opted-in kernels really declare multi-tile plans. */
 TEST(TraceBackendDiff, CoreKernelsOptIn)
 {
     Xoshiro256 rng(0x5EED);
     for (const std::string name :
-         {"matmul", "stencil9", "stencil9t", "matvec", "fft"}) {
+         {"matmul", "stencil9", "stencil9t", "matvec", "fft",
+          "triangularization", "qr", "trisolve", "sorting", "spmv",
+          "grid1d", "grid2d", "grid3d", "grid4d"}) {
         SCOPED_TRACE("kernel " + name);
         const auto kernel = KernelRegistry::instance().shared(name);
         std::uint64_t n = 0, m = 0;
         randomPoint(*kernel, rng, n, m);
         EXPECT_GT(kernel->tilePlan(n, m).tiles, 1u);
     }
+}
+
+/**
+ * Every built-in kernel carries a tile plan at sweep-range sizes:
+ * the threaded backend's scalar-fallback count over the whole
+ * registry is zero, so no built-in silently serializes emission.
+ */
+TEST(TraceBackendDiff, NoScalarFallbackForBuiltins)
+{
+    Xoshiro256 rng(0xFA11BACC);
+    std::size_t fallbacks = 0;
+    for (const auto &name : KernelRegistry::instance().names()) {
+        SCOPED_TRACE("kernel " + name);
+        const auto kernel = KernelRegistry::instance().shared(name);
+        std::uint64_t n = 0, m = 0;
+        randomPoint(*kernel, rng, n, m);
+        const std::uint64_t tiles = kernel->tilePlan(n, m).tiles;
+        EXPECT_GT(tiles, 0u) << "scalar fallback at n=" << n
+                             << " m=" << m;
+        fallbacks += tiles == 0;
+    }
+    EXPECT_EQ(fallbacks, 0u);
 }
 
 /**
