@@ -51,6 +51,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include <unistd.h>
 
@@ -64,6 +65,7 @@
 #include "mem/lru_cache.hpp"
 #include "mem/opt_cache.hpp"
 #include "trace/backend.hpp"
+#include "trace/pipeline.hpp"
 #include "trace/replay.hpp"
 #include "trace/reuse.hpp"
 #include "trace/sink.hpp"
@@ -448,6 +450,67 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
         return 1;
     }
 
+    // The fully associative pass per analyzer path: Scalar is the
+    // pre-fusion implementation verbatim (the only one earlier
+    // revisions had), Simd adds the ISA rank scans and the run-block
+    // shortcut.
+    const auto timeFullyAssoc = [&](AnalyzerPath path,
+                                    MissCurve &curve_out) {
+        const auto path_t0 = std::chrono::steady_clock::now();
+        ReuseDistanceAnalyzer fa(path);
+        kernel->emitTrace(n_trace, schedule_m, fa);
+        curve_out = fa.missCurve();
+        return secondsSince(path_t0);
+    };
+    MissCurve fa_scalar_curve({}, 0, 0);
+    MissCurve fa_simd_curve({}, 0, 0);
+    const double fa_scalar_s =
+        timeFullyAssoc(AnalyzerPath::Scalar, fa_scalar_curve);
+    const double fa_simd_s =
+        timeFullyAssoc(AnalyzerPath::Simd, fa_simd_curve);
+    for (const std::uint64_t m : grid_m) {
+        if (fa_scalar_curve.ioWords(m) != curve.ioWords(m) ||
+            fa_simd_curve.ioWords(m) != curve.ioWords(m)) {
+            std::cerr << "perf-json: fully-assoc analyzer paths "
+                         "diverged; refusing to report\n";
+            return 1;
+        }
+    }
+
+    // --- the fused pipeline A/B: every Mattson curve of a cold
+    // all-models sweep from ONE emission vs the separate passes
+    // earlier revisions ran. Separate = the fully associative pass
+    // (its pre-fusion scalar implementation) + the multi-set pass,
+    // each walking its own emission. Fused = one emission through the
+    // chunked pipeline into one consumer carrying the fully
+    // associative plane inside the multi-set walk.
+    const double fused_separate_s = fa_scalar_s + multi_simd_s;
+    t0 = std::chrono::steady_clock::now();
+    MultiSetReuseAnalyzer fused(grid_sets, 8, AnalyzerPath::Simd,
+                                true);
+    AnalysisPipeline fused_pipe;
+    fused_pipe.attach(fused);
+    kernel->emitTrace(n_trace, schedule_m, fused_pipe);
+    fused_pipe.flush();
+    std::uint64_t fused_sa_io = 0;
+    for (std::size_t p = 0; p < fused.planeCount(); ++p)
+        fused_sa_io += fused.waysCurve(p).ioWords(8);
+    const MissCurve fused_fa_curve = fused.fullyAssocCurve();
+    const double fused_pipeline_s = secondsSince(t0);
+    if (fused_sa_io != multi_io) {
+        std::cerr << "perf-json: fused pipeline diverged from the "
+                     "separate multi-set pass; refusing to report\n";
+        return 1;
+    }
+    for (const std::uint64_t m : grid_m) {
+        if (fused_fa_curve.ioWords(m) != curve.ioWords(m)) {
+            std::cerr << "perf-json: fused fully-assoc plane diverged "
+                         "from the separate pass; refusing to "
+                         "report\n";
+            return 1;
+        }
+    }
+
     // OPT: the streaming two-pass walk (two emissions, no trace
     // buffer) vs buffering the trace and walking it in place.
     OptStreamStats opt_stats;
@@ -531,6 +594,7 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
     const auto rate = [words](double s) {
         return s > 0.0 ? static_cast<double>(words) / s : 0.0;
     };
+    const char *kb_simd_env = std::getenv("KB_SIMD");
     out.precision(6);
     out << "{\n"
         << "  \"bench\": \"bench_engine_sweep\",\n"
@@ -538,6 +602,18 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
         << "  \"schedule_m\": " << schedule_m << ",\n"
         << "  \"n_trace\": " << n_trace << ",\n"
         << "  \"trace_words\": " << words << ",\n"
+        << "  \"host\": {\n"
+        << "    \"cpus\": " << std::thread::hardware_concurrency()
+        << ",\n"
+        << "    \"simd_isa\": \"" << analyzerSimdIsa() << "\",\n"
+        << "    \"kb_simd\": \""
+        << (kb_simd_env != nullptr && *kb_simd_env != '\0'
+                ? kb_simd_env
+                : "auto")
+        << "\",\n"
+        << "    \"analyzer_path\": \""
+        << analyzerPathName(activeAnalyzerPath()) << "\"\n"
+        << "  },\n"
         << "  \"replay\": {\n"
         << "    \"emit_only_s\": " << emit_s << ",\n"
         << "    \"emit_words_per_s\": " << rate(emit_s) << ",\n"
@@ -569,6 +645,22 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
         << ",\n"
         << "    \"multi_set_speedup\": "
         << (multi_s > 0.0 ? per_set_s / multi_s : 0.0) << ",\n"
+        << "    \"fully_assoc_scalar_s\": " << fa_scalar_s << ",\n"
+        << "    \"fully_assoc_simd_s\": " << fa_simd_s << ",\n"
+        << "    \"fully_assoc_simd_speedup\": "
+        << (fa_simd_s > 0.0 ? fa_scalar_s / fa_simd_s : 0.0) << ",\n"
+        << "    \"fused_separate_passes_s\": " << fused_separate_s
+        << ",\n"
+        << "    \"fused_pipeline_s\": " << fused_pipeline_s << ",\n"
+        << "    \"fused_pipeline_words_per_s\": "
+        << rate(fused_pipeline_s) << ",\n"
+        << "    \"fused_speedup\": "
+        << (fused_pipeline_s > 0.0
+                ? fused_separate_s / fused_pipeline_s
+                : 0.0)
+        << ",\n"
+        << "    \"fused_chunks\": " << fused_pipe.chunksDelivered()
+        << ",\n"
         << "    \"opt_streaming_s\": " << opt_stream_s << ",\n"
         << "    \"opt_streaming_words_per_s\": "
         << rate(opt_stream_s) << ",\n"
@@ -688,6 +780,15 @@ writePerfReport(const bench::BenchContext &ctx, const std::string &path)
               << (multi_s > 0.0 ? per_set_s / multi_s : 0.0)
               << "x vs per-set), streaming OPT " << rate(opt_stream_s)
               << " w/s"
+              << "\nfused pipeline (all Mattson curves, one emission): "
+              << fused_pipeline_s << " s vs " << fused_separate_s
+              << " s separate passes ("
+              << (fused_pipeline_s > 0.0
+                      ? fused_separate_s / fused_pipeline_s
+                      : 0.0)
+              << "x); fully-assoc simd "
+              << (fa_simd_s > 0.0 ? fa_scalar_s / fa_simd_s : 0.0)
+              << "x vs scalar"
               << "\ncurve store (ablation job): disk-cold "
               << store_ab.disk_cold_s << " s, disk-warm "
               << store_ab.disk_warm_s << " s, warm emissions "

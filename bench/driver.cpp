@@ -121,6 +121,8 @@ printUsage(const char *prog, const char *experiment,
         "  --list-kernels           print registered kernels and exit\n"
         "  --list-backends          print registered trace-emission\n"
         "                           backends and exit\n"
+        "  --list-analyzers         print analyzer paths (with the\n"
+        "                           resolved SIMD ISA) and exit\n"
         "  --help                   this text\n");
 }
 
@@ -142,6 +144,18 @@ listBackends()
     for (const auto &name : registry.names())
         std::printf("%-18s %s\n", name.c_str(),
                     registry.describe(name).c_str());
+}
+
+void
+listAnalyzers()
+{
+    std::printf("%-18s %s\n", analyzerPathName(AnalyzerPath::Scalar),
+                "original per-word loops (the bit-exactness oracle)");
+    std::printf("%-18s %s (resolved ISA: %s)\n",
+                analyzerPathName(AnalyzerPath::Simd),
+                "vectorized row scans, MarkRank block scans and the "
+                "run-block shortcut",
+                analyzerSimdIsa());
 }
 
 bool
@@ -409,6 +423,9 @@ runBench(int argc, char **argv, const char *experiment,
         } else if (arg == "--list-backends") {
             listBackends();
             return 0;
+        } else if (arg == "--list-analyzers") {
+            listAnalyzers();
+            return 0;
         } else if (arg == "--backend") {
             const char *v = value("--backend");
             if (v == nullptr)
@@ -578,7 +595,7 @@ runBench(int argc, char **argv, const char *experiment,
         if (!parseAnalyzerPath(opts.analyzer, path)) {
             std::fprintf(stderr,
                          "%s: unknown analyzer path '%s' (valid: "
-                         "scalar, simd)\n",
+                         "scalar, simd; try --list-analyzers)\n",
                          prog, opts.analyzer.c_str());
             return 2;
         }

@@ -17,6 +17,7 @@
 #include "pebble/builders.hpp"
 #include "pebble/heuristic.hpp"
 #include "trace/backend.hpp"
+#include "trace/pipeline.hpp"
 #include "trace/replay.hpp"
 #include "trace/reuse.hpp"
 #include "trace/sink.hpp"
@@ -208,6 +209,90 @@ BM_MultiSetRowScan(benchmark::State &state)
                             static_cast<std::int64_t>(words));
 }
 BENCHMARK(BM_MultiSetRowScan)->Arg(0)->Arg(1);
+
+/**
+ * Rank-query throughput over a realistic mid-trace bitmap: cold
+ * streaks of set marks with gaps between them, queries spread across
+ * the whole stamp hierarchy. Both paths return identical ranks
+ * (MarkRankDiff asserts it); only the block-scan speed differs.
+ */
+void
+markRankBenchmark(benchmark::State &state, AnalyzerPath path)
+{
+    const std::uint64_t domain = 1 << 18;
+    MarkRank rank(path);
+    rank.grow(domain);
+    for (std::uint64_t base = 0; base + 384 <= domain; base += 512)
+        rank.setRun(base, 384);
+    Xoshiro256 rng(11);
+    std::vector<std::uint64_t> queries(1 << 12);
+    for (auto &q : queries)
+        q = rng.below(domain);
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        for (const auto q : queries)
+            sum += rank.rankInc(q);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(queries.size()));
+}
+
+void
+BM_MarkRankScalar(benchmark::State &state)
+{
+    markRankBenchmark(state, AnalyzerPath::Scalar);
+}
+BENCHMARK(BM_MarkRankScalar);
+
+void
+BM_MarkRankSimd(benchmark::State &state)
+{
+    markRankBenchmark(state, AnalyzerPath::Simd);
+}
+BENCHMARK(BM_MarkRankSimd);
+
+void
+BM_FusedPipeline(benchmark::State &state)
+{
+    // The fused unit end to end: one op stream rendered into the
+    // chunk ring and fanned out to a single consumer carrying every
+    // set-count plane plus the fused fully-assoc clock plane. Compare
+    // BM_MultiSetRowScan(1) + BM_ReuseHierarchical run back to back
+    // for the separate-pass cost this replaces.
+    const std::vector<std::uint64_t> sets{6, 12, 21, 39, 72, 133,
+                                          247, 512};
+    Xoshiro256 rng(7);
+    struct Run
+    {
+        std::uint64_t base;
+        std::uint64_t words;
+        bool write;
+    };
+    std::vector<Run> runs(1 << 10);
+    for (auto &r : runs)
+        r = {rng.below(1 << 14), 1 + rng.below(64),
+             rng.below(4) == 0};
+    std::uint64_t words = 0;
+    for (const auto &r : runs)
+        words += r.words;
+    for (auto _ : state) {
+        MultiSetReuseAnalyzer fused(sets, 8, AnalyzerPath::Simd,
+                                    /*fuse_fully_assoc=*/true);
+        AnalysisPipeline pipeline;
+        pipeline.attach(fused);
+        for (const auto &r : runs)
+            pipeline.onRun(r.base, r.words,
+                           r.write ? AccessType::Write
+                                   : AccessType::Read);
+        pipeline.flush();
+        benchmark::DoNotOptimize(fused.accesses());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(words));
+}
+BENCHMARK(BM_FusedPipeline);
 
 void
 BM_OptStreaming(benchmark::State &state)

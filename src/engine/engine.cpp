@@ -13,6 +13,7 @@
 #include "mem/opt_cache.hpp"
 #include "mem/set_assoc.hpp"
 #include "trace/backend.hpp"
+#include "trace/pipeline.hpp"
 #include "trace/replay.hpp"
 #include "trace/reuse.hpp"
 #include "trace/sink.hpp"
@@ -216,10 +217,13 @@ usesJobTrace(const SweepJob &job)
 }
 
 /**
- * Emit one (n, m) trace through a sink fan-out shared by both replay
- * paths: the streaming models (if any) behind one ReplaySink —
- * flushed at end of trace — plus any extra branches (the
- * stack-distance analyzers, OPT's next-use recorder).
+ * Emit one (n, m) trace through the fused analysis pipeline shared by
+ * both replay paths: the streaming models (if any) behind one
+ * ReplaySink — flushed at end of trace — plus any extra branches (the
+ * stack-distance analyzers, OPT's next-use recorder). Each rendered
+ * chunk fans out to every consumer before the next is rendered, so
+ * consumers run cache-hot over whole chunks instead of interleaving
+ * per op through a tee (see trace/pipeline.hpp).
  */
 void
 emitThroughBranches(const Kernel &kernel, std::uint64_t n,
@@ -239,10 +243,15 @@ emitThroughBranches(const Kernel &kernel, std::uint64_t n,
     g_emissions.fetch_add(1, std::memory_order_relaxed);
     const TraceBackend &backend = activeTraceBackend();
     if (branches.size() == 1) {
+        // One consumer gets the stream directly: chunking buys
+        // nothing without a fan-out to amortize it over.
         backend.emit(kernel, n, m, *branches.front());
     } else {
-        TeeSink tee(branches);
-        backend.emit(kernel, n, m, tee);
+        AnalysisPipeline pipeline;
+        for (TraceSink *branch : branches)
+            pipeline.attach(*branch);
+        backend.emit(kernel, n, m, pipeline);
+        pipeline.flush();
     }
     if (replay)
         replay->flush();
@@ -450,16 +459,23 @@ executeJobTrace(PreparedJob &pj)
     std::optional<MultiSetReuseAnalyzer> sa_analyzer;
     std::optional<OptNextUseRecorder> opt_recorder;
     std::vector<TraceSink *> branches;
-    if (wants_lru && !lru_curve)
-        branches.push_back(&lru_analyzer);
     std::vector<std::uint64_t> missing_sets;
     for (auto &[sets, curve] : sa_curves)
         if (!curve)
             missing_sets.push_back(sets);
+    // When both Mattson curves are missing, ONE fused consumer walks
+    // the trace for both: the fully associative pass rides the
+    // multi-set walk as a shared-clock plane, eliminating a whole
+    // analyzer from the fan-out (lever (a) of the fused pipeline).
+    const bool need_lru = wants_lru && !lru_curve;
+    const bool fuse_lru = need_lru && !missing_sets.empty();
     if (!missing_sets.empty()) {
-        sa_analyzer.emplace(missing_sets, kSetAssocWays);
+        sa_analyzer.emplace(missing_sets, kSetAssocWays,
+                            activeAnalyzerPath(), fuse_lru);
         branches.push_back(&*sa_analyzer);
     }
+    if (need_lru && !fuse_lru)
+        branches.push_back(&lru_analyzer);
     if (wants_opt && !opt_curve) {
         opt_recorder.emplace();
         branches.push_back(&*opt_recorder);
@@ -469,9 +485,10 @@ executeJobTrace(PreparedJob &pj)
         emitThroughBranches(kernel, n_trace, job.schedule_m,
                             streaming_ptrs, std::move(branches));
 
-    if (wants_lru && !lru_curve) {
+    if (need_lru) {
         lru_curve = std::make_shared<const MissCurve>(
-            lru_analyzer.missCurve());
+            fuse_lru ? sa_analyzer->fullyAssocCurve()
+                     : lru_analyzer.missCurve());
         store.storeLru(trace_key, lru_curve);
     }
     if (sa_analyzer) {

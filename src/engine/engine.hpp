@@ -16,8 +16,10 @@
  * produce bit-identical results and byte-identical reports.
  *
  * Replay models are streamed: each point emits its trace once, piping
- * it through a ReplaySink (fanned out with TeeSink) into every
- * demand-fill model in a single pass with no intermediate vector.
+ * it through a ReplaySink (fanned out through the chunked
+ * AnalysisPipeline when several consumers share the emission) into
+ * every demand-fill model in a single pass with no intermediate
+ * vector.
  * Only Belady OPT, which needs the future, ever holds the trace — the
  * per-point replay path buffers it when a job requests an OPT column,
  * while the fast path streams OPT in two passes with no buffer (see

@@ -498,6 +498,17 @@ OptNextUseRecorder::note(std::uint64_t addr)
 }
 
 void
+OptNextUseRecorder::noteRun(std::uint64_t base, std::uint64_t words)
+{
+    constexpr std::uint64_t kLookahead = 8;
+    for (std::uint64_t i = 0; i < words; ++i) {
+        if (i + kLookahead < words)
+            last_seen_.prefetch(base + i + kLookahead);
+        note(base + i);
+    }
+}
+
+void
 OptNextUseRecorder::spill()
 {
     if (spill_dir_.empty())

@@ -218,8 +218,7 @@ class OptNextUseRecorder : public TraceSink
           AccessType type) override
     {
         (void)type; // next-use structure ignores read/write
-        for (std::uint64_t i = 0; i < words; ++i)
-            note(base + i);
+        noteRun(base, words);
     }
 
     /** Trace positions recorded so far. */
@@ -253,6 +252,11 @@ class OptNextUseRecorder : public TraceSink
     };
 
     void note(std::uint64_t addr);
+    /// note() over a contiguous run with the last-seen probes
+    /// prefetched ahead — run addresses are distinct, so the probes
+    /// are independent and the table walk pipelines (same lookahead
+    /// recipe as the reuse analyzers' map phase).
+    void noteRun(std::uint64_t base, std::uint64_t words);
     void spill();
     std::string bucketFile(std::size_t chunk) const;
     /// Materialize chunk @p chunk's next-use array (kNever where no

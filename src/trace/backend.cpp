@@ -8,63 +8,14 @@
 #include <thread>
 #include <utility>
 
+#include "trace/pipeline.hpp"
 #include "util/logging.hpp"
 
 namespace kb {
 
-namespace {
-
-/**
- * One recorded sink call. is_run preserves the onAccess/onRun split
- * exactly: replaying a buffer performs the identical virtual-call
- * sequence the kernel made, so any sink — counting, analyzing,
- * storing — observes a stream indistinguishable from the scalar
- * backend's.
- */
-struct TraceOp
-{
-    std::uint64_t base = 0;
-    std::uint64_t words = 0;
-    AccessType type = AccessType::Read;
-    bool is_run = false;
-};
-
-/** Records a tile chunk's sink calls for ordered replay. */
-class OpBufferSink : public TraceSink
-{
-  public:
-    void
-    onAccess(const Access &access) override
-    {
-        ops_.push_back(TraceOp{access.addr, 1, access.type, false});
-    }
-
-    void
-    onRun(std::uint64_t base, std::uint64_t words,
-          AccessType type) override
-    {
-        ops_.push_back(TraceOp{base, words, type, true});
-    }
-
-    std::vector<TraceOp> take() { return std::move(ops_); }
-
-  private:
-    std::vector<TraceOp> ops_;
-};
-
-/** Replay a rendered chunk into the real sink, call for call. */
-void
-drainOps(const std::vector<TraceOp> &ops, TraceSink &sink)
-{
-    for (const TraceOp &op : ops) {
-        if (op.is_run)
-            sink.onRun(op.base, op.words, op.type);
-        else
-            sink.onAccess(Access{op.base, op.type});
-    }
-}
-
-} // namespace
+// TraceOp / OpBufferSink / drainOps — the chunk record/replay
+// machinery the tile handoff below is built on — moved to
+// trace/pipeline.hpp, where the fused analysis pipeline shares them.
 
 // ------------------------------------------------------------ scalar
 

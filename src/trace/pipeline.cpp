@@ -1,0 +1,65 @@
+#include "trace/pipeline.hpp"
+
+namespace kb {
+
+void
+drainOps(const std::vector<TraceOp> &ops, TraceSink &sink)
+{
+    for (const TraceOp &op : ops) {
+        if (op.is_run)
+            sink.onRun(op.base, op.words, op.type);
+        else
+            sink.onAccess(Access{op.base, op.type});
+    }
+}
+
+AnalysisPipeline::AnalysisPipeline(std::size_t chunk_ops)
+    : chunk_ops_(chunk_ops == 0 ? 1 : chunk_ops)
+{
+    chunk_.reserve(chunk_ops_);
+}
+
+void
+AnalysisPipeline::attach(TraceSink &consumer)
+{
+    consumers_.push_back(&consumer);
+}
+
+void
+AnalysisPipeline::onAccess(const Access &access)
+{
+    chunk_.push_back(TraceOp{access.addr, 1, access.type, false});
+    buffered_words_ += 1;
+    if (chunk_.size() >= chunk_ops_)
+        deliver();
+}
+
+void
+AnalysisPipeline::onRun(std::uint64_t base, std::uint64_t words,
+                        AccessType type)
+{
+    chunk_.push_back(TraceOp{base, words, type, true});
+    buffered_words_ += words;
+    if (chunk_.size() >= chunk_ops_)
+        deliver();
+}
+
+void
+AnalysisPipeline::flush()
+{
+    if (!chunk_.empty())
+        deliver();
+}
+
+void
+AnalysisPipeline::deliver()
+{
+    for (TraceSink *consumer : consumers_)
+        drainOps(chunk_, *consumer);
+    ++chunks_;
+    words_ += buffered_words_;
+    buffered_words_ = 0;
+    chunk_.clear();
+}
+
+} // namespace kb

@@ -101,6 +101,48 @@ constexpr std::uint64_t kPlaneColdWindow =
 #undef KB_PLANE_ISA
 #undef KB_PLANE_TARGET
 
+// Same recipe for MarkRank's rank query (trace/rank_scan.inc): the
+// block-scan reductions of util/simd.hpp inline into one function per
+// dispatchable ISA, and the fully associative pass pays one indirect
+// call per rank query.
+#if defined(KB_SIMD_X86)
+
+#define KB_RANK_FN rankIncSse2
+#define KB_RANK_ISA kb::simd::sse2
+#define KB_RANK_TARGET
+#include "trace/rank_scan.inc"
+#undef KB_RANK_FN
+#undef KB_RANK_ISA
+#undef KB_RANK_TARGET
+
+#define KB_RANK_FN rankIncAvx2
+#define KB_RANK_ISA kb::simd::avx2
+#define KB_RANK_TARGET __attribute__((target("avx2")))
+#include "trace/rank_scan.inc"
+#undef KB_RANK_FN
+#undef KB_RANK_ISA
+#undef KB_RANK_TARGET
+
+#elif defined(KB_SIMD_NEON)
+
+#define KB_RANK_FN rankIncNeon
+#define KB_RANK_ISA kb::simd::neon
+#define KB_RANK_TARGET
+#include "trace/rank_scan.inc"
+#undef KB_RANK_FN
+#undef KB_RANK_ISA
+#undef KB_RANK_TARGET
+
+#endif
+
+#define KB_RANK_FN rankIncGeneric
+#define KB_RANK_ISA kb::simd::generic
+#define KB_RANK_TARGET
+#include "trace/rank_scan.inc"
+#undef KB_RANK_FN
+#undef KB_RANK_ISA
+#undef KB_RANK_TARGET
+
 detail::MultiSetRunFn
 planeRunFor(simd::Isa isa)
 {
@@ -158,6 +200,32 @@ analyzerSimdIsa()
 {
     return simd::isaName(activeSimdIsa());
 }
+
+namespace detail {
+
+RankIncFn
+rankIncFor(AnalyzerPath path)
+{
+    // Scalar keeps MarkRank's inline loops (the KB_ANALYZER=scalar
+    // oracle) by returning no override at all.
+    if (path == AnalyzerPath::Scalar)
+        return nullptr;
+    switch (activeSimdIsa()) {
+#if defined(KB_SIMD_X86)
+    case simd::Isa::Avx2:
+        return &rankIncAvx2;
+    case simd::Isa::Sse2:
+        return &rankIncSse2;
+#elif defined(KB_SIMD_NEON)
+    case simd::Isa::Neon:
+        return &rankIncNeon;
+#endif
+    default:
+        return &rankIncGeneric;
+    }
+}
+
+} // namespace detail
 
 namespace {
 
@@ -336,6 +404,39 @@ MultiSetReuseAnalyzer::MultiSetReuseAnalyzer(
     }
 }
 
+MultiSetReuseAnalyzer::MultiSetReuseAnalyzer(
+    const std::vector<std::uint64_t> &set_counts,
+    std::uint64_t max_ways, AnalyzerPath path, bool fuse_fully_assoc)
+    : MultiSetReuseAnalyzer(set_counts, max_ways, path)
+{
+    if (fuse_fully_assoc)
+        fully_ = std::make_unique<ReuseDistanceAnalyzer>(path);
+}
+
+// Out of line because the header only forward-declares the fused
+// pass's analyzer type (its unique_ptr needs the full definition).
+MultiSetReuseAnalyzer::~MultiSetReuseAnalyzer() = default;
+MultiSetReuseAnalyzer::MultiSetReuseAnalyzer(
+    MultiSetReuseAnalyzer &&) noexcept = default;
+MultiSetReuseAnalyzer &
+MultiSetReuseAnalyzer::operator=(MultiSetReuseAnalyzer &&) noexcept =
+    default;
+
+const ReuseDistanceAnalyzer &
+MultiSetReuseAnalyzer::fullyAssoc() const
+{
+    KB_REQUIRE(fully_ != nullptr,
+               "analyzer was not constructed with a fused fully "
+               "associative pass");
+    return *fully_;
+}
+
+MissCurve
+MultiSetReuseAnalyzer::fullyAssocCurve() const
+{
+    return fullyAssoc().missCurve();
+}
+
 // The pre-SIMD row scan, kept verbatim as the bit-exactness oracle
 // (KB_ANALYZER=scalar); only the row base math moved to the caller.
 void
@@ -482,6 +583,10 @@ MultiSetReuseAnalyzer::step(std::uint64_t addr, bool write)
 void
 MultiSetReuseAnalyzer::onAccess(const Access &access)
 {
+    // The fused fully associative pass sees every word exactly once,
+    // right here, so its clock and clock_ advance in lockstep.
+    if (fully_)
+        fully_->onAccess(access);
     if (path_ == AnalyzerPath::Simd) {
         simdRun(access.addr, 1, access.isWrite());
         return;
@@ -495,6 +600,8 @@ MultiSetReuseAnalyzer::onRun(std::uint64_t base, std::uint64_t words,
 {
     if (words == 0)
         return;
+    if (fully_)
+        fully_->onRun(base, words, type);
     const bool write = type == AccessType::Write;
     if (path_ == AnalyzerPath::Simd) {
         simdRun(base, words, write);
@@ -544,7 +651,15 @@ MultiSetReuseAnalyzer::waysCurve(std::size_t plane) const
                      cold_writebacks_[plane]);
 }
 
-ReuseDistanceAnalyzer::ReuseDistanceAnalyzer() = default;
+ReuseDistanceAnalyzer::ReuseDistanceAnalyzer()
+    : ReuseDistanceAnalyzer(activeAnalyzerPath())
+{
+}
+
+ReuseDistanceAnalyzer::ReuseDistanceAnalyzer(AnalyzerPath path)
+    : path_(path), rank_(path)
+{
+}
 
 void
 ReuseDistanceAnalyzer::compactStamps()
@@ -567,7 +682,7 @@ ReuseDistanceAnalyzer::compactStamps()
             last_use_[owner[p]] = next++;
     }
     KB_ASSERT(next == n);
-    rank_ = MarkRank();
+    rank_ = MarkRank(path_);
     rank_.grow(n);
     rank_.setRun(0, n);
     pos_ = n;
@@ -654,6 +769,22 @@ ReuseDistanceAnalyzer::onRun(std::uint64_t base, std::uint64_t words,
     const bool write = type == AccessType::Write;
     const std::uint64_t time0 = pos_;
 
+    // Simd-path block shortcut: a recorded block covering this run
+    // means words base..base+words-1 hold ids id0..id0+words-1 (ids
+    // are permanent, so the record cannot go stale) — all warm, no
+    // table walk needed. One probe replaces the whole map phase.
+    if (path_ == AnalyzerPath::Simd && words >= 2) {
+        if (const std::uint64_t *entry = blocks_.find(base);
+            entry != nullptr && (*entry & 0xffffffffull) >= words) {
+            const auto id0 = static_cast<std::uint32_t>(*entry >> 32);
+            time_ += words;
+            pos_ = time0 + words;
+            rank_.grow(pos_);
+            runWarmBlock(id0, words, time0, write);
+            return;
+        }
+    }
+
     // Phase 1: one map-only pass. Addresses within a run are
     // distinct, so each access's position and last-use answer are
     // independent of the others — the table probes batch cleanly
@@ -661,16 +792,37 @@ ReuseDistanceAnalyzer::onRun(std::uint64_t base, std::uint64_t words,
     // no rank query) completes here.
     constexpr std::uint64_t kLookahead = 8;
     run_ids_.resize(static_cast<std::size_t>(words));
+    std::uint32_t first_id = kColdId;
+    bool affine = true;
     for (std::uint64_t i = 0; i < words; ++i) {
         if (i + kLookahead < words)
             words_.prefetch(base + i + kLookahead);
         const auto [slot, inserted] = words_.tryEmplace(base + i);
+        std::uint32_t id;
         if (inserted) {
-            *slot = coldAppend(time0 + i, write);
+            id = coldAppend(time0 + i, write);
+            *slot = id;
             run_ids_[i] = kColdId;
         } else {
-            run_ids_[i] = *slot;
+            id = *slot;
+            run_ids_[i] = id;
         }
+        if (i == 0)
+            first_id = id;
+        else if (id != static_cast<std::uint64_t>(first_id) + i)
+            affine = false;
+    }
+    // The ids proved contiguous from the base's id — record the block
+    // so the run's next occurrence skips phase 1 entirely. A run's
+    // first touch always qualifies (cold appends take consecutive
+    // fresh ids), which is why tiled kernels hit the shortcut on
+    // every repetition after the first.
+    if (path_ == AnalyzerPath::Simd && affine && words >= 2 &&
+        words <= 0xffffffffull) {
+        const auto [slot, inserted] = blocks_.tryEmplace(base);
+        if (inserted || (*slot & 0xffffffffull) < words)
+            *slot = (static_cast<std::uint64_t>(first_id) << 32) |
+                    words;
     }
     time_ += words;
     pos_ = time0 + words;
@@ -715,6 +867,55 @@ ReuseDistanceAnalyzer::onRun(std::uint64_t base, std::uint64_t words,
             const std::uint32_t id = run_ids_[i + j];
             last_use_[id] = time0 + i + j;
             std::uint64_t &window = dirty_window_[id];
+            window = std::max(window, distance);
+            if (write) {
+                if (window == kColdWindow) {
+                    ++cold_writebacks_;
+                } else {
+                    if (wb_hist_.size() <= window)
+                        wb_hist_.resize(window + 1, 0);
+                    ++wb_hist_[window];
+                }
+                window = 0;
+            }
+        }
+        i += len;
+    }
+}
+
+void
+ReuseDistanceAnalyzer::runWarmBlock(std::uint32_t id0,
+                                    std::uint64_t words,
+                                    std::uint64_t time0, bool write)
+{
+    // Phase 2's warm loop with the id array replaced by arithmetic:
+    // word i is id0+i, so streak detection and all state updates read
+    // last_use_ / dirty_window_ directly. Identical arithmetic in the
+    // same order as the general path — only the map work is gone.
+    std::uint64_t i = 0;
+    while (i < words) {
+        const auto id = static_cast<std::uint32_t>(id0 + i);
+        const std::uint64_t prev = last_use_[id];
+        std::uint64_t len = 1;
+        while (i + len < words &&
+               last_use_[id0 + i + len] == prev + len)
+            ++len;
+        if (len == 1) {
+            warmAccess(id, time0 + i, write);
+            ++i;
+            continue;
+        }
+        const std::uint64_t distance =
+            rank_.total() - rank_.rankInc(prev);
+        if (hist_.size() <= distance)
+            hist_.resize(distance + 1, 0);
+        hist_[distance] += len;
+        rank_.clearRun(prev, len);
+        rank_.setRun(time0 + i, len);
+        for (std::uint64_t j = 0; j < len; ++j) {
+            const auto wid = static_cast<std::uint32_t>(id0 + i + j);
+            last_use_[wid] = time0 + i + j;
+            std::uint64_t &window = dirty_window_[wid];
             window = std::max(window, distance);
             if (write) {
                 if (window == kColdWindow) {

@@ -46,6 +46,7 @@
 #include <bit>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -146,6 +147,78 @@ class MissCurve
 };
 
 /**
+ * Analyzer implementation selector, shared by the set-associative row
+ * scans and the fully associative pass.
+ *
+ * `Simd` (the default) runs the per-set stamp-row scans through the
+ * KB_SIMD lane kernels of util/simd.hpp over rows padded to the
+ * vector width, issues MarkRank's block scans through the same
+ * dispatch, and lets the fully associative pass take its run-block
+ * map shortcut; `Scalar` keeps the original loops verbatim as the
+ * bit-exactness oracle. Both produce identical curves on every trace
+ * (analyzer_diff_test asserts it per registered kernel).
+ */
+enum class AnalyzerPath
+{
+    Scalar,
+    Simd,
+};
+
+/** "scalar" or "simd". */
+const char *analyzerPathName(AnalyzerPath path);
+
+/** Parse an analyzer path name; false (out untouched) on others. */
+bool parseAnalyzerPath(const std::string &name, AnalyzerPath &out);
+
+/**
+ * Process-wide default row-scan path, used by every analyzer whose
+ * constructor did not pin one. First use reads KB_ANALYZER
+ * ("scalar"/"simd"; fatal otherwise); unset means Simd.
+ */
+AnalyzerPath activeAnalyzerPath();
+
+/** Override the process-wide default (the --analyzer driver flag). */
+void setActiveAnalyzerPath(AnalyzerPath path);
+
+/**
+ * ISA the Simd path resolves to on this host: "avx2", "sse2", "neon"
+ * or "generic" (host detection, overridable by the KB_SIMD env var).
+ */
+const char *analyzerSimdIsa();
+
+namespace detail {
+
+/**
+ * MarkRank's levels flattened to raw pointers, so the ISA-specialized
+ * rank query of trace/rank_scan.inc touches no class internals. Built
+ * per query from the live vectors (a handful of register moves — the
+ * levels can grow between queries, so the pointers cannot be cached).
+ */
+struct RankView
+{
+    const std::uint64_t *bits;
+    const std::uint16_t *cnt1;
+    const std::uint32_t *cnt2;
+    const std::uint64_t *cnt3;
+    std::size_t bits_n;
+    std::size_t cnt1_n;
+    std::size_t cnt2_n;
+    std::size_t cnt3_n;
+    std::uint64_t total;
+};
+
+/// The whole rank query — ONE indirect call per query (the level
+/// scans are <= 63 elements each; dispatch per reduction costs more
+/// than the scan it guards).
+using RankIncFn = std::uint64_t (*)(const RankView &v, std::uint64_t p);
+
+/// ISA-specialized rank query for @p path, or nullptr for the scalar
+/// loops (the KB_ANALYZER=scalar oracle). Defined in trace/reuse.cpp.
+RankIncFn rankIncFor(AnalyzerPath path);
+
+} // namespace detail
+
+/**
  * Dynamic bit-rank over trace positions: a bitmap plus blocked count
  * summaries supporting O(1) set/clear and cache-friendly rank.
  *
@@ -167,6 +240,18 @@ class MissCurve
 class MarkRank
 {
   public:
+    /**
+     * @param path Simd resolves the rank query through the
+     *             ISA-specialized block scans of trace/rank_scan.inc;
+     *             Scalar keeps the inline loops below verbatim as the
+     *             bit-exactness oracle. Identical answers either way
+     *             (exact integer sums in a different order).
+     */
+    explicit MarkRank(AnalyzerPath path = activeAnalyzerPath())
+        : rank_fn_(detail::rankIncFor(path))
+    {
+    }
+
     /** Total set bits (maintained incrementally). */
     std::uint64_t total() const { return total_; }
 
@@ -266,6 +351,13 @@ class MarkRank
     std::uint64_t
     rankInc(std::uint64_t p) const
     {
+        if (rank_fn_ != nullptr)
+            return rank_fn_(
+                detail::RankView{bits_.data(), cnt1_.data(),
+                                 cnt2_.data(), cnt3_.data(),
+                                 bits_.size(), cnt1_.size(),
+                                 cnt2_.size(), cnt3_.size(), total_},
+                p);
         const std::size_t w = static_cast<std::size_t>(p >> 6);
         const std::size_t g1 = w >> 6;
         const std::size_t g2 = g1 >> 6;
@@ -329,44 +421,9 @@ class MarkRank
     std::vector<std::uint32_t> cnt2_;
     std::vector<std::uint64_t> cnt3_;
     std::uint64_t total_ = 0;
+    /// ISA-specialized rank query, or nullptr for the scalar loops.
+    detail::RankIncFn rank_fn_ = nullptr;
 };
-
-/**
- * Row-scan implementation of the set-associative analyzer.
- *
- * `Simd` (the default) runs the per-set stamp-row scans through the
- * KB_SIMD lane kernels of util/simd.hpp over rows padded to the
- * vector width; `Scalar` keeps the original per-slot loops verbatim
- * as the bit-exactness oracle. Both produce identical curves on every
- * trace (analyzer_diff_test asserts it per registered kernel).
- */
-enum class AnalyzerPath
-{
-    Scalar,
-    Simd,
-};
-
-/** "scalar" or "simd". */
-const char *analyzerPathName(AnalyzerPath path);
-
-/** Parse an analyzer path name; false (out untouched) on others. */
-bool parseAnalyzerPath(const std::string &name, AnalyzerPath &out);
-
-/**
- * Process-wide default row-scan path, used by every analyzer whose
- * constructor did not pin one. First use reads KB_ANALYZER
- * ("scalar"/"simd"; fatal otherwise); unset means Simd.
- */
-AnalyzerPath activeAnalyzerPath();
-
-/** Override the process-wide default (the --analyzer driver flag). */
-void setActiveAnalyzerPath(AnalyzerPath path);
-
-/**
- * ISA the Simd path resolves to on this host: "avx2", "sse2", "neon"
- * or "generic" (host detection, overridable by the KB_SIMD env var).
- */
-const char *analyzerSimdIsa();
 
 namespace detail {
 
@@ -407,6 +464,8 @@ using MultiSetRunFn = void (*)(const MultiSetPlane *planes,
                                std::uint64_t now0, bool write);
 
 } // namespace detail
+
+class ReuseDistanceAnalyzer;
 
 /**
  * One shared Mattson pass serving several set counts at once.
@@ -454,19 +513,33 @@ class MultiSetReuseAnalyzer : public TraceSink
      *                   distances >= max_ways are lumped
      * @param path       row-scan implementation; defaults to the
      *                   process-wide activeAnalyzerPath()
+     * @param fuse_fully_assoc also drive a fully associative Mattson
+     *                   pass (a ReuseDistanceAnalyzer on @p path)
+     *                   inside the same walk, under the shared clock —
+     *                   every word advances both stamp domains in
+     *                   lockstep, so one consumer serves the
+     *                   fully-assoc curve AND every set-assoc plane
+     *                   where the engine previously walked the trace
+     *                   once per analyzer. Query via
+     *                   fullyAssocCurve().
      */
     MultiSetReuseAnalyzer(const std::vector<std::uint64_t> &set_counts,
                           std::uint64_t max_ways);
     MultiSetReuseAnalyzer(const std::vector<std::uint64_t> &set_counts,
                           std::uint64_t max_ways, AnalyzerPath path);
+    MultiSetReuseAnalyzer(const std::vector<std::uint64_t> &set_counts,
+                          std::uint64_t max_ways, AnalyzerPath path,
+                          bool fuse_fully_assoc);
+    ~MultiSetReuseAnalyzer() override;
 
     // Movable, not copyable: plane_ctx_ points into the slot vectors'
     // buffers, which transfer on move but not on copy.
     MultiSetReuseAnalyzer(const MultiSetReuseAnalyzer &) = delete;
     MultiSetReuseAnalyzer &
     operator=(const MultiSetReuseAnalyzer &) = delete;
-    MultiSetReuseAnalyzer(MultiSetReuseAnalyzer &&) = default;
-    MultiSetReuseAnalyzer &operator=(MultiSetReuseAnalyzer &&) = default;
+    MultiSetReuseAnalyzer(MultiSetReuseAnalyzer &&) noexcept;
+    MultiSetReuseAnalyzer &
+    operator=(MultiSetReuseAnalyzer &&) noexcept;
 
     void onAccess(const Access &access) override;
     void onRun(std::uint64_t base, std::uint64_t words,
@@ -488,6 +561,19 @@ class MultiSetReuseAnalyzer : public TraceSink
     MissCurve waysCurve(std::size_t plane) const;
 
     AnalyzerPath path() const { return path_; }
+
+    /** Whether a fused fully associative pass rides this walk. */
+    bool hasFullyAssoc() const { return fully_ != nullptr; }
+
+    /** The fused pass's analyzer (hasFullyAssoc() must hold). */
+    const ReuseDistanceAnalyzer &fullyAssoc() const;
+
+    /**
+     * The fused pass's capacity -> misses/writebacks curve — exactly
+     * the MissCurve a standalone ReuseDistanceAnalyzer would build
+     * from the same stream (hasFullyAssoc() must hold).
+     */
+    MissCurve fullyAssocCurve() const;
 
   private:
     static constexpr std::uint64_t kColdWindow =
@@ -546,6 +632,11 @@ class MultiSetReuseAnalyzer : public TraceSink
     std::vector<std::uint32_t> rows_buf_;
     std::uint32_t *rows_base_ = nullptr;
     bool compressed_ = false;
+    /// Lever (a) of the fused pipeline: the fully associative pass
+    /// fused into this walk as a shared-clock plane (both stamp
+    /// domains advance one per word, in lockstep). Null unless the
+    /// fusing constructor was used.
+    std::unique_ptr<ReuseDistanceAnalyzer> fully_;
     std::uint64_t clock_ = 0;
     std::uint64_t accesses_ = 0;
 };
@@ -596,7 +687,19 @@ class SetAssocReuseAnalyzer : public TraceSink
 class ReuseDistanceAnalyzer : public TraceSink
 {
   public:
+    /** Uses the process-wide activeAnalyzerPath(). */
     ReuseDistanceAnalyzer();
+
+    /**
+     * @param path Simd issues MarkRank's block scans through the
+     *             KB_SIMD dispatch and lets onRun() serve repeated
+     *             whole runs off the run-block map (one table probe
+     *             per run instead of one per word); Scalar keeps the
+     *             original per-word loops verbatim as the
+     *             bit-exactness oracle. Identical histograms and
+     *             curves either way (analyzer_diff_test pins it).
+     */
+    explicit ReuseDistanceAnalyzer(AnalyzerPath path);
 
     void onAccess(const Access &access) override;
 
@@ -607,9 +710,19 @@ class ReuseDistanceAnalyzer : public TraceSink
      * counting — contiguous first-touch streaks mark the rank bitmap
      * in bulk with no distance query at all, and warm accesses run
      * the rank arithmetic back to back with the map out of the loop.
+     *
+     * On the Simd path a run whose words all carry ids contiguous
+     * from its base's id — tracked in a base -> (first id, length)
+     * block map, and the steady state of every tiled kernel, since a
+     * run's first touch cold-appends its words to consecutive ids —
+     * skips phase 1 entirely: one block-map probe replaces the
+     * per-word table walk, and the ids (permanent once assigned, so
+     * the map never invalidates) index the per-word state directly.
      */
     void onRun(std::uint64_t base, std::uint64_t words,
                AccessType type) override;
+
+    AnalyzerPath path() const { return path_; }
 
     /** Histogram of finite reuse distances (index = distance). */
     const std::vector<std::uint64_t> &histogram() const { return hist_; }
@@ -647,6 +760,16 @@ class ReuseDistanceAnalyzer : public TraceSink
     void warmAccess(std::uint32_t id, std::uint64_t now, bool write);
 
     /**
+     * Phase 2 of onRun() for a run served off the block map: the word
+     * ids are id0..id0+words-1 by construction, so the counting loop
+     * reads per-word state directly — same arithmetic as the general
+     * phase 2, minus the per-word scratch row. @p time0 is the stamp
+     * of the run's first word (time_/pos_ already advanced).
+     */
+    void runWarmBlock(std::uint32_t id0, std::uint64_t words,
+                      std::uint64_t time0, bool write);
+
+    /**
      * Keep the rank domain proportional to the footprint, not the
      * trace length. Only distinctWords() positions ever hold a mark,
      * and a rank query reads nothing but the marks' relative order —
@@ -665,11 +788,18 @@ class ReuseDistanceAnalyzer : public TraceSink
     }
     void compactStamps();
 
+    AnalyzerPath path_;
     /// One mark per tracked word at its most recent use stamp (in
     /// the compact clock domain [0, pos_)); rank queries over it
     /// answer "distinct words since prev".
     MarkRank rank_;
     FlatWordMap<std::uint32_t> words_; ///< addr -> dense word id
+    /// Simd-path run-block index: run base -> (id of the base's word
+    /// << 32) | contiguous id count. A pure memoization of words_ —
+    /// entries never go stale because ids are append-only and
+    /// permanent — letting a repeated run trade its per-word map walk
+    /// for one probe here. words_ stays authoritative for every word.
+    FlatWordMap<std::uint64_t> blocks_;
     /// Dense per-word state, parallel arrays indexed by word id (ids
     /// are stable across FlatWordMap growth where value pointers are
     /// not, which is what lets onRun batch its map phase).

@@ -47,11 +47,20 @@
  *    (and 0 elsewhere) so padding never wins, and because an empty
  *    slot's stamp 0 is the global minimum this is exactly the scalar
  *    "first empty slot, else lowest-index LRU" victim rule.
+ *
+ * A second family serves the MarkRank block scans of the fully
+ * associative analyzer (trace/rank_scan.inc): popcountRange sums the
+ * set bits of a u64 range, sumRange16/32/64 sum short count arrays.
+ * All are exact integer reductions, so every ISA returns the same
+ * value in any summation order; sumRange16's inputs must stay below
+ * 2^15 (MarkRank's level-1 counts max out at 4096), which lets the
+ * x86 tiers use the signed madd instruction.
  */
 
 #pragma once
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -324,6 +333,42 @@ orderedAccess8(std::uint32_t *row, std::uint32_t addr,
     return orderedRotate8(row, addr, d, ways, write);
 }
 
+inline std::uint64_t
+popcountRange(const std::uint64_t *words, std::size_t n)
+{
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        sum += static_cast<std::uint64_t>(std::popcount(words[i]));
+    return sum;
+}
+
+inline std::uint64_t
+sumRange16(const std::uint16_t *values, std::size_t n)
+{
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        sum += values[i];
+    return sum;
+}
+
+inline std::uint64_t
+sumRange32(const std::uint32_t *values, std::size_t n)
+{
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        sum += values[i];
+    return sum;
+}
+
+inline std::uint64_t
+sumRange64(const std::uint64_t *values, std::size_t n)
+{
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        sum += values[i];
+    return sum;
+}
+
 } // namespace generic
 
 #if defined(KB_SIMD_X86)
@@ -528,6 +573,101 @@ orderedAccess8(std::uint32_t *row, std::uint32_t addr,
     return {d, window};
 }
 
+// AVX2 has no vector popcount; the nibble-LUT shuffle (two table
+// lookups per byte, summed across each 64-bit half by SAD) counts 256
+// bits per iteration.
+__attribute__((target("avx2"))) inline std::uint64_t
+popcountRange(const std::uint64_t *words, std::size_t n)
+{
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1,
+        2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low = _mm256_set1_epi8(0x0f);
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i acc = zero;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(words + i));
+        const __m256i lo = _mm256_and_si256(v, low);
+        const __m256i hi =
+            _mm256_and_si256(_mm256_srli_epi32(v, 4), low);
+        const __m256i cnt =
+            _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                            _mm256_shuffle_epi8(lut, hi));
+        acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, zero));
+    }
+    std::uint64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    std::uint64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < n; ++i)
+        sum += static_cast<std::uint64_t>(std::popcount(words[i]));
+    return sum;
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t
+sumRange16(const std::uint16_t *values, std::size_t n)
+{
+    // madd against 1s pairs the signed 16-bit lanes into 32-bit
+    // sums; inputs stay below 2^15 (header contract) so the signed
+    // multiply is exact.
+    const __m256i ones = _mm256_set1_epi16(1);
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(values + i));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(v, ones));
+    }
+    std::uint32_t lanes[8];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    std::uint64_t sum = 0;
+    for (int l = 0; l < 8; ++l)
+        sum += lanes[l];
+    for (; i < n; ++i)
+        sum += values[i];
+    return sum;
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t
+sumRange32(const std::uint32_t *values, std::size_t n)
+{
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i acc = zero;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(values + i));
+        acc = _mm256_add_epi64(acc,
+                               _mm256_add_epi64(
+                                   _mm256_unpacklo_epi32(v, zero),
+                                   _mm256_unpackhi_epi32(v, zero)));
+    }
+    std::uint64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    std::uint64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < n; ++i)
+        sum += values[i];
+    return sum;
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t
+sumRange64(const std::uint64_t *values, std::size_t n)
+{
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        acc = _mm256_add_epi64(
+            acc, _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i *>(values + i)));
+    std::uint64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    std::uint64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < n; ++i)
+        sum += values[i];
+    return sum;
+}
+
 } // namespace avx2
 
 namespace sse2 {
@@ -712,6 +852,95 @@ orderedAccess8(std::uint32_t *row, std::uint32_t addr,
     return generic::orderedRotate8(row, addr, d, ways, write);
 }
 
+// No pshufb at the SSE2 baseline, so the bit-twiddling popcount runs
+// on both 64-bit lanes at once; SAD folds the per-byte counts.
+inline std::uint64_t
+popcountRange(const std::uint64_t *words, std::size_t n)
+{
+    const __m128i m1 = _mm_set1_epi64x(0x5555555555555555ll);
+    const __m128i m2 = _mm_set1_epi64x(0x3333333333333333ll);
+    const __m128i m4 = _mm_set1_epi64x(0x0f0f0f0f0f0f0f0fll);
+    const __m128i zero = _mm_setzero_si128();
+    __m128i acc = zero;
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(words + i));
+        v = _mm_sub_epi64(v,
+                          _mm_and_si128(_mm_srli_epi64(v, 1), m1));
+        v = _mm_add_epi64(_mm_and_si128(v, m2),
+                          _mm_and_si128(_mm_srli_epi64(v, 2), m2));
+        v = _mm_and_si128(_mm_add_epi64(v, _mm_srli_epi64(v, 4)), m4);
+        acc = _mm_add_epi64(acc, _mm_sad_epu8(v, zero));
+    }
+    std::uint64_t lanes[2];
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(lanes), acc);
+    std::uint64_t sum = lanes[0] + lanes[1];
+    for (; i < n; ++i)
+        sum += static_cast<std::uint64_t>(std::popcount(words[i]));
+    return sum;
+}
+
+inline std::uint64_t
+sumRange16(const std::uint16_t *values, std::size_t n)
+{
+    // See the avx2 variant: inputs below 2^15 make signed madd exact.
+    const __m128i ones = _mm_set1_epi16(1);
+    __m128i acc = _mm_setzero_si128();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(values + i));
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(v, ones));
+    }
+    std::uint32_t lanes[4];
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(lanes), acc);
+    std::uint64_t sum =
+        static_cast<std::uint64_t>(lanes[0]) + lanes[1] + lanes[2] +
+        lanes[3];
+    for (; i < n; ++i)
+        sum += values[i];
+    return sum;
+}
+
+inline std::uint64_t
+sumRange32(const std::uint32_t *values, std::size_t n)
+{
+    const __m128i zero = _mm_setzero_si128();
+    __m128i acc = zero;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(values + i));
+        acc = _mm_add_epi64(acc,
+                            _mm_add_epi64(_mm_unpacklo_epi32(v, zero),
+                                          _mm_unpackhi_epi32(v, zero)));
+    }
+    std::uint64_t lanes[2];
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(lanes), acc);
+    std::uint64_t sum = lanes[0] + lanes[1];
+    for (; i < n; ++i)
+        sum += values[i];
+    return sum;
+}
+
+inline std::uint64_t
+sumRange64(const std::uint64_t *values, std::size_t n)
+{
+    __m128i acc = _mm_setzero_si128();
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        acc = _mm_add_epi64(
+            acc, _mm_loadu_si128(
+                     reinterpret_cast<const __m128i *>(values + i)));
+    std::uint64_t lanes[2];
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(lanes), acc);
+    std::uint64_t sum = lanes[0] + lanes[1];
+    for (; i < n; ++i)
+        sum += values[i];
+    return sum;
+}
+
 } // namespace sse2
 
 #elif defined(KB_SIMD_NEON)
@@ -803,6 +1032,57 @@ orderedAccess8(std::uint32_t *row, std::uint32_t addr,
             break;
         }
     return generic::orderedRotate8(row, addr, d, ways, write);
+}
+
+inline std::uint64_t
+popcountRange(const std::uint64_t *words, std::size_t n)
+{
+    std::uint64_t sum = 0;
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint8x16_t v =
+            vreinterpretq_u8_u64(vld1q_u64(words + i));
+        sum += vaddlvq_u8(vcntq_u8(v));
+    }
+    for (; i < n; ++i)
+        sum += static_cast<std::uint64_t>(std::popcount(words[i]));
+    return sum;
+}
+
+inline std::uint64_t
+sumRange16(const std::uint16_t *values, std::size_t n)
+{
+    std::uint64_t sum = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        sum += vaddlvq_u16(vld1q_u16(values + i));
+    for (; i < n; ++i)
+        sum += values[i];
+    return sum;
+}
+
+inline std::uint64_t
+sumRange32(const std::uint32_t *values, std::size_t n)
+{
+    std::uint64_t sum = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        sum += vaddlvq_u32(vld1q_u32(values + i));
+    for (; i < n; ++i)
+        sum += values[i];
+    return sum;
+}
+
+inline std::uint64_t
+sumRange64(const std::uint64_t *values, std::size_t n)
+{
+    std::uint64_t sum = 0;
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        sum += vaddvq_u64(vld1q_u64(values + i));
+    for (; i < n; ++i)
+        sum += values[i];
+    return sum;
 }
 
 } // namespace neon

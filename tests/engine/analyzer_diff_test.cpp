@@ -13,6 +13,15 @@
  * runs, all-cold streams, single-word hammers) and seeded random
  * mixes. The streaming stress also asserts the memory bound: peak
  * resident bytes stay put when the trace gets 8x longer.
+ *
+ * The fused-pipeline suite pins the chunked AnalysisPipeline and the
+ * fused fully-assoc plane down the same way: one emission through the
+ * chunk ring into a fused consumer must reproduce, bit for bit, the
+ * separate per-analyzer passes it replaced — over every registered
+ * kernel, the adversarial streams, and chunk sizes 1/7/4096 so ops
+ * land on every possible chunk-boundary phase. A fully-assoc
+ * scalar-vs-SIMD differential covers the run-block index and the
+ * block-scan rankInc against the original per-word loops.
  */
 
 #include <cstdint>
@@ -26,6 +35,7 @@
 #include "kernels/registry.hpp"
 #include "mem/opt_cache.hpp"
 #include "mem/set_assoc.hpp"
+#include "trace/pipeline.hpp"
 #include "trace/reuse.hpp"
 #include "trace/sink.hpp"
 #include "util/flat_map.hpp"
@@ -646,6 +656,211 @@ TEST(StreamingOptDiff, PeakResidentMemoryIndependentOfTraceLength)
     EXPECT_LE(sync_stats.peak_resident_bytes,
               options.spill_threshold_bytes + record +
                   options.chunk_positions * 8);
+}
+
+void
+expectSameReuse(const ReuseDistanceAnalyzer &a,
+                const ReuseDistanceAnalyzer &b)
+{
+    EXPECT_EQ(a.accesses(), b.accesses());
+    EXPECT_EQ(a.coldMisses(), b.coldMisses());
+    EXPECT_EQ(a.coldWritebacks(), b.coldWritebacks());
+    EXPECT_EQ(a.distinctWords(), b.distinctWords());
+    EXPECT_EQ(a.histogram(), b.histogram());
+    EXPECT_EQ(a.writeHistogram(), b.writeHistogram());
+}
+
+/**
+ * The fused-pipeline contract: one emission rendered into chunk
+ * buffers and fanned out to a fused consumer (multi-set planes + the
+ * fully-assoc shared-clock plane) must be bit-identical to the
+ * separate passes it replaced — a standalone ReuseDistanceAnalyzer
+ * and a standalone MultiSetReuseAnalyzer each fed directly. Single
+ * words go through onAccess and longer runs through onRun so both
+ * pipeline op kinds cross every chunk-boundary phase.
+ */
+void
+expectFusedMatchesSeparate(const std::vector<Run> &runs,
+                           const std::vector<std::uint64_t> &set_counts,
+                           std::uint64_t max_ways, AnalyzerPath path,
+                           std::uint64_t chunk_ops)
+{
+    ReuseDistanceAnalyzer fully(path);
+    MultiSetReuseAnalyzer multi(set_counts, max_ways, path);
+    std::uint64_t total_words = 0;
+    for (const auto &r : runs) {
+        fully.onRun(r.base, r.words, r.type);
+        multi.onRun(r.base, r.words, r.type);
+        total_words += r.words;
+    }
+
+    MultiSetReuseAnalyzer fused(set_counts, max_ways, path, true);
+    AnalysisPipeline pipeline(chunk_ops);
+    pipeline.attach(fused);
+    for (const auto &r : runs) {
+        if (r.words == 1)
+            pipeline.onAccess(Access{r.base, r.type});
+        else
+            pipeline.onRun(r.base, r.words, r.type);
+    }
+    pipeline.flush();
+    ASSERT_EQ(pipeline.wordsDelivered(), total_words);
+    ASSERT_TRUE(fused.hasFullyAssoc());
+
+    expectSameReuse(fused.fullyAssoc(), fully);
+    const auto fused_lru = fused.fullyAssocCurve();
+    const auto direct_lru = fully.missCurve();
+    for (const std::uint64_t m : {1u, 2u, 7u, 64u, 1000u}) {
+        EXPECT_EQ(fused_lru.missesAt(m), direct_lru.missesAt(m))
+            << "capacity " << m;
+        EXPECT_EQ(fused_lru.writebacksAt(m), direct_lru.writebacksAt(m))
+            << "capacity " << m;
+    }
+    for (std::size_t p = 0; p < set_counts.size(); ++p) {
+        SCOPED_TRACE("sets " + std::to_string(set_counts[p]));
+        const auto f = fused.waysCurve(p);
+        const auto s = multi.waysCurve(p);
+        for (std::uint64_t w = 1; w <= max_ways + 3; ++w) {
+            EXPECT_EQ(f.missesAt(w), s.missesAt(w)) << "ways " << w;
+            EXPECT_EQ(f.writebacksAt(w), s.writebacksAt(w))
+                << "ways " << w;
+        }
+    }
+}
+
+TEST(FusedPipelineDiff, MatchesSeparatePassesOnAllKernels)
+{
+    // Real emissions, production shape: the kernel emits once into
+    // the pipeline exactly as the engine fast path drives it, and the
+    // references each get their own direct emission.
+    for (const auto &name : KernelRegistry::instance().names()) {
+        SCOPED_TRACE("kernel " + name);
+        const auto kernel = KernelRegistry::instance().shared(name);
+        std::uint64_t m_lo = 0, m_hi = 0;
+        kernel->defaultSweepRange(m_lo, m_hi);
+        const std::uint64_t n = kernel->regimeProblemSize(
+            kernel->suggestProblemSize(m_lo), m_lo);
+        const std::vector<std::uint64_t> set_counts{1, 3, 8, 32};
+
+        for (const auto path :
+             {AnalyzerPath::Scalar, AnalyzerPath::Simd}) {
+            SCOPED_TRACE(std::string("path ") +
+                         analyzerPathName(path));
+            ReuseDistanceAnalyzer fully(path);
+            MultiSetReuseAnalyzer multi(set_counts, 8, path);
+            kernel->emitTrace(n, m_lo, fully);
+            kernel->emitTrace(n, m_lo, multi);
+
+            MultiSetReuseAnalyzer fused(set_counts, 8, path, true);
+            AnalysisPipeline pipeline;
+            pipeline.attach(fused);
+            kernel->emitTrace(n, m_lo, pipeline);
+            pipeline.flush();
+
+            ASSERT_EQ(pipeline.wordsDelivered(), fully.accesses());
+            EXPECT_GT(pipeline.chunksDelivered(), 0u);
+            expectSameReuse(fused.fullyAssoc(), fully);
+            for (std::size_t p = 0; p < set_counts.size(); ++p) {
+                SCOPED_TRACE("sets " +
+                             std::to_string(set_counts[p]));
+                const auto f = fused.waysCurve(p);
+                const auto s = multi.waysCurve(p);
+                for (std::uint64_t w = 1; w <= 11; ++w) {
+                    EXPECT_EQ(f.missesAt(w), s.missesAt(w))
+                        << "ways " << w;
+                    EXPECT_EQ(f.writebacksAt(w), s.writebacksAt(w))
+                        << "ways " << w;
+                }
+            }
+        }
+    }
+}
+
+TEST(FusedPipelineDiff, MatchesSeparatePassesOnAdversarialAndRandomRuns)
+{
+    auto streams = adversarialStreams();
+    for (std::uint64_t seed = 51; seed <= 56; ++seed)
+        streams.push_back(
+            {"random_" + std::to_string(seed), randomStream(seed)});
+    for (const auto &[label, runs] : streams) {
+        SCOPED_TRACE(label);
+        for (const auto path :
+             {AnalyzerPath::Scalar, AnalyzerPath::Simd}) {
+            SCOPED_TRACE(std::string("path ") +
+                         analyzerPathName(path));
+            expectFusedMatchesSeparate(
+                runs, {1, 2, 7, 16}, 8, path,
+                AnalysisPipeline::kDefaultChunkOps);
+        }
+    }
+}
+
+TEST(FusedPipelineDiff, ChunkBoundaryStress)
+{
+    // Chunk size 1 delivers after every op (maximum boundary
+    // crossings), 7 lands boundaries on every op-index phase of the
+    // run/word mixes, 4096 is the production default. All must be
+    // invisible: the consumer sees the identical op sequence.
+    auto streams = adversarialStreams();
+    streams.push_back({"random_61", randomStream(61)});
+    for (const auto &[label, runs] : streams) {
+        SCOPED_TRACE(label);
+        for (const std::uint64_t chunk_ops : {1u, 7u, 4096u}) {
+            SCOPED_TRACE("chunk_ops " + std::to_string(chunk_ops));
+            for (const auto path :
+                 {AnalyzerPath::Scalar, AnalyzerPath::Simd}) {
+                SCOPED_TRACE(std::string("path ") +
+                             analyzerPathName(path));
+                expectFusedMatchesSeparate(runs, {1, 4, 16}, 4, path,
+                                           chunk_ops);
+            }
+        }
+    }
+}
+
+/** The run-block index and block-scan rankInc against the scalar
+ *  per-word loops: identical histograms on streams built to hit the
+ *  index (exact repeats, shorter-prefix probes, longer-run misses,
+ *  overwrites that extend a registered block). */
+TEST(FullyAssocSimdDiff, RunBlockIndexMatchesScalar)
+{
+    auto streams = adversarialStreams();
+    for (std::uint64_t seed = 71; seed <= 76; ++seed)
+        streams.push_back(
+            {"random_" + std::to_string(seed), randomStream(seed)});
+    {
+        // Block-index workout. `kb::Run` qualified: inside a TEST
+        // body the unqualified name collides with testing::Test::Run.
+        std::vector<kb::Run> runs;
+        for (int rep = 0; rep < 4; ++rep) {
+            runs.push_back({0, 64, AccessType::Read});   // register/hit
+            runs.push_back({0, 32, AccessType::Write});  // prefix hit
+            runs.push_back({0, 100, AccessType::Read});  // miss: longer
+            runs.push_back({0, 100, AccessType::Read});  // now a hit
+            runs.push_back({500, 1, AccessType::Read});  // too short
+            runs.push_back({32, 32, AccessType::Read});  // offset base
+        }
+        streams.push_back({"run_block_workout", std::move(runs)});
+    }
+
+    for (const auto &[label, runs] : streams) {
+        SCOPED_TRACE(label);
+        ReuseDistanceAnalyzer simd(AnalyzerPath::Simd);
+        ReuseDistanceAnalyzer scalar(AnalyzerPath::Scalar);
+        for (const auto &r : runs) {
+            simd.onRun(r.base, r.words, r.type);
+            scalar.onRun(r.base, r.words, r.type);
+        }
+        expectSameReuse(simd, scalar);
+        const auto s = simd.missCurve();
+        const auto o = scalar.missCurve();
+        for (const std::uint64_t m : {1u, 3u, 16u, 250u}) {
+            EXPECT_EQ(s.missesAt(m), o.missesAt(m))
+                << "capacity " << m;
+            EXPECT_EQ(s.writebacksAt(m), o.writebacksAt(m))
+                << "capacity " << m;
+        }
+    }
 }
 
 } // namespace
